@@ -1,0 +1,56 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+expensive part — training the Tea / L1 / probability-biased models of test
+bench 1 on the synthetic MNIST stand-in — is done once per session here and
+shared; the individual benchmark files then time the evaluation stage of
+their experiment and assert the paper's *shape* claims (who wins, roughly by
+how much, where the effect is largest).  Absolute accuracies differ from the
+paper because the substrate is a simulator and the datasets are synthetic
+stand-ins; EXPERIMENTS.md records the measured values next to the paper's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentContext
+
+
+def pytest_configure(config):
+    # Benchmarks live outside the default testpaths; ensure they are
+    # collected when invoked explicitly (pytest benchmarks/).
+    config.addinivalue_line("markers", "paper: regenerates a paper table/figure")
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """Calibrated test-bench-1 context shared by all benchmarks."""
+    return ExperimentContext(
+        train_size=2500,
+        test_size=500,
+        epochs=20,
+        eval_samples=500,
+        repeats=3,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def tea_result(context):
+    return context.result("tea")
+
+
+@pytest.fixture(scope="session")
+def biased_result(context):
+    return context.result("biased")
+
+
+@pytest.fixture(scope="session")
+def l1_result(context):
+    return context.result("l1")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

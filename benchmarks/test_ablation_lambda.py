@@ -1,0 +1,37 @@
+"""Ablation: the regularization coefficient lambda of Eq. (16).
+
+Sweeps the biasing-penalty weight and verifies the expected trade-off: a
+larger lambda concentrates more probability mass at the poles (lower
+deployment variance) but, pushed far enough, costs float accuracy.
+"""
+
+from conftest import run_once
+
+from repro.core.biased import ProbabilityBiasedLearning
+from repro.core.penalties import pole_fraction
+
+LAMBDAS = (0.0001, 0.0003, 0.003)
+
+
+def test_ablation_penalty_weight_sweep(benchmark, context):
+    def measure():
+        results = {}
+        for lam in LAMBDAS:
+            learner = ProbabilityBiasedLearning(
+                epochs=context.epochs, seed=context.seed, penalty_weight=lam
+            )
+            results[lam] = learner.train(context.architecture(), context.splits())
+        return results
+
+    results = run_once(benchmark, measure)
+    poles = {lam: pole_fraction(r.model.all_probabilities()) for lam, r in results.items()}
+    accuracies = {lam: r.float_accuracy for lam, r in results.items()}
+    print("\nAblation lambda | " + " | ".join(
+        f"{lam}: pole {poles[lam]:.3f}, float {accuracies[lam]:.3f}" for lam in LAMBDAS
+    ))
+    # Pole concentration is monotone in lambda.
+    assert poles[LAMBDAS[0]] <= poles[LAMBDAS[1]] + 0.02
+    assert poles[LAMBDAS[1]] <= poles[LAMBDAS[2]] + 0.02
+    assert poles[LAMBDAS[2]] > 0.9
+    # Even the strongest lambda keeps the model usable (well above chance).
+    assert min(accuracies.values()) > 0.5

@@ -1,0 +1,40 @@
+"""Ablation: synaptic-value magnitude (the axon-type weight-table entries).
+
+The architecture trains weights constrained to [-c, +c] and deploys with
+Bernoulli probability |w| / c.  A larger synaptic value c makes each
+connection's quantization coarser (the same trained weight maps to a smaller
+probability with a bigger jump when the synapse happens to be ON), so the
+per-connection variance  c^2 p (1 - p) = c |w| - w^2  grows with c.  This
+benchmark verifies that analytic relationship on the trained Tea model and
+its consequence for the deployment deviation.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.probability import weights_to_probabilities
+from repro.core.variance import synaptic_variance
+
+
+def test_ablation_synaptic_value_magnitude(benchmark, context, tea_result):
+    weights = tea_result.model.all_weights()
+
+    def measure():
+        variances = {}
+        for value in (1.0, 2.0, 4.0):
+            mapping = weights_to_probabilities(weights, synaptic_value=value)
+            variances[value] = float(
+                synaptic_variance(mapping.probabilities, mapping.synaptic_values).mean()
+            )
+        return variances
+
+    variances = run_once(benchmark, measure)
+    print(
+        "\nAblation weight table | mean per-synapse variance: "
+        + ", ".join(f"c={value}: {variances[value]:.4f}" for value in sorted(variances))
+    )
+    # Coarser synaptic values (larger c) strictly increase the sampling
+    # variance of the same trained weights.
+    assert variances[1.0] < variances[2.0] < variances[4.0]
+    # With c = 1 no weight needs clipping (training already constrains to [-1, 1]).
+    assert weights_to_probabilities(weights, synaptic_value=1.0).clipped_fraction == 0.0

@@ -1,0 +1,30 @@
+"""Benchmark: Figure 4 — synaptic weight deviation maps.
+
+Paper: without the biasing penalty 24.01% of a core's synapses deviate from
+the desired weight by more than 50% of the maximum synaptic weight; with the
+biasing penalty 98.45% of synapses have zero deviation and fewer than 0.02%
+deviate by more than 50%.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figure4 import run_figure4
+
+
+def test_figure4_deviation_maps(benchmark, context, tea_result, biased_result):
+    report = run_once(benchmark, run_figure4, context)
+    tea = report["tea"]
+    biased = report["biased"]
+    print(
+        f"\nFigure 4 | tea >50% deviation {tea['above_half_fraction']:.4f} "
+        f"(paper 0.2401), zero {tea['zero_fraction']:.4f} | "
+        f"biased zero {biased['zero_fraction']:.4f} (paper 0.9845), "
+        f">50% {biased['above_half_fraction']:.5f} (paper <0.0002)"
+    )
+    # Tea deployment has substantial deviation mass above 50%.
+    assert tea["above_half_fraction"] > 0.1
+    # The biased model's deployment is overwhelmingly deviation-free.
+    assert biased["zero_fraction"] > 0.6
+    assert biased["zero_fraction"] > tea["zero_fraction"] + 0.4
+    assert biased["above_half_fraction"] < tea["above_half_fraction"] / 3
+    assert biased["mean_deviation"] < tea["mean_deviation"] / 3

@@ -1,0 +1,43 @@
+"""Benchmark: Figure 7 — accuracy surfaces over (copies, spf).
+
+Paper: both surfaces rise with spatial and temporal duplication and saturate
+toward the float-model ceiling (~95%); the probability-biased surface covers
+the Tea surface, especially at small duplication.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figure7 import run_figure7
+
+COPY_LEVELS = (1, 2, 4, 8, 16)
+SPF_LEVELS = (1, 2, 3, 4)
+
+
+def test_figure7_accuracy_surfaces(benchmark, context, tea_result, biased_result):
+    report = run_once(
+        benchmark, run_figure7, context, copy_levels=COPY_LEVELS, spf_levels=SPF_LEVELS
+    )
+    tea = np.asarray(report["tea"]["surface"])
+    biased = np.asarray(report["biased"]["surface"])
+    print("\nFigure 7 | Tea surface (rows = copies 1..16, cols = spf 1..4):")
+    for copies, row in zip(COPY_LEVELS, tea):
+        print(f"  copies={copies:2d}: " + " ".join(f"{v:.3f}" for v in row))
+    print("Figure 7 | Biased surface:")
+    for copies, row in zip(COPY_LEVELS, biased):
+        print(f"  copies={copies:2d}: " + " ".join(f"{v:.3f}" for v in row))
+
+    # Duplication helps: the most-duplicated corner beats the least-duplicated
+    # corner for both methods.
+    assert tea[-1, -1] > tea[0, 0] + 0.02
+    assert biased[-1, -1] >= biased[0, 0]
+    # Surfaces saturate toward (and do not meaningfully exceed) the float ceiling.
+    assert tea[-1, -1] <= report["tea"]["float_accuracy"] + 0.04
+    assert biased[-1, -1] <= report["biased"]["float_accuracy"] + 0.04
+    # The biased surface covers the Tea surface in the low-duplication region
+    # (the regime the paper emphasizes).
+    assert biased[0, 0] > tea[0, 0]
+    assert biased[0, 1] > tea[0, 1]
+    assert biased[1, 0] >= tea[1, 0] - 0.01
+    # Accuracy is monotone (within noise) along the copy axis at 1 spf for Tea.
+    assert tea[-1, 0] > tea[0, 0]

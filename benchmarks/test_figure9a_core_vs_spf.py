@@ -1,0 +1,36 @@
+"""Benchmark: Figure 9(a) — core saving as a function of spikes per frame.
+
+Paper: the average core reduction achieved by the biased method stays large
+(roughly 40-60%) across spf levels 1-4 and roughly grows with spf.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figure9 import run_figure9a
+
+
+def test_figure9a_core_saving_vs_spf(benchmark, context, tea_result, biased_result):
+    report = run_once(
+        benchmark,
+        run_figure9a,
+        context,
+        spf_levels=(1, 2, 4),
+        copy_levels=(1, 2, 3, 4, 5, 7, 9, 16),
+        biased_copy_levels=(1, 2, 3, 4),
+    )
+    savings = report["savings"]
+    print("\nFigure 9(a) | average core saving per spf:")
+    for spf, entry in sorted(savings.items()):
+        print(
+            f"  spf={spf}: avg {100 * entry['average_saved_fraction']:.1f}%, "
+            f"max {100 * entry['max_saved_fraction']:.1f}%"
+        )
+    # The biased method never costs cores at any evaluated spf level, and at
+    # least one level shows a clear average saving.
+    for entry in savings.values():
+        assert entry["average_saved_fraction"] >= -0.01
+        assert entry["max_saved_fraction"] >= entry["average_saved_fraction"]
+    assert max(entry["average_saved_fraction"] for entry in savings.values()) > 0.1
+    # At least one spf level shows the substantial (>30%) savings the paper
+    # reports.
+    assert max(entry["max_saved_fraction"] for entry in savings.values()) > 0.3

@@ -1,0 +1,41 @@
+"""Benchmark: Section 3.1 quantization-loss numbers.
+
+Paper: the float model reaches 95.27%, drops to 90.04% when deployed with
+one copy at one spf, and recovers to 94.63% with 16 copies (64 cores).
+The reproduction asserts the same ordering and that the recovery closes most
+of the gap toward the float ceiling.
+"""
+
+from conftest import run_once
+
+from repro.eval.accuracy import evaluate_deployed_accuracy
+from repro.eval.occupation import core_occupation
+
+
+def test_sec31_quantization_loss_and_recovery(benchmark, context, tea_result):
+    dataset = context.evaluation_dataset()
+    model = tea_result.model
+
+    def measure():
+        single = evaluate_deployed_accuracy(
+            model, dataset, copies=1, spikes_per_frame=1, repeats=3, rng=0
+        )
+        sixteen = evaluate_deployed_accuracy(
+            model, dataset, copies=16, spikes_per_frame=1, repeats=2, rng=0
+        )
+        return single, sixteen
+
+    single, sixteen = run_once(benchmark, measure)
+    float_accuracy = tea_result.float_accuracy
+    print(
+        f"\nSec 3.1 | float {float_accuracy:.4f} (paper 0.9527) | "
+        f"1 copy {single.mean_accuracy:.4f} (paper 0.9004) | "
+        f"16 copies {sixteen.mean_accuracy:.4f} (paper 0.9463)"
+    )
+    # Deployment at one copy loses accuracy relative to the float model.
+    assert single.mean_accuracy < float_accuracy - 0.03
+    # Sixteen copies recover a large part of the loss and use 64 cores.
+    assert sixteen.mean_accuracy > single.mean_accuracy + 0.02
+    assert sixteen.mean_accuracy > float_accuracy - 0.05
+    assert core_occupation(model, 16) == 64
+    assert core_occupation(model, 1) == 4

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Table 1 (dataset statistics)."""
+
+from conftest import run_once
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_datasets(benchmark):
+    report = run_once(benchmark, run_table1, train_size=500, test_size=200, seed=0)
+    print("\n" + report["table"])
+    rows = {row["dataset"]: row for row in report["rows"]}
+    # Structural columns match the paper exactly.
+    assert rows["MNIST"]["feature_count"] == 784
+    assert rows["MNIST"]["class_count"] == 10
+    assert rows["MNIST"]["paper_training_size"] == 60000
+    assert rows["MNIST"]["paper_testing_size"] == 10000
+    assert rows["RS130"]["feature_count"] == 357
+    assert rows["RS130"]["class_count"] == 3
+    assert rows["RS130"]["paper_training_size"] == 17766
+    assert rows["RS130"]["paper_testing_size"] == 6621
+    # The synthetic stand-ins were actually generated at the requested size.
+    assert rows["MNIST"]["generated_training_size"] == 500
+    assert rows["RS130"]["generated_testing_size"] == 200

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Protein secondary-structure classification on TrueNorth (test bench 4).
+
+The paper's second application domain (Table 1 / Table 3): classify the
+secondary structure at the centre of a 17-residue window (helix / sheet /
+coil, 357 features reshaped to a 19x19 grid) using 4 neuro-synaptic cores.
+This example trains both learning methods on the synthetic RS130 stand-in,
+deploys them, and reports the accuracy and core-occupation comparison.
+
+Run with:  python examples/protein_secondary_structure.py
+"""
+
+from __future__ import annotations
+
+from repro.eval.accuracy import evaluate_deployed_accuracy
+from repro.experiments.runner import ExperimentContext
+
+
+def main() -> None:
+    context = ExperimentContext(
+        testbench=4,  # RS130, block stride 3, one hidden layer on 4 cores
+        train_size=2000,
+        test_size=500,
+        epochs=14,
+        eval_samples=300,
+        repeats=3,
+        seed=0,
+    )
+    config = context.config
+    print(
+        f"Test bench {config.index}: dataset {config.dataset.upper()}, "
+        f"block stride {config.block_stride}, cores per layer {config.cores_per_layer} "
+        f"(paper Caffe accuracy {config.paper_caffe_accuracy:.4f})"
+    )
+
+    tea = context.result("tea")
+    biased = context.result("biased")
+    print(f"\nTea    float accuracy: {tea.float_accuracy:.4f}")
+    print(f"Biased float accuracy: {biased.float_accuracy:.4f}")
+    print("(The paper reports ~69% for RS130 — a deliberately hard, low-margin task.)")
+
+    dataset = context.evaluation_dataset()
+    print("\nDeployed accuracy (copies x spikes-per-frame):")
+    for name, result in (("Tea", tea), ("Biased", biased)):
+        for copies, spf in ((1, 1), (4, 1), (1, 4)):
+            record = evaluate_deployed_accuracy(
+                result.model, dataset, copies=copies, spikes_per_frame=spf,
+                repeats=context.repeats, rng=1,
+            )
+            print(
+                f"  {name:6s} {copies:2d} copies x {spf} spf "
+                f"({record.cores:3d} cores): {record.mean_accuracy:.4f}"
+            )
+
+    print(
+        "\nAs on MNIST, the biased model loses less accuracy at low duplication, "
+        "so the same accuracy is reached with fewer cores or fewer spikes per frame."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Packaging configuration.
+
+Metadata is defined here (rather than in a ``[project]`` table) so that
+editable installs work in the offline environment this reproduction targets:
+the available setuptools has no ``wheel`` package, which the PEP 517/660
+editable path requires, while the classic ``setup.py``-based path does not.
+``pyproject.toml`` carries only tool configuration (pytest).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of probability-biased learning for TrueNorth "
+        "(Wen et al., DAC 2016): a neuro-synaptic core simulator, training "
+        "framework, and co-optimization benchmarks"
+    ),
+    long_description=open("README.md", encoding="utf-8").read()
+    if __import__("os").path.exists("README.md")
+    else "",
+    long_description_content_type="text/markdown",
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.21", "scipy>=1.7"],
+    extras_require={
+        "dev": ["pytest>=7.0", "pytest-benchmark>=4.0", "hypothesis>=6.0"],
+    },
+)

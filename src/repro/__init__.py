@@ -1,0 +1,52 @@
+"""repro — reproduction of probability-biased learning for IBM TrueNorth.
+
+This package reproduces Wen et al., "A New Learning Method for Inference
+Accuracy, Core Occupation, and Performance Co-optimization on TrueNorth
+Chip" (DAC 2016) as a self-contained Python library:
+
+* :mod:`repro.truenorth` — a functional simulator of the TrueNorth
+  neuro-synaptic architecture (crossbars, digital neurons, spike routing).
+* :mod:`repro.nn` — a small numpy training framework with the erf-based
+  TrueNorth activation.
+* :mod:`repro.core` — the paper's contribution: weight penalties (including
+  the probability-biasing penalty), the weight/probability mapping, the
+  variance analysis, and the Tea / L1 / probability-biased learning methods.
+* :mod:`repro.encoding` — spike-encoding schemes (stochastic, rate,
+  population, time-to-spike, rank order).
+* :mod:`repro.mapping` — block partitioning, corelets, Bernoulli deployment,
+  spatial duplication, placement, and chip programming.
+* :mod:`repro.datasets` — synthetic MNIST / RS130 stand-ins.
+* :mod:`repro.eval` — accuracy sweeps, core occupation, performance, and the
+  accuracy-matched comparison of Table 2.
+* :mod:`repro.experiments` — one driver per table / figure of the paper.
+
+Quickstart::
+
+    from repro.experiments.runner import ExperimentContext, train_method_pair
+    tea, biased = train_method_pair(ExperimentContext(train_size=400, epochs=3))
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    BiasingPenalty,
+    L1Learning,
+    LearningResult,
+    NetworkArchitecture,
+    ProbabilityBiasedLearning,
+    TeaLearning,
+    TrueNorthModel,
+)
+from repro.experiments.runner import ExperimentContext
+
+__all__ = [
+    "__version__",
+    "BiasingPenalty",
+    "L1Learning",
+    "LearningResult",
+    "NetworkArchitecture",
+    "ProbabilityBiasedLearning",
+    "TeaLearning",
+    "TrueNorthModel",
+    "ExperimentContext",
+]

@@ -1,0 +1,71 @@
+"""The paper's primary contribution: probability-biased learning for TrueNorth.
+
+Contents:
+
+* :mod:`repro.core.penalties` — weight penalties added to the training
+  objective: L2, L1, and the probability-biasing penalty of Eq. (17)
+  ``E_b(w) = sum_k | |w_k - a| - b |`` that pushes connectivity probabilities
+  toward the deterministic poles.
+* :mod:`repro.core.probability` — the weight <-> connectivity-probability
+  mapping of Eqs. (6)-(7) (``w_i = p_i * c_i``), with clipping rules for
+  weights outside the representable range.
+* :mod:`repro.core.variance` — the deployment-variance analysis of
+  Eqs. (12)-(15): per-synapse Bernoulli variance, per-neuron pre-activation
+  variance, and expected firing probability (Eq. 11).
+* :mod:`repro.core.model` — :class:`TrueNorthModel`, the trained-network
+  description shared between learning and deployment.
+* :mod:`repro.core.tea` — the baseline Tea learning method (train with the
+  erf activation, no penalty).
+* :mod:`repro.core.biased` — the proposed probability-biased learning method
+  (same training with the biasing penalty).
+"""
+
+from repro.core.penalties import (
+    Penalty,
+    L1Penalty,
+    L2Penalty,
+    BiasingPenalty,
+    ProbabilitySpacePenalty,
+    penalty_histogram,
+    zero_fraction,
+    pole_fraction,
+)
+from repro.core.probability import (
+    weights_to_probabilities,
+    probabilities_to_weights,
+    clip_weights_to_probability_range,
+)
+from repro.core.variance import (
+    synaptic_variance,
+    presynaptic_sum_statistics,
+    firing_probability,
+    deviation_variance,
+)
+from repro.core.model import TrueNorthModel, NetworkArchitecture, LayerSpec
+from repro.core.tea import TeaLearning, LearningResult
+from repro.core.biased import ProbabilityBiasedLearning, L1Learning
+
+__all__ = [
+    "Penalty",
+    "L1Penalty",
+    "L2Penalty",
+    "BiasingPenalty",
+    "ProbabilitySpacePenalty",
+    "penalty_histogram",
+    "zero_fraction",
+    "pole_fraction",
+    "weights_to_probabilities",
+    "probabilities_to_weights",
+    "clip_weights_to_probability_range",
+    "synaptic_variance",
+    "presynaptic_sum_statistics",
+    "firing_probability",
+    "deviation_variance",
+    "TrueNorthModel",
+    "NetworkArchitecture",
+    "LayerSpec",
+    "TeaLearning",
+    "LearningResult",
+    "ProbabilityBiasedLearning",
+    "L1Learning",
+]

@@ -1,0 +1,379 @@
+"""Network architecture and deployable model description.
+
+Two objects connect training and deployment:
+
+* :class:`NetworkArchitecture` — the structural description of a TrueNorth
+  network (which pixels feed which core, how many neurons per core, how many
+  hidden layers, how outputs merge into classes).  It validates the crossbar
+  constraints (at most 256 axons and 256 neurons per core) and can build the
+  matching trainable :class:`repro.nn.network.Sequential`.
+* :class:`TrueNorthModel` — the trained, deployable model: the architecture
+  plus the trained real-valued weight matrices of every block.  The mapping
+  layer (:mod:`repro.mapping.deploy`) consumes this to sample crossbar
+  connectivities or program the chip simulator; the evaluation layer uses it
+  to measure deployed accuracy under different duplication levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.activations import TrueNorthErf
+from repro.nn.layers import BlockDense, FixedDense, Gather
+from repro.nn.network import Sequential
+from repro.truenorth import constants
+from repro.utils.rng import RngLike, new_rng
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One hidden layer of neuro-synaptic cores.
+
+    Attributes:
+        input_indices: for the first layer, the flat input-feature indices
+            wired into each core (one array per core; arrays may overlap when
+            the block stride is smaller than the block size).  For deeper
+            layers this is ``None`` and the previous layer's outputs are
+            partitioned contiguously across ``core_count`` cores.
+        core_count: number of cores this layer occupies.
+        neurons_per_core: output neurons used in each core (<= 256).
+    """
+
+    core_count: int
+    neurons_per_core: int
+    input_indices: Optional[Tuple[Tuple[int, ...], ...]] = None
+
+    def __post_init__(self):
+        if self.core_count <= 0:
+            raise ValueError(f"core_count must be positive, got {self.core_count}")
+        if not (0 < self.neurons_per_core <= constants.NEURONS_PER_CORE):
+            raise ValueError(
+                f"neurons_per_core must be in (0, {constants.NEURONS_PER_CORE}], "
+                f"got {self.neurons_per_core}"
+            )
+        if self.input_indices is not None:
+            if len(self.input_indices) != self.core_count:
+                raise ValueError(
+                    f"input_indices has {len(self.input_indices)} blocks but "
+                    f"core_count is {self.core_count}"
+                )
+            for block in self.input_indices:
+                if not (0 < len(block) <= constants.AXONS_PER_CORE):
+                    raise ValueError(
+                        f"each input block must have 1..{constants.AXONS_PER_CORE} "
+                        f"entries, got {len(block)}"
+                    )
+
+    @property
+    def output_dim(self) -> int:
+        """Total outputs of the layer (core_count * neurons_per_core)."""
+        return self.core_count * self.neurons_per_core
+
+
+@dataclass(frozen=True)
+class NetworkArchitecture:
+    """Structure of a TrueNorth classification network.
+
+    Attributes:
+        input_dim: flat input feature count (e.g. 784 for 28x28 images).
+        layers: hidden layer specifications, shallow to deep.  The first
+            layer must carry explicit ``input_indices``.
+        num_classes: number of output classes.
+        synaptic_value: magnitude ``c`` of the integer synaptic weight; the
+            trainable weights are constrained to ``[-c, +c]``.
+        activation_sigma: smoothing constant of the erf activation (Eq. 11)
+            used during training.
+        weight_init_scale: multiplier applied to the Glorot initialization of
+            the block weights (then clipped into ``[-c, +c]``).  Values above
+            1 start training with connectivity probabilities spread over
+            [0, 1] — the regime of the paper's Figure 5 histograms — instead
+            of clustered near zero.
+        name: label used in reports.
+    """
+
+    input_dim: int
+    layers: Tuple[LayerSpec, ...]
+    num_classes: int
+    synaptic_value: float = 1.0
+    activation_sigma: float = 1.0
+    weight_init_scale: float = 1.0
+    name: str = "truenorth-network"
+
+    def __post_init__(self):
+        if self.input_dim <= 0:
+            raise ValueError(f"input_dim must be positive, got {self.input_dim}")
+        if not self.layers:
+            raise ValueError("at least one hidden layer is required")
+        if self.num_classes <= 1:
+            raise ValueError(f"num_classes must be > 1, got {self.num_classes}")
+        if self.synaptic_value <= 0:
+            raise ValueError("synaptic_value must be positive")
+        if self.activation_sigma <= 0:
+            raise ValueError("activation_sigma must be positive")
+        if self.weight_init_scale <= 0:
+            raise ValueError("weight_init_scale must be positive")
+        first = self.layers[0]
+        if first.input_indices is None:
+            raise ValueError("the first layer must define input_indices")
+        for block in first.input_indices:
+            block_array = np.asarray(block, dtype=int)
+            if block_array.min() < 0 or block_array.max() >= self.input_dim:
+                raise ValueError(
+                    "first-layer input indices must lie inside [0, input_dim)"
+                )
+        # Validate deeper layers: the contiguous partition of the previous
+        # layer's outputs must fit in a core's axons.
+        previous_dim = first.output_dim
+        for depth, layer in enumerate(self.layers[1:], start=2):
+            if layer.input_indices is not None:
+                raise ValueError(
+                    f"layer {depth} must not define input_indices (only layer 1 may)"
+                )
+            block_size = int(np.ceil(previous_dim / layer.core_count))
+            if block_size > constants.AXONS_PER_CORE:
+                raise ValueError(
+                    f"layer {depth}: {previous_dim} inputs split over "
+                    f"{layer.core_count} cores gives blocks of {block_size} axons, "
+                    f"exceeding {constants.AXONS_PER_CORE}"
+                )
+            previous_dim = layer.output_dim
+        if previous_dim < self.num_classes:
+            raise ValueError(
+                "the last hidden layer must have at least num_classes outputs"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def cores_per_network(self) -> int:
+        """Total neuro-synaptic cores occupied by one copy of the network."""
+        return sum(layer.core_count for layer in self.layers)
+
+    @property
+    def cores_per_layer(self) -> Tuple[int, ...]:
+        """Core count of each hidden layer (Table 3's "cores per layer")."""
+        return tuple(layer.core_count for layer in self.layers)
+
+    def layer_block_sizes(self, depth: int) -> List[int]:
+        """Input-block sizes of the cores of layer ``depth`` (0-based)."""
+        layer = self.layers[depth]
+        if depth == 0:
+            assert layer.input_indices is not None
+            return [len(block) for block in layer.input_indices]
+        previous_dim = self.layers[depth - 1].output_dim
+        return split_sizes(previous_dim, layer.core_count)
+
+    def class_assignment(self) -> np.ndarray:
+        """Class label assigned to each output neuron of the last layer.
+
+        Neurons are assigned round-robin so every class receives (nearly) the
+        same number of readout neurons, mirroring the population-merge the
+        paper describes ("output axons ... merged to 10 output classes").
+        """
+        output_dim = self.layers[-1].output_dim
+        return np.arange(output_dim) % self.num_classes
+
+    def merge_matrix(self) -> np.ndarray:
+        """Fixed merge matrix from last-layer neurons to class scores.
+
+        Entry ``(j, k)`` is ``1 / n_k`` when neuron ``j`` is assigned to class
+        ``k`` (``n_k`` = neurons assigned to that class), else 0; class scores
+        are therefore mean spiking probabilities, insensitive to how many
+        readout neurons each class happens to receive.
+        """
+        assignment = self.class_assignment()
+        matrix = np.zeros((assignment.size, self.num_classes))
+        counts = np.bincount(assignment, minlength=self.num_classes).astype(float)
+        matrix[np.arange(assignment.size), assignment] = 1.0 / counts[assignment]
+        return matrix
+
+    # ------------------------------------------------------------------
+    def build_network(self, rng: RngLike = None) -> Sequential:
+        """Construct the trainable network matching this architecture.
+
+        The network is::
+
+            Gather(first-layer pixel indices)
+            BlockDense(first layer, erf activation, no bias)
+            BlockDense(deeper layers, erf activation, no bias) ...
+            FixedDense(merge matrix, identity)
+
+        All trainable weights are initialized inside ``[-c, +c]``.
+        """
+        rng = new_rng(rng)
+        layers_list = []
+        first = self.layers[0]
+        assert first.input_indices is not None
+        flat_indices = np.concatenate(
+            [np.asarray(block, dtype=int) for block in first.input_indices]
+        )
+        layers_list.append(Gather(flat_indices, input_dim=self.input_dim))
+        activation = TrueNorthErf(sigma=self.activation_sigma)
+        layers_list.append(
+            BlockDense(
+                block_sizes=[len(block) for block in first.input_indices],
+                neurons_per_block=[first.neurons_per_core] * first.core_count,
+                activation=activation,
+                rng=rng,
+                use_bias=False,
+            )
+        )
+        previous_dim = first.output_dim
+        for layer in self.layers[1:]:
+            sizes = split_sizes(previous_dim, layer.core_count)
+            layers_list.append(
+                BlockDense(
+                    block_sizes=sizes,
+                    neurons_per_block=[layer.neurons_per_core] * layer.core_count,
+                    activation=TrueNorthErf(sigma=self.activation_sigma),
+                    rng=rng,
+                    use_bias=False,
+                )
+            )
+            previous_dim = layer.output_dim
+        layers_list.append(FixedDense(self.merge_matrix()))
+        network = Sequential(layers_list)
+        # Spread the initial weights and clip into the representable [-c, +c].
+        for array in network.penalized_params().values():
+            array *= self.weight_init_scale
+            np.clip(array, -self.synaptic_value, self.synaptic_value, out=array)
+        return network
+
+
+def split_sizes(total: int, parts: int) -> List[int]:
+    """Split ``total`` items into ``parts`` contiguous groups as evenly as possible."""
+    if total <= 0 or parts <= 0:
+        raise ValueError("total and parts must be positive")
+    if parts > total:
+        raise ValueError(f"cannot split {total} items into {parts} non-empty parts")
+    base = total // parts
+    remainder = total % parts
+    return [base + (1 if i < remainder else 0) for i in range(parts)]
+
+
+@dataclass
+class TrueNorthModel:
+    """A trained network ready for deployment.
+
+    Attributes:
+        architecture: the structural description.
+        block_weights: trained real-valued weight matrices, one list per
+            hidden layer, one matrix per core of that layer; each matrix has
+            shape (axons_used, neurons_per_core) and entries in
+            ``[-synaptic_value, +synaptic_value]``.
+        float_accuracy: test accuracy of the floating-point model (the "Caffe
+            accuracy" of the paper), recorded by the learning method.
+        metadata: free-form details recorded by the learning method (penalty
+            type, coefficient, epochs, ...).
+    """
+
+    architecture: NetworkArchitecture
+    block_weights: List[List[np.ndarray]]
+    float_accuracy: float = float("nan")
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        arch = self.architecture
+        if len(self.block_weights) != len(arch.layers):
+            raise ValueError(
+                f"expected weights for {len(arch.layers)} layers, "
+                f"got {len(self.block_weights)}"
+            )
+        for depth, (layer, matrices) in enumerate(zip(arch.layers, self.block_weights)):
+            if len(matrices) != layer.core_count:
+                raise ValueError(
+                    f"layer {depth}: expected {layer.core_count} weight matrices, "
+                    f"got {len(matrices)}"
+                )
+            sizes = arch.layer_block_sizes(depth)
+            for core_index, matrix in enumerate(matrices):
+                expected = (sizes[core_index], layer.neurons_per_core)
+                if matrix.shape != expected:
+                    raise ValueError(
+                        f"layer {depth} core {core_index}: expected weight shape "
+                        f"{expected}, got {matrix.shape}"
+                    )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_network(
+        cls,
+        architecture: NetworkArchitecture,
+        network: Sequential,
+        float_accuracy: float = float("nan"),
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> "TrueNorthModel":
+        """Extract the deployable weights from a trained Sequential network."""
+        block_layers = [layer for layer in network.layers if isinstance(layer, BlockDense)]
+        if len(block_layers) != len(architecture.layers):
+            raise ValueError(
+                f"network has {len(block_layers)} BlockDense layers but the "
+                f"architecture defines {len(architecture.layers)}"
+            )
+        block_weights: List[List[np.ndarray]] = []
+        for block_layer in block_layers:
+            block_weights.append([block.weights.copy() for block in block_layer.blocks])
+        return cls(
+            architecture=architecture,
+            block_weights=block_weights,
+            float_accuracy=float_accuracy,
+            metadata=dict(metadata or {}),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def cores_per_copy(self) -> int:
+        """Cores occupied by one copy of the deployed network."""
+        return self.architecture.cores_per_network
+
+    def all_probabilities(self) -> np.ndarray:
+        """Flattened connectivity probabilities of every trained connection.
+
+        This is the quantity whose histogram the paper plots in Figure 5.
+        """
+        value = self.architecture.synaptic_value
+        chunks = [
+            np.abs(matrix).ravel() / value
+            for matrices in self.block_weights
+            for matrix in matrices
+        ]
+        return np.clip(np.concatenate(chunks), 0.0, 1.0)
+
+    def all_weights(self) -> np.ndarray:
+        """Flattened signed weights of every trained connection."""
+        return np.concatenate(
+            [matrix.ravel() for matrices in self.block_weights for matrix in matrices]
+        )
+
+    def float_forward(self, features: np.ndarray) -> np.ndarray:
+        """Evaluate the floating-point model (class scores) on a feature batch.
+
+        This re-implements the forward pass directly from the stored block
+        weights (rather than keeping the training network around), so the
+        deployable artifact is self-contained.
+        """
+        features = np.asarray(features, dtype=float)
+        arch = self.architecture
+        activation = TrueNorthErf(sigma=arch.activation_sigma)
+        current = features
+        for depth, (layer, matrices) in enumerate(zip(arch.layers, self.block_weights)):
+            outputs = []
+            if depth == 0:
+                assert layer.input_indices is not None
+                blocks = [np.asarray(b, dtype=int) for b in layer.input_indices]
+                for block, weights in zip(blocks, matrices):
+                    outputs.append(activation.forward(current[:, block] @ weights))
+            else:
+                sizes = arch.layer_block_sizes(depth)
+                offsets = np.cumsum([0] + sizes)
+                for core_index, weights in enumerate(matrices):
+                    lo, hi = offsets[core_index], offsets[core_index + 1]
+                    outputs.append(activation.forward(current[:, lo:hi] @ weights))
+            current = np.concatenate(outputs, axis=1)
+        return current @ arch.merge_matrix()
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predicted class labels of the floating-point model."""
+        return self.float_forward(features).argmax(axis=1)

@@ -1,0 +1,192 @@
+"""Weight penalties (Eq. 16-17 of the paper).
+
+Training minimizes ``E_hat(w) = E_D(w) + lambda * E_W(w)`` where ``E_D`` is
+the data loss and ``E_W`` one of the penalties below.  The paper compares
+
+* no penalty (Tea learning baseline),
+* the L1 norm ``sum_k |w_k|`` — sparsifies but concentrates probability mass
+  near p = 0 *and* leaves mass near the worst point p = 0.5,
+* the proposed biasing penalty ``sum_k | |w_k - a| - b |`` which is an L1
+  norm on the transformed variable ``s = |w - a| - b`` and therefore pulls
+  every weight toward the two poles ``a - b`` and ``a + b``.  With
+  ``a = b = 0.5`` (probabilities in [0, 1]) the poles are exactly the
+  deterministic states p = 0 and p = 1 and the worst-variance point p = 0.5
+  receives the largest penalty.
+
+All penalties implement the :class:`repro.nn.regularizers.Regularizer`
+protocol so they plug directly into the trainer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.nn.regularizers import Regularizer
+
+
+class Penalty(Regularizer):
+    """Base class for scalar weight penalties with analytic subgradients."""
+
+    def penalty_value(self, weights: np.ndarray) -> float:
+        """Penalty contributed by one weight array."""
+        raise NotImplementedError
+
+    def penalty_gradient(self, weights: np.ndarray) -> np.ndarray:
+        """(Sub)gradient of the penalty w.r.t. one weight array."""
+        raise NotImplementedError
+
+    # Regularizer protocol -------------------------------------------------
+    def penalty(self, params: Dict[str, np.ndarray]) -> float:
+        return float(sum(self.penalty_value(array) for array in params.values()))
+
+    def gradient(self, params: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        return {name: self.penalty_gradient(array) for name, array in params.items()}
+
+
+class L2Penalty(Penalty):
+    """Standard weight decay ``0.5 * sum w^2``."""
+
+    def penalty_value(self, weights: np.ndarray) -> float:
+        return 0.5 * float(np.sum(np.square(weights)))
+
+    def penalty_gradient(self, weights: np.ndarray) -> np.ndarray:
+        return np.asarray(weights, dtype=float)
+
+
+class L1Penalty(Penalty):
+    """L1 norm ``sum |w|`` — biases weights toward zero (sparsity)."""
+
+    def penalty_value(self, weights: np.ndarray) -> float:
+        return float(np.sum(np.abs(weights)))
+
+    def penalty_gradient(self, weights: np.ndarray) -> np.ndarray:
+        return np.sign(np.asarray(weights, dtype=float))
+
+
+class BiasingPenalty(Penalty):
+    """The paper's probability-biasing penalty ``sum_k | |w_k - a| - b |``.
+
+    Args:
+        centroid: ``a`` — the point the penalty biases *away from* (the
+            worst-variance probability).  Default 0.5.
+        half_width: ``b`` — the distance from the centroid to the two poles
+            the penalty pulls weights *toward* (``a - b`` and ``a + b``).
+            Default 0.5, placing the poles at 0 and 1.
+    """
+
+    def __init__(self, centroid: float = 0.5, half_width: float = 0.5):
+        if half_width <= 0:
+            raise ValueError(f"half_width must be positive, got {half_width}")
+        self.centroid = float(centroid)
+        self.half_width = float(half_width)
+
+    @property
+    def poles(self) -> Tuple[float, float]:
+        """The two attractor values ``(a - b, a + b)``."""
+        return (self.centroid - self.half_width, self.centroid + self.half_width)
+
+    def penalty_value(self, weights: np.ndarray) -> float:
+        weights = np.asarray(weights, dtype=float)
+        return float(np.sum(np.abs(np.abs(weights - self.centroid) - self.half_width)))
+
+    def penalty_gradient(self, weights: np.ndarray) -> np.ndarray:
+        weights = np.asarray(weights, dtype=float)
+        inner = weights - self.centroid
+        outer = np.abs(inner) - self.half_width
+        # d/dw | |w - a| - b | = sign(|w - a| - b) * sign(w - a)
+        return np.sign(outer) * np.sign(inner)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BiasingPenalty(centroid={self.centroid}, half_width={self.half_width})"
+
+
+class ProbabilitySpacePenalty(Penalty):
+    """Apply a penalty to connectivity probabilities rather than raw weights.
+
+    The paper's networks carry signed weights ``w`` with ``|w| <= c``; the
+    deployed connectivity probability is ``p = |w| / c`` (Eq. 7).  Wrapping a
+    penalty in this adapter makes it act on ``p`` while still producing
+    gradients with respect to ``w`` through the chain rule
+    ``dE/dw = (dE/dp) * sign(w) / c``.  This is how the biasing penalty is
+    used in practice: it pulls ``p`` toward 0 or 1 without collapsing the sign
+    structure of the weights.
+    """
+
+    def __init__(self, inner: Penalty, synaptic_value: float = 1.0):
+        if synaptic_value <= 0:
+            raise ValueError(f"synaptic_value must be positive, got {synaptic_value}")
+        self.inner = inner
+        self.synaptic_value = float(synaptic_value)
+
+    def penalty_value(self, weights: np.ndarray) -> float:
+        probabilities = np.abs(np.asarray(weights, dtype=float)) / self.synaptic_value
+        return self.inner.penalty_value(probabilities)
+
+    def penalty_gradient(self, weights: np.ndarray) -> np.ndarray:
+        weights = np.asarray(weights, dtype=float)
+        probabilities = np.abs(weights) / self.synaptic_value
+        inner_grad = self.inner.penalty_gradient(probabilities)
+        return inner_grad * np.sign(weights) / self.synaptic_value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProbabilitySpacePenalty({self.inner!r}, "
+            f"synaptic_value={self.synaptic_value})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Histogram / distribution diagnostics used by Figure 5 and Section 3.3
+# ----------------------------------------------------------------------
+def penalty_histogram(
+    weights: np.ndarray, bins: int = 20, value_range: Tuple[float, float] = (0.0, 1.0)
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Histogram of connectivity probabilities (Figure 5).
+
+    Returns (counts, bin_edges) with ``bins`` equal-width bins over
+    ``value_range``.
+    """
+    weights = np.asarray(weights, dtype=float).ravel()
+    if bins <= 0:
+        raise ValueError(f"bins must be positive, got {bins}")
+    counts, edges = np.histogram(weights, bins=bins, range=value_range)
+    return counts, edges
+
+
+def zero_fraction(weights: np.ndarray, tolerance: float = 1e-3) -> float:
+    """Fraction of weights within ``tolerance`` of zero (Section 3.3 sparsity)."""
+    weights = np.asarray(weights, dtype=float).ravel()
+    if weights.size == 0:
+        raise ValueError("cannot compute zero fraction of an empty array")
+    return float(np.mean(np.abs(weights) <= tolerance))
+
+
+def pole_fraction(
+    probabilities: np.ndarray,
+    poles: Tuple[float, float] = (0.0, 1.0),
+    tolerance: float = 0.05,
+) -> float:
+    """Fraction of probabilities within ``tolerance`` of either pole.
+
+    The paper's Figure 5(c) claim is that after biasing-penalty training
+    "almost all" connectivity probabilities sit at the deterministic states;
+    this is the scalar that quantifies it.
+    """
+    probabilities = np.asarray(probabilities, dtype=float).ravel()
+    if probabilities.size == 0:
+        raise ValueError("cannot compute pole fraction of an empty array")
+    near_low = np.abs(probabilities - poles[0]) <= tolerance
+    near_high = np.abs(probabilities - poles[1]) <= tolerance
+    return float(np.mean(near_low | near_high))
+
+
+def centroid_fraction(
+    probabilities: np.ndarray, centroid: float = 0.5, tolerance: float = 0.15
+) -> float:
+    """Fraction of probabilities within ``tolerance`` of the worst point."""
+    probabilities = np.asarray(probabilities, dtype=float).ravel()
+    if probabilities.size == 0:
+        raise ValueError("cannot compute centroid fraction of an empty array")
+    return float(np.mean(np.abs(probabilities - centroid) <= tolerance))

@@ -1,0 +1,111 @@
+"""Weight <-> connectivity-probability mapping (Eqs. 6-7).
+
+A TrueNorth synapse is ON with Bernoulli probability ``p_i`` and, when ON,
+carries the integer weight ``c_i`` chosen by the axon type.  To make the
+expected deployed weight equal the trained real-valued weight ``w_i`` the
+deployment sets ``p_i = w_i / c_i`` (Eq. 7).  Negative weights use a negative
+``c_i`` (a different axon type), so the probability is always ``|w_i| / |c_i|``
+with the sign carried by the synaptic value.
+
+This module centralizes that mapping, including the clipping of weights whose
+magnitude exceeds ``|c_i|`` (which cannot be represented by any probability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ProbabilityMapping:
+    """Result of converting a weight matrix to deployment parameters.
+
+    Attributes:
+        probabilities: Bernoulli ON probability per connection, in [0, 1].
+        synaptic_values: signed synaptic value per connection (``+c`` for
+            positive weights, ``-c`` for negative ones, 0 where the weight is
+            exactly zero).
+        clipped_fraction: fraction of weights whose magnitude exceeded the
+            synaptic value and had to be clipped to probability 1.
+    """
+
+    probabilities: np.ndarray
+    synaptic_values: np.ndarray
+    clipped_fraction: float
+
+
+def weights_to_probabilities(
+    weights: np.ndarray, synaptic_value: float = 1.0
+) -> ProbabilityMapping:
+    """Convert real-valued weights into (probability, signed value) pairs.
+
+    Args:
+        weights: trained real-valued weights of any shape.
+        synaptic_value: magnitude ``c`` of the integer synaptic weight used
+            when a connection is ON.
+
+    Returns:
+        a :class:`ProbabilityMapping`; ``probabilities * synaptic_values``
+        reconstructs the representable part of ``weights`` exactly.
+    """
+    if synaptic_value <= 0:
+        raise ValueError(f"synaptic_value must be positive, got {synaptic_value}")
+    weights = np.asarray(weights, dtype=float)
+    magnitudes = np.abs(weights) / synaptic_value
+    clipped_fraction = float(np.mean(magnitudes > 1.0)) if weights.size else 0.0
+    probabilities = np.clip(magnitudes, 0.0, 1.0)
+    synaptic_values = np.sign(weights) * synaptic_value
+    return ProbabilityMapping(
+        probabilities=probabilities,
+        synaptic_values=synaptic_values,
+        clipped_fraction=clipped_fraction,
+    )
+
+
+def probabilities_to_weights(
+    probabilities: np.ndarray, synaptic_values: np.ndarray
+) -> np.ndarray:
+    """Inverse of :func:`weights_to_probabilities`: expected deployed weight."""
+    probabilities = np.asarray(probabilities, dtype=float)
+    synaptic_values = np.asarray(synaptic_values, dtype=float)
+    if probabilities.shape != synaptic_values.shape:
+        raise ValueError(
+            f"shape mismatch: {probabilities.shape} vs {synaptic_values.shape}"
+        )
+    if probabilities.size and (
+        probabilities.min() < 0.0 or probabilities.max() > 1.0
+    ):
+        raise ValueError("probabilities must lie in [0, 1]")
+    return probabilities * synaptic_values
+
+
+def clip_weights_to_probability_range(
+    weights: np.ndarray, synaptic_value: float = 1.0
+) -> np.ndarray:
+    """Clamp weights into the representable range ``[-c, +c]``.
+
+    Used during constrained training so that every weight corresponds to a
+    valid connection probability at deployment time.
+    """
+    if synaptic_value <= 0:
+        raise ValueError(f"synaptic_value must be positive, got {synaptic_value}")
+    return np.clip(np.asarray(weights, dtype=float), -synaptic_value, synaptic_value)
+
+
+def split_excitatory_inhibitory(
+    weights: np.ndarray, synaptic_value: float = 1.0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Split a signed weight matrix into excitatory and inhibitory probabilities.
+
+    On the chip a signed fractional weight is realized by assigning the axon
+    an excitatory type (value ``+c``) when the weight is positive and an
+    inhibitory type (value ``-c``) when negative.  This helper returns the two
+    probability matrices (one of which is zero at every position).
+    """
+    mapping = weights_to_probabilities(weights, synaptic_value)
+    positive = np.where(mapping.synaptic_values > 0, mapping.probabilities, 0.0)
+    negative = np.where(mapping.synaptic_values < 0, mapping.probabilities, 0.0)
+    return positive, negative

@@ -1,0 +1,194 @@
+"""Tea learning — the baseline training/deployment recipe of TrueNorth.
+
+"Tea learning" is IBM's name for the standard procedure of Section 3.1:
+train a network whose weights are interpreted as connectivity-probability-
+scaled synaptic values (``w = p * c``, clipped into ``[-c, +c]``), using the
+erf spiking-probability activation (Eq. 11), and then deploy by sampling each
+synapse's connectivity from its Bernoulli probability.  No weight penalty is
+applied — this is the reference point our probability-biased method is
+compared against throughout the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.model import NetworkArchitecture, TrueNorthModel
+from repro.datasets.base import DatasetSplits
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.metrics import accuracy_score
+from repro.nn.optim import Adam, Optimizer
+from repro.nn.regularizers import NullRegularizer, Regularizer
+from repro.nn.trainer import Trainer, TrainingHistory
+from repro.utils.rng import RngLike, new_rng
+
+
+@dataclass
+class LearningResult:
+    """Output of a learning method.
+
+    Attributes:
+        model: the deployable trained model.
+        history: per-epoch training metrics.
+        float_accuracy: test accuracy of the floating-point model (the
+            "accuracy in Caffe" column of Table 3).
+        method: name of the learning method that produced the model.
+        details: free-form extra information (penalty settings, epochs, ...).
+    """
+
+    model: TrueNorthModel
+    history: TrainingHistory
+    float_accuracy: float
+    method: str
+    details: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class TeaLearning:
+    """The baseline learning method (no penalty).
+
+    Args:
+        epochs: training epochs.
+        batch_size: mini-batch size.
+        learning_rate: Adam learning rate.
+        logit_scale: multiplier applied to the merged class scores before the
+            softmax loss; class scores are mean spiking probabilities in
+            [0, 1], so a scale > 1 gives the softmax a usable dynamic range.
+        penalty_warmup_fraction: fraction of the epochs trained *without* the
+            weight penalty before it is switched on.  Penalized methods fit
+            the data first and are then pulled toward the poles; the baseline
+            (no penalty) is unaffected.
+        seed: seed for weight initialization and batch shuffling.
+    """
+
+    epochs: int = 10
+    batch_size: int = 32
+    learning_rate: float = 0.01
+    logit_scale: float = 10.0
+    penalty_warmup_fraction: float = 0.5
+    seed: int = 0
+    method_name: str = "tea"
+
+    # ------------------------------------------------------------------
+    def regularizer(self) -> Regularizer:
+        """Penalty added to the objective; the baseline uses none."""
+        return NullRegularizer()
+
+    def penalty_coefficient(self) -> float:
+        """Weight of the penalty term (lambda in Eq. 16)."""
+        return 0.0
+
+    def make_optimizer(self) -> Optimizer:
+        """Optimizer used for training."""
+        return Adam(learning_rate=self.learning_rate)
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        architecture: NetworkArchitecture,
+        splits: DatasetSplits,
+        rng: RngLike = None,
+        epochs: Optional[int] = None,
+    ) -> LearningResult:
+        """Train a model for ``architecture`` on ``splits`` and return it.
+
+        The returned model's weights are guaranteed to lie inside
+        ``[-synaptic_value, +synaptic_value]`` so every connection maps to a
+        valid Bernoulli probability at deployment time.
+        """
+        rng = new_rng(self.seed if rng is None else rng)
+        network = architecture.build_network(rng=rng)
+        value = architecture.synaptic_value
+        total_epochs = epochs or self.epochs
+        if not (0.0 <= self.penalty_warmup_fraction <= 1.0):
+            raise ValueError(
+                "penalty_warmup_fraction must lie in [0, 1], got "
+                f"{self.penalty_warmup_fraction}"
+            )
+        coefficient = self.penalty_coefficient()
+        warmup_epochs = (
+            int(round(total_epochs * self.penalty_warmup_fraction))
+            if coefficient > 0
+            else 0
+        )
+        warmup_epochs = min(warmup_epochs, max(total_epochs - 1, 0))
+        trainer = Trainer(
+            network=network,
+            loss=_ScaledSoftmaxCrossEntropy(self.logit_scale),
+            optimizer=self.make_optimizer(),
+            regularizer=self.regularizer(),
+            penalty_coefficient=coefficient,
+            clip_probabilities=(-value, value),
+        )
+        history = TrainingHistory()
+        if warmup_epochs > 0:
+            trainer.penalty_coefficient = 0.0
+            history = trainer.fit(
+                splits.train.features,
+                splits.train.labels,
+                epochs=warmup_epochs,
+                batch_size=self.batch_size,
+                validation_data=(splits.test.features, splits.test.labels),
+                rng=rng,
+            )
+            trainer.penalty_coefficient = coefficient
+        penalized_history = trainer.fit(
+            splits.train.features,
+            splits.train.labels,
+            epochs=total_epochs - warmup_epochs,
+            batch_size=self.batch_size,
+            validation_data=(splits.test.features, splits.test.labels),
+            rng=rng,
+        )
+        history.train_loss.extend(penalized_history.train_loss)
+        history.train_accuracy.extend(penalized_history.train_accuracy)
+        history.validation_accuracy.extend(penalized_history.validation_accuracy)
+        history.penalty.extend(penalized_history.penalty)
+        predictions = network.predict(splits.test.features)
+        float_accuracy = accuracy_score(splits.test.labels, predictions)
+        model = TrueNorthModel.from_network(
+            architecture,
+            network,
+            float_accuracy=float_accuracy,
+            metadata={
+                "method": self.method_name,
+                "epochs": total_epochs,
+                "warmup_epochs": warmup_epochs,
+                "batch_size": self.batch_size,
+                "learning_rate": self.learning_rate,
+            },
+        )
+        return LearningResult(
+            model=model,
+            history=history,
+            float_accuracy=float_accuracy,
+            method=self.method_name,
+            details=dict(model.metadata),
+        )
+
+
+class _ScaledSoftmaxCrossEntropy(SoftmaxCrossEntropy):
+    """Softmax cross-entropy applied to ``scale * scores``.
+
+    The networks produce class scores that are mean spiking probabilities in
+    [0, 1]; scaling them before the softmax sharpens the loss without
+    affecting the argmax used for prediction.
+    """
+
+    def __init__(self, scale: float = 10.0):
+        super().__init__()
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.scale = scale
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return super().forward(self.scale * np.asarray(predictions, dtype=float), targets)
+
+    def backward(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        grad = super().backward(
+            self.scale * np.asarray(predictions, dtype=float), targets
+        )
+        return self.scale * grad

@@ -1,0 +1,136 @@
+"""Dataset containers and iteration helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, new_rng
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An in-memory classification dataset.
+
+    Attributes:
+        features: array of shape (samples, feature_count), values in [0, 1]
+            (the range TrueNorth spike encodings expect).
+        labels: integer class labels of shape (samples,).
+        num_classes: number of classes.
+        name: human-readable dataset name.
+        image_shape: optional (height, width) when features are flattened
+            images (used by the block-partitioning mapping).
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+    num_classes: int
+    name: str = "dataset"
+    image_shape: Tuple[int, int] = (0, 0)
+
+    def __post_init__(self):
+        features = np.asarray(self.features, dtype=float)
+        labels = np.asarray(self.labels, dtype=int)
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {features.shape}")
+        if labels.ndim != 1 or labels.shape[0] != features.shape[0]:
+            raise ValueError(
+                "labels must be 1-D with one entry per feature row; got "
+                f"{labels.shape} for {features.shape[0]} rows"
+            )
+        if self.num_classes <= 0:
+            raise ValueError(f"num_classes must be positive, got {self.num_classes}")
+        if labels.size and (labels.min() < 0 or labels.max() >= self.num_classes):
+            raise ValueError("labels outside [0, num_classes)")
+        object.__setattr__(self, "features", features)
+        object.__setattr__(self, "labels", labels)
+
+    @property
+    def sample_count(self) -> int:
+        """Number of samples."""
+        return self.features.shape[0]
+
+    @property
+    def feature_count(self) -> int:
+        """Number of features per sample."""
+        return self.features.shape[1]
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        """Return a new dataset restricted to ``indices``."""
+        indices = np.asarray(indices, dtype=int)
+        return Dataset(
+            features=self.features[indices],
+            labels=self.labels[indices],
+            num_classes=self.num_classes,
+            name=self.name,
+            image_shape=self.image_shape,
+        )
+
+    def take(self, count: int) -> "Dataset":
+        """Return the first ``count`` samples."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        return self.subset(np.arange(min(count, self.sample_count)))
+
+    def class_counts(self) -> np.ndarray:
+        """Number of samples per class."""
+        return np.bincount(self.labels, minlength=self.num_classes)
+
+
+@dataclass(frozen=True)
+class DatasetSplits:
+    """A train/test pair of datasets (matching Table 1's structure)."""
+
+    train: Dataset
+    test: Dataset
+
+    def __post_init__(self):
+        if self.train.num_classes != self.test.num_classes:
+            raise ValueError("train and test splits must share num_classes")
+        if self.train.feature_count != self.test.feature_count:
+            raise ValueError("train and test splits must share feature_count")
+
+    @property
+    def num_classes(self) -> int:
+        """Number of classes (same for both splits)."""
+        return self.train.num_classes
+
+    @property
+    def feature_count(self) -> int:
+        """Features per sample (same for both splits)."""
+        return self.train.feature_count
+
+
+def train_test_split(
+    dataset: Dataset, test_fraction: float = 0.2, rng: RngLike = None
+) -> DatasetSplits:
+    """Randomly split a dataset into train/test portions."""
+    if not (0.0 < test_fraction < 1.0):
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = new_rng(rng)
+    order = rng.permutation(dataset.sample_count)
+    test_count = max(1, int(round(dataset.sample_count * test_fraction)))
+    test_idx = order[:test_count]
+    train_idx = order[test_count:]
+    return DatasetSplits(train=dataset.subset(train_idx), test=dataset.subset(test_idx))
+
+
+def iterate_minibatches(
+    dataset: Dataset,
+    batch_size: int,
+    rng: RngLike = None,
+    shuffle: bool = True,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield (features, labels) mini-batches covering the dataset once."""
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    order = (
+        new_rng(rng).permutation(dataset.sample_count)
+        if shuffle
+        else np.arange(dataset.sample_count)
+    )
+    for start in range(0, dataset.sample_count, batch_size):
+        index = order[start : start + batch_size]
+        yield dataset.features[index], dataset.labels[index]

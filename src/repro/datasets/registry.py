@@ -1,0 +1,109 @@
+"""Dataset registry and Table 1 metadata.
+
+Maps the paper's dataset names to the synthetic generators and records the
+statistics the paper lists in Table 1 so the corresponding benchmark can print
+both the paper's numbers and the reproduction's numbers side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.datasets.base import DatasetSplits
+from repro.datasets.synthetic_mnist import SyntheticMnistConfig, generate_synthetic_mnist
+from repro.datasets.synthetic_rs130 import SyntheticRs130Config, generate_synthetic_rs130
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Registry entry: paper statistics plus the synthetic generator."""
+
+    name: str
+    description: str
+    area: str
+    paper_train_size: int
+    paper_test_size: int
+    feature_count: int
+    num_classes: int
+    generator: Callable[..., DatasetSplits]
+
+
+DATASET_REGISTRY: Dict[str, DatasetInfo] = {
+    "mnist": DatasetInfo(
+        name="MNIST",
+        description="Handwritten digits (synthetic stand-in)",
+        area="Computer Engineering",
+        paper_train_size=60000,
+        paper_test_size=10000,
+        feature_count=784,
+        num_classes=10,
+        generator=generate_synthetic_mnist,
+    ),
+    "rs130": DatasetInfo(
+        name="RS130",
+        description="Protein secondary structure (synthetic stand-in)",
+        area="Life Science",
+        paper_train_size=17766,
+        paper_test_size=6621,
+        feature_count=357,
+        num_classes=3,
+        generator=generate_synthetic_rs130,
+    ),
+}
+
+
+def load_dataset(
+    name: str,
+    train_size: Optional[int] = None,
+    test_size: Optional[int] = None,
+    seed: int = 0,
+) -> DatasetSplits:
+    """Generate the synthetic stand-in for a registered dataset.
+
+    Args:
+        name: ``"mnist"`` or ``"rs130"`` (case-insensitive).
+        train_size: optional override of the generated training-set size
+            (defaults to the generator's laptop-scale default, not the paper's
+            full corpus size).
+        test_size: optional override of the generated test-set size.
+        seed: generation seed.
+    """
+    key = name.lower()
+    if key not in DATASET_REGISTRY:
+        raise KeyError(f"unknown dataset {name!r}; known: {sorted(DATASET_REGISTRY)}")
+    if key == "mnist":
+        config = SyntheticMnistConfig(
+            train_size=train_size or SyntheticMnistConfig().train_size,
+            test_size=test_size or SyntheticMnistConfig().test_size,
+            seed=seed,
+        )
+        return generate_synthetic_mnist(config)
+    config = SyntheticRs130Config(
+        train_size=train_size or SyntheticRs130Config().train_size,
+        test_size=test_size or SyntheticRs130Config().test_size,
+        seed=seed,
+    )
+    return generate_synthetic_rs130(config)
+
+
+def dataset_summary(name: str, splits: Optional[DatasetSplits] = None) -> Dict[str, object]:
+    """Return a Table 1 style row for a registered dataset.
+
+    When ``splits`` is provided the generated sizes are reported alongside the
+    paper's corpus sizes.
+    """
+    info = DATASET_REGISTRY[name.lower()]
+    row: Dict[str, object] = {
+        "dataset": info.name,
+        "description": info.description,
+        "area": info.area,
+        "paper_training_size": info.paper_train_size,
+        "paper_testing_size": info.paper_test_size,
+        "feature_count": info.feature_count,
+        "class_count": info.num_classes,
+    }
+    if splits is not None:
+        row["generated_training_size"] = splits.train.sample_count
+        row["generated_testing_size"] = splits.test.sample_count
+    return row

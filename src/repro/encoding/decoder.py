@@ -1,0 +1,68 @@
+"""Readout decoding: spike counts to class predictions.
+
+The paper's networks predict by counting the output spikes accumulated per
+class (across readout neurons, network copies, and spike frames) and taking
+the argmax.  :class:`SpikeCountDecoder` implements that readout together with
+the per-class merge defined by a neuron-to-class assignment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SpikeCountDecoder:
+    """Accumulates output spikes per class and predicts by argmax.
+
+    Args:
+        class_assignment: integer array mapping each readout neuron to its
+            class label.
+        num_classes: number of classes.
+    """
+
+    def __init__(self, class_assignment: np.ndarray, num_classes: int):
+        class_assignment = np.asarray(class_assignment, dtype=int)
+        if class_assignment.ndim != 1 or class_assignment.size == 0:
+            raise ValueError("class_assignment must be a non-empty 1-D array")
+        if num_classes <= 1:
+            raise ValueError(f"num_classes must be > 1, got {num_classes}")
+        if class_assignment.min() < 0 or class_assignment.max() >= num_classes:
+            raise ValueError("class_assignment entries must lie in [0, num_classes)")
+        self.class_assignment = class_assignment
+        self.num_classes = num_classes
+        counts = np.bincount(class_assignment, minlength=num_classes)
+        if (counts == 0).any():
+            raise ValueError("every class must have at least one readout neuron")
+        self._class_counts = counts.astype(float)
+
+    def class_scores(self, neuron_spike_counts: np.ndarray) -> np.ndarray:
+        """Sum neuron spike counts into per-class scores.
+
+        Args:
+            neuron_spike_counts: array of shape (batch, neurons) or (neurons,).
+
+        Returns:
+            array of shape (batch, num_classes) (or (num_classes,) for a 1-D
+            input) with the average spike count of each class's readout
+            population.
+        """
+        counts = np.asarray(neuron_spike_counts, dtype=float)
+        single = counts.ndim == 1
+        if single:
+            counts = counts[None, :]
+        if counts.shape[1] != self.class_assignment.size:
+            raise ValueError(
+                f"expected {self.class_assignment.size} neuron counts per row, "
+                f"got {counts.shape[1]}"
+            )
+        scores = np.zeros((counts.shape[0], self.num_classes))
+        np.add.at(scores, (slice(None), self.class_assignment), counts)
+        scores /= self._class_counts[None, :]
+        return scores[0] if single else scores
+
+    def predict(self, neuron_spike_counts: np.ndarray) -> np.ndarray:
+        """Predicted class labels from neuron spike counts."""
+        scores = self.class_scores(neuron_spike_counts)
+        if scores.ndim == 1:
+            return np.asarray(int(scores.argmax()))
+        return scores.argmax(axis=1)

@@ -1,0 +1,55 @@
+"""Population code.
+
+A value ``x`` in [0, 1] is represented by a *group* of ``population`` axons of
+which the first ``round(x * population)`` fire simultaneously in a single
+tick.  Precision therefore comes from spending axons (space) rather than
+ticks (time).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PopulationEncoder:
+    """Thermometer-style population encoder.
+
+    Args:
+        population: number of axons used to represent one value.
+    """
+
+    def __init__(self, population: int = 4):
+        if population <= 0:
+            raise ValueError(f"population must be positive, got {population}")
+        self.population = population
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Encode a batch of values.
+
+        Args:
+            values: array of shape (batch, features) with entries in [0, 1].
+
+        Returns:
+            uint8 array of shape (batch, features * population): each feature
+            expands into ``population`` thermometer-coded bits.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2:
+            raise ValueError(f"values must be 2-D (batch, features), got {values.shape}")
+        if values.size and (values.min() < 0.0 or values.max() > 1.0):
+            raise ValueError("values must lie in [0, 1]")
+        counts = np.rint(values * self.population).astype(int)  # (batch, features)
+        levels = np.arange(self.population)  # (population,)
+        bits = (levels[None, None, :] < counts[:, :, None]).astype(np.uint8)
+        return bits.reshape(values.shape[0], values.shape[1] * self.population)
+
+    def decode(self, bits: np.ndarray, feature_count: int) -> np.ndarray:
+        """Recover values from thermometer bits produced by :meth:`encode`."""
+        bits = np.asarray(bits)
+        expected = feature_count * self.population
+        if bits.ndim != 2 or bits.shape[1] != expected:
+            raise ValueError(
+                f"bits must have shape (batch, {expected}), got {bits.shape}"
+            )
+        grouped = bits.reshape(bits.shape[0], feature_count, self.population)
+        return grouped.sum(axis=2) / float(self.population)

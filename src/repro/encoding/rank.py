@@ -1,0 +1,63 @@
+"""Rank-order code.
+
+Only the *order* in which features spike carries information: the feature
+with the largest value spikes first, the second largest next, and so on.
+Rank coding is extremely spike-efficient (one spike per feature, no value
+resolution beyond ordering) and is listed by the paper among TrueNorth's
+supported deterministic codes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RankOrderEncoder:
+    """Rank-order encoder emitting one spike per feature in value order.
+
+    Args:
+        max_ticks: number of ticks available; when there are more features
+            than ticks, several consecutive ranks share a tick.
+    """
+
+    def __init__(self, max_ticks: int = 16):
+        if max_ticks <= 0:
+            raise ValueError(f"max_ticks must be positive, got {max_ticks}")
+        self.max_ticks = max_ticks
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Encode a batch of values into rank-ordered spike frames.
+
+        Args:
+            values: array of shape (batch, features).
+
+        Returns:
+            uint8 array of shape (max_ticks, batch, features); feature ranks
+            are mapped linearly onto the tick axis (rank 0 = first tick).
+        """
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2:
+            raise ValueError(f"values must be 2-D (batch, features), got {values.shape}")
+        batch, features = values.shape
+        # Rank 0 = largest value.
+        order = np.argsort(-values, axis=1, kind="stable")
+        ranks = np.empty_like(order)
+        rows = np.arange(batch)[:, None]
+        ranks[rows, order] = np.arange(features)[None, :]
+        ticks = (ranks * self.max_ticks) // max(features, 1)
+        ticks = np.clip(ticks, 0, self.max_ticks - 1)
+        frames = np.zeros((self.max_ticks, batch, features), dtype=np.uint8)
+        batch_index, feature_index = np.meshgrid(
+            np.arange(batch), np.arange(features), indexing="ij"
+        )
+        frames[ticks, batch_index, feature_index] = 1
+        return frames
+
+    def decode_ranks(self, frames: np.ndarray) -> np.ndarray:
+        """Recover the spike tick (coarse rank) of each feature."""
+        frames = np.asarray(frames)
+        if frames.ndim != 3 or frames.shape[0] != self.max_ticks:
+            raise ValueError(
+                f"frames must have shape (max_ticks={self.max_ticks}, batch, features)"
+            )
+        return np.argmax(frames, axis=0)

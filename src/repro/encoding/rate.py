@@ -1,0 +1,59 @@
+"""Deterministic rate code.
+
+The rate code represents a value ``x`` in [0, 1] by emitting
+``round(x * window)`` spikes within a window of ``window`` ticks, spread as
+evenly as possible (a Bresenham-style schedule).  Unlike the stochastic code
+the spike count is exact, so a single window conveys the value with
+quantization error at most ``1 / (2 * window)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RateEncoder:
+    """Deterministic rate encoder over a fixed window of ticks.
+
+    Args:
+        window: number of ticks used to represent one value.
+    """
+
+    def __init__(self, window: int = 4):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Encode a batch of values into evenly spaced spike frames.
+
+        Args:
+            values: array of shape (batch, features) with entries in [0, 1].
+
+        Returns:
+            uint8 array of shape (window, batch, features); along the first
+            axis each feature emits ``round(x * window)`` spikes.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2:
+            raise ValueError(f"values must be 2-D (batch, features), got {values.shape}")
+        if values.size and (values.min() < 0.0 or values.max() > 1.0):
+            raise ValueError("values must lie in [0, 1]")
+        counts = np.rint(values * self.window).astype(int)
+        frames = np.zeros((self.window,) + values.shape, dtype=np.uint8)
+        # Evenly distribute `count` spikes over `window` slots:
+        # slot t fires iff floor((t+1)*count/window) > floor(t*count/window).
+        ticks = np.arange(self.window)[:, None, None]
+        fired_before = (ticks * counts[None, :, :]) // self.window
+        fired_after = ((ticks + 1) * counts[None, :, :]) // self.window
+        frames[:] = (fired_after > fired_before).astype(np.uint8)
+        return frames
+
+    def decode(self, frames: np.ndarray) -> np.ndarray:
+        """Recover the represented values from spike frames (inverse map)."""
+        frames = np.asarray(frames)
+        if frames.ndim != 3 or frames.shape[0] != self.window:
+            raise ValueError(
+                f"frames must have shape (window={self.window}, batch, features)"
+            )
+        return frames.sum(axis=0) / float(self.window)

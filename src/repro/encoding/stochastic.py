@@ -1,0 +1,53 @@
+"""Stochastic (Bernoulli) spike encoding — Eq. (8) of the paper.
+
+Each input value ``x`` in [0, 1] becomes, on every tick, an independent
+Bernoulli(x) spike.  The number of ticks generated per presented sample is
+the *spikes per frame* (spf) — the temporal-duplication parameter of the
+paper's evaluation (more spf = more samples to average over = higher accuracy
+but proportionally longer inference time).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RngLike, new_rng
+
+
+class StochasticEncoder:
+    """Bernoulli rate encoder.
+
+    Args:
+        spikes_per_frame: number of spike samples (ticks) generated per input
+            presentation.
+    """
+
+    def __init__(self, spikes_per_frame: int = 1):
+        if spikes_per_frame <= 0:
+            raise ValueError(
+                f"spikes_per_frame must be positive, got {spikes_per_frame}"
+            )
+        self.spikes_per_frame = spikes_per_frame
+
+    def encode(self, values: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        """Encode a batch of values into spike frames.
+
+        Args:
+            values: array of shape (batch, features) with entries in [0, 1].
+            rng: randomness source.
+
+        Returns:
+            uint8 array of shape (spikes_per_frame, batch, features).
+        """
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2:
+            raise ValueError(f"values must be 2-D (batch, features), got {values.shape}")
+        if values.size and (values.min() < 0.0 or values.max() > 1.0):
+            raise ValueError("values must lie in [0, 1]")
+        rng = new_rng(rng)
+        draws = rng.random((self.spikes_per_frame,) + values.shape)
+        return (draws < values[None, :, :]).astype(np.uint8)
+
+    def expected_rate(self, values: np.ndarray) -> np.ndarray:
+        """Expected number of spikes per feature over one frame."""
+        return np.asarray(values, dtype=float) * self.spikes_per_frame

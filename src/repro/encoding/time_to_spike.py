@@ -1,0 +1,70 @@
+"""Time-to-spike code.
+
+A value ``x`` in [0, 1] is represented by a single spike whose latency within
+a window encodes the value: larger values spike earlier.  The code conveys a
+value with exactly one spike, trading precision for the window length.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class TimeToSpikeEncoder:
+    """Latency encoder: one spike per value, earlier = larger.
+
+    Args:
+        window: number of ticks in the encoding window.
+        spike_for_zero: whether a value of exactly 0 emits a (latest-possible)
+            spike or no spike at all.
+    """
+
+    def __init__(self, window: int = 8, spike_for_zero: bool = False):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self.spike_for_zero = spike_for_zero
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Encode a batch of values into latency-coded spike frames.
+
+        Args:
+            values: array of shape (batch, features) with entries in [0, 1].
+
+        Returns:
+            uint8 array of shape (window, batch, features) with at most one
+            spike per feature along the first axis.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2:
+            raise ValueError(f"values must be 2-D (batch, features), got {values.shape}")
+        if values.size and (values.min() < 0.0 or values.max() > 1.0):
+            raise ValueError("values must lie in [0, 1]")
+        # Latency 0 for x = 1, latency window-1 for x -> 0+.
+        latencies = np.clip(
+            np.floor((1.0 - values) * self.window).astype(int), 0, self.window - 1
+        )
+        frames = np.zeros((self.window,) + values.shape, dtype=np.uint8)
+        batch_index, feature_index = np.meshgrid(
+            np.arange(values.shape[0]), np.arange(values.shape[1]), indexing="ij"
+        )
+        frames[latencies, batch_index, feature_index] = 1
+        if not self.spike_for_zero:
+            frames[:, values == 0.0] = 0
+        return frames
+
+    def decode(self, frames: np.ndarray) -> np.ndarray:
+        """Recover approximate values from latency-coded frames."""
+        frames = np.asarray(frames)
+        if frames.ndim != 3 or frames.shape[0] != self.window:
+            raise ValueError(
+                f"frames must have shape (window={self.window}, batch, features)"
+            )
+        ticks = np.arange(self.window)[:, None, None]
+        spiked = frames.any(axis=0)
+        # The first (and only) spike tick; features that never spike decode to 0.
+        first_spike = np.where(
+            spiked, np.argmax(frames, axis=0), self.window - 1
+        )
+        values = 1.0 - first_spike / float(self.window)
+        return np.where(spiked, values, 0.0)

@@ -1,0 +1,44 @@
+"""Evaluation harness for deployed TrueNorth networks.
+
+This package measures the three quantities the paper co-optimizes:
+
+* **inference accuracy** of deployed (quantized, sampled) networks under
+  varying spatial duplication (network copies) and temporal duplication
+  (spikes per frame) — :mod:`repro.eval.accuracy` and :mod:`repro.eval.sweep`;
+* **core occupation** — :mod:`repro.eval.occupation`;
+* **performance** (inference latency implied by the spike-per-frame count) —
+  :mod:`repro.eval.performance`;
+
+plus the accuracy-matched comparison procedure of Table 2
+(:mod:`repro.eval.comparison`) and the synaptic-deviation analysis of
+Figure 4 (:mod:`repro.eval.deviation`).
+"""
+
+from repro.eval.accuracy import DeployedAccuracy, evaluate_deployed_accuracy
+from repro.eval.sweep import SweepResult, accuracy_sweep, accuracy_boost
+from repro.eval.occupation import core_occupation, occupation_table
+from repro.eval.performance import frames_to_latency, speedup_between
+from repro.eval.comparison import (
+    MatchedComparison,
+    match_accuracy_levels,
+    core_occupation_comparison,
+    performance_comparison,
+)
+from repro.eval.deviation import model_deviation_report
+
+__all__ = [
+    "DeployedAccuracy",
+    "evaluate_deployed_accuracy",
+    "SweepResult",
+    "accuracy_sweep",
+    "accuracy_boost",
+    "core_occupation",
+    "occupation_table",
+    "frames_to_latency",
+    "speedup_between",
+    "MatchedComparison",
+    "match_accuracy_levels",
+    "core_occupation_comparison",
+    "performance_comparison",
+    "model_deviation_report",
+]

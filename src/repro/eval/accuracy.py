@@ -1,0 +1,97 @@
+"""Deployed-accuracy measurement.
+
+The accuracy of a deployed network is a random variable: it depends on the
+sampled crossbar connectivity of every copy and on the stochastic input
+spikes.  Following the paper (Section 4.2, "we have averaged accuracy at each
+grid over ten results"), :func:`evaluate_deployed_accuracy` repeats the whole
+deployment + evaluation several times and reports the mean and standard
+deviation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.model import TrueNorthModel
+from repro.datasets.base import Dataset
+from repro.mapping.corelet import CoreletNetwork, build_corelets
+from repro.mapping.duplication import deploy_with_copies
+from repro.nn.metrics import accuracy_score
+from repro.utils.rng import RngLike, new_rng, spawn_rngs
+
+
+@dataclass(frozen=True)
+class DeployedAccuracy:
+    """Accuracy of a deployed configuration.
+
+    Attributes:
+        copies: number of network copies (spatial duplication).
+        spikes_per_frame: temporal duplication level.
+        mean_accuracy: mean test accuracy over the repeats.
+        std_accuracy: standard deviation over the repeats.
+        repeats: number of independent deployment + evaluation repeats.
+        cores: total neuro-synaptic cores occupied.
+    """
+
+    copies: int
+    spikes_per_frame: int
+    mean_accuracy: float
+    std_accuracy: float
+    repeats: int
+    cores: int
+
+
+def evaluate_deployed_accuracy(
+    model: TrueNorthModel,
+    dataset: Dataset,
+    copies: int = 1,
+    spikes_per_frame: int = 1,
+    repeats: int = 3,
+    rng: RngLike = None,
+    corelet_network: Optional[CoreletNetwork] = None,
+    max_samples: Optional[int] = None,
+) -> DeployedAccuracy:
+    """Measure the deployed test accuracy of one (copies, spf) configuration.
+
+    Args:
+        model: trained model.
+        dataset: evaluation dataset (features in [0, 1], integer labels).
+        copies: number of spatial network copies.
+        spikes_per_frame: number of input spike samples per presented image.
+        repeats: independent repetitions (new connectivity and spike samples
+            each time) averaged into the reported accuracy.
+        rng: root randomness.
+        corelet_network: optional pre-built corelets to avoid recomputation.
+        max_samples: evaluate only the first ``max_samples`` samples (speeds
+            up large sweeps; ``None`` = use all).
+
+    Returns:
+        a :class:`DeployedAccuracy` record.
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    network = corelet_network or build_corelets(model)
+    evaluation = dataset if max_samples is None else dataset.take(max_samples)
+    rngs = spawn_rngs(new_rng(rng), repeats)
+    accuracies: List[float] = []
+    cores = 0
+    for repeat_rng in rngs:
+        deployment = deploy_with_copies(
+            model, copies=copies, rng=repeat_rng, corelet_network=network
+        )
+        cores = deployment.total_cores
+        predictions = deployment.predict(
+            evaluation.features, spikes_per_frame=spikes_per_frame, rng=repeat_rng
+        )
+        accuracies.append(accuracy_score(evaluation.labels, predictions))
+    return DeployedAccuracy(
+        copies=copies,
+        spikes_per_frame=spikes_per_frame,
+        mean_accuracy=float(np.mean(accuracies)),
+        std_accuracy=float(np.std(accuracies)),
+        repeats=repeats,
+        cores=cores,
+    )

@@ -1,0 +1,45 @@
+"""Core-occupation accounting.
+
+TrueNorth resources are counted in neuro-synaptic cores.  One copy of a
+network occupies ``cores_per_copy`` cores (4 for the paper's test bench 1)
+and the official accuracy workaround multiplies that by the number of spatial
+copies; the savings the paper reports in Table 2(a) and Figure 9 are
+reductions of this count at matched accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.model import TrueNorthModel
+
+
+def core_occupation(model: TrueNorthModel, copies: int = 1) -> int:
+    """Total cores occupied by ``copies`` instances of a model."""
+    if copies <= 0:
+        raise ValueError(f"copies must be positive, got {copies}")
+    return model.cores_per_copy * copies
+
+
+def occupation_table(
+    model: TrueNorthModel, copy_levels: Sequence[int]
+) -> List[Dict[str, int]]:
+    """Occupation rows (copies, cores) for a list of duplication levels."""
+    rows = []
+    for copies in copy_levels:
+        rows.append({"copies": int(copies), "cores": core_occupation(model, copies)})
+    return rows
+
+
+def chip_utilization(model: TrueNorthModel, copies: int, chip_cores: int = 4096) -> float:
+    """Fraction of one chip's cores consumed by a deployment."""
+    if chip_cores <= 0:
+        raise ValueError(f"chip_cores must be positive, got {chip_cores}")
+    return core_occupation(model, copies) / float(chip_cores)
+
+
+def max_copies_on_chip(model: TrueNorthModel, chip_cores: int = 4096) -> int:
+    """Largest number of copies of a model that fit on one chip."""
+    if chip_cores <= 0:
+        raise ValueError(f"chip_cores must be positive, got {chip_cores}")
+    return chip_cores // model.cores_per_copy

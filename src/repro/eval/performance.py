@@ -1,0 +1,57 @@
+"""Performance (inference-speed) accounting.
+
+TrueNorth advances in 1 ms ticks; presenting one input frame with ``spf``
+spike samples takes ``spf`` ticks (plus a fixed pipeline depth for the spikes
+to traverse the layers).  Classification throughput is therefore inversely
+proportional to spf, which is how the paper converts "B2 matches N13" into a
+6.5x speedup in Table 2(b).
+"""
+
+from __future__ import annotations
+
+from repro.truenorth.constants import TICK_FREQUENCY_HZ
+
+
+def frames_to_latency(
+    spikes_per_frame: int,
+    layer_count: int = 1,
+    tick_frequency_hz: float = TICK_FREQUENCY_HZ,
+) -> float:
+    """Wall-clock latency (seconds) of classifying one sample.
+
+    Args:
+        spikes_per_frame: temporal duplication level (ticks of input spikes).
+        layer_count: network depth; each layer adds one tick of pipeline
+            latency before the first output spikes appear.
+        tick_frequency_hz: tick rate of the chip (1 kHz nominal).
+    """
+    if spikes_per_frame <= 0:
+        raise ValueError(f"spikes_per_frame must be positive, got {spikes_per_frame}")
+    if layer_count <= 0:
+        raise ValueError(f"layer_count must be positive, got {layer_count}")
+    if tick_frequency_hz <= 0:
+        raise ValueError("tick_frequency_hz must be positive")
+    ticks = spikes_per_frame + layer_count
+    return ticks / tick_frequency_hz
+
+
+def throughput(spikes_per_frame: int, tick_frequency_hz: float = TICK_FREQUENCY_HZ) -> float:
+    """Steady-state classifications per second (pipeline full).
+
+    In steady state a new sample can be presented every ``spf`` ticks, so the
+    per-sample pipeline latency does not limit throughput.
+    """
+    if spikes_per_frame <= 0:
+        raise ValueError(f"spikes_per_frame must be positive, got {spikes_per_frame}")
+    return tick_frequency_hz / spikes_per_frame
+
+
+def speedup_between(baseline_spf: int, ours_spf: int) -> float:
+    """Throughput speedup of running at ``ours_spf`` instead of ``baseline_spf``.
+
+    Matches the paper's convention: a model that needs 2 spf where the
+    baseline needs 13 spf for the same accuracy is 13 / 2 = 6.5x faster.
+    """
+    if baseline_spf <= 0 or ours_spf <= 0:
+        raise ValueError("spf values must be positive")
+    return baseline_spf / ours_spf

@@ -1,0 +1,153 @@
+"""Accuracy sweeps over the (copies, spikes-per-frame) grid (Figures 7-8).
+
+Evaluating every grid point independently would redo most of the work: the
+class scores of a 16-copy, 4-spf deployment already contain the scores of
+every smaller configuration (just sum fewer copies / fewer frames).  The
+sweep therefore evaluates the largest configuration once per repeat and
+derives every grid point from cumulative sums, exactly reproducing what an
+independent evaluation of each point would measure for nested subsets of
+copies and frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.model import TrueNorthModel
+from repro.datasets.base import Dataset
+from repro.mapping.corelet import build_corelets
+from repro.mapping.deploy import evaluate_deployed_scores
+from repro.mapping.duplication import deploy_with_copies
+from repro.nn.metrics import accuracy_score
+from repro.utils.rng import RngLike, new_rng, spawn_rngs
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Accuracy over a (copies, spf) grid.
+
+    Attributes:
+        copy_levels: evaluated numbers of network copies (ascending).
+        spf_levels: evaluated spikes-per-frame values (ascending).
+        mean_accuracy: array of shape (len(copy_levels), len(spf_levels)).
+        std_accuracy: matching standard deviations over the repeats.
+        cores: total cores occupied at each copy level (1-D array).
+        repeats: number of repeats averaged at each grid point.
+        label: free-form name of the swept model (e.g. "tea" / "biased").
+    """
+
+    copy_levels: Tuple[int, ...]
+    spf_levels: Tuple[int, ...]
+    mean_accuracy: np.ndarray
+    std_accuracy: np.ndarray
+    cores: np.ndarray
+    repeats: int
+    label: str = ""
+
+    def accuracy_at(self, copies: int, spikes_per_frame: int) -> float:
+        """Mean accuracy of one grid point."""
+        row = self.copy_levels.index(copies)
+        col = self.spf_levels.index(spikes_per_frame)
+        return float(self.mean_accuracy[row, col])
+
+    def as_rows(self) -> list:
+        """Flatten the grid into (copies, spf, cores, accuracy, std) rows."""
+        rows = []
+        for i, copies in enumerate(self.copy_levels):
+            for j, spf in enumerate(self.spf_levels):
+                rows.append(
+                    (
+                        copies,
+                        spf,
+                        int(self.cores[i]),
+                        float(self.mean_accuracy[i, j]),
+                        float(self.std_accuracy[i, j]),
+                    )
+                )
+        return rows
+
+
+def accuracy_sweep(
+    model: TrueNorthModel,
+    dataset: Dataset,
+    copy_levels: Sequence[int] = (1, 2, 4, 8, 16),
+    spf_levels: Sequence[int] = (1, 2, 3, 4),
+    repeats: int = 3,
+    rng: RngLike = None,
+    max_samples: Optional[int] = None,
+    label: str = "",
+) -> SweepResult:
+    """Measure deployed accuracy across a grid of duplication levels.
+
+    Args:
+        model: trained model to deploy.
+        dataset: evaluation dataset.
+        copy_levels: spatial duplication levels to report (ascending).
+        spf_levels: temporal duplication levels to report (ascending).
+        repeats: independent repeats averaged per grid point.
+        rng: root randomness.
+        max_samples: optional cap on evaluated samples.
+        label: name recorded in the result.
+
+    Returns:
+        a :class:`SweepResult` covering the full grid.
+    """
+    copy_levels = tuple(sorted(set(int(c) for c in copy_levels)))
+    spf_levels = tuple(sorted(set(int(s) for s in spf_levels)))
+    if not copy_levels or copy_levels[0] <= 0:
+        raise ValueError("copy_levels must be positive integers")
+    if not spf_levels or spf_levels[0] <= 0:
+        raise ValueError("spf_levels must be positive integers")
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+
+    evaluation = dataset if max_samples is None else dataset.take(max_samples)
+    network = build_corelets(model)
+    max_copies = copy_levels[-1]
+    max_spf = spf_levels[-1]
+    labels = evaluation.labels
+
+    accuracy_samples = np.zeros((repeats, len(copy_levels), len(spf_levels)))
+    for repeat_index, repeat_rng in enumerate(spawn_rngs(new_rng(rng), repeats)):
+        deployment = deploy_with_copies(
+            model, copies=max_copies, rng=repeat_rng, corelet_network=network
+        )
+        scores = evaluate_deployed_scores(
+            deployment.copies,
+            evaluation.features,
+            spikes_per_frame=max_spf,
+            rng=repeat_rng,
+        )  # (copies, spf, batch, classes)
+        copy_cumulative = np.cumsum(scores, axis=0)
+        grid_cumulative = np.cumsum(copy_cumulative, axis=1)
+        for i, copies in enumerate(copy_levels):
+            for j, spf in enumerate(spf_levels):
+                merged = grid_cumulative[copies - 1, spf - 1]
+                predictions = merged.argmax(axis=1)
+                accuracy_samples[repeat_index, i, j] = accuracy_score(
+                    labels, predictions
+                )
+
+    cores = np.array([c * network.core_count for c in copy_levels])
+    return SweepResult(
+        copy_levels=copy_levels,
+        spf_levels=spf_levels,
+        mean_accuracy=accuracy_samples.mean(axis=0),
+        std_accuracy=accuracy_samples.std(axis=0),
+        cores=cores,
+        repeats=repeats,
+        label=label,
+    )
+
+
+def accuracy_boost(ours: SweepResult, baseline: SweepResult) -> np.ndarray:
+    """Accuracy improvement grid ``ours - baseline`` (Figure 8).
+
+    Both sweeps must cover the same grid.
+    """
+    if ours.copy_levels != baseline.copy_levels or ours.spf_levels != baseline.spf_levels:
+        raise ValueError("sweeps must cover the same (copies, spf) grid")
+    return ours.mean_accuracy - baseline.mean_accuracy

@@ -1,0 +1,45 @@
+"""Experiment drivers: one module per table / figure of the paper.
+
+Each driver builds (or reuses) the trained models it needs, runs the relevant
+evaluation, and returns a plain-dict report that the benchmark harness and
+the examples print.  The drivers default to laptop-scale settings (small
+synthetic datasets, few repeats) and expose parameters to scale up.
+
+The :mod:`repro.experiments.testbenches` module defines the five test-bench
+configurations of Table 3.
+"""
+
+from repro.experiments.testbenches import (
+    TestBenchConfig,
+    TEST_BENCHES,
+    build_testbench_architecture,
+    load_testbench_data,
+)
+from repro.experiments.runner import ExperimentContext, train_method_pair
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2a, run_table2b
+from repro.experiments.table3 import run_table3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.figure9 import run_figure9a, run_figure9b
+
+__all__ = [
+    "TestBenchConfig",
+    "TEST_BENCHES",
+    "build_testbench_architecture",
+    "load_testbench_data",
+    "ExperimentContext",
+    "train_method_pair",
+    "run_table1",
+    "run_table2a",
+    "run_table2b",
+    "run_table3",
+    "run_figure4",
+    "run_figure5",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9a",
+    "run_figure9b",
+]

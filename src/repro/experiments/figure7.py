@@ -1,0 +1,53 @@
+"""Figure 7: accuracy surfaces over the (copies, spf) grid.
+
+Two surfaces are reported — one for the Tea-trained model, one for the
+probability-biased model — over spatial duplication levels (network copies)
+and temporal duplication levels (spikes per frame).  The paper's shape
+claims, which the corresponding benchmark asserts, are that both surfaces
+rise and saturate toward the floating-point ceiling as duplication grows and
+that the biased surface sits above the Tea surface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.eval.sweep import accuracy_sweep
+from repro.experiments.runner import ExperimentContext
+
+
+def run_figure7(
+    context: Optional[ExperimentContext] = None,
+    copy_levels: Sequence[int] = (1, 2, 4, 8, 16),
+    spf_levels: Sequence[int] = (1, 2, 3, 4),
+) -> Dict[str, object]:
+    """Regenerate Figure 7 (both accuracy surfaces).
+
+    Returns a dict with the grids, each method's mean-accuracy surface (as
+    nested lists), and the float-model ceiling accuracies.
+    """
+    context = context or ExperimentContext()
+    dataset = context.evaluation_dataset()
+    report: Dict[str, object] = {
+        "copy_levels": list(copy_levels),
+        "spf_levels": list(spf_levels),
+    }
+    for method in ("tea", "biased"):
+        result = context.result(method)
+        sweep = accuracy_sweep(
+            result.model,
+            dataset,
+            copy_levels=copy_levels,
+            spf_levels=spf_levels,
+            repeats=context.repeats,
+            rng=context.seed,
+            label=method,
+        )
+        report[method] = {
+            "surface": sweep.mean_accuracy.tolist(),
+            "std": sweep.std_accuracy.tolist(),
+            "cores": sweep.cores.tolist(),
+            "float_accuracy": result.float_accuracy,
+        }
+        report[f"_sweep_{method}"] = sweep
+    return report

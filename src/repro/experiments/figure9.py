@@ -1,0 +1,70 @@
+"""Figure 9: adaptability and scalability of the biasing method.
+
+* Figure 9(a): average core reduction (at matched accuracy) as a function of
+  the spikes-per-frame level, on test bench 1.
+* Figure 9(b): average core reduction across the five test benches of
+  Table 3.
+
+Both reuse the Table 2(a) matching procedure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.table2 import run_table2a
+
+
+def run_figure9a(
+    context: Optional[ExperimentContext] = None,
+    spf_levels: Sequence[int] = (1, 2, 3, 4),
+    copy_levels: Sequence[int] = (1, 2, 3, 4, 5, 7, 9, 16),
+    biased_copy_levels: Sequence[int] = (1, 2, 3, 4),
+) -> Dict[str, object]:
+    """Regenerate Figure 9(a): average core saving vs spikes per frame."""
+    context = context or ExperimentContext()
+    savings = {}
+    for spf in spf_levels:
+        report = run_table2a(
+            context,
+            copy_levels=copy_levels,
+            biased_copy_levels=biased_copy_levels,
+            spf=spf,
+        )
+        savings[int(spf)] = {
+            "average_saved_fraction": report["average_saved_fraction"],
+            "max_saved_fraction": report["max_saved_fraction"],
+        }
+    return {"spf_levels": list(spf_levels), "savings": savings}
+
+
+def run_figure9b(
+    testbenches: Sequence[int] = (1, 4),
+    copy_levels: Sequence[int] = (1, 2, 3, 4, 5, 7, 9, 16),
+    biased_copy_levels: Sequence[int] = (1, 2, 3, 4),
+    context_overrides: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Regenerate Figure 9(b): average core saving per test bench.
+
+    Training and sweeping all five benches is expensive, so the default
+    covers the single-hidden-layer MNIST and RS130 benches (1 and 4); pass
+    ``testbenches=(1, 2, 3, 4, 5)`` for the full figure.
+    """
+    overrides = dict(context_overrides or {})
+    results: Dict[int, Dict[str, object]] = {}
+    for bench in testbenches:
+        context = ExperimentContext(testbench=bench, **overrides)
+        report = run_table2a(
+            context,
+            copy_levels=copy_levels,
+            biased_copy_levels=biased_copy_levels,
+            spf=1,
+        )
+        results[int(bench)] = {
+            "average_saved_fraction": report["average_saved_fraction"],
+            "max_saved_fraction": report["max_saved_fraction"],
+            "tea_float_accuracy": context.result("tea").float_accuracy,
+            "biased_float_accuracy": context.result("biased").float_accuracy,
+        }
+    return {"testbenches": list(testbenches), "savings": results}

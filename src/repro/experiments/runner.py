@@ -1,0 +1,125 @@
+"""Shared experiment context.
+
+Most figures and tables of the paper evaluate the *same* pair of trained
+models (Tea vs probability-biased) on test bench 1, so the drivers share an
+:class:`ExperimentContext` that trains each method once and caches the
+result.  The context also centralizes the laptop-scale defaults (dataset
+sizes, epochs, repeats) and the random seed so that every experiment in a run
+is reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.biased import L1Learning, ProbabilityBiasedLearning
+from repro.core.model import NetworkArchitecture
+from repro.core.tea import LearningResult, TeaLearning
+from repro.datasets.base import DatasetSplits
+from repro.experiments.testbenches import (
+    TEST_BENCHES,
+    TestBenchConfig,
+    build_testbench_architecture,
+    load_testbench_data,
+)
+
+
+@dataclass
+class ExperimentContext:
+    """Caches datasets and trained models shared across experiment drivers.
+
+    Attributes:
+        testbench: which Table 3 test bench to use (default 1, as in the
+            paper's Sections 4.2-4.4).
+        train_size / test_size: synthetic dataset sizes (laptop-scale
+            defaults; the paper's corpora are larger).
+        epochs: training epochs per method.
+        eval_samples: number of test samples used by deployment evaluations.
+        repeats: deployment repeats averaged per configuration.
+        penalty_weight: lambda of the biasing penalty.
+        biased_extra_epochs: additional epochs granted to the
+            probability-biased run on top of ``epochs``.  The penalty phase
+            needs extra iterations to settle the probabilities at the poles
+            while the data loss re-adapts; the baseline (no penalty) does not
+            benefit from them.
+        seed: root seed for data generation, training, and deployment.
+    """
+
+    testbench: int = 1
+    train_size: int = 2000
+    test_size: int = 450
+    epochs: int = 16
+    eval_samples: int = 300
+    repeats: int = 3
+    penalty_weight: float = 0.0002
+    biased_extra_epochs: int = 4
+    l1_penalty_weight: float = 0.0003
+    seed: int = 0
+    _splits: Optional[DatasetSplits] = field(default=None, repr=False)
+    _architecture: Optional[NetworkArchitecture] = field(default=None, repr=False)
+    _results: Dict[str, LearningResult] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> TestBenchConfig:
+        """The Table 3 configuration of the selected test bench."""
+        return TEST_BENCHES[self.testbench]
+
+    def splits(self) -> DatasetSplits:
+        """The (cached) synthetic dataset of the test bench."""
+        if self._splits is None:
+            self._splits = load_testbench_data(
+                self.config,
+                train_size=self.train_size,
+                test_size=self.test_size,
+                seed=self.seed,
+            )
+        return self._splits
+
+    def architecture(self) -> NetworkArchitecture:
+        """The (cached) network architecture of the test bench."""
+        if self._architecture is None:
+            self._architecture = build_testbench_architecture(self.config)
+        return self._architecture
+
+    # ------------------------------------------------------------------
+    def _make_method(self, method: str):
+        if method == "tea":
+            return TeaLearning(epochs=self.epochs, seed=self.seed)
+        if method == "biased":
+            return ProbabilityBiasedLearning(
+                epochs=self.epochs + self.biased_extra_epochs,
+                seed=self.seed,
+                penalty_weight=self.penalty_weight,
+            )
+        if method == "l1":
+            return L1Learning(
+                epochs=self.epochs,
+                seed=self.seed,
+                penalty_weight=self.l1_penalty_weight,
+            )
+        raise KeyError(f"unknown learning method {method!r}")
+
+    def result(self, method: str) -> LearningResult:
+        """Train (once) and return the result of a learning method."""
+        if method not in self._results:
+            learner = self._make_method(method)
+            self._results[method] = learner.train(self.architecture(), self.splits())
+        return self._results[method]
+
+    def evaluation_dataset(self):
+        """The capped test set used by deployment evaluations."""
+        return self.splits().test.take(self.eval_samples)
+
+
+def train_method_pair(
+    context: Optional[ExperimentContext] = None,
+) -> Tuple[LearningResult, LearningResult]:
+    """Train the (Tea, biased) pair on the context's test bench.
+
+    Returns ``(tea_result, biased_result)``; creates a default context when
+    none is given.
+    """
+    context = context or ExperimentContext()
+    return context.result("tea"), context.result("biased")

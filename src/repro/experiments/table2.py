@@ -1,0 +1,140 @@
+"""Table 2: core-occupation and performance efficiency at matched accuracy.
+
+Table 2(a) fixes the temporal duplication (1 spf) and sweeps spatial copies
+for both methods; every Tea configuration N# is matched with the cheapest
+biased configuration B# reaching at least the same accuracy, and the saved
+cores are reported.  Table 2(b) fixes one network copy and sweeps spikes per
+frame, reporting the speedup instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.eval.comparison import (
+    core_occupation_comparison,
+    label_points,
+    performance_comparison,
+)
+from repro.eval.sweep import accuracy_sweep
+from repro.experiments.runner import ExperimentContext
+from repro.utils.tables import format_table
+
+
+def _copy_sweep_points(context: ExperimentContext, method: str, copy_levels, spf: int):
+    """Accuracy-vs-cores points for one method at fixed spf."""
+    result = context.result(method)
+    dataset = context.evaluation_dataset()
+    sweep = accuracy_sweep(
+        result.model,
+        dataset,
+        copy_levels=copy_levels,
+        spf_levels=(spf,),
+        repeats=context.repeats,
+        rng=context.seed,
+        label=method,
+    )
+    accuracies = [sweep.accuracy_at(c, spf) for c in sweep.copy_levels]
+    cores = [int(core) for core in sweep.cores]
+    prefix = "N" if method == "tea" else "B"
+    return label_points(sweep.copy_levels, accuracies, cores, prefix), sweep
+
+
+def _spf_sweep_points(context: ExperimentContext, method: str, spf_levels, copies: int):
+    """Accuracy-vs-spf points for one method at fixed copies."""
+    result = context.result(method)
+    dataset = context.evaluation_dataset()
+    sweep = accuracy_sweep(
+        result.model,
+        dataset,
+        copy_levels=(copies,),
+        spf_levels=spf_levels,
+        repeats=context.repeats,
+        rng=context.seed,
+        label=method,
+    )
+    accuracies = [sweep.accuracy_at(copies, s) for s in sweep.spf_levels]
+    costs = [float(s) for s in sweep.spf_levels]
+    prefix = "N" if method == "tea" else "B"
+    return label_points(sweep.spf_levels, accuracies, costs, prefix), sweep
+
+
+def run_table2a(
+    context: Optional[ExperimentContext] = None,
+    copy_levels: Sequence[int] = (1, 2, 3, 4, 5, 7, 9, 10, 16),
+    biased_copy_levels: Sequence[int] = (1, 2, 3, 4, 5),
+    spf: int = 1,
+) -> Dict[str, object]:
+    """Regenerate Table 2(a): core occupation efficiency at ``spf`` spikes/frame."""
+    context = context or ExperimentContext()
+    tea_points, _ = _copy_sweep_points(context, "tea", copy_levels, spf)
+    biased_points, _ = _copy_sweep_points(context, "biased", biased_copy_levels, spf)
+    rows, average_saving, max_saving = core_occupation_comparison(
+        tea_points, biased_points
+    )
+    table_rows: List[tuple] = []
+    for row in rows:
+        ours_label = row.ours.label if row.ours else "-"
+        ours_cores = int(row.ours.cost) if row.ours else 0
+        table_rows.append(
+            (
+                row.baseline.label,
+                f"{row.baseline.accuracy:.4f}",
+                int(row.baseline.cost),
+                ours_label,
+                f"{row.ours.accuracy:.4f}" if row.ours else "-",
+                ours_cores,
+                int(row.saved_cost),
+                f"{100 * row.saved_fraction:.1f}%",
+            )
+        )
+    table = format_table(
+        ["tea", "accuracy", "cores", "biased", "accuracy", "cores", "saved", "saved %"],
+        table_rows,
+        title=f"Table 2(a): core occupation efficiency ({spf} spf)",
+    )
+    return {
+        "rows": rows,
+        "table": table,
+        "average_saved_fraction": average_saving,
+        "max_saved_fraction": max_saving,
+        "paper": {"average_saved_fraction": 0.495, "max_saved_fraction": 0.688},
+    }
+
+
+def run_table2b(
+    context: Optional[ExperimentContext] = None,
+    spf_levels: Sequence[int] = (1, 2, 3, 6, 7, 11, 13),
+    biased_spf_levels: Sequence[int] = (1, 2, 3, 4, 5),
+    copies: int = 1,
+) -> Dict[str, object]:
+    """Regenerate Table 2(b): performance efficiency at ``copies`` network copies."""
+    context = context or ExperimentContext()
+    tea_points, _ = _spf_sweep_points(context, "tea", spf_levels, copies)
+    biased_points, _ = _spf_sweep_points(context, "biased", biased_spf_levels, copies)
+    rows, max_speedup = performance_comparison(tea_points, biased_points)
+    table_rows: List[tuple] = []
+    for row in rows:
+        ours_label = row.ours.label if row.ours else "-"
+        table_rows.append(
+            (
+                row.baseline.label,
+                f"{row.baseline.accuracy:.4f}",
+                int(row.baseline.cost),
+                ours_label,
+                f"{row.ours.accuracy:.4f}" if row.ours else "-",
+                int(row.ours.cost) if row.ours else 0,
+                f"{row.speedup:.2f}x",
+            )
+        )
+    table = format_table(
+        ["tea", "accuracy", "spf", "biased", "accuracy", "spf", "speedup"],
+        table_rows,
+        title=f"Table 2(b): performance efficiency ({copies} network copy)",
+    )
+    return {
+        "rows": rows,
+        "table": table,
+        "max_speedup": max_speedup,
+        "paper": {"max_speedup": 6.5},
+    }

@@ -1,0 +1,203 @@
+"""The five test benches of Table 3.
+
+Each test bench couples a dataset with a network structure:
+
+====== ======= ============ ============== =================
+bench  dataset block stride hidden layers  cores per layer
+====== ======= ============ ============== =================
+1      MNIST   12           1              4
+2      MNIST   4            1              16
+3      MNIST   2            3              49 / 9 / 4
+4      RS130   3            1              4
+5      RS130   1            2              16 / 9
+====== ======= ============ ============== =================
+
+MNIST images are 28x28 and partitioned by a 16x16 sliding window; RS130's
+357 features are reshaped to a 19x19 grid and partitioned by an 8x8 window
+(which yields the 4 / 16 first-layer core counts of the paper with strides
+3 and 1 after rounding to the grid, see :func:`build_testbench_architecture`).
+
+The neurons-per-core values are reproduction choices (the paper does not list
+them); they are picked so that deeper layers respect the 256-axon limit and
+the overall network remains laptop-trainable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.model import LayerSpec, NetworkArchitecture
+from repro.datasets.base import DatasetSplits
+from repro.datasets.registry import load_dataset
+from repro.datasets.synthetic_rs130 import reshape_to_grid
+from repro.mapping.blocks import stride_blocks
+
+
+@dataclass(frozen=True)
+class TestBenchConfig:
+    """One row of Table 3.
+
+    Attributes:
+        index: test bench number (1-5).
+        dataset: ``"mnist"`` or ``"rs130"``.
+        block_stride: sliding-window stride of the first-layer partition.
+        hidden_layer_count: number of hidden layers.
+        cores_per_layer: cores occupied by each hidden layer (paper values).
+        paper_caffe_accuracy: the floating-point accuracy the paper reports.
+        block_shape: window size of the first-layer partition.
+        grid_shape: image shape the features are arranged in before
+            partitioning.
+        neurons_per_core: per-layer neuron counts used by the reproduction.
+    """
+
+    index: int
+    dataset: str
+    block_stride: int
+    hidden_layer_count: int
+    cores_per_layer: Tuple[int, ...]
+    paper_caffe_accuracy: float
+    block_shape: Tuple[int, int]
+    grid_shape: Tuple[int, int]
+    neurons_per_core: Tuple[int, ...]
+
+
+TEST_BENCHES: Dict[int, TestBenchConfig] = {
+    1: TestBenchConfig(
+        index=1,
+        dataset="mnist",
+        block_stride=12,
+        hidden_layer_count=1,
+        cores_per_layer=(4,),
+        paper_caffe_accuracy=0.9527,
+        block_shape=(16, 16),
+        grid_shape=(28, 28),
+        neurons_per_core=(20,),
+    ),
+    2: TestBenchConfig(
+        index=2,
+        dataset="mnist",
+        block_stride=4,
+        hidden_layer_count=1,
+        cores_per_layer=(16,),
+        paper_caffe_accuracy=0.9671,
+        block_shape=(16, 16),
+        grid_shape=(28, 28),
+        neurons_per_core=(20,),
+    ),
+    3: TestBenchConfig(
+        index=3,
+        dataset="mnist",
+        block_stride=2,
+        hidden_layer_count=3,
+        cores_per_layer=(49, 9, 4),
+        paper_caffe_accuracy=0.9705,
+        block_shape=(16, 16),
+        grid_shape=(28, 28),
+        neurons_per_core=(20, 30, 30),
+    ),
+    4: TestBenchConfig(
+        index=4,
+        dataset="rs130",
+        block_stride=3,
+        hidden_layer_count=1,
+        cores_per_layer=(4,),
+        paper_caffe_accuracy=0.6909,
+        block_shape=(16, 16),
+        grid_shape=(19, 19),
+        neurons_per_core=(21,),
+    ),
+    5: TestBenchConfig(
+        index=5,
+        dataset="rs130",
+        block_stride=1,
+        hidden_layer_count=2,
+        cores_per_layer=(16, 9),
+        paper_caffe_accuracy=0.6965,
+        block_shape=(16, 16),
+        grid_shape=(19, 19),
+        neurons_per_core=(21, 21),
+    ),
+}
+
+
+def build_testbench_architecture(config: TestBenchConfig) -> NetworkArchitecture:
+    """Build the :class:`NetworkArchitecture` of a test bench.
+
+    The first layer's blocks come from the stride partition of the input
+    grid; deeper layers use the paper's cores-per-layer counts with
+    contiguous partitioning of the previous layer's outputs.
+    """
+    partition = stride_blocks(
+        image_shape=config.grid_shape,
+        block_shape=config.block_shape,
+        stride=config.block_stride,
+    )
+    expected_first_layer = config.cores_per_layer[0]
+    if partition.block_count != expected_first_layer:
+        raise ValueError(
+            f"test bench {config.index}: stride {config.block_stride} produces "
+            f"{partition.block_count} blocks, but the paper lists "
+            f"{expected_first_layer} first-layer cores"
+        )
+    layers = [
+        LayerSpec(
+            core_count=partition.block_count,
+            neurons_per_core=config.neurons_per_core[0],
+            input_indices=partition.blocks,
+        )
+    ]
+    for depth in range(1, config.hidden_layer_count):
+        layers.append(
+            LayerSpec(
+                core_count=config.cores_per_layer[depth],
+                neurons_per_core=config.neurons_per_core[depth],
+            )
+        )
+    num_classes = 10 if config.dataset == "mnist" else 3
+    input_dim = config.grid_shape[0] * config.grid_shape[1]
+    return NetworkArchitecture(
+        input_dim=input_dim,
+        layers=tuple(layers),
+        num_classes=num_classes,
+        synaptic_value=1.0,
+        activation_sigma=2.0,
+        weight_init_scale=3.0,
+        name=f"testbench-{config.index}",
+    )
+
+
+def load_testbench_data(
+    config: TestBenchConfig,
+    train_size: Optional[int] = None,
+    test_size: Optional[int] = None,
+    seed: int = 0,
+) -> DatasetSplits:
+    """Load (generate) the dataset of a test bench, arranged for its grid.
+
+    RS130 features are zero-padded and reshaped to the 19x19 grid the
+    architecture partitions; MNIST features are already 28x28.
+    """
+    splits = load_dataset(
+        config.dataset, train_size=train_size, test_size=test_size, seed=seed
+    )
+    if config.dataset == "rs130":
+        from repro.datasets.base import Dataset, DatasetSplits as Splits
+
+        grid = config.grid_shape[0]
+        train = Dataset(
+            features=reshape_to_grid(splits.train.features, grid_size=grid),
+            labels=splits.train.labels,
+            num_classes=splits.train.num_classes,
+            name=splits.train.name,
+            image_shape=config.grid_shape,
+        )
+        test = Dataset(
+            features=reshape_to_grid(splits.test.features, grid_size=grid),
+            labels=splits.test.labels,
+            num_classes=splits.test.num_classes,
+            name=splits.test.name,
+            image_shape=config.grid_shape,
+        )
+        return Splits(train=train, test=test)
+    return splits

@@ -1,0 +1,112 @@
+"""Stride-based block partitioning of input images (paper Figure 3, Table 3).
+
+Each neuro-synaptic core receives one fixed-size block of the input image via
+its 256 axons.  The paper slides a 16x16 window over the image with a
+configurable stride (12 for test bench 1, 4 for 2, 2 for 3, and 3 / 1 over
+the 19x19 reshaped RS130 features); smaller strides produce more, overlapping
+blocks and therefore more first-layer cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BlockPartition:
+    """Result of partitioning an image into core-sized blocks.
+
+    Attributes:
+        image_shape: (height, width) of the source image.
+        block_shape: (height, width) of each block.
+        stride: window stride in pixels.
+        blocks: tuple of flat pixel-index tuples, one per block, each of
+            length ``block_height * block_width``; indices address the
+            flattened (row-major) image.
+    """
+
+    image_shape: Tuple[int, int]
+    block_shape: Tuple[int, int]
+    stride: int
+    blocks: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def block_count(self) -> int:
+        """Number of blocks (first-layer cores)."""
+        return len(self.blocks)
+
+    @property
+    def block_size(self) -> int:
+        """Pixels per block (axons used per core)."""
+        return self.block_shape[0] * self.block_shape[1]
+
+    def grid_shape(self) -> Tuple[int, int]:
+        """Number of block positions along (rows, cols)."""
+        rows = _positions(self.image_shape[0], self.block_shape[0], self.stride)
+        cols = _positions(self.image_shape[1], self.block_shape[1], self.stride)
+        return len(rows), len(cols)
+
+    def coverage(self) -> np.ndarray:
+        """How many blocks cover each pixel (2-D array of the image shape)."""
+        counts = np.zeros(self.image_shape[0] * self.image_shape[1], dtype=int)
+        for block in self.blocks:
+            counts[np.asarray(block, dtype=int)] += 1
+        return counts.reshape(self.image_shape)
+
+
+def _positions(extent: int, window: int, stride: int) -> List[int]:
+    """Top-left offsets of a sliding window (always includes the last fit)."""
+    if window > extent:
+        raise ValueError(f"window {window} larger than extent {extent}")
+    last = extent - window
+    positions = list(range(0, last + 1, stride))
+    if positions[-1] != last:
+        positions.append(last)
+    return positions
+
+
+def stride_blocks(
+    image_shape: Tuple[int, int],
+    block_shape: Tuple[int, int] = (16, 16),
+    stride: int = 12,
+) -> BlockPartition:
+    """Partition an image into (possibly overlapping) blocks by a stride.
+
+    Args:
+        image_shape: (height, width) of the image.
+        block_shape: (height, width) of each block; the paper always uses
+            16x16 = 256 pixels, filling a core's axons exactly.
+        stride: sliding-window stride; strides smaller than the block edge
+            produce overlapping blocks.
+
+    Returns:
+        a :class:`BlockPartition` whose blocks enumerate window positions in
+        row-major order.  A final position flush with the image border is
+        always included so every pixel is covered.
+    """
+    height, width = image_shape
+    block_height, block_width = block_shape
+    if height <= 0 or width <= 0:
+        raise ValueError(f"image_shape must be positive, got {image_shape}")
+    if block_height <= 0 or block_width <= 0:
+        raise ValueError(f"block_shape must be positive, got {block_shape}")
+    if stride <= 0:
+        raise ValueError(f"stride must be positive, got {stride}")
+    row_positions = _positions(height, block_height, stride)
+    col_positions = _positions(width, block_width, stride)
+    blocks: List[Tuple[int, ...]] = []
+    for top in row_positions:
+        for left in col_positions:
+            rows = np.arange(top, top + block_height)
+            cols = np.arange(left, left + block_width)
+            flat = (rows[:, None] * width + cols[None, :]).ravel()
+            blocks.append(tuple(int(i) for i in flat))
+    return BlockPartition(
+        image_shape=(height, width),
+        block_shape=(block_height, block_width),
+        stride=stride,
+        blocks=tuple(blocks),
+    )

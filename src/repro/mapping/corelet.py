@@ -1,0 +1,164 @@
+"""Corelets: the logical description of one core's programming.
+
+A *corelet* captures everything needed to program a single neuro-synaptic
+core from one block of a trained model: which global input channels its axons
+receive, the per-connection probabilities and signed synaptic values, and
+which global output channels its neurons drive.  Building corelets is the
+step between the trained :class:`~repro.core.model.TrueNorthModel` and the
+physical programming of a chip (or the fast vectorized evaluator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.model import TrueNorthModel
+from repro.core.probability import weights_to_probabilities
+from repro.truenorth import constants
+
+
+@dataclass(frozen=True)
+class Corelet:
+    """Programming of one neuro-synaptic core.
+
+    Attributes:
+        layer: hidden-layer depth this corelet belongs to (0-based).
+        index: index of the corelet within its layer.
+        input_channels: global ids of the signals delivered to this core's
+            axons.  For layer 0 these are input-feature indices; for deeper
+            layers they are the global neuron ids of the previous layer.
+        probabilities: Bernoulli ON-probability per (axon, neuron) connection.
+        synaptic_values: signed synaptic value per connection (the value an ON
+            connection contributes when its axon spikes).
+        output_channels: global neuron ids assigned to this core's outputs.
+    """
+
+    layer: int
+    index: int
+    input_channels: Tuple[int, ...]
+    probabilities: np.ndarray
+    synaptic_values: np.ndarray
+    output_channels: Tuple[int, ...]
+
+    def __post_init__(self):
+        axons = len(self.input_channels)
+        neurons = len(self.output_channels)
+        if axons == 0 or neurons == 0:
+            raise ValueError("corelets must have at least one axon and one neuron")
+        if axons > constants.AXONS_PER_CORE or neurons > constants.NEURONS_PER_CORE:
+            raise ValueError(
+                f"corelet exceeds crossbar: {axons} axons x {neurons} neurons"
+            )
+        if self.probabilities.shape != (axons, neurons):
+            raise ValueError(
+                f"probabilities must have shape {(axons, neurons)}, "
+                f"got {self.probabilities.shape}"
+            )
+        if self.synaptic_values.shape != (axons, neurons):
+            raise ValueError(
+                f"synaptic_values must have shape {(axons, neurons)}, "
+                f"got {self.synaptic_values.shape}"
+            )
+        if self.probabilities.size and (
+            self.probabilities.min() < 0.0 or self.probabilities.max() > 1.0
+        ):
+            raise ValueError("corelet probabilities must lie in [0, 1]")
+
+    @property
+    def axon_count(self) -> int:
+        """Axons used by this corelet."""
+        return len(self.input_channels)
+
+    @property
+    def neuron_count(self) -> int:
+        """Neurons used by this corelet."""
+        return len(self.output_channels)
+
+    def expected_weights(self) -> np.ndarray:
+        """Expected deployed weight matrix (probability * synaptic value)."""
+        return self.probabilities * self.synaptic_values
+
+
+@dataclass
+class CoreletNetwork:
+    """All corelets of one network copy plus readout metadata.
+
+    Attributes:
+        corelets: corelets grouped by layer (``corelets[layer][index]``).
+        class_assignment: class label of every global output neuron of the
+            last layer.
+        num_classes: number of classes.
+        input_dim: flat input feature count.
+    """
+
+    corelets: List[List[Corelet]]
+    class_assignment: np.ndarray
+    num_classes: int
+    input_dim: int
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def core_count(self) -> int:
+        """Total cores used by this network copy."""
+        return sum(len(layer) for layer in self.corelets)
+
+    @property
+    def layer_count(self) -> int:
+        """Number of hidden layers."""
+        return len(self.corelets)
+
+    def layer_output_dim(self, layer: int) -> int:
+        """Total output neurons of a layer."""
+        return sum(corelet.neuron_count for corelet in self.corelets[layer])
+
+
+def build_corelets(model: TrueNorthModel) -> CoreletNetwork:
+    """Convert a trained model into corelets (one per core).
+
+    The conversion applies Eq. (7): each real-valued weight ``w`` becomes an
+    ON-probability ``|w| / c`` with signed synaptic value ``sign(w) * c``.
+    """
+    arch = model.architecture
+    corelets: List[List[Corelet]] = []
+    previous_output_base = 0
+    previous_output_dim = arch.input_dim
+    for depth, (layer, matrices) in enumerate(zip(arch.layers, model.block_weights)):
+        layer_corelets: List[Corelet] = []
+        sizes = arch.layer_block_sizes(depth)
+        offsets = np.cumsum([0] + sizes)
+        output_base = 0
+        for core_index, weights in enumerate(matrices):
+            mapping = weights_to_probabilities(weights, arch.synaptic_value)
+            if depth == 0:
+                assert arch.layers[0].input_indices is not None
+                input_channels = tuple(arch.layers[0].input_indices[core_index])
+            else:
+                lo, hi = offsets[core_index], offsets[core_index + 1]
+                input_channels = tuple(range(lo, hi))
+            output_channels = tuple(
+                range(output_base, output_base + layer.neurons_per_core)
+            )
+            output_base += layer.neurons_per_core
+            layer_corelets.append(
+                Corelet(
+                    layer=depth,
+                    index=core_index,
+                    input_channels=input_channels,
+                    probabilities=mapping.probabilities,
+                    synaptic_values=mapping.synaptic_values,
+                    output_channels=output_channels,
+                )
+            )
+        corelets.append(layer_corelets)
+        previous_output_base += previous_output_dim
+        previous_output_dim = layer.output_dim
+    return CoreletNetwork(
+        corelets=corelets,
+        class_assignment=arch.class_assignment(),
+        num_classes=arch.num_classes,
+        input_dim=arch.input_dim,
+        metadata=dict(model.metadata),
+    )

@@ -1,0 +1,149 @@
+"""Deployment: sampling crossbar connectivity and evaluating the result.
+
+Deployment turns the trained connection probabilities into concrete binary
+crossbar connectivities by Bernoulli sampling (one independent sample per
+network copy), exactly as the paper's flow does when it writes a model onto
+the chip.  :class:`DeployedNetwork` is the fast, vectorized functional
+equivalent of running the sampled network on hardware: it propagates binary
+spike frames through the sampled integer weights with the McCulloch-Pitts
+threshold rule.  Its arithmetic is identical to the per-core simulator in
+``repro.truenorth`` (the test suite checks the two agree spike for spike);
+the vectorized form exists because the evaluation sweeps of Figures 7-9 run
+hundreds of samples through up to 16 copies x 16 spf combinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.model import TrueNorthModel
+from repro.encoding.stochastic import StochasticEncoder
+from repro.mapping.corelet import Corelet, CoreletNetwork, build_corelets
+from repro.utils.rng import RngLike, new_rng
+
+
+def sample_connectivity(corelet: Corelet, rng: RngLike = None) -> np.ndarray:
+    """Draw one Bernoulli connectivity sample for a corelet.
+
+    Returns a signed integer weight matrix: ``synaptic_value`` where the
+    connection was sampled ON, zero where it was sampled OFF.
+    """
+    rng = new_rng(rng)
+    on = rng.random(corelet.probabilities.shape) < corelet.probabilities
+    return np.where(on, corelet.synaptic_values, 0.0)
+
+
+@dataclass
+class DeployedNetwork:
+    """One sampled (deployed) copy of a corelet network.
+
+    Attributes:
+        corelet_network: the logical corelets this deployment was sampled from.
+        sampled_weights: sampled signed weight matrices, grouped by layer then
+            core, aligned with ``corelet_network.corelets``.
+    """
+
+    corelet_network: CoreletNetwork
+    sampled_weights: List[List[np.ndarray]] = field(default_factory=list)
+
+    @property
+    def core_count(self) -> int:
+        """Cores occupied by this copy."""
+        return self.corelet_network.core_count
+
+    # ------------------------------------------------------------------
+    def forward_spikes(self, spike_frame: np.ndarray) -> np.ndarray:
+        """Propagate one batch of input spike vectors through the copy.
+
+        Args:
+            spike_frame: binary array of shape (batch, input_dim).
+
+        Returns:
+            binary array of shape (batch, last_layer_output_dim) with the
+            output spikes of the last hidden layer's neurons.
+        """
+        spike_frame = np.asarray(spike_frame, dtype=float)
+        network = self.corelet_network
+        if spike_frame.ndim != 2 or spike_frame.shape[1] != network.input_dim:
+            raise ValueError(
+                f"expected spikes of shape (batch, {network.input_dim}), "
+                f"got {spike_frame.shape}"
+            )
+        current = spike_frame
+        for depth, layer_corelets in enumerate(network.corelets):
+            outputs = []
+            for corelet, weights in zip(layer_corelets, self.sampled_weights[depth]):
+                indices = np.asarray(corelet.input_channels, dtype=int)
+                # y' = w' . x'  (leak = 0); spike iff y' >= 0 and at least one
+                # synapse could contribute (the hardware never fires a neuron
+                # with no active synapses in the history-free mode when the
+                # threshold is positive; with threshold 0 the >= rule applies).
+                pre = current[:, indices] @ weights
+                outputs.append((pre >= 0.0).astype(float))
+            current = np.concatenate(outputs, axis=1)
+        return current
+
+    def class_scores(self, spike_frame: np.ndarray) -> np.ndarray:
+        """Per-class spike scores for one frame (batch, num_classes)."""
+        network = self.corelet_network
+        spikes = self.forward_spikes(spike_frame)
+        scores = np.zeros((spikes.shape[0], network.num_classes))
+        np.add.at(scores, (slice(None), network.class_assignment), spikes)
+        return scores
+
+
+def deploy_model(
+    model: TrueNorthModel,
+    rng: RngLike = None,
+    corelet_network: Optional[CoreletNetwork] = None,
+) -> DeployedNetwork:
+    """Sample one deployed copy of a trained model.
+
+    Args:
+        model: the trained model.
+        rng: randomness used for the Bernoulli connectivity sampling.
+        corelet_network: pre-built corelets (rebuilt from the model when
+            omitted); passing it avoids recomputation when deploying many
+            copies of the same model.
+    """
+    rng = new_rng(rng)
+    network = corelet_network or build_corelets(model)
+    sampled: List[List[np.ndarray]] = []
+    for layer_corelets in network.corelets:
+        sampled.append([sample_connectivity(corelet, rng) for corelet in layer_corelets])
+    return DeployedNetwork(corelet_network=network, sampled_weights=sampled)
+
+
+def evaluate_deployed_scores(
+    copies: List[DeployedNetwork],
+    features: np.ndarray,
+    spikes_per_frame: int,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Class-score tensor of several deployed copies over several spike frames.
+
+    Every copy sees the *same* input spike realizations (on hardware a
+    splitter fans the one spike stream out to all copies), while each copy
+    applies its own sampled connectivity.
+
+    Returns:
+        array of shape (copies, spikes_per_frame, batch, num_classes) holding
+        the per-frame class scores of each copy.  Summing over leading axes
+        yields the accumulated scores of any smaller (copies, spf) setting,
+        which is how the evaluation sweeps reuse one pass for a whole grid.
+    """
+    if not copies:
+        raise ValueError("at least one deployed copy is required")
+    rng = new_rng(rng)
+    encoder = StochasticEncoder(spikes_per_frame=spikes_per_frame)
+    frames = encoder.encode(features, rng=rng)  # (spf, batch, features)
+    num_classes = copies[0].corelet_network.num_classes
+    batch = frames.shape[1]
+    scores = np.zeros((len(copies), spikes_per_frame, batch, num_classes))
+    for copy_index, copy in enumerate(copies):
+        for frame_index in range(spikes_per_frame):
+            scores[copy_index, frame_index] = copy.class_scores(frames[frame_index])
+    return scores

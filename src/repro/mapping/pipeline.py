@@ -1,0 +1,185 @@
+"""End-to-end pipeline onto the chip simulator.
+
+The fast vectorized evaluator in :mod:`repro.mapping.deploy` is what the
+large sweeps use, but the reproduction also provides the "real" path: program
+an actual :class:`~repro.truenorth.chip.TrueNorthChip` from a deployed
+network copy (crossbar connectivity, axon types per row, routing of hidden
+layers into the next layer's axons, external I/O bindings) and push spike
+frames through it tick by tick.  The test suite uses this path to check that
+the vectorized evaluator and the hardware-level simulation agree exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.mapping.deploy import DeployedNetwork
+from repro.truenorth import constants
+from repro.truenorth.chip import TrueNorthChip
+from repro.truenorth.config import ChipConfig, CoreConfig, NeuronConfig
+
+#: Axon-type convention used when programming a chip from a deployed copy:
+#: type 0 carries the positive synaptic value, type 1 the negative one.
+_EXCITATORY_TYPE = 0
+_INHIBITORY_TYPE = 1
+
+#: Channel names used for the external bindings created by :func:`program_chip`.
+INPUT_CHANNEL = "pixels"
+OUTPUT_CHANNEL = "classes"
+
+
+def program_chip(
+    deployed: DeployedNetwork,
+    chip: Optional[TrueNorthChip] = None,
+) -> Tuple[TrueNorthChip, List[List[int]]]:
+    """Program a chip with one deployed network copy.
+
+    Every corelet becomes one physical core: the sampled signed weights are
+    written into the crossbar (per-connection signed mode, the simulator's
+    functional equivalent of IBM's axon-splitting corelets — see
+    :meth:`repro.truenorth.crossbar.SynapticCrossbar.set_signed_weights`),
+    hidden-to-hidden connections are routed through the spike router,
+    first-layer axons are bound to the external input channel, and last-layer
+    neurons to the external output channel.
+
+    Args:
+        deployed: a sampled network copy.
+        chip: chip to program; a fresh one (with capacity for the copy) is
+            created when omitted.
+
+    Returns:
+        (chip, core_ids) where ``core_ids[layer][index]`` is the physical core
+        id assigned to each corelet.
+    """
+    network = deployed.corelet_network
+    synaptic_magnitude = _infer_synaptic_magnitude(deployed)
+    weight_table = (
+        int(round(synaptic_magnitude)),
+        -int(round(synaptic_magnitude)),
+        0,
+        0,
+    )
+    neuron_config = NeuronConfig(
+        weight_table=weight_table,
+        leak=0,
+        threshold=0,
+        history_free=True,
+        stochastic_synapses=False,
+    )
+    if chip is None:
+        rows = int(np.ceil(np.sqrt(network.core_count))) or 1
+        grid = (max(rows, 1), max(int(np.ceil(network.core_count / rows)), 1))
+        chip = TrueNorthChip(
+            ChipConfig(grid_shape=grid, core_config=CoreConfig(neuron_config=neuron_config))
+        )
+
+    core_ids: List[List[int]] = []
+    for layer_index, layer_corelets in enumerate(network.corelets):
+        layer_ids: List[int] = []
+        for corelet_index, corelet in enumerate(layer_corelets):
+            core = chip.allocate_core(CoreConfig(neuron_config=neuron_config))
+            sampled = deployed.sampled_weights[layer_index][corelet_index]
+            axons = corelet.axon_count
+            neurons = corelet.neuron_count
+            full_weights = np.zeros(
+                (core.config.axons, core.config.neurons), dtype=np.int64
+            )
+            full_weights[:axons, :neurons] = np.rint(sampled).astype(np.int64)
+            core.crossbar.set_signed_weights(full_weights)
+            layer_ids.append(core.core_id)
+        core_ids.append(layer_ids)
+
+    # External input: layer-0 axons receive the pixel spikes of their block.
+    for corelet_index, corelet in enumerate(network.corelets[0]):
+        chip.bind_input(
+            INPUT_CHANNEL,
+            core_ids[0][corelet_index],
+            axon_map=list(range(corelet.axon_count)),
+        )
+
+    # Inter-layer routing: neuron j of layer L feeds the axon of the layer L+1
+    # corelet whose input channel equals j's global output channel.
+    for layer_index in range(len(network.corelets) - 1):
+        next_layer = network.corelets[layer_index + 1]
+        channel_to_target: Dict[int, Tuple[int, int]] = {}
+        for next_index, next_corelet in enumerate(next_layer):
+            for axon, channel in enumerate(next_corelet.input_channels):
+                channel_to_target[channel] = (core_ids[layer_index + 1][next_index], axon)
+        for corelet_index, corelet in enumerate(network.corelets[layer_index]):
+            source_core = core_ids[layer_index][corelet_index]
+            for neuron, channel in enumerate(corelet.output_channels):
+                target = channel_to_target.get(channel)
+                if target is None:
+                    continue
+                chip.router.connect(source_core, neuron, target[0], target[1])
+
+    # External output: last-layer neurons feed the class readout.
+    for corelet_index, corelet in enumerate(network.corelets[-1]):
+        chip.bind_output(
+            OUTPUT_CHANNEL,
+            core_ids[-1][corelet_index],
+            neuron_map=list(range(corelet.neuron_count)),
+        )
+    return chip, core_ids
+
+
+def run_chip_inference(
+    chip: TrueNorthChip,
+    deployed: DeployedNetwork,
+    core_ids: List[List[int]],
+    spike_frames: np.ndarray,
+) -> np.ndarray:
+    """Run one sample's spike frames through a programmed chip.
+
+    Args:
+        chip: chip programmed by :func:`program_chip`.
+        deployed: the deployed copy the chip was programmed from (provides the
+            corelet structure for the readout).
+        core_ids: physical core ids returned by :func:`program_chip`.
+        spike_frames: binary array of shape (ticks, input_dim).
+
+    Returns:
+        per-class accumulated spike counts (num_classes,).
+    """
+    network = deployed.corelet_network
+    spike_frames = np.asarray(spike_frames)
+    if spike_frames.ndim != 2 or spike_frames.shape[1] != network.input_dim:
+        raise ValueError(
+            f"expected frames of shape (ticks, {network.input_dim}), "
+            f"got {spike_frames.shape}"
+        )
+    chip.reset()
+    ticks = spike_frames.shape[0]
+    depth = len(network.corelets)
+    class_counts = np.zeros(network.num_classes, dtype=np.int64)
+    # Spikes need `depth` ticks to traverse the layers plus router delays.
+    drain = depth * (chip.router.delay + 1) + 2
+    for t in range(ticks + drain):
+        inputs = None
+        if t < ticks:
+            per_binding = {}
+            for corelet_index, corelet in enumerate(network.corelets[0]):
+                indices = np.asarray(corelet.input_channels, dtype=int)
+                per_binding[corelet_index] = spike_frames[t, indices]
+            inputs = {INPUT_CHANNEL: per_binding}
+        outputs = chip.step(inputs)
+        for binding_index, spikes in outputs.get(OUTPUT_CHANNEL, {}).items():
+            corelet = network.corelets[-1][binding_index]
+            channels = np.asarray(corelet.output_channels, dtype=int)
+            classes = network.class_assignment[channels]
+            np.add.at(class_counts, classes, spikes.astype(np.int64))
+    return class_counts
+
+
+def _infer_synaptic_magnitude(deployed: DeployedNetwork) -> float:
+    """Largest absolute sampled synaptic value (the integer weight ``c``)."""
+    best = 0.0
+    for layer in deployed.sampled_weights:
+        for weights in layer:
+            if weights.size:
+                best = max(best, float(np.abs(weights).max()))
+    return best if best > 0 else 1.0
+
+

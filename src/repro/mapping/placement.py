@@ -1,0 +1,91 @@
+"""Placement of corelets onto the physical core grid of a chip.
+
+Placement assigns each corelet (of each copy) a physical core on the 64x64
+grid.  The paper's results do not depend on *where* cores are placed — only
+on how many are occupied — but a placement step is part of any real TrueNorth
+deployment, so the reproduction provides a simple locality-aware strategy
+(copies are placed in row-major order, layers of one copy kept contiguous)
+and reports mesh-distance statistics that the ablation benchmarks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.mapping.corelet import CoreletNetwork
+from repro.truenorth.config import ChipConfig
+
+
+@dataclass
+class ChipPlacement:
+    """Assignment of logical corelets to physical core coordinates.
+
+    Attributes:
+        assignments: mapping ``(copy, layer, corelet_index) -> (row, col)``.
+        grid_shape: shape of the physical core grid.
+    """
+
+    assignments: Dict[Tuple[int, int, int], Tuple[int, int]] = field(default_factory=dict)
+    grid_shape: Tuple[int, int] = (64, 64)
+
+    @property
+    def occupied_cores(self) -> int:
+        """Number of physical cores occupied."""
+        return len(self.assignments)
+
+    def position(self, copy: int, layer: int, corelet_index: int) -> Tuple[int, int]:
+        """Physical (row, col) of one corelet."""
+        return self.assignments[(copy, layer, corelet_index)]
+
+    def max_interlayer_distance(self) -> int:
+        """Largest Manhattan distance between consecutive-layer corelets.
+
+        A coarse congestion proxy: spikes between adjacent layers travel at
+        most this many mesh hops under the simple row-major placement.
+        """
+        best = 0
+        by_copy_layer: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        for (copy, layer, _), pos in self.assignments.items():
+            by_copy_layer.setdefault((copy, layer), []).append(pos)
+        for (copy, layer), positions in by_copy_layer.items():
+            next_positions = by_copy_layer.get((copy, layer + 1))
+            if not next_positions:
+                continue
+            for row_a, col_a in positions:
+                for row_b, col_b in next_positions:
+                    best = max(best, abs(row_a - row_b) + abs(col_a - col_b))
+        return best
+
+
+def place_on_chip(
+    corelet_network: CoreletNetwork,
+    copies: int = 1,
+    chip_config: ChipConfig = ChipConfig(),
+) -> ChipPlacement:
+    """Place ``copies`` instances of a corelet network onto one chip.
+
+    Corelets are assigned to physical cores in row-major order, copy by copy
+    and layer by layer, which keeps each copy's layers contiguous.  Raises
+    ``RuntimeError`` when the chip does not have enough cores.
+    """
+    if copies <= 0:
+        raise ValueError(f"copies must be positive, got {copies}")
+    rows, cols = chip_config.grid_shape
+    capacity = rows * cols
+    needed = copies * corelet_network.core_count
+    if needed > capacity:
+        raise RuntimeError(
+            f"deployment needs {needed} cores but the chip has only {capacity}"
+        )
+    placement = ChipPlacement(grid_shape=(rows, cols))
+    slot = 0
+    for copy in range(copies):
+        for layer, layer_corelets in enumerate(corelet_network.corelets):
+            for corelet_index in range(len(layer_corelets)):
+                placement.assignments[(copy, layer, corelet_index)] = (
+                    slot // cols,
+                    slot % cols,
+                )
+                slot += 1
+    return placement

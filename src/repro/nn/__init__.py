@@ -1,0 +1,68 @@
+"""A small feed-forward neural-network framework built on numpy.
+
+This package is the training substrate of the reproduction (the paper trains
+its models in Caffe).  It provides exactly what the paper's experiments need:
+
+* dense and block-partitioned dense layers with explicit weight access,
+* activation functions, including the erf-based *TrueNorth spiking
+  probability* activation of Eq. (11) used during constrained training,
+* softmax-cross-entropy loss,
+* SGD / momentum / Adam optimizers,
+* pluggable regularizers (the probability-biasing penalty of the paper plugs
+  in here),
+* a trainer with mini-batch iteration, metrics, and early stopping.
+
+Everything is deliberately explicit — layers expose their parameter and
+gradient arrays directly — because the learning methods in ``repro.core``
+need to inspect and transform weights into connectivity probabilities.
+"""
+
+from repro.nn.activations import (
+    Activation,
+    Identity,
+    Relu,
+    Sigmoid,
+    Tanh,
+    TrueNorthErf,
+    get_activation,
+)
+from repro.nn.initializers import glorot_uniform, he_normal, uniform_probability
+from repro.nn.layers import Layer, Dense, BlockDense, Gather, FixedDense
+from repro.nn.losses import Loss, SoftmaxCrossEntropy, MeanSquaredError
+from repro.nn.network import Sequential
+from repro.nn.optim import Optimizer, SGD, Momentum, Adam
+from repro.nn.regularizers import Regularizer, NullRegularizer
+from repro.nn.trainer import Trainer, TrainingHistory
+from repro.nn.metrics import accuracy_score, confusion_matrix
+
+__all__ = [
+    "Activation",
+    "Identity",
+    "Relu",
+    "Sigmoid",
+    "Tanh",
+    "TrueNorthErf",
+    "get_activation",
+    "glorot_uniform",
+    "he_normal",
+    "uniform_probability",
+    "Layer",
+    "Dense",
+    "BlockDense",
+    "Gather",
+    "FixedDense",
+    "Loss",
+    "SoftmaxCrossEntropy",
+    "MeanSquaredError",
+    "Sequential",
+    "Optimizer",
+    "SGD",
+    "Momentum",
+    "Adam",
+    "Regularizer",
+    "NullRegularizer",
+    "Trainer",
+    "TrainingHistory",
+    "accuracy_score",
+    "confusion_matrix",
+]

@@ -1,0 +1,49 @@
+"""Weight initializers.
+
+The paper trains networks whose weights are *connectivity probabilities*
+scaled by the integer synaptic value (w = p * c with 0 <= p <= 1), so in
+addition to standard Glorot/He initializers this module provides
+``uniform_probability`` which draws initial weights already inside the valid
+probability-scaled range.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, new_rng
+
+
+def glorot_uniform(shape: Tuple[int, int], rng: RngLike = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for a (fan_in, fan_out) matrix."""
+    fan_in, fan_out = shape
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return new_rng(rng).uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: Tuple[int, int], rng: RngLike = None) -> np.ndarray:
+    """He normal initialization (suitable for ReLU layers)."""
+    fan_in, _ = shape
+    std = np.sqrt(2.0 / fan_in)
+    return new_rng(rng).normal(0.0, std, size=shape)
+
+
+def uniform_probability(
+    shape: Tuple[int, int],
+    synaptic_value: float = 1.0,
+    low: float = 0.25,
+    high: float = 0.75,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Initialize weights as probabilities in [low, high] scaled by ``synaptic_value``.
+
+    Used when training directly in the TrueNorth-constrained parameterization
+    (w = p * c); the initial probabilities avoid the poles so gradients are
+    informative from the first step.
+    """
+    if not (0.0 <= low <= high <= 1.0):
+        raise ValueError(f"require 0 <= low <= high <= 1, got low={low} high={high}")
+    probabilities = new_rng(rng).uniform(low, high, size=shape)
+    return probabilities * synaptic_value

@@ -1,0 +1,327 @@
+"""Layers of the feed-forward framework.
+
+Two layer types are provided:
+
+* :class:`Dense` — a fully connected layer ``z = h(x @ W + b)``.
+* :class:`BlockDense` — the block-partitioned layer the paper's TrueNorth
+  networks use (Figure 3): the input image is split into fixed-size blocks
+  (one per neuro-synaptic core) and each block is connected only to its own
+  group of output neurons, because a core's crossbar can only see the 256
+  axons wired into it.  Structurally this is a block-diagonal ``Dense``.
+
+Layers expose their parameters through ``params()`` / ``grads()`` so the
+optimizer and the regularization penalties (which act on the weights
+interpreted as connectivity probabilities) can reach them directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.activations import Activation, Identity
+from repro.nn.initializers import glorot_uniform
+from repro.utils.rng import RngLike, new_rng
+
+
+class Layer:
+    """Base layer interface: forward, backward, and parameter access."""
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output for a batch of inputs."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate ``dL/d(output)`` and return ``dL/d(input)``.
+
+        Parameter gradients are accumulated into the arrays returned by
+        :meth:`grads`.
+        """
+        raise NotImplementedError
+
+    def params(self) -> Dict[str, np.ndarray]:
+        """Return the trainable parameter arrays of this layer, by name."""
+        return {}
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        """Return the gradient arrays matching :meth:`params`."""
+        return {}
+
+    def penalized_params(self) -> Dict[str, np.ndarray]:
+        """Parameters that regularization penalties apply to (weights only)."""
+        return {}
+
+    @property
+    def output_dim(self) -> int:
+        """Number of output units."""
+        raise NotImplementedError
+
+
+class Dense(Layer):
+    """Fully connected layer with an elementwise activation.
+
+    Args:
+        in_dim: input dimensionality.
+        out_dim: output dimensionality.
+        activation: activation instance; defaults to identity.
+        rng: seed or generator for weight initialization.
+        weight_init: optional explicit initial weight matrix (in_dim, out_dim).
+        use_bias: when False the layer has no bias term at all (TrueNorth
+            block layers train bias-free because every crossbar axon is
+            already used by a pixel).
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        activation: Optional[Activation] = None,
+        rng: RngLike = None,
+        weight_init: Optional[np.ndarray] = None,
+        use_bias: bool = True,
+    ):
+        if in_dim <= 0 or out_dim <= 0:
+            raise ValueError(f"dimensions must be positive, got ({in_dim}, {out_dim})")
+        self.in_dim = in_dim
+        self.out_dim_ = out_dim
+        self.activation = activation or Identity()
+        self.use_bias = use_bias
+        if weight_init is not None:
+            weight_init = np.asarray(weight_init, dtype=float)
+            if weight_init.shape != (in_dim, out_dim):
+                raise ValueError(
+                    f"weight_init must have shape {(in_dim, out_dim)}, "
+                    f"got {weight_init.shape}"
+                )
+            self.weights = weight_init.copy()
+        else:
+            self.weights = glorot_uniform((in_dim, out_dim), rng=new_rng(rng))
+        self.bias = np.zeros(out_dim)
+        self.grad_weights = np.zeros_like(self.weights)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._inputs: Optional[np.ndarray] = None
+        self._pre_activation: Optional[np.ndarray] = None
+
+    @property
+    def output_dim(self) -> int:
+        return self.out_dim_
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=float)
+        if inputs.ndim != 2 or inputs.shape[1] != self.in_dim:
+            raise ValueError(
+                f"expected inputs of shape (batch, {self.in_dim}), got {inputs.shape}"
+            )
+        pre = inputs @ self.weights + self.bias
+        if training:
+            self._inputs = inputs
+            self._pre_activation = pre
+        return self.activation.forward(pre)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._inputs is None or self._pre_activation is None:
+            raise RuntimeError("backward called before a training-mode forward pass")
+        grad_pre = grad_output * self.activation.backward(self._pre_activation)
+        self.grad_weights = self._inputs.T @ grad_pre
+        if self.use_bias:
+            self.grad_bias = grad_pre.sum(axis=0)
+        return grad_pre @ self.weights.T
+
+    def params(self) -> Dict[str, np.ndarray]:
+        if self.use_bias:
+            return {"weights": self.weights, "bias": self.bias}
+        return {"weights": self.weights}
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        if self.use_bias:
+            return {"weights": self.grad_weights, "bias": self.grad_bias}
+        return {"weights": self.grad_weights}
+
+    def penalized_params(self) -> Dict[str, np.ndarray]:
+        return {"weights": self.weights}
+
+
+class BlockDense(Layer):
+    """Block-diagonal dense layer modelling one layer of neuro-synaptic cores.
+
+    The input is interpreted as the concatenation of ``len(block_sizes)``
+    blocks (one per core); block ``k`` of size ``block_sizes[k]`` is fully
+    connected to its own ``neurons_per_block[k]`` outputs and to nothing else.
+    The layer output is the concatenation of all block outputs.
+
+    This matches the paper's Figure 3 topology where each 16x16 image block is
+    wired into one core's 256 axons.
+    """
+
+    def __init__(
+        self,
+        block_sizes: Sequence[int],
+        neurons_per_block: Sequence[int],
+        activation: Optional[Activation] = None,
+        rng: RngLike = None,
+        use_bias: bool = True,
+    ):
+        if len(block_sizes) != len(neurons_per_block):
+            raise ValueError(
+                "block_sizes and neurons_per_block must have the same length"
+            )
+        if not block_sizes:
+            raise ValueError("at least one block is required")
+        for size in list(block_sizes) + list(neurons_per_block):
+            if size <= 0:
+                raise ValueError("block sizes and neuron counts must be positive")
+        self.block_sizes = list(block_sizes)
+        self.neurons_per_block = list(neurons_per_block)
+        self.activation = activation or Identity()
+        self.use_bias = use_bias
+        rng = new_rng(rng)
+        self.blocks: List[Dense] = [
+            Dense(
+                in_dim,
+                out_dim,
+                activation=self.activation,
+                rng=rng,
+                use_bias=use_bias,
+            )
+            for in_dim, out_dim in zip(self.block_sizes, self.neurons_per_block)
+        ]
+        self._input_offsets = np.cumsum([0] + self.block_sizes)
+        self._output_offsets = np.cumsum([0] + self.neurons_per_block)
+
+    @property
+    def in_dim(self) -> int:
+        """Total input dimensionality (sum of block sizes)."""
+        return int(self._input_offsets[-1])
+
+    @property
+    def output_dim(self) -> int:
+        return int(self._output_offsets[-1])
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks (equals the number of cores this layer occupies)."""
+        return len(self.blocks)
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=float)
+        if inputs.ndim != 2 or inputs.shape[1] != self.in_dim:
+            raise ValueError(
+                f"expected inputs of shape (batch, {self.in_dim}), got {inputs.shape}"
+            )
+        outputs = []
+        for k, block in enumerate(self.blocks):
+            lo, hi = self._input_offsets[k], self._input_offsets[k + 1]
+            outputs.append(block.forward(inputs[:, lo:hi], training=training))
+        return np.concatenate(outputs, axis=1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_inputs = []
+        for k, block in enumerate(self.blocks):
+            lo, hi = self._output_offsets[k], self._output_offsets[k + 1]
+            grad_inputs.append(block.backward(grad_output[:, lo:hi]))
+        return np.concatenate(grad_inputs, axis=1)
+
+    def params(self) -> Dict[str, np.ndarray]:
+        merged: Dict[str, np.ndarray] = {}
+        for k, block in enumerate(self.blocks):
+            for name, array in block.params().items():
+                merged[f"block{k}_{name}"] = array
+        return merged
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        merged: Dict[str, np.ndarray] = {}
+        for k, block in enumerate(self.blocks):
+            for name, array in block.grads().items():
+                merged[f"block{k}_{name}"] = array
+        return merged
+
+    def penalized_params(self) -> Dict[str, np.ndarray]:
+        merged: Dict[str, np.ndarray] = {}
+        for k, block in enumerate(self.blocks):
+            merged[f"block{k}_weights"] = block.weights
+        return merged
+
+
+class Gather(Layer):
+    """Fixed input-selection layer.
+
+    ``forward(x)[:, j] = x[:, indices[j]]``.  Used to wire overlapping or
+    non-contiguous image blocks into a :class:`BlockDense` layer: the stride-
+    based block partition of the paper (Figure 3) selects pixel indices per
+    core, possibly with overlap when the stride is smaller than the block
+    size, and this layer performs that selection.  The backward pass
+    scatter-adds gradients back onto the original input positions, which
+    handles overlapping blocks correctly.
+    """
+
+    def __init__(self, indices: Sequence[int], input_dim: int):
+        indices = np.asarray(indices, dtype=int)
+        if indices.ndim != 1 or indices.size == 0:
+            raise ValueError("indices must be a non-empty 1-D sequence")
+        if indices.min() < 0 or indices.max() >= input_dim:
+            raise ValueError(
+                f"indices must lie in [0, {input_dim}), got range "
+                f"[{indices.min()}, {indices.max()}]"
+            )
+        self.indices = indices
+        self.input_dim = input_dim
+
+    @property
+    def output_dim(self) -> int:
+        return int(self.indices.size)
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=float)
+        if inputs.ndim != 2 or inputs.shape[1] != self.input_dim:
+            raise ValueError(
+                f"expected inputs of shape (batch, {self.input_dim}), got {inputs.shape}"
+            )
+        return inputs[:, self.indices]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_input = np.zeros((grad_output.shape[0], self.input_dim))
+        np.add.at(grad_input, (slice(None), self.indices), grad_output)
+        return grad_input
+
+
+class FixedDense(Layer):
+    """Dense layer with a fixed (non-trainable) weight matrix and no bias.
+
+    Used for the output merge of the paper's networks: the spikes of the last
+    hidden layer's neurons are summed per assigned class, which is a linear
+    map with a fixed binary (or scaled binary) matrix.  Gradients flow through
+    it to the trainable layers below, but the matrix itself never changes.
+    """
+
+    def __init__(self, weights: np.ndarray, activation: Optional[Activation] = None):
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 2:
+            raise ValueError(f"weights must be 2-D, got shape {weights.shape}")
+        self.weights = weights.copy()
+        self.activation = activation or Identity()
+        self._inputs: Optional[np.ndarray] = None
+        self._pre_activation: Optional[np.ndarray] = None
+
+    @property
+    def output_dim(self) -> int:
+        return self.weights.shape[1]
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=float)
+        if inputs.ndim != 2 or inputs.shape[1] != self.weights.shape[0]:
+            raise ValueError(
+                f"expected inputs of shape (batch, {self.weights.shape[0]}), "
+                f"got {inputs.shape}"
+            )
+        pre = inputs @ self.weights
+        if training:
+            self._inputs = inputs
+            self._pre_activation = pre
+        return self.activation.forward(pre)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._pre_activation is None:
+            raise RuntimeError("backward called before a training-mode forward pass")
+        grad_pre = grad_output * self.activation.backward(self._pre_activation)
+        return grad_pre @ self.weights.T

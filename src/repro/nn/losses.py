@@ -1,0 +1,86 @@
+"""Loss functions for classification training."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class Loss:
+    """Base class: computes a scalar loss and its gradient w.r.t. predictions."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        """Return the mean loss over the batch."""
+        raise NotImplementedError
+
+    def backward(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Return dL/d(predictions), already divided by the batch size."""
+        raise NotImplementedError
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)
+
+
+def _as_one_hot(targets: np.ndarray, num_classes: int) -> np.ndarray:
+    """Convert integer class labels to one-hot rows (passes one-hot through)."""
+    targets = np.asarray(targets)
+    if targets.ndim == 2:
+        if targets.shape[1] != num_classes:
+            raise ValueError(
+                f"one-hot targets must have {num_classes} columns, got {targets.shape}"
+            )
+        return targets.astype(float)
+    one_hot = np.zeros((targets.shape[0], num_classes))
+    labels = targets.astype(int)
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels must lie in [0, {num_classes}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    one_hot[np.arange(targets.shape[0]), labels] = 1.0
+    return one_hot
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Softmax + cross-entropy on raw logits (integer or one-hot targets)."""
+
+    def __init__(self, epsilon: float = 1e-12):
+        self.epsilon = epsilon
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        probabilities = softmax(np.asarray(predictions, dtype=float))
+        one_hot = _as_one_hot(targets, probabilities.shape[1])
+        log_probs = np.log(probabilities + self.epsilon)
+        return float(-(one_hot * log_probs).sum(axis=1).mean())
+
+    def backward(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        probabilities = softmax(np.asarray(predictions, dtype=float))
+        one_hot = _as_one_hot(targets, probabilities.shape[1])
+        return (probabilities - one_hot) / predictions.shape[0]
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error against one-hot (or real-valued) targets."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        predictions = np.asarray(predictions, dtype=float)
+        one_hot = _as_one_hot(targets, predictions.shape[1])
+        return float(((predictions - one_hot) ** 2).mean())
+
+    def backward(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        predictions = np.asarray(predictions, dtype=float)
+        one_hot = _as_one_hot(targets, predictions.shape[1])
+        return 2.0 * (predictions - one_hot) / predictions.size
+
+
+def predictions_to_labels(predictions: np.ndarray) -> np.ndarray:
+    """Convert a score matrix (logits or probabilities) to class labels."""
+    return np.asarray(predictions).argmax(axis=1)

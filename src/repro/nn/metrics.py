@@ -1,0 +1,45 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy_score(labels: np.ndarray, predictions: np.ndarray) -> float:
+    """Fraction of predictions equal to the true labels."""
+    labels = np.asarray(labels)
+    predictions = np.asarray(predictions)
+    if labels.shape != predictions.shape:
+        raise ValueError(
+            f"labels and predictions must have the same shape, got "
+            f"{labels.shape} vs {predictions.shape}"
+        )
+    if labels.size == 0:
+        raise ValueError("cannot compute accuracy of an empty label set")
+    return float((labels == predictions).mean())
+
+
+def confusion_matrix(
+    labels: np.ndarray, predictions: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Return the (num_classes, num_classes) confusion matrix (rows = truth)."""
+    labels = np.asarray(labels, dtype=int)
+    predictions = np.asarray(predictions, dtype=int)
+    if labels.shape != predictions.shape:
+        raise ValueError("labels and predictions must have the same shape")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    for truth, predicted in zip(labels, predictions):
+        if not (0 <= truth < num_classes) or not (0 <= predicted < num_classes):
+            raise ValueError("class index outside [0, num_classes)")
+        matrix[truth, predicted] += 1
+    return matrix
+
+
+def per_class_accuracy(
+    labels: np.ndarray, predictions: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Accuracy within each true class (NaN for classes absent from labels)."""
+    matrix = confusion_matrix(labels, predictions, num_classes)
+    totals = matrix.sum(axis=1).astype(float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(totals > 0, np.diag(matrix) / totals, np.nan)

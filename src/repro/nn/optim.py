@@ -1,0 +1,112 @@
+"""Gradient-descent optimizers.
+
+Optimizers operate on ``{name: array}`` parameter/gradient dictionaries as
+exposed by :class:`repro.nn.network.Sequential`, updating parameters in
+place so that layers, penalties, and deployment code all observe the same
+arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+class Optimizer:
+    """Base optimizer interface."""
+
+    def step(self, params: Dict[str, np.ndarray], grads: Dict[str, np.ndarray]) -> None:
+        """Apply one update to ``params`` in place given matching ``grads``."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear any internal state (momentum buffers, moment estimates)."""
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent."""
+
+    def __init__(self, learning_rate: float = 0.1):
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = learning_rate
+
+    def step(self, params: Dict[str, np.ndarray], grads: Dict[str, np.ndarray]) -> None:
+        for name, param in params.items():
+            grad = grads.get(name)
+            if grad is None:
+                raise KeyError(f"missing gradient for parameter {name!r}")
+            param -= self.learning_rate * grad
+
+
+class Momentum(Optimizer):
+    """SGD with classical momentum."""
+
+    def __init__(self, learning_rate: float = 0.1, momentum: float = 0.9):
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        if not (0.0 <= momentum < 1.0):
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: Dict[str, np.ndarray] = {}
+
+    def step(self, params: Dict[str, np.ndarray], grads: Dict[str, np.ndarray]) -> None:
+        for name, param in params.items():
+            grad = grads.get(name)
+            if grad is None:
+                raise KeyError(f"missing gradient for parameter {name!r}")
+            velocity = self._velocity.get(name)
+            if velocity is None:
+                velocity = np.zeros_like(param)
+            velocity = self.momentum * velocity - self.learning_rate * grad
+            self._velocity[name] = velocity
+            param += velocity
+
+    def reset(self) -> None:
+        self._velocity.clear()
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        if not (0.0 <= beta1 < 1.0) or not (0.0 <= beta2 < 1.0):
+            raise ValueError("beta1 and beta2 must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m: Dict[str, np.ndarray] = {}
+        self._v: Dict[str, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, params: Dict[str, np.ndarray], grads: Dict[str, np.ndarray]) -> None:
+        self._t += 1
+        for name, param in params.items():
+            grad = grads.get(name)
+            if grad is None:
+                raise KeyError(f"missing gradient for parameter {name!r}")
+            m = self._m.get(name, np.zeros_like(param))
+            v = self._v.get(name, np.zeros_like(param))
+            m = self.beta1 * m + (1.0 - self.beta1) * grad
+            v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
+            self._m[name] = m
+            self._v[name] = v
+            m_hat = m / (1.0 - self.beta1**self._t)
+            v_hat = v / (1.0 - self.beta2**self._t)
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def reset(self) -> None:
+        self._m.clear()
+        self._v.clear()
+        self._t = 0

@@ -1,0 +1,41 @@
+"""Regularizer interface used by the trainer.
+
+The concrete penalties the paper studies — L1, L2, and the probability-biasing
+penalty of Eq. (17) — live in :mod:`repro.core.penalties`; this module only
+defines the protocol the training loop relies on, plus the trivial
+no-penalty implementation, so that ``repro.nn`` has no dependency on
+``repro.core``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+class Regularizer:
+    """A differentiable penalty added to the training objective.
+
+    Implementations receive the *penalized* parameters of the network (the
+    weight matrices, not the biases) and return a scalar penalty value and a
+    matching gradient contribution.
+    """
+
+    def penalty(self, params: Dict[str, np.ndarray]) -> float:
+        """Return the scalar penalty value for the given parameters."""
+        raise NotImplementedError
+
+    def gradient(self, params: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Return the gradient of the penalty for each parameter array."""
+        raise NotImplementedError
+
+
+class NullRegularizer(Regularizer):
+    """No penalty — used for Tea learning (the paper's baseline)."""
+
+    def penalty(self, params: Dict[str, np.ndarray]) -> float:
+        return 0.0
+
+    def gradient(self, params: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        return {name: np.zeros_like(array) for name, array in params.items()}

@@ -1,0 +1,200 @@
+"""Mini-batch training loop with pluggable regularization."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.losses import Loss, SoftmaxCrossEntropy, predictions_to_labels
+from repro.nn.metrics import accuracy_score
+from repro.nn.network import Sequential
+from repro.nn.optim import Optimizer, SGD
+from repro.nn.regularizers import NullRegularizer, Regularizer
+from repro.utils.rng import RngLike, new_rng
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch records produced by :class:`Trainer.fit`."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    validation_accuracy: List[float] = field(default_factory=list)
+    penalty: List[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        """Number of completed epochs."""
+        return len(self.train_loss)
+
+    def best_validation_accuracy(self) -> float:
+        """Highest validation accuracy observed (NaN if never evaluated)."""
+        if not self.validation_accuracy:
+            return float("nan")
+        return max(self.validation_accuracy)
+
+
+class Trainer:
+    """Trains a :class:`Sequential` network with mini-batch gradient descent.
+
+    Args:
+        network: the model to train (updated in place).
+        loss: loss function; defaults to softmax cross-entropy.
+        optimizer: parameter update rule; defaults to plain SGD.
+        regularizer: penalty added to the objective (the paper's biasing
+            penalty plugs in here); defaults to no penalty.
+        penalty_coefficient: the regularization coefficient (lambda in
+            Eq. 16).
+        clip_probabilities: when set to a (low, high) tuple, weight matrices
+            are clamped into that range after every update — used when
+            training directly in connectivity-probability space where weights
+            must stay within [0, c].
+    """
+
+    def __init__(
+        self,
+        network: Sequential,
+        loss: Optional[Loss] = None,
+        optimizer: Optional[Optimizer] = None,
+        regularizer: Optional[Regularizer] = None,
+        penalty_coefficient: float = 0.0,
+        clip_probabilities: Optional[Tuple[float, float]] = None,
+    ):
+        self.network = network
+        self.loss = loss or SoftmaxCrossEntropy()
+        self.optimizer = optimizer or SGD(learning_rate=0.1)
+        self.regularizer = regularizer or NullRegularizer()
+        if penalty_coefficient < 0:
+            raise ValueError(
+                f"penalty_coefficient must be non-negative, got {penalty_coefficient}"
+            )
+        self.penalty_coefficient = penalty_coefficient
+        self.clip_probabilities = clip_probabilities
+
+    # ------------------------------------------------------------------
+    def _apply_penalty_gradient(self) -> float:
+        """Add lambda * dE_W/dw to the weight gradients; return lambda * E_W."""
+        if self.penalty_coefficient == 0.0:
+            return 0.0
+        penalized = self.network.penalized_params()
+        if not penalized:
+            return 0.0
+        penalty_value = self.regularizer.penalty(penalized)
+        penalty_grads = self.regularizer.gradient(penalized)
+        grads = self.network.grads()
+        for name, grad in penalty_grads.items():
+            grads[name] += self.penalty_coefficient * grad
+        return self.penalty_coefficient * penalty_value
+
+    def _clip(self) -> None:
+        if self.clip_probabilities is None:
+            return
+        low, high = self.clip_probabilities
+        for array in self.network.penalized_params().values():
+            np.clip(array, low, high, out=array)
+
+    def train_batch(self, inputs: np.ndarray, targets: np.ndarray) -> Tuple[float, float]:
+        """One gradient step on a mini-batch; returns (data loss, penalty)."""
+        predictions = self.network.forward(inputs, training=True)
+        data_loss = self.loss.forward(predictions, targets)
+        grad = self.loss.backward(predictions, targets)
+        self.network.backward(grad)
+        penalty_value = self._apply_penalty_gradient()
+        self.optimizer.step(self.network.params(), self.network.grads())
+        self._clip()
+        return data_loss, penalty_value
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        train_inputs: np.ndarray,
+        train_targets: np.ndarray,
+        epochs: int = 10,
+        batch_size: int = 64,
+        validation_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        rng: RngLike = None,
+        shuffle: bool = True,
+        callback: Optional[Callable[[int, Dict[str, float]], None]] = None,
+    ) -> TrainingHistory:
+        """Train for ``epochs`` passes over the data.
+
+        Args:
+            train_inputs: array of shape (samples, features).
+            train_targets: integer labels or one-hot targets.
+            epochs: number of passes over the training set.
+            batch_size: mini-batch size.
+            validation_data: optional (inputs, labels) evaluated after each
+                epoch.
+            rng: randomness for shuffling.
+            shuffle: whether to reshuffle each epoch.
+            callback: optional ``callback(epoch, metrics)`` invoked per epoch.
+
+        Returns:
+            a :class:`TrainingHistory` with per-epoch metrics.
+        """
+        train_inputs = np.asarray(train_inputs, dtype=float)
+        train_targets = np.asarray(train_targets)
+        if train_inputs.shape[0] != train_targets.shape[0]:
+            raise ValueError(
+                "train_inputs and train_targets must have the same number of rows"
+            )
+        if epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {epochs}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        rng = new_rng(rng)
+        history = TrainingHistory()
+        count = train_inputs.shape[0]
+        for epoch in range(epochs):
+            order = rng.permutation(count) if shuffle else np.arange(count)
+            epoch_loss = 0.0
+            epoch_penalty = 0.0
+            batches = 0
+            for start in range(0, count, batch_size):
+                index = order[start : start + batch_size]
+                data_loss, penalty_value = self.train_batch(
+                    train_inputs[index], train_targets[index]
+                )
+                epoch_loss += data_loss
+                epoch_penalty += penalty_value
+                batches += 1
+            epoch_loss /= max(batches, 1)
+            epoch_penalty /= max(batches, 1)
+
+            train_labels = (
+                train_targets
+                if train_targets.ndim == 1
+                else train_targets.argmax(axis=1)
+            )
+            train_predictions = predictions_to_labels(
+                self.network.forward(train_inputs, training=False)
+            )
+            train_accuracy = accuracy_score(train_labels, train_predictions)
+
+            validation_accuracy = float("nan")
+            if validation_data is not None:
+                val_inputs, val_labels = validation_data
+                val_predictions = self.network.predict(val_inputs)
+                val_labels = np.asarray(val_labels)
+                if val_labels.ndim == 2:
+                    val_labels = val_labels.argmax(axis=1)
+                validation_accuracy = accuracy_score(val_labels, val_predictions)
+                history.validation_accuracy.append(validation_accuracy)
+
+            history.train_loss.append(epoch_loss)
+            history.train_accuracy.append(train_accuracy)
+            history.penalty.append(epoch_penalty)
+
+            if callback is not None:
+                callback(
+                    epoch,
+                    {
+                        "loss": epoch_loss,
+                        "penalty": epoch_penalty,
+                        "train_accuracy": train_accuracy,
+                        "validation_accuracy": validation_accuracy,
+                    },
+                )
+        return history

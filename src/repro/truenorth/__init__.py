@@ -1,0 +1,60 @@
+"""Functional simulator of the IBM TrueNorth neuro-synaptic architecture.
+
+This package is the hardware substrate of the reproduction.  It models the
+aspects of TrueNorth that the paper's analysis depends on:
+
+* a 256x256 binary-connectivity synaptic crossbar per core,
+* per-axon *axon types* indexing a 4-entry signed integer weight table at
+  each neuron,
+* stochastic synapses gated by a pseudo-random number generator so that the
+  expected effective weight equals a fractional target (Tea deployment),
+* a digital leaky integrate-and-fire neuron (with the history-free
+  McCulloch-Pitts special case used by the paper),
+* a chip made of a 2-D grid of cores connected by a spike router, advanced by
+  a tick-based scheduler,
+* an NSCS-like facade that extracts synaptic-weight deviation maps
+  (paper Figure 4).
+
+Nothing here knows about training; the learning methods live in
+``repro.core`` and the mapping from trained models onto cores in
+``repro.mapping``.
+"""
+
+from repro.truenorth.constants import (
+    AXONS_PER_CORE,
+    NEURONS_PER_CORE,
+    AXON_TYPES,
+    CORES_PER_CHIP,
+    CHIP_GRID_SHAPE,
+    DEFAULT_WEIGHT_TABLE,
+)
+from repro.truenorth.config import CoreConfig, NeuronConfig, ChipConfig
+from repro.truenorth.prng import LfsrPrng
+from repro.truenorth.neuron import McCullochPittsNeuron, LifNeuron
+from repro.truenorth.crossbar import SynapticCrossbar
+from repro.truenorth.core import NeurosynapticCore
+from repro.truenorth.router import SpikeRouter, SpikeEvent
+from repro.truenorth.chip import TrueNorthChip
+from repro.truenorth.nscs import NeuroSynapticChipSimulator, DeviationReport
+
+__all__ = [
+    "AXONS_PER_CORE",
+    "NEURONS_PER_CORE",
+    "AXON_TYPES",
+    "CORES_PER_CHIP",
+    "CHIP_GRID_SHAPE",
+    "DEFAULT_WEIGHT_TABLE",
+    "CoreConfig",
+    "NeuronConfig",
+    "ChipConfig",
+    "LfsrPrng",
+    "McCullochPittsNeuron",
+    "LifNeuron",
+    "SynapticCrossbar",
+    "NeurosynapticCore",
+    "SpikeRouter",
+    "SpikeEvent",
+    "TrueNorthChip",
+    "NeuroSynapticChipSimulator",
+    "DeviationReport",
+]

@@ -1,0 +1,214 @@
+"""Chip-level simulation: a grid of cores advanced by a tick scheduler.
+
+:class:`TrueNorthChip` owns a set of :class:`~repro.truenorth.core.NeurosynapticCore`
+instances placed on a 2-D grid, a :class:`~repro.truenorth.router.SpikeRouter`
+that carries inter-core spikes, and external input/output bindings so that
+host code can inject spike frames and read out classification spikes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.truenorth.config import ChipConfig, CoreConfig
+from repro.truenorth.core import NeurosynapticCore
+from repro.truenorth.router import SpikeRouter
+
+
+@dataclass
+class ExternalInputBinding:
+    """Binding of an external input channel onto a core's axons.
+
+    ``axon_map[i]`` is the axon index that receives the ``i``-th component of
+    the external spike vector for this binding.
+    """
+
+    core_id: int
+    axon_map: List[int] = field(default_factory=list)
+
+
+@dataclass
+class ExternalOutputBinding:
+    """Binding of a core's neurons onto an external output channel.
+
+    ``neuron_map[i]`` is the neuron index whose spikes feed the ``i``-th
+    component of the external output vector for this binding.
+    """
+
+    core_id: int
+    neuron_map: List[int] = field(default_factory=list)
+
+
+class TrueNorthChip:
+    """A simulated TrueNorth chip.
+
+    Cores are allocated on demand (up to the grid capacity), programmed by the
+    deployment pipeline, and advanced in lock-step ticks.  External inputs are
+    injected per tick through named bindings; external outputs accumulate the
+    spike counts of bound neurons, which is how the paper's networks read out
+    their class scores.
+    """
+
+    def __init__(self, config: Optional[ChipConfig] = None):
+        self.config = config or ChipConfig()
+        self.cores: Dict[int, NeurosynapticCore] = {}
+        self.router = SpikeRouter(delay=1)
+        self._positions: Dict[int, Tuple[int, int]] = {}
+        self._input_bindings: Dict[str, List[ExternalInputBinding]] = {}
+        self._output_bindings: Dict[str, List[ExternalOutputBinding]] = {}
+        self._tick = 0
+
+    # ------------------------------------------------------------------
+    # allocation and programming
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Number of core slots on the chip."""
+        return self.config.capacity
+
+    @property
+    def allocated_cores(self) -> int:
+        """Number of cores allocated so far."""
+        return len(self.cores)
+
+    @property
+    def tick(self) -> int:
+        """Current tick counter."""
+        return self._tick
+
+    def allocate_core(self, core_config: Optional[CoreConfig] = None) -> NeurosynapticCore:
+        """Allocate the next free core slot and return the new core."""
+        if self.allocated_cores >= self.capacity:
+            raise RuntimeError(
+                f"chip capacity exhausted ({self.capacity} cores allocated)"
+            )
+        core_id = self.allocated_cores
+        rows, cols = self.config.grid_shape
+        position = (core_id // cols, core_id % cols)
+        core = NeurosynapticCore(core_config or self.config.core_config, core_id=core_id)
+        self.cores[core_id] = core
+        self._positions[core_id] = position
+        self.router.set_core_position(core_id, *position)
+        return core
+
+    def core(self, core_id: int) -> NeurosynapticCore:
+        """Return an allocated core by id."""
+        if core_id not in self.cores:
+            raise KeyError(f"core {core_id} has not been allocated")
+        return self.cores[core_id]
+
+    def position_of(self, core_id: int) -> Tuple[int, int]:
+        """Return the (row, col) grid position of a core."""
+        return self._positions[core_id]
+
+    # ------------------------------------------------------------------
+    # external I/O
+    # ------------------------------------------------------------------
+    def bind_input(self, channel: str, core_id: int, axon_map: List[int]) -> None:
+        """Bind a slice of the external input channel onto a core's axons."""
+        self.core(core_id)  # validates allocation
+        self._input_bindings.setdefault(channel, []).append(
+            ExternalInputBinding(core_id=core_id, axon_map=list(axon_map))
+        )
+
+    def bind_output(self, channel: str, core_id: int, neuron_map: List[int]) -> None:
+        """Bind a core's neurons onto a slice of the external output channel."""
+        self.core(core_id)
+        self._output_bindings.setdefault(channel, []).append(
+            ExternalOutputBinding(core_id=core_id, neuron_map=list(neuron_map))
+        )
+
+    def input_channels(self) -> List[str]:
+        """Names of the registered external input channels."""
+        return sorted(self._input_bindings)
+
+    def output_channels(self) -> List[str]:
+        """Names of the registered external output channels."""
+        return sorted(self._output_bindings)
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Reset all cores, the router queue, and the tick counter."""
+        for core in self.cores.values():
+            core.reset()
+        self.router = SpikeRouter(delay=self.router.delay)
+        for core_id, position in self._positions.items():
+            self.router.set_core_position(core_id, *position)
+        self._tick = 0
+
+    def step(
+        self, external_inputs: Optional[Dict[str, Dict[int, np.ndarray]]] = None
+    ) -> Dict[str, Dict[int, np.ndarray]]:
+        """Advance the chip by one tick.
+
+        Args:
+            external_inputs: mapping ``channel -> {binding_index -> spike vector}``
+                where each spike vector has one entry per axon in the binding's
+                ``axon_map``.
+
+        Returns:
+            mapping ``channel -> {binding_index -> spike vector}`` of the
+            output spikes produced this tick by bound neurons.
+        """
+        axons = self.config.core_config.axons
+        routed = self.router.deliver(self._tick, axons_per_core=axons)
+        per_core_axons: Dict[int, np.ndarray] = {
+            core_id: vector for core_id, vector in routed.items()
+        }
+
+        if external_inputs:
+            for channel, per_binding in external_inputs.items():
+                bindings = self._input_bindings.get(channel)
+                if bindings is None:
+                    raise KeyError(f"unknown input channel {channel!r}")
+                for binding_index, spikes in per_binding.items():
+                    binding = bindings[binding_index]
+                    spikes = np.asarray(spikes)
+                    if spikes.shape != (len(binding.axon_map),):
+                        raise ValueError(
+                            f"channel {channel!r} binding {binding_index} expects "
+                            f"{len(binding.axon_map)} spikes, got {spikes.shape}"
+                        )
+                    vector = per_core_axons.setdefault(
+                        binding.core_id, np.zeros(axons, dtype=np.int8)
+                    )
+                    vector[np.asarray(binding.axon_map, dtype=int)] |= spikes.astype(
+                        np.int8
+                    )
+
+        outputs_by_core: Dict[int, np.ndarray] = {}
+        for core_id, core in self.cores.items():
+            axon_vector = per_core_axons.get(
+                core_id, np.zeros(axons, dtype=np.int8)
+            )
+            spikes = core.tick(axon_vector)
+            outputs_by_core[core_id] = spikes
+            self.router.submit(core_id, spikes, tick=self._tick)
+
+        external_outputs: Dict[str, Dict[int, np.ndarray]] = {}
+        for channel, bindings in self._output_bindings.items():
+            per_binding: Dict[int, np.ndarray] = {}
+            for index, binding in enumerate(bindings):
+                spikes = outputs_by_core.get(binding.core_id)
+                if spikes is None:
+                    continue
+                per_binding[index] = spikes[
+                    np.asarray(binding.neuron_map, dtype=int)
+                ].copy()
+            external_outputs[channel] = per_binding
+
+        self._tick += 1
+        return external_outputs
+
+    def occupied_core_ids(self) -> List[int]:
+        """Return ids of cores that have at least one programmed synapse."""
+        return [
+            core_id
+            for core_id, core in self.cores.items()
+            if core.crossbar.connectivity.any() or core.crossbar.probabilities.any()
+        ]

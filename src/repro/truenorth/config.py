@@ -1,0 +1,105 @@
+"""Configuration dataclasses for the TrueNorth simulator.
+
+The hardware exposes a large number of per-neuron parameters (22 in the real
+LIF macro, 14 user-configurable).  The reproduction models the subset the
+paper exercises — leak, threshold, reset behaviour, stochastic synapse gating
+— and validates values against the architectural ranges in
+:mod:`repro.truenorth.constants`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from repro.truenorth import constants
+
+
+@dataclass(frozen=True)
+class NeuronConfig:
+    """Parameters of one digital neuron.
+
+    Attributes:
+        weight_table: signed integer weight per axon type (length
+            ``AXON_TYPES``); the synapse weight applied when a connection is
+            ON and a spike arrives on an axon of that type.
+        leak: signed leak added to the membrane potential every tick
+            (the paper folds the bias and the leak ``lambda`` into the
+            weighted sum, so test-bench neurons usually use ``leak=0``).
+        threshold: firing threshold (``y' >= threshold`` produces a spike).
+        reset_potential: value the membrane potential is reset to after the
+            neuron is evaluated (McCulloch-Pitts resets every tick).
+        history_free: when True the neuron behaves as the McCulloch-Pitts
+            special case of the paper — the membrane potential is cleared
+            after every evaluation regardless of whether the neuron fired.
+        stochastic_synapses: when True, each ON crossbar connection is gated
+            per tick by the core PRNG with its programmed probability; when
+            False connections are deterministic.
+    """
+
+    weight_table: Tuple[int, ...] = constants.DEFAULT_WEIGHT_TABLE
+    leak: int = 0
+    threshold: int = 0
+    reset_potential: int = 0
+    history_free: bool = True
+    stochastic_synapses: bool = False
+
+    def __post_init__(self):
+        if len(self.weight_table) != constants.AXON_TYPES:
+            raise ValueError(
+                f"weight_table must have {constants.AXON_TYPES} entries, "
+                f"got {len(self.weight_table)}"
+            )
+        for value in self.weight_table:
+            if not (constants.WEIGHT_MIN <= value <= constants.WEIGHT_MAX):
+                raise ValueError(
+                    f"weight-table entry {value} outside "
+                    f"[{constants.WEIGHT_MIN}, {constants.WEIGHT_MAX}]"
+                )
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Parameters of one neuro-synaptic core."""
+
+    axons: int = constants.AXONS_PER_CORE
+    neurons: int = constants.NEURONS_PER_CORE
+    neuron_config: NeuronConfig = field(default_factory=NeuronConfig)
+    seed: int = 0
+
+    def __post_init__(self):
+        if not (0 < self.axons <= constants.AXONS_PER_CORE):
+            raise ValueError(
+                f"axons must be in (0, {constants.AXONS_PER_CORE}], got {self.axons}"
+            )
+        if not (0 < self.neurons <= constants.NEURONS_PER_CORE):
+            raise ValueError(
+                f"neurons must be in (0, {constants.NEURONS_PER_CORE}], got {self.neurons}"
+            )
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """Parameters of a simulated chip (grid of cores)."""
+
+    grid_shape: Tuple[int, int] = constants.CHIP_GRID_SHAPE
+    core_config: CoreConfig = field(default_factory=CoreConfig)
+
+    def __post_init__(self):
+        rows, cols = self.grid_shape
+        if rows <= 0 or cols <= 0:
+            raise ValueError(f"grid_shape must be positive, got {self.grid_shape}")
+
+    @property
+    def capacity(self) -> int:
+        """Total number of core slots available on the chip."""
+        return self.grid_shape[0] * self.grid_shape[1]
+
+
+def validate_axon_types(axon_types: Sequence[int]) -> None:
+    """Raise ``ValueError`` if any axon-type index is out of range."""
+    for t in axon_types:
+        if not (0 <= int(t) < constants.AXON_TYPES):
+            raise ValueError(
+                f"axon type {t} outside [0, {constants.AXON_TYPES})"
+            )

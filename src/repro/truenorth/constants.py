@@ -1,0 +1,41 @@
+"""Architectural constants of the TrueNorth chip.
+
+Values follow the published architecture (Akopyan et al., TCAD 2015;
+Cassidy et al., IJCNN 2013): 4096 cores arranged in a 64x64 grid, each core a
+256x256 crossbar connecting 256 axons to 256 neurons, with 4 axon types per
+core indexing a per-neuron signed 9-bit weight table.
+"""
+
+from __future__ import annotations
+
+#: Number of axons (crossbar rows / inputs) per neuro-synaptic core.
+AXONS_PER_CORE: int = 256
+
+#: Number of neurons (crossbar columns / outputs) per neuro-synaptic core.
+NEURONS_PER_CORE: int = 256
+
+#: Number of distinct axon types; each neuron holds one signed weight per type.
+AXON_TYPES: int = 4
+
+#: Cores on one TrueNorth chip.
+CORES_PER_CHIP: int = 4096
+
+#: Physical layout of the cores on the chip (rows, columns).
+CHIP_GRID_SHAPE = (64, 64)
+
+#: Signed-weight range representable by a TrueNorth synaptic weight entry.
+WEIGHT_MIN: int = -255
+WEIGHT_MAX: int = 255
+
+#: Membrane-potential register range (signed 20-bit in hardware).
+POTENTIAL_MIN: int = -(2**19)
+POTENTIAL_MAX: int = 2**19 - 1
+
+#: Default per-neuron weight table used when a corelet does not specify one.
+#: One signed integer per axon type; index 0 is the "excitatory unit" type
+#: used by the paper's single-integer-per-connection deployments.
+DEFAULT_WEIGHT_TABLE = (1, -1, 2, -2)
+
+#: Nominal tick frequency of the chip in Hz (1 kHz); used only to convert
+#: spikes-per-frame counts into latency estimates for the performance tables.
+TICK_FREQUENCY_HZ: float = 1000.0

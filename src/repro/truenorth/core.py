@@ -1,0 +1,109 @@
+"""The neuro-synaptic core: crossbar + neuron array + core PRNG.
+
+A :class:`NeurosynapticCore` receives a binary spike vector on its axons each
+tick, integrates it through the crossbar (optionally re-sampling stochastic
+synapses), updates its neurons, and emits a binary spike vector on its
+neurons.  Cores are composed into a chip by :class:`repro.truenorth.chip.TrueNorthChip`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.truenorth.config import CoreConfig
+from repro.truenorth.crossbar import SynapticCrossbar
+from repro.truenorth.neuron import NeuronArray
+from repro.truenorth.prng import LfsrPrng
+
+
+class NeurosynapticCore:
+    """One TrueNorth neuro-synaptic core.
+
+    Args:
+        config: core parameters; ``config.neuron_config.stochastic_synapses``
+            selects whether the crossbar connectivity is re-sampled from the
+            programmed Bernoulli probabilities at every tick.
+        core_id: identifier used by the chip/router (free-form integer).
+    """
+
+    def __init__(self, config: Optional[CoreConfig] = None, core_id: int = 0):
+        self.config = config or CoreConfig()
+        self.core_id = core_id
+        neuron_cfg = self.config.neuron_config
+        self.crossbar = SynapticCrossbar(
+            axons=self.config.axons,
+            neurons=self.config.neurons,
+            weight_table=neuron_cfg.weight_table,
+        )
+        self.neurons = NeuronArray(self.config.neurons, neuron_cfg)
+        self.prng = LfsrPrng(seed=self.config.seed + core_id + 1)
+        self._tick_count = 0
+        self._spike_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def tick_count(self) -> int:
+        """Number of ticks this core has executed since the last reset."""
+        return self._tick_count
+
+    @property
+    def spike_count(self) -> int:
+        """Total number of output spikes produced since the last reset."""
+        return self._spike_count
+
+    def reset(self) -> None:
+        """Reset neuron state, PRNG, and activity counters (keeps programming)."""
+        self.neurons.reset()
+        self.prng.reset()
+        self._tick_count = 0
+        self._spike_count = 0
+
+    # ------------------------------------------------------------------
+    def tick(self, axon_spikes: np.ndarray) -> np.ndarray:
+        """Run one tick: integrate axon spikes and produce neuron spikes."""
+        axon_spikes = np.asarray(axon_spikes)
+        stochastic = self.config.neuron_config.stochastic_synapses
+        synaptic_input = self.crossbar.integrate(
+            axon_spikes, prng=self.prng, stochastic=stochastic
+        )
+        spikes = self.neurons.step(synaptic_input)
+        self._tick_count += 1
+        self._spike_count += int(spikes.sum())
+        return spikes
+
+    def run(self, spike_frames: np.ndarray) -> np.ndarray:
+        """Run a sequence of ticks.
+
+        Args:
+            spike_frames: array of shape ``(ticks, axons)`` with one binary
+                spike vector per tick.
+
+        Returns:
+            array of shape ``(ticks, neurons)`` with the output spikes.
+        """
+        spike_frames = np.asarray(spike_frames)
+        if spike_frames.ndim != 2 or spike_frames.shape[1] != self.config.axons:
+            raise ValueError(
+                f"expected frames of shape (ticks, {self.config.axons}), "
+                f"got {spike_frames.shape}"
+            )
+        outputs = np.zeros((spike_frames.shape[0], self.config.neurons), dtype=np.int8)
+        for t in range(spike_frames.shape[0]):
+            outputs[t] = self.tick(spike_frames[t])
+        return outputs
+
+    # ------------------------------------------------------------------
+    def utilization(self) -> dict:
+        """Return simple occupancy statistics for reporting."""
+        used_axons = int(self.crossbar.connectivity.any(axis=1).sum())
+        used_neurons = int(self.crossbar.connectivity.any(axis=0).sum())
+        programmed = int(self.crossbar.connectivity.sum())
+        return {
+            "core_id": self.core_id,
+            "used_axons": used_axons,
+            "used_neurons": used_neurons,
+            "programmed_synapses": programmed,
+            "synapse_density": programmed / float(self.config.axons * self.config.neurons),
+        }

@@ -1,0 +1,193 @@
+"""The 256x256 synaptic crossbar of a neuro-synaptic core.
+
+The crossbar stores, per (axon, neuron) pair, a binary connectivity bit.  The
+effective synaptic weight of an ON connection is the entry of the neuron's
+weight table indexed by the *axon type* of the incoming axon.  For Tea-style
+stochastic deployments the crossbar additionally stores a per-connection ON
+probability; at every tick each programmed connection is re-sampled by the
+core PRNG (spatially static deployments sample the connectivity once at
+programming time instead — that choice lives in ``repro.mapping.deploy``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.truenorth import constants
+from repro.truenorth.config import validate_axon_types
+from repro.truenorth.prng import LfsrPrng
+
+
+class SynapticCrossbar:
+    """Binary-connectivity crossbar with axon-typed weights.
+
+    Args:
+        axons: number of rows (input axons) actually used.
+        neurons: number of columns (output neurons) actually used.
+        weight_table: signed weight per axon type, shared by every neuron
+            unless per-neuron tables are programmed via
+            :meth:`set_neuron_weight_table`.
+    """
+
+    def __init__(
+        self,
+        axons: int = constants.AXONS_PER_CORE,
+        neurons: int = constants.NEURONS_PER_CORE,
+        weight_table: Sequence[int] = constants.DEFAULT_WEIGHT_TABLE,
+    ):
+        if not (0 < axons <= constants.AXONS_PER_CORE):
+            raise ValueError(
+                f"axons must be in (0, {constants.AXONS_PER_CORE}], got {axons}"
+            )
+        if not (0 < neurons <= constants.NEURONS_PER_CORE):
+            raise ValueError(
+                f"neurons must be in (0, {constants.NEURONS_PER_CORE}], got {neurons}"
+            )
+        if len(weight_table) != constants.AXON_TYPES:
+            raise ValueError(
+                f"weight_table must have {constants.AXON_TYPES} entries"
+            )
+        self.axons = axons
+        self.neurons = neurons
+        #: connectivity[a, n] == True when the synapse from axon a to neuron n is ON
+        self.connectivity = np.zeros((axons, neurons), dtype=bool)
+        #: Bernoulli ON-probability per synapse, used when stochastic gating is enabled
+        self.probabilities = np.zeros((axons, neurons), dtype=float)
+        #: axon type per row
+        self.axon_types = np.zeros(axons, dtype=np.int8)
+        #: weight tables, one row per neuron (columns indexed by axon type)
+        self.weight_tables = np.tile(
+            np.asarray(weight_table, dtype=np.int64), (neurons, 1)
+        )
+        #: optional per-connection signed weight override (see
+        #: :meth:`set_signed_weights`); ``None`` means axon-type weights apply
+        self.signed_weights: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # programming interface
+    # ------------------------------------------------------------------
+    def set_axon_types(self, axon_types: Sequence[int]) -> None:
+        """Assign the axon type of every row."""
+        axon_types = np.asarray(axon_types, dtype=np.int8)
+        if axon_types.shape != (self.axons,):
+            raise ValueError(
+                f"expected {self.axons} axon types, got shape {axon_types.shape}"
+            )
+        validate_axon_types(axon_types.tolist())
+        self.axon_types = axon_types.copy()
+
+    def set_neuron_weight_table(self, neuron: int, weight_table: Sequence[int]) -> None:
+        """Program the 4-entry weight table of a single neuron."""
+        if not (0 <= neuron < self.neurons):
+            raise IndexError(f"neuron {neuron} outside [0, {self.neurons})")
+        if len(weight_table) != constants.AXON_TYPES:
+            raise ValueError(
+                f"weight_table must have {constants.AXON_TYPES} entries"
+            )
+        for value in weight_table:
+            if not (constants.WEIGHT_MIN <= value <= constants.WEIGHT_MAX):
+                raise ValueError(f"weight {value} outside hardware range")
+        self.weight_tables[neuron] = np.asarray(weight_table, dtype=np.int64)
+
+    def set_connectivity(self, connectivity: np.ndarray) -> None:
+        """Program the full binary connectivity matrix (axons x neurons)."""
+        connectivity = np.asarray(connectivity, dtype=bool)
+        if connectivity.shape != (self.axons, self.neurons):
+            raise ValueError(
+                f"expected connectivity of shape {(self.axons, self.neurons)}, "
+                f"got {connectivity.shape}"
+            )
+        self.connectivity = connectivity.copy()
+
+    def set_signed_weights(self, weights: np.ndarray) -> None:
+        """Program an explicit signed weight per connection.
+
+        The physical crossbar only realizes ``weight[a, n] =
+        weight_table[n][axon_type[a]]``; arbitrary per-connection sign
+        patterns require IBM's axon-splitting / neuron-duplication corelets.
+        The paper's formulation (Eqs. 5-7) abstracts that machinery and works
+        with a per-connection value ``c_i`` directly, so the simulator offers
+        this programming mode as the functional equivalent.  Connectivity is
+        implied by the non-zero entries.
+        """
+        weights = np.asarray(weights, dtype=np.int64)
+        if weights.shape != (self.axons, self.neurons):
+            raise ValueError(
+                f"expected weights of shape {(self.axons, self.neurons)}, "
+                f"got {weights.shape}"
+            )
+        if weights.size and (
+            weights.min() < constants.WEIGHT_MIN or weights.max() > constants.WEIGHT_MAX
+        ):
+            raise ValueError("signed weights outside the hardware range")
+        self.signed_weights = weights.copy()
+        self.connectivity = weights != 0
+
+    def set_probabilities(self, probabilities: np.ndarray) -> None:
+        """Program per-synapse Bernoulli ON probabilities (stochastic mode)."""
+        probabilities = np.asarray(probabilities, dtype=float)
+        if probabilities.shape != (self.axons, self.neurons):
+            raise ValueError(
+                f"expected probabilities of shape {(self.axons, self.neurons)}, "
+                f"got {probabilities.shape}"
+            )
+        if probabilities.size and (
+            probabilities.min() < 0.0 or probabilities.max() > 1.0
+        ):
+            raise ValueError("probabilities must lie in [0, 1]")
+        self.probabilities = probabilities.copy()
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def effective_weights(self, connectivity: Optional[np.ndarray] = None) -> np.ndarray:
+        """Return the signed integer weight matrix implied by a connectivity.
+
+        ``weights[a, n] = connectivity[a, n] * weight_tables[n, axon_types[a]]``,
+        unless per-connection signed weights were programmed via
+        :meth:`set_signed_weights`, in which case those are returned (masked
+        by the connectivity).  When ``connectivity`` is omitted the programmed
+        (static) connectivity is used.
+        """
+        if connectivity is None:
+            connectivity = self.connectivity
+        if self.signed_weights is not None:
+            return np.where(connectivity, self.signed_weights, 0).astype(np.int64)
+        per_pair = self.weight_tables[:, self.axon_types].T  # (axons, neurons)
+        return np.where(connectivity, per_pair, 0).astype(np.int64)
+
+    def integrate(
+        self,
+        axon_spikes: np.ndarray,
+        prng: Optional[LfsrPrng] = None,
+        stochastic: bool = False,
+    ) -> np.ndarray:
+        """Compute the synaptic input of every neuron for one tick.
+
+        Args:
+            axon_spikes: binary vector of length ``axons`` (1 = spike arrived).
+            prng: core PRNG used to gate synapses when ``stochastic`` is True.
+            stochastic: when True, each programmed connection is re-sampled
+                from its Bernoulli probability this tick; when False the
+                static connectivity is used.
+
+        Returns:
+            integer vector of length ``neurons`` — the weighted sum each
+            neuron receives this tick.
+        """
+        axon_spikes = np.asarray(axon_spikes)
+        if axon_spikes.shape != (self.axons,):
+            raise ValueError(
+                f"expected spikes of shape ({self.axons},), got {axon_spikes.shape}"
+            )
+        if stochastic:
+            if prng is None:
+                raise ValueError("stochastic integration requires a PRNG")
+            connectivity = prng.bernoulli_array(self.probabilities)
+        else:
+            connectivity = self.connectivity
+        weights = self.effective_weights(connectivity)
+        active = axon_spikes.astype(np.int64)
+        return active @ weights

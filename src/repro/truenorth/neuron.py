@@ -1,0 +1,149 @@
+"""Digital neuron models of the TrueNorth core.
+
+Two models are provided:
+
+* :class:`McCullochPittsNeuron` — the history-free special case used
+  throughout the paper (Eqs. 3-4): the membrane potential is recomputed from
+  scratch every tick, compared against a threshold, and always reset.
+* :class:`LifNeuron` — a configurable leaky integrate-and-fire neuron that
+  keeps its membrane potential across ticks, supporting the more general
+  deployments TrueNorth allows (rate-code accumulation over long windows).
+
+Both operate on integer arithmetic with saturation at the architectural
+membrane-potential range, matching the digital hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.truenorth import constants
+from repro.truenorth.config import NeuronConfig
+
+
+def _saturate(value: int) -> int:
+    """Clamp a membrane potential to the hardware register range."""
+    return int(
+        min(max(value, constants.POTENTIAL_MIN), constants.POTENTIAL_MAX)
+    )
+
+
+class McCullochPittsNeuron:
+    """History-free threshold neuron (paper Eqs. 3-4).
+
+    Each call to :meth:`step` receives the synaptic input already summed by
+    the crossbar, subtracts the leak, thresholds, and resets.  The neuron
+    keeps no state between ticks, which is exactly the simplification the
+    paper adopts to make the stochastic analysis tractable.
+    """
+
+    def __init__(self, config: Optional[NeuronConfig] = None):
+        self.config = config or NeuronConfig()
+        self._potential = 0
+
+    @property
+    def potential(self) -> int:
+        """Membrane potential after the most recent evaluation (always reset)."""
+        return self._potential
+
+    def reset(self) -> None:
+        """Clear the membrane potential."""
+        self._potential = self.config.reset_potential
+
+    def step(self, synaptic_input: int) -> int:
+        """Evaluate one tick and return 1 if the neuron spikes, else 0."""
+        y = _saturate(int(synaptic_input) - self.config.leak)
+        spike = 1 if y >= self.config.threshold else 0
+        self._potential = self.config.reset_potential
+        return spike
+
+
+class LifNeuron:
+    """Leaky integrate-and-fire neuron with persistent membrane potential.
+
+    The update per tick is::
+
+        V <- V + synaptic_input - leak
+        if V >= threshold: spike, V <- reset_potential
+        elif V < floor:    V <- floor          (negative saturation)
+
+    With ``history_free=True`` in the config this collapses to the
+    McCulloch-Pitts behaviour (potential cleared every tick), which lets the
+    same class back both neuron modes in the core simulator.
+    """
+
+    def __init__(self, config: Optional[NeuronConfig] = None):
+        self.config = config or NeuronConfig()
+        self._potential = int(self.config.reset_potential)
+
+    @property
+    def potential(self) -> int:
+        """Current membrane potential."""
+        return self._potential
+
+    def reset(self) -> None:
+        """Reset the membrane potential to the configured reset value."""
+        self._potential = int(self.config.reset_potential)
+
+    def step(self, synaptic_input: int) -> int:
+        """Advance one tick; return 1 if the neuron fires, else 0."""
+        cfg = self.config
+        potential = _saturate(self._potential + int(synaptic_input) - cfg.leak)
+        if potential >= cfg.threshold:
+            spike = 1
+            potential = int(cfg.reset_potential)
+        else:
+            spike = 0
+        if cfg.history_free:
+            potential = int(cfg.reset_potential)
+        self._potential = potential
+        return spike
+
+
+class NeuronArray:
+    """Vectorized bank of identical neurons (one per crossbar column).
+
+    The per-core simulation is performed on integer numpy vectors for speed;
+    the scalar classes above remain the reference implementations and are
+    cross-checked against this array in the test suite.
+    """
+
+    def __init__(self, count: int, config: Optional[NeuronConfig] = None):
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        self.count = count
+        self.config = config or NeuronConfig()
+        self._potentials = np.full(count, self.config.reset_potential, dtype=np.int64)
+
+    @property
+    def potentials(self) -> np.ndarray:
+        """Copy of the current membrane potentials."""
+        return self._potentials.copy()
+
+    def reset(self) -> None:
+        """Reset all membrane potentials."""
+        self._potentials.fill(self.config.reset_potential)
+
+    def step(self, synaptic_inputs: np.ndarray) -> np.ndarray:
+        """Advance all neurons one tick; returns a binary spike vector."""
+        synaptic_inputs = np.asarray(synaptic_inputs, dtype=np.int64)
+        if synaptic_inputs.shape != (self.count,):
+            raise ValueError(
+                f"expected input of shape ({self.count},), got {synaptic_inputs.shape}"
+            )
+        cfg = self.config
+        potentials = self._potentials + synaptic_inputs - cfg.leak
+        np.clip(
+            potentials,
+            constants.POTENTIAL_MIN,
+            constants.POTENTIAL_MAX,
+            out=potentials,
+        )
+        spikes = (potentials >= cfg.threshold).astype(np.int8)
+        potentials = np.where(spikes == 1, cfg.reset_potential, potentials)
+        if cfg.history_free:
+            potentials = np.full(self.count, cfg.reset_potential, dtype=np.int64)
+        self._potentials = potentials
+        return spikes

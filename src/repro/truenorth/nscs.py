@@ -1,0 +1,158 @@
+"""Neuro Synaptic Chip Simulator (NSCS) facade.
+
+The paper extracts synaptic-weight deviation maps from IBM's NSCS to show how
+far the deployed (sampled) synaptic weights stray from the desired
+floating-point weights (Figure 4).  This module provides the equivalent
+facility for our simulator: given a programmed core and the desired
+real-valued weight matrix it was derived from, it computes the normalized
+per-synapse deviation map and summary statistics.
+
+It also offers a convenience entry point for running a whole chip on a spike
+stream and collecting output spike counts, which is what the evaluation
+harness uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.truenorth.chip import TrueNorthChip
+from repro.truenorth.core import NeurosynapticCore
+
+
+@dataclass(frozen=True)
+class DeviationReport:
+    """Summary of a synaptic-weight deviation map (paper Figure 4).
+
+    Attributes:
+        deviation_map: absolute normalized deviation per synapse, shape
+            (axons, neurons); deviations are normalized by the maximum
+            possible synaptic weight so values lie in [0, 1].
+        zero_fraction: fraction of synapses with exactly zero deviation.
+        above_half_fraction: fraction of synapses whose deviation exceeds 0.5
+            (the paper reports 24.01% for Tea learning and <0.02% for the
+            probability-biased model).
+        mean_deviation: mean absolute normalized deviation.
+        max_deviation: largest absolute normalized deviation.
+    """
+
+    deviation_map: np.ndarray
+    zero_fraction: float
+    above_half_fraction: float
+    mean_deviation: float
+    max_deviation: float
+
+    def summary(self) -> Dict[str, float]:
+        """Return the scalar statistics as a plain dict (for JSON reports)."""
+        return {
+            "zero_fraction": self.zero_fraction,
+            "above_half_fraction": self.above_half_fraction,
+            "mean_deviation": self.mean_deviation,
+            "max_deviation": self.max_deviation,
+        }
+
+
+class NeuroSynapticChipSimulator:
+    """Facade combining chip simulation with deployment-introspection tools."""
+
+    def __init__(self, chip: Optional[TrueNorthChip] = None):
+        self.chip = chip or TrueNorthChip()
+
+    # ------------------------------------------------------------------
+    # deviation analysis (Figure 4)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def deviation_report(
+        core: NeurosynapticCore,
+        desired_weights: np.ndarray,
+        normalization: Optional[float] = None,
+    ) -> DeviationReport:
+        """Compute the deviation of a core's deployed weights from a target.
+
+        Args:
+            core: a programmed neuro-synaptic core.
+            desired_weights: real-valued target weight matrix of shape
+                (axons, neurons) — the weights the training produced, before
+                Bernoulli sampling.
+            normalization: value used to normalize deviations; defaults to the
+                largest absolute entry of the core's weight tables (the
+                maximum possible synaptic weight).
+
+        Returns:
+            a :class:`DeviationReport` with the per-synapse map and statistics.
+        """
+        desired_weights = np.asarray(desired_weights, dtype=float)
+        crossbar = core.crossbar
+        expected_shape = (crossbar.axons, crossbar.neurons)
+        if desired_weights.shape != expected_shape:
+            raise ValueError(
+                f"desired_weights must have shape {expected_shape}, "
+                f"got {desired_weights.shape}"
+            )
+        deployed = crossbar.effective_weights().astype(float)
+        if normalization is None:
+            normalization = float(np.abs(crossbar.weight_tables).max())
+        if normalization <= 0:
+            raise ValueError("normalization must be positive")
+        deviation = np.abs(deployed - desired_weights) / normalization
+        total = deviation.size
+        return DeviationReport(
+            deviation_map=deviation,
+            zero_fraction=float(np.count_nonzero(deviation == 0.0)) / total,
+            above_half_fraction=float(np.count_nonzero(deviation > 0.5)) / total,
+            mean_deviation=float(deviation.mean()),
+            max_deviation=float(deviation.max()),
+        )
+
+    # ------------------------------------------------------------------
+    # chip execution helpers
+    # ------------------------------------------------------------------
+    def run_frames(
+        self,
+        input_channel: str,
+        frames_per_binding: Dict[int, np.ndarray],
+        output_channel: str,
+        ticks: Optional[int] = None,
+        drain_ticks: int = 2,
+    ) -> Dict[int, np.ndarray]:
+        """Drive the chip with spike frames and accumulate output spike counts.
+
+        Args:
+            input_channel: name of the bound external input channel.
+            frames_per_binding: mapping ``binding_index -> frames`` where
+                frames has shape (ticks, axons_in_binding).
+            output_channel: name of the bound external output channel.
+            ticks: number of input ticks to run; defaults to the common frame
+                count of the inputs.
+            drain_ticks: extra ticks run with no input so spikes still in the
+                router (one tick of delay per hop) reach the outputs.
+
+        Returns:
+            mapping ``binding_index -> spike counts`` accumulated per output
+            neuron over the whole run.
+        """
+        if not frames_per_binding:
+            raise ValueError("frames_per_binding must not be empty")
+        frame_counts = {k: np.asarray(v).shape[0] for k, v in frames_per_binding.items()}
+        if ticks is None:
+            ticks = max(frame_counts.values())
+        counts: Dict[int, np.ndarray] = {}
+        self.chip.reset()
+        for t in range(ticks + drain_ticks):
+            inputs = {}
+            per_binding = {}
+            for binding_index, frames in frames_per_binding.items():
+                frames = np.asarray(frames)
+                if t < frames.shape[0]:
+                    per_binding[binding_index] = frames[t]
+            if per_binding:
+                inputs[input_channel] = per_binding
+            outputs = self.chip.step(inputs if inputs else None)
+            for binding_index, spikes in outputs.get(output_channel, {}).items():
+                if binding_index not in counts:
+                    counts[binding_index] = np.zeros_like(spikes, dtype=np.int64)
+                counts[binding_index] += spikes
+        return counts

@@ -1,0 +1,83 @@
+"""Pseudo-random number generator used by the stochastic synapse gating.
+
+TrueNorth cores contain a hardware linear-feedback shift register (LFSR) that
+draws one pseudo-random value per stochastic event (synapse gating, stochastic
+leak, stochastic threshold).  The simulator reproduces a 16-bit Fibonacci LFSR
+so that stochastic deployments are bit-reproducible given a seed, and exposes
+a vectorized Bernoulli helper used by the crossbar.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Feedback taps of the 16-bit maximal-length LFSR (x^16 + x^14 + x^13 + x^11 + 1).
+_TAPS = (15, 13, 12, 10)
+_STATE_BITS = 16
+_STATE_MASK = (1 << _STATE_BITS) - 1
+
+
+class LfsrPrng:
+    """16-bit Fibonacci LFSR with a vectorized Bernoulli interface.
+
+    The generator never reaches the all-zero state (a zero seed is remapped
+    to a fixed non-zero state, as hardware initialization does).
+    """
+
+    def __init__(self, seed: int = 1):
+        seed = int(seed) & _STATE_MASK
+        self._state = seed if seed != 0 else 0xACE1
+        self._initial_state = self._state
+
+    @property
+    def state(self) -> int:
+        """Current register contents (16-bit unsigned)."""
+        return self._state
+
+    def reset(self) -> None:
+        """Restore the register to its seeded state."""
+        self._state = self._initial_state
+
+    def next_bit(self) -> int:
+        """Advance one step and return the output bit (0 or 1)."""
+        bit = 0
+        for tap in _TAPS:
+            bit ^= (self._state >> tap) & 1
+        self._state = ((self._state << 1) | bit) & _STATE_MASK
+        return bit
+
+    def next_uint(self, bits: int = 16) -> int:
+        """Return the next ``bits``-bit unsigned integer (1..32 bits)."""
+        if not (1 <= bits <= 32):
+            raise ValueError(f"bits must be in [1, 32], got {bits}")
+        value = 0
+        for _ in range(bits):
+            value = (value << 1) | self.next_bit()
+        return value
+
+    def next_uniform(self) -> float:
+        """Return a float uniformly distributed in [0, 1)."""
+        return self.next_uint(16) / float(1 << 16)
+
+    def bernoulli(self, probability: float) -> bool:
+        """Draw a single Bernoulli sample with the given probability."""
+        if not (0.0 <= probability <= 1.0):
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        return self.next_uniform() < probability
+
+    def bernoulli_array(self, probabilities: np.ndarray) -> np.ndarray:
+        """Draw one Bernoulli sample per entry of ``probabilities``.
+
+        This is the hot path of stochastic-synapse simulation, so samples are
+        drawn from a numpy generator seeded by the LFSR stream rather than by
+        stepping the LFSR once per synapse; the result remains a pure function
+        of the LFSR state.
+        """
+        probabilities = np.asarray(probabilities, dtype=float)
+        if probabilities.size and (
+            probabilities.min() < 0.0 or probabilities.max() > 1.0
+        ):
+            raise ValueError("probabilities must lie in [0, 1]")
+        derived_seed = (self.next_uint(16) << 16) | self.next_uint(16)
+        rng = np.random.default_rng(derived_seed)
+        return rng.random(probabilities.shape) < probabilities

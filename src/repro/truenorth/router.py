@@ -1,0 +1,141 @@
+"""Spike routing between neuro-synaptic cores.
+
+On the chip every neuron holds the address (target core, target axon) its
+spikes are delivered to; delivery happens in the tick after the spike is
+produced.  The simulator reproduces that behaviour with an explicit event
+queue: :class:`SpikeRouter` collects :class:`SpikeEvent` objects emitted
+during tick *t* and exposes per-core axon vectors at tick *t + delay*.
+
+The router also counts hop distance on the 2-D mesh so experiments can report
+communication statistics, although the paper's evaluation does not depend on
+them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SpikeEvent:
+    """One spike in flight from a neuron to a target axon.
+
+    Attributes:
+        source_core: id of the emitting core.
+        source_neuron: neuron index within the emitting core.
+        target_core: id of the receiving core.
+        target_axon: axon index within the receiving core.
+        tick: tick at which the spike should be *delivered*.
+    """
+
+    source_core: int
+    source_neuron: int
+    target_core: int
+    target_axon: int
+    tick: int
+
+
+@dataclass(frozen=True)
+class NeuronTarget:
+    """Routing entry: where one neuron's spikes are delivered."""
+
+    target_core: int
+    target_axon: int
+
+
+class SpikeRouter:
+    """Mesh spike router with a single-tick delivery delay.
+
+    The router is deliberately simple: spikes emitted at tick ``t`` become
+    visible on their target axons at tick ``t + delay`` (default 1), matching
+    the chip's synchronous tick discipline.  Unrouted neurons simply drop
+    their spikes (they are typically read out externally instead).
+    """
+
+    def __init__(self, delay: int = 1):
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.delay = delay
+        self._routes: Dict[Tuple[int, int], NeuronTarget] = {}
+        self._pending: Dict[int, List[SpikeEvent]] = defaultdict(list)
+        self._core_positions: Dict[int, Tuple[int, int]] = {}
+        self.delivered_count = 0
+        self.hop_count = 0
+
+    # ------------------------------------------------------------------
+    def set_core_position(self, core_id: int, row: int, col: int) -> None:
+        """Record the mesh position of a core (used for hop statistics)."""
+        self._core_positions[core_id] = (row, col)
+
+    def connect(
+        self, source_core: int, source_neuron: int, target_core: int, target_axon: int
+    ) -> None:
+        """Route spikes of (source_core, source_neuron) to (target_core, target_axon)."""
+        self._routes[(source_core, source_neuron)] = NeuronTarget(
+            target_core=target_core, target_axon=target_axon
+        )
+
+    def route_of(self, source_core: int, source_neuron: int) -> Optional[NeuronTarget]:
+        """Return the routing entry of a neuron, or None if unrouted."""
+        return self._routes.get((source_core, source_neuron))
+
+    @property
+    def route_count(self) -> int:
+        """Number of programmed neuron routes."""
+        return len(self._routes)
+
+    # ------------------------------------------------------------------
+    def submit(self, core_id: int, spikes: np.ndarray, tick: int) -> int:
+        """Enqueue the spikes produced by ``core_id`` at ``tick``.
+
+        Returns the number of spikes that had a route and were enqueued.
+        """
+        spikes = np.asarray(spikes)
+        enqueued = 0
+        for neuron in np.nonzero(spikes)[0]:
+            route = self._routes.get((core_id, int(neuron)))
+            if route is None:
+                continue
+            event = SpikeEvent(
+                source_core=core_id,
+                source_neuron=int(neuron),
+                target_core=route.target_core,
+                target_axon=route.target_axon,
+                tick=tick + self.delay,
+            )
+            self._pending[event.tick].append(event)
+            enqueued += 1
+        return enqueued
+
+    def deliver(self, tick: int, axons_per_core: int) -> Dict[int, np.ndarray]:
+        """Pop all events due at ``tick`` and return per-core axon spike vectors."""
+        events = self._pending.pop(tick, [])
+        delivery: Dict[int, np.ndarray] = {}
+        for event in events:
+            vector = delivery.setdefault(
+                event.target_core, np.zeros(axons_per_core, dtype=np.int8)
+            )
+            if not (0 <= event.target_axon < axons_per_core):
+                raise IndexError(
+                    f"target axon {event.target_axon} outside [0, {axons_per_core})"
+                )
+            vector[event.target_axon] = 1
+            self.delivered_count += 1
+            self.hop_count += self._hops(event.source_core, event.target_core)
+        return delivery
+
+    def pending_events(self) -> Iterable[SpikeEvent]:
+        """Iterate over all not-yet-delivered spike events (any tick)."""
+        for events in self._pending.values():
+            yield from events
+
+    def _hops(self, source_core: int, target_core: int) -> int:
+        src = self._core_positions.get(source_core)
+        dst = self._core_positions.get(target_core)
+        if src is None or dst is None:
+            return 0
+        return abs(src[0] - dst[0]) + abs(src[1] - dst[1])

@@ -1,0 +1,16 @@
+"""Shared utilities: RNG management, logging, serialization, and table rendering."""
+
+from repro.utils.rng import SeedSequenceFactory, new_rng, spawn_rngs
+from repro.utils.tables import format_table
+from repro.utils.serialization import save_json, load_json, save_npz, load_npz
+
+__all__ = [
+    "SeedSequenceFactory",
+    "new_rng",
+    "spawn_rngs",
+    "format_table",
+    "save_json",
+    "load_json",
+    "save_npz",
+    "load_npz",
+]

@@ -1,0 +1,29 @@
+"""Minimal logging configuration shared by examples and experiment drivers."""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_PACKAGE_LOGGER = "repro"
+
+
+def get_logger(name: str = _PACKAGE_LOGGER) -> logging.Logger:
+    """Return a package logger (children inherit the package configuration)."""
+    return logging.getLogger(name)
+
+
+def configure_logging(level: int = logging.INFO, stream=None) -> logging.Logger:
+    """Attach a simple stderr handler to the package logger.
+
+    Safe to call repeatedly: the handler is installed only once.
+    """
+    logger = logging.getLogger(_PACKAGE_LOGGER)
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+    return logger

@@ -1,0 +1,61 @@
+"""Serialization helpers for experiment artifacts.
+
+Trained models, deviation maps, and experiment reports are stored either as
+JSON (metadata, small tables) or as compressed ``.npz`` archives (arrays).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+def _to_jsonable(obj):
+    """Convert numpy scalars/arrays to plain Python types for JSON."""
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, dict):
+        return {str(k): _to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_to_jsonable(v) for v in obj]
+    return obj
+
+
+def save_json(path: PathLike, data: dict) -> Path:
+    """Write ``data`` as pretty-printed JSON, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(_to_jsonable(data), handle, indent=2, sort_keys=True)
+    return path
+
+
+def load_json(path: PathLike) -> dict:
+    """Read a JSON file written by :func:`save_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def save_npz(path: PathLike, arrays: Dict[str, np.ndarray]) -> Path:
+    """Write a dict of arrays as a compressed ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_npz(path: PathLike) -> Dict[str, np.ndarray]:
+    """Read back an ``.npz`` archive as a plain dict of arrays."""
+    with np.load(path) as archive:
+        return {key: archive[key] for key in archive.files}

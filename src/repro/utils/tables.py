@@ -1,0 +1,46 @@
+"""Plain-text table rendering used by the experiment drivers.
+
+The benchmark harness regenerates each table of the paper as rows of values;
+this module renders them in a fixed-width ASCII format so the output can be
+compared side by side with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def _stringify(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table string."""
+    str_rows: List[List[str]] = [[_stringify(v) for v in row] for row in rows]
+    header_row = [str(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(header_row):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(header_row)} columns"
+            )
+    widths = [len(h) for h in header_row]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(header_row))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

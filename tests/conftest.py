@@ -1,0 +1,94 @@
+"""Shared fixtures.
+
+Training even the laptop-scale models takes a few seconds, so fixtures that
+need trained models are session-scoped and deliberately tiny (small synthetic
+dataset, few epochs).  Tests that assert reproduction *shape* claims (biased
+beats Tea at low duplication, histograms concentrate at the poles, ...) use
+the slightly larger ``calibrated_context``; unit tests use the small one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import LayerSpec, NetworkArchitecture
+from repro.datasets.base import Dataset, DatasetSplits
+from repro.experiments.runner import ExperimentContext
+from repro.mapping.blocks import stride_blocks
+
+
+@pytest.fixture(scope="session")
+def tiny_context() -> ExperimentContext:
+    """A very small experiment context for fast unit tests."""
+    return ExperimentContext(
+        train_size=200,
+        test_size=80,
+        epochs=3,
+        eval_samples=60,
+        repeats=1,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def calibrated_context() -> ExperimentContext:
+    """A context large enough for the paper's qualitative claims to hold."""
+    return ExperimentContext(
+        train_size=1200,
+        test_size=300,
+        epochs=12,
+        eval_samples=200,
+        repeats=2,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_tea_result(tiny_context):
+    """Tea-trained model on the tiny context."""
+    return tiny_context.result("tea")
+
+
+@pytest.fixture(scope="session")
+def tiny_biased_result(tiny_context):
+    """Biased-trained model on the tiny context."""
+    return tiny_context.result("biased")
+
+
+@pytest.fixture(scope="session")
+def small_architecture() -> NetworkArchitecture:
+    """A minimal single-layer architecture (2 cores, 8x8 blocks, 4 classes)."""
+    partition = stride_blocks((8, 16), (8, 8), 8)
+    return NetworkArchitecture(
+        input_dim=8 * 16,
+        layers=(
+            LayerSpec(
+                core_count=partition.block_count,
+                neurons_per_core=8,
+                input_indices=partition.blocks,
+            ),
+        ),
+        num_classes=4,
+        activation_sigma=1.0,
+        weight_init_scale=2.0,
+        name="unit-test-arch",
+    )
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> DatasetSplits:
+    """A tiny synthetic 4-class dataset matching ``small_architecture``."""
+    rng = np.random.default_rng(7)
+    count = 160
+    features = rng.random((count, 8 * 16))
+    labels = rng.integers(0, 4, size=count)
+    # Give each class a distinctive bright region so the problem is learnable.
+    for i in range(count):
+        region = int(labels[i]) * 32
+        features[i, region : region + 32] = np.clip(
+            features[i, region : region + 32] + 0.6, 0, 1
+        )
+    train = Dataset(features[:120], labels[:120], num_classes=4, name="unit-train")
+    test = Dataset(features[120:], labels[120:], num_classes=4, name="unit-test")
+    return DatasetSplits(train=train, test=test)

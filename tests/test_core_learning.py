@@ -1,0 +1,102 @@
+"""Tests for the learning methods (Tea, L1, probability-biased)."""
+
+import numpy as np
+import pytest
+
+from repro.core.biased import L1Learning, ProbabilityBiasedLearning
+from repro.core.penalties import pole_fraction, zero_fraction
+from repro.core.tea import TeaLearning
+from repro.core.variance import mean_synaptic_variance
+
+
+def test_tea_learning_produces_deployable_model(small_architecture, small_dataset):
+    result = TeaLearning(epochs=4, seed=0).train(small_architecture, small_dataset)
+    model = result.model
+    assert result.method == "tea"
+    assert 0.0 <= result.float_accuracy <= 1.0
+    assert model.float_accuracy == result.float_accuracy
+    # Weights representable as probabilities.
+    assert np.all(np.abs(model.all_weights()) <= small_architecture.synaptic_value + 1e-9)
+    assert result.history.epochs == 4
+    assert model.metadata["method"] == "tea"
+
+
+def test_tea_learning_learns_above_chance(small_architecture, small_dataset):
+    result = TeaLearning(epochs=8, seed=0).train(small_architecture, small_dataset)
+    assert result.float_accuracy > 0.5  # chance is 0.25 for 4 classes
+
+
+def test_biased_learning_concentrates_probabilities(small_architecture, small_dataset):
+    # The unit-test problem is tiny (few gradient steps per epoch), so a
+    # stronger penalty and smaller batches are used than the paper-scale
+    # defaults to make the pole attraction visible within a few epochs.
+    tea = TeaLearning(epochs=12, seed=0, batch_size=8).train(
+        small_architecture, small_dataset
+    )
+    biased = ProbabilityBiasedLearning(
+        epochs=12, seed=0, batch_size=8, penalty_weight=0.02
+    ).train(small_architecture, small_dataset)
+    tea_pole = pole_fraction(tea.model.all_probabilities())
+    biased_pole = pole_fraction(biased.model.all_probabilities())
+    assert biased_pole > tea_pole
+    assert biased_pole > 0.5
+
+
+def test_biased_learning_reduces_mean_synaptic_variance(small_architecture, small_dataset):
+    tea = TeaLearning(epochs=10, seed=0, batch_size=8).train(
+        small_architecture, small_dataset
+    )
+    biased = ProbabilityBiasedLearning(
+        epochs=10, seed=0, batch_size=8, penalty_weight=0.02
+    ).train(small_architecture, small_dataset)
+    def variance_of(model):
+        probabilities = model.all_probabilities()
+        return mean_synaptic_variance(probabilities, np.ones_like(probabilities))
+
+    assert variance_of(biased.model) < variance_of(tea.model)
+
+
+def test_l1_learning_sparsifies_weights(small_architecture, small_dataset):
+    tea = TeaLearning(epochs=6, seed=0).train(small_architecture, small_dataset)
+    l1 = L1Learning(epochs=6, seed=0, penalty_weight=0.003).train(
+        small_architecture, small_dataset
+    )
+    assert zero_fraction(l1.model.all_weights(), tolerance=0.02) > zero_fraction(
+        tea.model.all_weights(), tolerance=0.02
+    )
+    assert l1.method == "l1"
+
+
+def test_warmup_epochs_recorded_and_bounded(small_architecture, small_dataset):
+    result = ProbabilityBiasedLearning(
+        epochs=5, seed=0, penalty_warmup_fraction=0.6
+    ).train(small_architecture, small_dataset)
+    warmup = result.model.metadata["warmup_epochs"]
+    assert warmup == 3
+    assert result.history.epochs == 5
+    # No penalty -> no warmup split.
+    tea = TeaLearning(epochs=3, seed=0).train(small_architecture, small_dataset)
+    assert tea.model.metadata["warmup_epochs"] == 0
+
+
+def test_invalid_hyperparameters_rejected(small_architecture, small_dataset):
+    with pytest.raises(ValueError):
+        ProbabilityBiasedLearning(penalty_weight=-1.0)
+    with pytest.raises(ValueError):
+        L1Learning(penalty_weight=-0.1)
+    bad = ProbabilityBiasedLearning(epochs=2, penalty_warmup_fraction=1.5)
+    with pytest.raises(ValueError):
+        bad.train(small_architecture, small_dataset)
+
+
+def test_training_is_deterministic_given_seed(small_architecture, small_dataset):
+    a = TeaLearning(epochs=2, seed=123).train(small_architecture, small_dataset)
+    b = TeaLearning(epochs=2, seed=123).train(small_architecture, small_dataset)
+    assert np.allclose(a.model.all_weights(), b.model.all_weights())
+    assert a.float_accuracy == b.float_accuracy
+
+
+def test_different_seeds_differ(small_architecture, small_dataset):
+    a = TeaLearning(epochs=2, seed=1).train(small_architecture, small_dataset)
+    b = TeaLearning(epochs=2, seed=2).train(small_architecture, small_dataset)
+    assert not np.allclose(a.model.all_weights(), b.model.all_weights())

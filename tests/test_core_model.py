@@ -1,0 +1,154 @@
+"""Tests for NetworkArchitecture and TrueNorthModel."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import LayerSpec, NetworkArchitecture, TrueNorthModel, split_sizes
+from repro.mapping.blocks import stride_blocks
+from repro.nn.layers import BlockDense, FixedDense, Gather
+
+
+def make_architecture(neurons=8, num_classes=4, layers_extra=()):
+    partition = stride_blocks((8, 16), (8, 8), 8)
+    layers = [
+        LayerSpec(
+            core_count=partition.block_count,
+            neurons_per_core=neurons,
+            input_indices=partition.blocks,
+        )
+    ]
+    layers.extend(layers_extra)
+    return NetworkArchitecture(
+        input_dim=8 * 16,
+        layers=tuple(layers),
+        num_classes=num_classes,
+        activation_sigma=1.0,
+    )
+
+
+def test_split_sizes_even_and_remainder():
+    assert split_sizes(10, 2) == [5, 5]
+    assert split_sizes(10, 3) == [4, 3, 3]
+    with pytest.raises(ValueError):
+        split_sizes(2, 3)
+    with pytest.raises(ValueError):
+        split_sizes(0, 1)
+
+
+def test_architecture_core_counts_and_assignment():
+    arch = make_architecture()
+    assert arch.cores_per_network == 2
+    assert arch.cores_per_layer == (2,)
+    assignment = arch.class_assignment()
+    assert assignment.shape == (16,)
+    assert set(assignment) == {0, 1, 2, 3}
+    merge = arch.merge_matrix()
+    assert merge.shape == (16, 4)
+    assert np.allclose(merge.sum(axis=0), 1.0)
+
+
+def test_architecture_validation():
+    partition = stride_blocks((8, 16), (8, 8), 8)
+    good_layer = LayerSpec(2, 8, partition.blocks)
+    with pytest.raises(ValueError):
+        NetworkArchitecture(input_dim=10, layers=(good_layer,), num_classes=4)
+    with pytest.raises(ValueError):
+        NetworkArchitecture(input_dim=128, layers=(), num_classes=4)
+    with pytest.raises(ValueError):
+        NetworkArchitecture(input_dim=128, layers=(good_layer,), num_classes=1)
+    with pytest.raises(ValueError):
+        NetworkArchitecture(
+            input_dim=128, layers=(LayerSpec(2, 8),), num_classes=4
+        )  # first layer must define input_indices
+    with pytest.raises(ValueError):
+        # second layer must not define input_indices
+        NetworkArchitecture(
+            input_dim=128,
+            layers=(good_layer, LayerSpec(1, 8, partition.blocks[:1])),
+            num_classes=4,
+        )
+    with pytest.raises(ValueError):
+        NetworkArchitecture(
+            input_dim=128, layers=(good_layer,), num_classes=4, weight_init_scale=0.0
+        )
+
+
+def test_layer_spec_validation():
+    with pytest.raises(ValueError):
+        LayerSpec(core_count=0, neurons_per_core=8)
+    with pytest.raises(ValueError):
+        LayerSpec(core_count=1, neurons_per_core=0)
+    with pytest.raises(ValueError):
+        LayerSpec(core_count=1, neurons_per_core=300)
+    with pytest.raises(ValueError):
+        LayerSpec(core_count=2, neurons_per_core=8, input_indices=((0, 1),))
+
+
+def test_deep_layer_axon_limit_enforced():
+    partition = stride_blocks((16, 16), (16, 16), 16)
+    first = LayerSpec(1, 256, partition.blocks)
+    # 256 outputs into 1 core is fine; the same outputs into a core that
+    # would need > 256 axons per block must fail.
+    NetworkArchitecture(input_dim=256, layers=(first, LayerSpec(1, 10)), num_classes=4)
+    big_first = LayerSpec(1, 256, partition.blocks)
+    with pytest.raises(ValueError):
+        NetworkArchitecture(
+            input_dim=256,
+            layers=(big_first, LayerSpec(1, 10), LayerSpec(1, 10)),
+            num_classes=20,
+        )  # last hidden layer smaller than num_classes
+
+
+def test_build_network_structure():
+    arch = make_architecture()
+    network = arch.build_network(rng=0)
+    assert isinstance(network.layers[0], Gather)
+    assert isinstance(network.layers[1], BlockDense)
+    assert isinstance(network.layers[-1], FixedDense)
+    # All weights within [-c, +c].
+    for array in network.penalized_params().values():
+        assert np.all(np.abs(array) <= arch.synaptic_value + 1e-12)
+    out = network.forward(np.random.default_rng(0).random((3, arch.input_dim)))
+    assert out.shape == (3, arch.num_classes)
+
+
+def test_model_extraction_and_float_forward_consistency():
+    arch = make_architecture()
+    network = arch.build_network(rng=0)
+    model = TrueNorthModel.from_network(arch, network, float_accuracy=0.5)
+    features = np.random.default_rng(1).random((5, arch.input_dim))
+    assert np.allclose(model.float_forward(features), network.forward(features))
+    assert model.cores_per_copy == 2
+    assert model.predict(features).shape == (5,)
+
+
+def test_model_probability_and_weight_flattening():
+    arch = make_architecture()
+    model = TrueNorthModel.from_network(arch, arch.build_network(rng=0))
+    probabilities = model.all_probabilities()
+    weights = model.all_weights()
+    assert probabilities.shape == weights.shape
+    assert np.all(probabilities >= 0) and np.all(probabilities <= 1)
+    assert np.allclose(probabilities, np.abs(weights))
+
+
+def test_model_shape_validation():
+    arch = make_architecture()
+    network = arch.build_network(rng=0)
+    model = TrueNorthModel.from_network(arch, network)
+    with pytest.raises(ValueError):
+        TrueNorthModel(architecture=arch, block_weights=model.block_weights[:0])
+    bad = [list(matrices) for matrices in model.block_weights]
+    bad[0][0] = np.zeros((3, 3))
+    with pytest.raises(ValueError):
+        TrueNorthModel(architecture=arch, block_weights=bad)
+
+
+def test_two_layer_architecture_builds_and_runs():
+    arch = make_architecture(neurons=12, layers_extra=(LayerSpec(2, 6),))
+    network = arch.build_network(rng=0)
+    out = network.forward(np.random.default_rng(0).random((2, arch.input_dim)))
+    assert out.shape == (2, 4)
+    model = TrueNorthModel.from_network(arch, network)
+    assert model.cores_per_copy == 4
+    assert len(model.block_weights) == 2

@@ -1,0 +1,127 @@
+"""Tests for the weight penalties (Eq. 16-17) and their diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.penalties import (
+    BiasingPenalty,
+    L1Penalty,
+    L2Penalty,
+    ProbabilitySpacePenalty,
+    centroid_fraction,
+    penalty_histogram,
+    pole_fraction,
+    zero_fraction,
+)
+
+
+def numeric_gradient(penalty, weights, eps=1e-6):
+    grad = np.zeros_like(weights)
+    flat = weights.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = penalty.penalty_value(weights)
+        flat[i] = original - eps
+        minus = penalty.penalty_value(weights)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def test_l1_value_and_gradient():
+    penalty = L1Penalty()
+    weights = np.array([[-2.0, 0.5], [1.5, 0.0]])
+    assert penalty.penalty_value(weights) == 4.0
+    assert np.array_equal(penalty.penalty_gradient(weights), np.sign(weights))
+
+
+def test_l2_value_and_gradient():
+    penalty = L2Penalty()
+    weights = np.array([1.0, -2.0])
+    assert penalty.penalty_value(weights) == 2.5
+    assert np.array_equal(penalty.penalty_gradient(weights), weights)
+
+
+def test_biasing_penalty_zero_at_poles_max_at_centroid():
+    penalty = BiasingPenalty(centroid=0.5, half_width=0.5)
+    assert penalty.poles == (0.0, 1.0)
+    assert penalty.penalty_value(np.array([0.0])) == 0.0
+    assert penalty.penalty_value(np.array([1.0])) == 0.0
+    assert np.isclose(penalty.penalty_value(np.array([0.5])), 0.5)
+    # Worst point has strictly larger penalty than any other point in [0, 1].
+    values = [penalty.penalty_value(np.array([p])) for p in np.linspace(0, 1, 21)]
+    assert np.argmax(values) == 10
+
+
+def test_biasing_penalty_gradient_matches_numeric():
+    penalty = BiasingPenalty()
+    weights = np.array([0.1, 0.3, 0.45, 0.62, 0.9, 1.2, -0.2])
+    analytic = penalty.penalty_gradient(weights)
+    numeric = numeric_gradient(penalty, weights.copy())
+    assert np.allclose(analytic, numeric, atol=1e-5)
+
+
+def test_biasing_penalty_gradient_points_toward_nearest_pole():
+    penalty = BiasingPenalty()
+    # Below the centroid the gradient is positive-signed penalty pushing down
+    # toward 0; above the centroid it pushes up toward 1.
+    grad = penalty.penalty_gradient(np.array([0.2, 0.8]))
+    assert grad[0] > 0  # subtracting the gradient moves 0.2 toward 0
+    assert grad[1] < 0  # subtracting the gradient moves 0.8 toward 1
+
+
+def test_biasing_penalty_custom_poles():
+    penalty = BiasingPenalty(centroid=0.0, half_width=1.0)
+    assert penalty.poles == (-1.0, 1.0)
+    assert penalty.penalty_value(np.array([-1.0, 1.0])) == 0.0
+    assert np.isclose(penalty.penalty_value(np.array([0.0])), 1.0)
+
+
+def test_biasing_penalty_validation():
+    with pytest.raises(ValueError):
+        BiasingPenalty(half_width=0.0)
+
+
+def test_regularizer_protocol_sums_over_params():
+    penalty = L1Penalty()
+    params = {"a": np.array([1.0, -1.0]), "b": np.array([2.0])}
+    assert penalty.penalty(params) == 4.0
+    grads = penalty.gradient(params)
+    assert set(grads) == {"a", "b"}
+
+
+def test_probability_space_penalty_chain_rule():
+    inner = BiasingPenalty()
+    penalty = ProbabilitySpacePenalty(inner, synaptic_value=2.0)
+    weights = np.array([-1.0, 0.5, 1.8])
+    # p = |w| / 2 -> [0.5, 0.25, 0.9]
+    expected_value = inner.penalty_value(np.array([0.5, 0.25, 0.9]))
+    assert np.isclose(penalty.penalty_value(weights), expected_value)
+    numeric = numeric_gradient(penalty, weights.copy())
+    assert np.allclose(penalty.penalty_gradient(weights), numeric, atol=1e-5)
+
+
+def test_probability_space_penalty_validation():
+    with pytest.raises(ValueError):
+        ProbabilitySpacePenalty(L1Penalty(), synaptic_value=0.0)
+
+
+def test_histogram_and_fractions():
+    probabilities = np.array([0.0, 0.01, 0.02, 0.5, 0.51, 0.98, 1.0])
+    counts, edges = penalty_histogram(probabilities, bins=10)
+    assert counts.sum() == probabilities.size
+    assert len(edges) == 11
+    assert pole_fraction(probabilities, tolerance=0.05) == pytest.approx(5 / 7)
+    assert centroid_fraction(probabilities, tolerance=0.05) == pytest.approx(2 / 7)
+    assert zero_fraction(np.array([0.0, 1e-5, 0.2])) == pytest.approx(2 / 3)
+
+
+def test_fraction_validation():
+    with pytest.raises(ValueError):
+        pole_fraction(np.array([]))
+    with pytest.raises(ValueError):
+        zero_fraction(np.array([]))
+    with pytest.raises(ValueError):
+        penalty_histogram(np.array([0.5]), bins=0)

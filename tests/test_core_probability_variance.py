@@ -1,0 +1,147 @@
+"""Tests for the weight/probability mapping (Eq. 6-7) and variance analysis (Eq. 9-15)."""
+
+import numpy as np
+import pytest
+
+from repro.core.probability import (
+    clip_weights_to_probability_range,
+    probabilities_to_weights,
+    split_excitatory_inhibitory,
+    weights_to_probabilities,
+)
+from repro.core.variance import (
+    deviation_variance,
+    firing_probability,
+    mean_synaptic_variance,
+    presynaptic_sum_statistics,
+    synaptic_variance,
+    worst_case_probability,
+)
+
+
+# --------------------------------------------------------------- probability
+def test_weights_to_probabilities_expectation_preserved():
+    weights = np.array([[0.3, -0.7], [1.0, 0.0]])
+    mapping = weights_to_probabilities(weights, synaptic_value=1.0)
+    reconstructed = probabilities_to_weights(mapping.probabilities, mapping.synaptic_values)
+    assert np.allclose(reconstructed, weights)
+    assert mapping.clipped_fraction == 0.0
+
+
+def test_weights_beyond_value_are_clipped():
+    weights = np.array([2.0, -3.0, 0.5])
+    mapping = weights_to_probabilities(weights, synaptic_value=1.0)
+    assert mapping.clipped_fraction == pytest.approx(2 / 3)
+    assert np.all(mapping.probabilities <= 1.0)
+    assert np.array_equal(np.sign(mapping.synaptic_values), np.sign(weights))
+
+
+def test_synaptic_value_scales_probabilities():
+    weights = np.array([0.5])
+    mapping = weights_to_probabilities(weights, synaptic_value=2.0)
+    assert mapping.probabilities[0] == 0.25
+    assert mapping.synaptic_values[0] == 2.0
+
+
+def test_probability_mapping_validation():
+    with pytest.raises(ValueError):
+        weights_to_probabilities(np.array([1.0]), synaptic_value=0.0)
+    with pytest.raises(ValueError):
+        probabilities_to_weights(np.array([0.5]), np.array([1.0, 1.0]))
+    with pytest.raises(ValueError):
+        probabilities_to_weights(np.array([1.5]), np.array([1.0]))
+
+
+def test_clip_weights_to_probability_range():
+    clipped = clip_weights_to_probability_range(np.array([-5.0, 0.2, 5.0]), 1.0)
+    assert np.array_equal(clipped, [-1.0, 0.2, 1.0])
+    with pytest.raises(ValueError):
+        clip_weights_to_probability_range(np.array([1.0]), 0.0)
+
+
+def test_split_excitatory_inhibitory():
+    positive, negative = split_excitatory_inhibitory(np.array([0.4, -0.6, 0.0]))
+    assert np.allclose(positive, [0.4, 0.0, 0.0])
+    assert np.allclose(negative, [0.0, 0.6, 0.0])
+
+
+# --------------------------------------------------------------- variance
+def test_synaptic_variance_formula_and_maximum():
+    probabilities = np.linspace(0, 1, 101)
+    values = np.ones_like(probabilities) * 2.0
+    variance = synaptic_variance(probabilities, values)
+    assert np.allclose(variance, 4.0 * probabilities * (1 - probabilities))
+    worst_p, factor = worst_case_probability()
+    assert probabilities[np.argmax(variance)] == pytest.approx(worst_p)
+    assert variance.max() == pytest.approx(4.0 * factor)
+
+
+def test_synaptic_variance_zero_at_poles():
+    variance = synaptic_variance(np.array([0.0, 1.0]), np.array([3.0, 3.0]))
+    assert np.all(variance == 0.0)
+
+
+def test_presynaptic_statistics_match_monte_carlo():
+    rng = np.random.default_rng(0)
+    probabilities = np.array([0.2, 0.8, 0.5, 1.0])
+    values = np.array([1.0, -1.0, 2.0, 1.0])
+    spikes = np.array([0.9, 0.4, 0.6, 1.0])
+    stats = presynaptic_sum_statistics(probabilities, values, spikes)
+    samples = []
+    for _ in range(20000):
+        w = values * (rng.random(4) < probabilities)
+        x = (rng.random(4) < spikes).astype(float)
+        samples.append(np.dot(w, x))
+    samples = np.asarray(samples)
+    assert np.isclose(stats.mean, samples.mean(), atol=0.05)
+    assert np.isclose(stats.variance, samples.var(), rtol=0.1)
+    assert stats.std == pytest.approx(np.sqrt(stats.variance))
+
+
+def test_deviation_variance_equals_sum_variance():
+    probabilities = np.array([0.3, 0.6])
+    values = np.array([1.0, -2.0])
+    spikes = np.array([0.5, 0.5])
+    assert deviation_variance(probabilities, values, spikes) == pytest.approx(
+        presynaptic_sum_statistics(probabilities, values, spikes).variance
+    )
+
+
+def test_deterministic_connections_leave_only_spike_variance():
+    probabilities = np.array([1.0, 1.0])
+    values = np.array([1.0, 1.0])
+    spikes = np.array([0.5, 0.5])
+    stats = presynaptic_sum_statistics(probabilities, values, spikes)
+    assert stats.variance == pytest.approx(2 * 0.25)
+
+
+def test_firing_probability_limits():
+    assert firing_probability(0.0, 1.0) == pytest.approx(0.5)
+    assert firing_probability(10.0, 1.0) == pytest.approx(1.0, abs=1e-6)
+    assert firing_probability(-10.0, 1.0) == pytest.approx(0.0, abs=1e-6)
+    assert firing_probability(1.0, 0.0) == 1.0
+    assert firing_probability(-1.0, 0.0) == 0.0
+    with pytest.raises(ValueError):
+        firing_probability(0.0, -1.0)
+
+
+def test_mean_synaptic_variance_orders_methods():
+    # Probabilities concentrated at the poles must have lower mean variance
+    # than probabilities near 0.5 (the paper's core argument).
+    near_poles = np.array([0.01, 0.99, 0.02, 0.98])
+    near_centroid = np.array([0.4, 0.5, 0.6, 0.5])
+    ones = np.ones(4)
+    assert mean_synaptic_variance(near_poles, ones) < mean_synaptic_variance(
+        near_centroid, ones
+    )
+    with pytest.raises(ValueError):
+        mean_synaptic_variance(np.array([]), np.array([]))
+
+
+def test_variance_validation():
+    with pytest.raises(ValueError):
+        synaptic_variance(np.array([1.5]), np.array([1.0]))
+    with pytest.raises(ValueError):
+        presynaptic_sum_statistics(np.array([0.5]), np.array([1.0, 1.0]), np.array([0.5]))
+    with pytest.raises(ValueError):
+        presynaptic_sum_statistics(np.array([0.5]), np.array([1.0]), np.array([1.5]))

@@ -1,0 +1,189 @@
+"""Tests for the dataset containers and the synthetic MNIST / RS130 generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset, DatasetSplits, iterate_minibatches, train_test_split
+from repro.datasets.registry import DATASET_REGISTRY, dataset_summary, load_dataset
+from repro.datasets.synthetic_mnist import SyntheticMnistConfig, generate_synthetic_mnist
+from repro.datasets.synthetic_rs130 import (
+    FEATURE_COUNT,
+    SyntheticRs130Config,
+    generate_synthetic_rs130,
+    reshape_to_grid,
+)
+
+
+# --------------------------------------------------------------- containers
+def test_dataset_validation_and_accessors():
+    features = np.random.default_rng(0).random((10, 5))
+    labels = np.arange(10) % 3
+    dataset = Dataset(features, labels, num_classes=3)
+    assert dataset.sample_count == 10
+    assert dataset.feature_count == 5
+    assert list(dataset.class_counts()) == [4, 3, 3]
+    subset = dataset.subset(np.array([0, 1]))
+    assert subset.sample_count == 2
+    assert dataset.take(3).sample_count == 3
+    with pytest.raises(ValueError):
+        Dataset(features, labels[:5], num_classes=3)
+    with pytest.raises(ValueError):
+        Dataset(features, labels, num_classes=2)  # labels contain class 2
+    with pytest.raises(ValueError):
+        Dataset(features.ravel(), labels, num_classes=3)
+    with pytest.raises(ValueError):
+        dataset.take(0)
+
+
+def test_splits_validation():
+    features = np.random.default_rng(0).random((10, 5))
+    labels = np.zeros(10, dtype=int)
+    train = Dataset(features, labels, num_classes=2)
+    bad_test = Dataset(features[:, :3], labels, num_classes=2)
+    with pytest.raises(ValueError):
+        DatasetSplits(train=train, test=bad_test)
+
+
+def test_train_test_split_partitions_all_samples():
+    features = np.random.default_rng(0).random((50, 4))
+    labels = np.zeros(50, dtype=int)
+    dataset = Dataset(features, labels, num_classes=2)
+    splits = train_test_split(dataset, test_fraction=0.2, rng=0)
+    assert splits.train.sample_count + splits.test.sample_count == 50
+    assert splits.test.sample_count == 10
+    with pytest.raises(ValueError):
+        train_test_split(dataset, test_fraction=1.5)
+
+
+def test_iterate_minibatches_covers_dataset_once():
+    features = np.arange(20, dtype=float).reshape(10, 2) / 20.0
+    labels = np.arange(10) % 2
+    dataset = Dataset(features, labels, num_classes=2)
+    batches = list(iterate_minibatches(dataset, batch_size=3, rng=0))
+    assert sum(batch[0].shape[0] for batch in batches) == 10
+    with pytest.raises(ValueError):
+        list(iterate_minibatches(dataset, batch_size=0))
+
+
+# --------------------------------------------------------------- MNIST stand-in
+def test_synthetic_mnist_shapes_and_ranges():
+    config = SyntheticMnistConfig(train_size=40, test_size=20, seed=0)
+    splits = generate_synthetic_mnist(config)
+    assert splits.train.feature_count == 784
+    assert splits.train.sample_count == 40
+    assert splits.test.sample_count == 20
+    assert splits.num_classes == 10
+    assert splits.train.image_shape == (28, 28)
+    assert splits.train.features.min() >= 0.0
+    assert splits.train.features.max() <= 1.0
+
+
+def test_synthetic_mnist_pixels_are_mostly_saturated():
+    # The paper's analysis relies on near-binary pixel intensities (so input
+    # spike sampling adds little variance); check the generator delivers that.
+    splits = generate_synthetic_mnist(SyntheticMnistConfig(train_size=30, test_size=10, seed=1))
+    pixels = splits.train.features.ravel()
+    mid = np.mean((pixels > 0.2) & (pixels < 0.8))
+    assert mid < 0.15
+
+
+def test_synthetic_mnist_deterministic_and_seed_sensitive():
+    config = SyntheticMnistConfig(train_size=10, test_size=5, seed=3)
+    a = generate_synthetic_mnist(config)
+    b = generate_synthetic_mnist(config)
+    assert np.array_equal(a.train.features, b.train.features)
+    assert np.array_equal(a.train.labels, b.train.labels)
+    c = generate_synthetic_mnist(SyntheticMnistConfig(train_size=10, test_size=5, seed=4))
+    assert not np.array_equal(a.train.features, c.train.features)
+
+
+def test_synthetic_mnist_all_classes_present():
+    splits = generate_synthetic_mnist(SyntheticMnistConfig(train_size=200, test_size=50, seed=0))
+    assert set(np.unique(splits.train.labels)) == set(range(10))
+
+
+def test_synthetic_mnist_config_validation():
+    with pytest.raises(ValueError):
+        SyntheticMnistConfig(train_size=0)
+    with pytest.raises(ValueError):
+        SyntheticMnistConfig(salt_noise=1.5)
+    with pytest.raises(ValueError):
+        SyntheticMnistConfig(sharpness=0.0)
+    with pytest.raises(ValueError):
+        SyntheticMnistConfig(scale_range=(1.2, 0.8))
+
+
+# --------------------------------------------------------------- RS130 stand-in
+def test_synthetic_rs130_shapes_and_classes():
+    config = SyntheticRs130Config(train_size=60, test_size=30, seed=0)
+    splits = generate_synthetic_rs130(config)
+    assert splits.train.feature_count == FEATURE_COUNT == 357
+    assert splits.num_classes == 3
+    assert splits.train.sample_count == 60
+    assert splits.train.features.min() >= 0.0
+    assert splits.train.features.max() <= 1.0
+    assert set(np.unique(splits.train.labels)) == {0, 1, 2}
+
+
+def test_synthetic_rs130_classes_are_separable_above_chance():
+    # A trivial nearest-class-mean classifier should beat chance, proving the
+    # class-conditional signal exists without requiring high accuracy.
+    splits = generate_synthetic_rs130(SyntheticRs130Config(train_size=300, test_size=150, seed=0))
+    means = np.stack(
+        [splits.train.features[splits.train.labels == c].mean(axis=0) for c in range(3)]
+    )
+    distances = ((splits.test.features[:, None, :] - means[None, :, :]) ** 2).sum(axis=2)
+    predictions = distances.argmin(axis=1)
+    accuracy = (predictions == splits.test.labels).mean()
+    assert accuracy > 0.45  # chance is 1/3
+
+
+def test_synthetic_rs130_deterministic():
+    config = SyntheticRs130Config(train_size=20, test_size=10, seed=5)
+    a = generate_synthetic_rs130(config)
+    b = generate_synthetic_rs130(config)
+    assert np.array_equal(a.train.features, b.train.features)
+
+
+def test_reshape_to_grid_pads_to_19x19():
+    features = np.random.default_rng(0).random((4, 357))
+    grid = reshape_to_grid(features, grid_size=19)
+    assert grid.shape == (4, 361)
+    assert np.allclose(grid[:, :357], features)
+    assert np.all(grid[:, 357:] == 0.0)
+    single = reshape_to_grid(features[0], grid_size=19)
+    assert single.shape == (1, 361)
+    with pytest.raises(ValueError):
+        reshape_to_grid(np.zeros((2, 400)), grid_size=19)
+
+
+def test_synthetic_rs130_config_validation():
+    with pytest.raises(ValueError):
+        SyntheticRs130Config(train_size=0)
+    with pytest.raises(ValueError):
+        SyntheticRs130Config(signal_strength=0.0)
+    with pytest.raises(ValueError):
+        SyntheticRs130Config(noise_scale=0.0)
+
+
+# --------------------------------------------------------------- registry
+def test_registry_contains_paper_datasets():
+    assert set(DATASET_REGISTRY) == {"mnist", "rs130"}
+    info = DATASET_REGISTRY["mnist"]
+    assert info.paper_train_size == 60000
+    assert info.paper_test_size == 10000
+    assert info.feature_count == 784
+    assert DATASET_REGISTRY["rs130"].num_classes == 3
+
+
+def test_load_dataset_and_summary():
+    splits = load_dataset("mnist", train_size=30, test_size=10, seed=0)
+    assert splits.train.sample_count == 30
+    row = dataset_summary("mnist", splits)
+    assert row["dataset"] == "MNIST"
+    assert row["generated_training_size"] == 30
+    assert row["paper_training_size"] == 60000
+    rs = load_dataset("RS130", train_size=20, test_size=10)
+    assert rs.train.feature_count == 357
+    with pytest.raises(KeyError):
+        load_dataset("cifar")

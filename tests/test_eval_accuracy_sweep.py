@@ -1,0 +1,113 @@
+"""Tests for deployed-accuracy evaluation and the (copies, spf) sweep."""
+
+import numpy as np
+import pytest
+
+from repro.core.tea import TeaLearning
+from repro.eval.accuracy import evaluate_deployed_accuracy
+from repro.eval.sweep import accuracy_boost, accuracy_sweep
+
+
+@pytest.fixture(scope="module")
+def trained(small_architecture, small_dataset):
+    result = TeaLearning(epochs=6, seed=0).train(small_architecture, small_dataset)
+    return result.model, small_dataset.test
+
+
+def test_deployed_accuracy_record_fields(trained):
+    model, dataset = trained
+    record = evaluate_deployed_accuracy(
+        model, dataset, copies=2, spikes_per_frame=2, repeats=2, rng=0
+    )
+    assert record.copies == 2
+    assert record.spikes_per_frame == 2
+    assert record.repeats == 2
+    assert record.cores == 2 * model.cores_per_copy
+    assert 0.0 <= record.mean_accuracy <= 1.0
+    assert record.std_accuracy >= 0.0
+
+
+def test_deployed_accuracy_above_chance(trained):
+    model, dataset = trained
+    record = evaluate_deployed_accuracy(
+        model, dataset, copies=4, spikes_per_frame=4, repeats=2, rng=0
+    )
+    assert record.mean_accuracy > 1.0 / model.architecture.num_classes
+
+
+def test_deployed_accuracy_max_samples_and_validation(trained):
+    model, dataset = trained
+    record = evaluate_deployed_accuracy(
+        model, dataset, copies=1, spikes_per_frame=1, repeats=1, rng=0, max_samples=10
+    )
+    assert 0.0 <= record.mean_accuracy <= 1.0
+    with pytest.raises(ValueError):
+        evaluate_deployed_accuracy(model, dataset, repeats=0)
+
+
+def test_sweep_grid_shape_and_rows(trained):
+    model, dataset = trained
+    sweep = accuracy_sweep(
+        model,
+        dataset,
+        copy_levels=(1, 2, 4),
+        spf_levels=(1, 2),
+        repeats=2,
+        rng=0,
+        max_samples=30,
+        label="tea",
+    )
+    assert sweep.mean_accuracy.shape == (3, 2)
+    assert sweep.std_accuracy.shape == (3, 2)
+    assert list(sweep.cores) == [model.cores_per_copy * c for c in (1, 2, 4)]
+    rows = sweep.as_rows()
+    assert len(rows) == 6
+    assert sweep.accuracy_at(2, 1) == pytest.approx(sweep.mean_accuracy[1, 0])
+    assert sweep.label == "tea"
+
+
+def test_sweep_duplicate_levels_deduplicated(trained):
+    model, dataset = trained
+    sweep = accuracy_sweep(
+        model, dataset, copy_levels=(2, 1, 2), spf_levels=(1, 1), repeats=1, rng=0,
+        max_samples=20,
+    )
+    assert sweep.copy_levels == (1, 2)
+    assert sweep.spf_levels == (1,)
+
+
+def test_sweep_accuracy_improves_with_duplication_on_average(trained):
+    model, dataset = trained
+    sweep = accuracy_sweep(
+        model,
+        dataset,
+        copy_levels=(1, 8),
+        spf_levels=(1, 4),
+        repeats=3,
+        rng=0,
+        max_samples=40,
+    )
+    # The most-duplicated corner should not be worse than the least-duplicated
+    # one (allowing a small tolerance for sampling noise on 40 samples).
+    assert sweep.mean_accuracy[1, 1] >= sweep.mean_accuracy[0, 0] - 0.05
+
+
+def test_sweep_validation(trained):
+    model, dataset = trained
+    with pytest.raises(ValueError):
+        accuracy_sweep(model, dataset, copy_levels=(), spf_levels=(1,))
+    with pytest.raises(ValueError):
+        accuracy_sweep(model, dataset, copy_levels=(0,), spf_levels=(1,))
+    with pytest.raises(ValueError):
+        accuracy_sweep(model, dataset, copy_levels=(1,), spf_levels=(1,), repeats=0)
+
+
+def test_accuracy_boost_requires_matching_grids(trained):
+    model, dataset = trained
+    sweep_a = accuracy_sweep(model, dataset, (1, 2), (1,), repeats=1, rng=0, max_samples=20)
+    sweep_b = accuracy_sweep(model, dataset, (1, 2), (1,), repeats=1, rng=1, max_samples=20)
+    boost = accuracy_boost(sweep_a, sweep_b)
+    assert boost.shape == (2, 1)
+    sweep_c = accuracy_sweep(model, dataset, (1, 4), (1,), repeats=1, rng=0, max_samples=20)
+    with pytest.raises(ValueError):
+        accuracy_boost(sweep_a, sweep_c)

@@ -1,0 +1,97 @@
+"""Tests for the accuracy-matched comparison procedure (Table 2)."""
+
+import pytest
+
+from repro.eval.comparison import (
+    ConfigurationPoint,
+    core_occupation_comparison,
+    label_points,
+    match_accuracy_levels,
+    performance_comparison,
+)
+
+
+def paper_like_points():
+    """Points shaped like the paper's Table 2(a): accuracy rises with cost."""
+    tea = label_points(
+        levels=[1, 2, 3, 5, 16],
+        accuracies=[0.904, 0.924, 0.935, 0.942, 0.947],
+        costs=[4, 8, 12, 20, 64],
+        prefix="N",
+    )
+    biased = label_points(
+        levels=[1, 2, 3, 5],
+        accuracies=[0.929, 0.938, 0.942, 0.947],
+        costs=[4, 8, 12, 20],
+        prefix="B",
+    )
+    return tea, biased
+
+
+def test_matching_picks_cheapest_adequate_configuration():
+    tea, biased = paper_like_points()
+    rows = match_accuracy_levels(tea, biased)
+    by_label = {row.baseline.label: row for row in rows}
+    # N2 (0.924) is matched by B1 (0.929): 8 - 4 = 4 cores saved (50%).
+    assert by_label["N2"].ours.label == "B1"
+    assert by_label["N2"].saved_cost == 4
+    assert by_label["N2"].saved_fraction == pytest.approx(0.5)
+    # N16 (0.947) is matched by B5 (0.947): 64 - 20 = 44 cores saved (68.8%).
+    assert by_label["N16"].ours.label == "B5"
+    assert by_label["N16"].saved_cost == 44
+    assert by_label["N16"].saved_fraction == pytest.approx(0.6875)
+
+
+def test_unreachable_accuracy_yields_no_match():
+    tea = [ConfigurationPoint(level=1, accuracy=0.99, cost=4, label="N1")]
+    biased = [ConfigurationPoint(level=1, accuracy=0.90, cost=4, label="B1")]
+    rows = match_accuracy_levels(tea, biased)
+    assert rows[0].ours is None
+    assert rows[0].saved_cost == 0.0
+    assert rows[0].speedup == 1.0
+
+
+def test_matching_is_biased_toward_baseline():
+    # When no equal accuracy exists, the proposed method must clear the next
+    # *greater* accuracy, never a lower one.
+    tea = [ConfigurationPoint(level=1, accuracy=0.93, cost=10, label="N1")]
+    biased = [
+        ConfigurationPoint(level=1, accuracy=0.929, cost=1, label="B1"),
+        ConfigurationPoint(level=2, accuracy=0.95, cost=5, label="B2"),
+    ]
+    rows = match_accuracy_levels(tea, biased)
+    assert rows[0].ours.label == "B2"
+
+
+def test_core_occupation_comparison_summary():
+    tea, biased = paper_like_points()
+    rows, average, best = core_occupation_comparison(tea, biased)
+    assert len(rows) == len(tea)
+    assert 0.0 <= average <= 1.0
+    assert best == pytest.approx(0.6875)
+
+
+def test_performance_comparison_speedup():
+    tea = label_points([1, 6, 13], [0.904, 0.928, 0.934], [1, 6, 13], "N")
+    biased = label_points([1, 2], [0.929, 0.940], [1, 2], "B")
+    rows, max_speedup = performance_comparison(tea, biased)
+    by_label = {row.baseline.label: row for row in rows}
+    assert by_label["N6"].speedup == pytest.approx(6.0)
+    assert by_label["N13"].speedup == pytest.approx(6.5)
+    assert max_speedup == pytest.approx(6.5)
+
+
+def test_empty_inputs_rejected():
+    with pytest.raises(ValueError):
+        match_accuracy_levels([], [ConfigurationPoint(1, 0.9, 1.0)])
+    with pytest.raises(ValueError):
+        label_points([1, 2], [0.5], [1.0, 2.0], "N")
+
+
+def test_no_matches_returns_zero_summaries():
+    tea = [ConfigurationPoint(level=1, accuracy=0.99, cost=4, label="N1")]
+    biased = [ConfigurationPoint(level=1, accuracy=0.5, cost=4, label="B1")]
+    rows, average, best = core_occupation_comparison(tea, biased)
+    assert average == 0.0 and best == 0.0
+    rows, max_speedup = performance_comparison(tea, biased)
+    assert max_speedup == 1.0

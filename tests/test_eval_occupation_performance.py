@@ -1,0 +1,68 @@
+"""Tests for core-occupation and performance accounting."""
+
+import pytest
+
+from repro.core.tea import TeaLearning
+from repro.eval.occupation import (
+    chip_utilization,
+    core_occupation,
+    max_copies_on_chip,
+    occupation_table,
+)
+from repro.eval.performance import frames_to_latency, speedup_between, throughput
+
+
+@pytest.fixture(scope="module")
+def model(small_architecture, small_dataset):
+    return TeaLearning(epochs=2, seed=0).train(small_architecture, small_dataset).model
+
+
+def test_core_occupation_scales_with_copies(model):
+    per_copy = model.cores_per_copy
+    assert core_occupation(model, 1) == per_copy
+    assert core_occupation(model, 16) == 16 * per_copy
+    with pytest.raises(ValueError):
+        core_occupation(model, 0)
+
+
+def test_occupation_table_rows(model):
+    rows = occupation_table(model, [1, 2, 4])
+    assert [row["copies"] for row in rows] == [1, 2, 4]
+    assert rows[-1]["cores"] == 4 * model.cores_per_copy
+
+
+def test_chip_utilization_and_max_copies(model):
+    utilization = chip_utilization(model, copies=2, chip_cores=4096)
+    assert utilization == pytest.approx(2 * model.cores_per_copy / 4096)
+    assert max_copies_on_chip(model, chip_cores=4096) == 4096 // model.cores_per_copy
+    with pytest.raises(ValueError):
+        chip_utilization(model, 1, chip_cores=0)
+    with pytest.raises(ValueError):
+        max_copies_on_chip(model, chip_cores=0)
+
+
+def test_paper_example_core_counts():
+    # Test bench 1 uses 4 cores per copy; 16 copies occupy 64 cores (Sec. 3.1).
+    assert 16 * 4 == 64
+
+
+def test_latency_and_throughput():
+    # 1 kHz ticks: 1 spf + 1 layer = 2 ms latency.
+    assert frames_to_latency(1, layer_count=1) == pytest.approx(0.002)
+    assert frames_to_latency(13, layer_count=1) == pytest.approx(0.014)
+    assert throughput(1) == pytest.approx(1000.0)
+    assert throughput(4) == pytest.approx(250.0)
+    with pytest.raises(ValueError):
+        frames_to_latency(0)
+    with pytest.raises(ValueError):
+        frames_to_latency(1, layer_count=0)
+    with pytest.raises(ValueError):
+        throughput(0)
+
+
+def test_speedup_matches_paper_convention():
+    # Table 2(b): B2 at 2 spf matching N13 at 13 spf is a 6.5x speedup.
+    assert speedup_between(13, 2) == pytest.approx(6.5)
+    assert speedup_between(6, 1) == pytest.approx(6.0)
+    with pytest.raises(ValueError):
+        speedup_between(0, 1)

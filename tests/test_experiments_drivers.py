@@ -1,0 +1,111 @@
+"""Tests for the experiment drivers (table/figure regeneration).
+
+These run on the tiny shared context so they exercise the full code path of
+every driver quickly; the paper-shape assertions live in the benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.runner import ExperimentContext, train_method_pair
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2a, run_table2b
+from repro.experiments.table3 import run_table3
+
+
+def test_context_caches_results(tiny_context):
+    first = tiny_context.result("tea")
+    second = tiny_context.result("tea")
+    assert first is second
+    with pytest.raises(KeyError):
+        tiny_context.result("unknown")
+    assert tiny_context.config.index == 1
+    assert tiny_context.evaluation_dataset().sample_count <= tiny_context.eval_samples
+
+
+def test_train_method_pair_returns_both(tiny_context):
+    tea, biased = train_method_pair(tiny_context)
+    assert tea.method == "tea"
+    assert biased.method == "biased"
+
+
+def test_table1_rows_and_formatting():
+    report = run_table1(train_size=30, test_size=10, seed=0)
+    assert len(report["rows"]) == 2
+    names = {row["dataset"] for row in report["rows"]}
+    assert names == {"MNIST", "RS130"}
+    assert "Table 1" in report["table"]
+    mnist_row = next(r for r in report["rows"] if r["dataset"] == "MNIST")
+    assert mnist_row["generated_training_size"] == 30
+    assert mnist_row["feature_count"] == 784
+
+
+def test_figure5_histograms(tiny_context):
+    report = run_figure5(tiny_context, bins=10)
+    for method in ("tea", "l1", "biased"):
+        entry = report[method]
+        assert len(entry["histogram_counts"]) == 10
+        assert len(entry["bin_edges"]) == 11
+        assert 0.0 <= entry["pole_fraction"] <= 1.0
+        assert 0.0 <= entry["float_accuracy"] <= 1.0
+
+
+def test_figure4_deviation_report(tiny_context):
+    report = run_figure4(tiny_context)
+    assert set(report["tea"]) == {
+        "zero_fraction",
+        "above_half_fraction",
+        "mean_deviation",
+        "max_deviation",
+    }
+    assert report["paper"]["tea_above_half_fraction"] == pytest.approx(0.2401)
+
+
+def test_figure7_and_8_surfaces(tiny_context):
+    report7 = run_figure7(tiny_context, copy_levels=(1, 2), spf_levels=(1, 2))
+    surface = np.asarray(report7["tea"]["surface"])
+    assert surface.shape == (2, 2)
+    assert np.all(surface >= 0.0) and np.all(surface <= 1.0)
+    report8 = run_figure8(
+        tiny_context, copy_levels=(1, 2), spf_levels=(1, 2), figure7_report=report7
+    )
+    boost = np.asarray(report8["boost"])
+    assert boost.shape == (2, 2)
+    assert report8["max_boost"] == pytest.approx(boost.max())
+    assert report8["max_boost_at"]["copies"] in (1, 2)
+
+
+def test_table2a_and_2b_reports(tiny_context):
+    report_a = run_table2a(
+        tiny_context, copy_levels=(1, 2, 4), biased_copy_levels=(1, 2), spf=1
+    )
+    assert "Table 2(a)" in report_a["table"]
+    assert 0.0 <= report_a["average_saved_fraction"] <= 1.0
+    assert len(report_a["rows"]) == 3
+    report_b = run_table2b(
+        tiny_context, spf_levels=(1, 2, 4), biased_spf_levels=(1, 2), copies=1
+    )
+    assert "Table 2(b)" in report_b["table"]
+    assert report_b["max_speedup"] >= 1.0
+
+
+def test_table3_structural_rows_without_training():
+    report = run_table3(testbenches=(1, 2, 3, 4, 5), measure=())
+    assert len(report["rows"]) == 5
+    assert report["rows"][2]["cores_per_layer"] == "49~9~4"
+    assert all(row["measured_float_accuracy"] is None for row in report["rows"])
+    assert "Table 3" in report["table"]
+
+
+def test_table3_measures_requested_bench():
+    report = run_table3(
+        testbenches=(1,),
+        measure=(1,),
+        context_overrides={"train_size": 120, "test_size": 50, "epochs": 1},
+    )
+    accuracy = report["rows"][0]["measured_float_accuracy"]
+    assert accuracy is not None and 0.0 <= accuracy <= 1.0

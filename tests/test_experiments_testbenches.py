@@ -1,0 +1,56 @@
+"""Tests for the Table 3 test-bench configurations."""
+
+import pytest
+
+from repro.experiments.testbenches import (
+    TEST_BENCHES,
+    build_testbench_architecture,
+    load_testbench_data,
+)
+from repro.truenorth import constants
+
+
+def test_all_five_benches_defined_with_paper_structure():
+    assert set(TEST_BENCHES) == {1, 2, 3, 4, 5}
+    assert TEST_BENCHES[1].cores_per_layer == (4,)
+    assert TEST_BENCHES[2].cores_per_layer == (16,)
+    assert TEST_BENCHES[3].cores_per_layer == (49, 9, 4)
+    assert TEST_BENCHES[4].cores_per_layer == (4,)
+    assert TEST_BENCHES[5].cores_per_layer == (16, 9)
+    assert TEST_BENCHES[1].block_stride == 12
+    assert TEST_BENCHES[3].hidden_layer_count == 3
+    assert TEST_BENCHES[4].dataset == "rs130"
+
+
+@pytest.mark.parametrize("bench", [1, 2, 3, 4, 5])
+def test_architectures_match_paper_core_counts(bench):
+    config = TEST_BENCHES[bench]
+    architecture = build_testbench_architecture(config)
+    assert architecture.cores_per_layer == config.cores_per_layer
+    assert architecture.cores_per_network == sum(config.cores_per_layer)
+    assert architecture.num_classes == (10 if config.dataset == "mnist" else 3)
+    # Crossbar constraints hold for every layer.
+    for depth in range(len(architecture.layers)):
+        for size in architecture.layer_block_sizes(depth):
+            assert size <= constants.AXONS_PER_CORE
+        assert architecture.layers[depth].neurons_per_core <= constants.NEURONS_PER_CORE
+
+
+@pytest.mark.parametrize("bench", [1, 4])
+def test_testbench_data_matches_architecture_input(bench):
+    config = TEST_BENCHES[bench]
+    architecture = build_testbench_architecture(config)
+    splits = load_testbench_data(config, train_size=30, test_size=10, seed=0)
+    assert splits.train.feature_count == architecture.input_dim
+    assert splits.num_classes == architecture.num_classes
+
+
+def test_rs130_data_padded_to_grid():
+    config = TEST_BENCHES[4]
+    splits = load_testbench_data(config, train_size=20, test_size=10, seed=0)
+    assert splits.train.feature_count == 19 * 19
+
+
+def test_paper_accuracy_column_recorded():
+    assert TEST_BENCHES[1].paper_caffe_accuracy == pytest.approx(0.9527)
+    assert TEST_BENCHES[5].paper_caffe_accuracy == pytest.approx(0.6965)

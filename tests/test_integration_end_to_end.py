@@ -1,0 +1,100 @@
+"""End-to-end integration tests: the paper's qualitative claims.
+
+These use the calibrated (larger) shared context, so they are the slowest
+tests in the suite; together they verify the reproduction's headline shape
+claims on test bench 1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.penalties import pole_fraction
+from repro.eval.accuracy import evaluate_deployed_accuracy
+from repro.eval.sweep import accuracy_sweep
+
+
+@pytest.fixture(scope="module")
+def models(calibrated_context):
+    return {
+        "context": calibrated_context,
+        "tea": calibrated_context.result("tea"),
+        "biased": calibrated_context.result("biased"),
+    }
+
+
+def test_float_models_reach_useful_accuracy(models):
+    assert models["tea"].float_accuracy > 0.8
+    assert models["biased"].float_accuracy > 0.8
+    # The biasing penalty costs at most a few points of float accuracy
+    # (paper: 95.27% -> 95.03%).
+    assert models["biased"].float_accuracy > models["tea"].float_accuracy - 0.06
+
+
+def test_quantized_deployment_loses_accuracy_for_tea(models):
+    context = models["context"]
+    dataset = context.evaluation_dataset()
+    deployed = evaluate_deployed_accuracy(
+        models["tea"].model, dataset, copies=1, spikes_per_frame=1, repeats=3, rng=0
+    )
+    # Section 3.1: deploying the unpenalized model costs several accuracy
+    # points at one copy / one spf (95.27% -> 90.04% in the paper).
+    assert deployed.mean_accuracy < models["tea"].float_accuracy - 0.03
+
+
+def test_duplication_recovers_tea_accuracy(models):
+    context = models["context"]
+    dataset = context.evaluation_dataset()
+    sweep = accuracy_sweep(
+        models["tea"].model,
+        dataset,
+        copy_levels=(1, 16),
+        spf_levels=(1,),
+        repeats=2,
+        rng=0,
+    )
+    low = sweep.accuracy_at(1, 1)
+    high = sweep.accuracy_at(16, 1)
+    assert high > low + 0.02
+    # Saturates toward (but does not exceed by much) the float ceiling.
+    assert high <= models["tea"].float_accuracy + 0.03
+
+
+def test_biased_probabilities_concentrate_at_poles(models):
+    tea_pole = pole_fraction(models["tea"].model.all_probabilities())
+    biased_pole = pole_fraction(models["biased"].model.all_probabilities())
+    assert biased_pole > 0.75
+    assert biased_pole > tea_pole + 0.3
+
+
+def test_biased_beats_tea_at_minimum_duplication(models):
+    context = models["context"]
+    dataset = context.evaluation_dataset()
+    tea = evaluate_deployed_accuracy(
+        models["tea"].model, dataset, copies=1, spikes_per_frame=1, repeats=3, rng=1
+    )
+    biased = evaluate_deployed_accuracy(
+        models["biased"].model, dataset, copies=1, spikes_per_frame=1, repeats=3, rng=1
+    )
+    # Figure 8: the largest gain appears at one copy / one spf.
+    assert biased.mean_accuracy > tea.mean_accuracy + 0.01
+
+
+def test_biased_needs_fewer_cores_for_matched_accuracy(models):
+    context = models["context"]
+    dataset = context.evaluation_dataset()
+    tea_sweep = accuracy_sweep(
+        models["tea"].model, dataset, copy_levels=(1, 2, 4, 8), spf_levels=(1,),
+        repeats=2, rng=2,
+    )
+    biased_one_copy = evaluate_deployed_accuracy(
+        models["biased"].model, dataset, copies=1, spikes_per_frame=1, repeats=2, rng=2
+    )
+    # Find how many copies Tea needs to reach the biased model's 1-copy accuracy.
+    needed = None
+    for copies in tea_sweep.copy_levels:
+        if tea_sweep.accuracy_at(copies, 1) >= biased_one_copy.mean_accuracy:
+            needed = copies
+            break
+    # Either Tea never catches up within 8 copies, or it needs strictly more
+    # than one copy — both demonstrate a core saving at matched accuracy.
+    assert needed is None or needed > 1

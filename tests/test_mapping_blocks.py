@@ -1,0 +1,72 @@
+"""Tests for the stride-based block partitioning (paper Figure 3 / Table 3)."""
+
+import numpy as np
+import pytest
+
+from repro.mapping.blocks import stride_blocks
+
+
+def test_paper_testbench_block_counts():
+    # Table 3: MNIST 28x28, 16x16 windows.
+    assert stride_blocks((28, 28), (16, 16), 12).block_count == 4
+    assert stride_blocks((28, 28), (16, 16), 4).block_count == 16
+    assert stride_blocks((28, 28), (16, 16), 2).block_count == 49
+    # RS130 reshaped to 19x19.
+    assert stride_blocks((19, 19), (16, 16), 3).block_count == 4
+    assert stride_blocks((19, 19), (16, 16), 1).block_count == 16
+
+
+def test_blocks_have_core_sized_pixel_sets():
+    partition = stride_blocks((28, 28), (16, 16), 12)
+    assert partition.block_size == 256
+    for block in partition.blocks:
+        assert len(block) == 256
+        assert len(set(block)) == 256  # no duplicate pixels inside one block
+
+
+def test_blocks_cover_every_pixel():
+    for stride in (12, 4, 2):
+        partition = stride_blocks((28, 28), (16, 16), stride)
+        coverage = partition.coverage()
+        assert coverage.min() >= 1
+
+
+def test_non_overlapping_when_stride_equals_block():
+    partition = stride_blocks((32, 32), (16, 16), 16)
+    coverage = partition.coverage()
+    assert coverage.max() == 1
+    assert partition.block_count == 4
+
+
+def test_overlap_when_stride_smaller_than_block():
+    partition = stride_blocks((28, 28), (16, 16), 12)
+    assert partition.coverage().max() > 1
+
+
+def test_block_indices_are_row_major_windows():
+    partition = stride_blocks((4, 4), (2, 2), 2)
+    assert partition.block_count == 4
+    assert partition.blocks[0] == (0, 1, 4, 5)
+    assert partition.blocks[1] == (2, 3, 6, 7)
+    assert partition.blocks[2] == (8, 9, 12, 13)
+    assert partition.blocks[3] == (10, 11, 14, 15)
+    assert partition.grid_shape() == (2, 2)
+
+
+def test_final_position_flush_with_border():
+    # 10-wide image, 4-wide window, stride 3 -> offsets 0, 3, 6 (and the flush
+    # fit at 6 is already included; a stride of 4 adds the flush fit at 6).
+    partition = stride_blocks((4, 10), (4, 4), 4)
+    columns = {block[0] % 10 for block in partition.blocks}
+    assert 6 in columns
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        stride_blocks((10, 10), (16, 16), 2)  # window larger than image
+    with pytest.raises(ValueError):
+        stride_blocks((10, 10), (4, 4), 0)
+    with pytest.raises(ValueError):
+        stride_blocks((0, 10), (4, 4), 2)
+    with pytest.raises(ValueError):
+        stride_blocks((10, 10), (0, 4), 2)

@@ -1,0 +1,160 @@
+"""Tests for corelet construction, deployment sampling, and duplication."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import TrueNorthModel
+from repro.mapping.corelet import Corelet, build_corelets
+from repro.mapping.deploy import (
+    DeployedNetwork,
+    deploy_model,
+    evaluate_deployed_scores,
+    sample_connectivity,
+)
+from repro.mapping.duplication import deploy_with_copies
+from repro.mapping.placement import place_on_chip
+from repro.truenorth.config import ChipConfig
+
+
+@pytest.fixture(scope="module")
+def trained_model(small_architecture, small_dataset):
+    from repro.core.tea import TeaLearning
+
+    return TeaLearning(epochs=3, seed=0).train(small_architecture, small_dataset).model
+
+
+def test_build_corelets_structure(trained_model):
+    network = build_corelets(trained_model)
+    arch = trained_model.architecture
+    assert network.core_count == arch.cores_per_network
+    assert network.num_classes == arch.num_classes
+    assert network.input_dim == arch.input_dim
+    first_layer = network.corelets[0]
+    assert len(first_layer) == arch.layers[0].core_count
+    for corelet, indices in zip(first_layer, arch.layers[0].input_indices):
+        assert corelet.input_channels == tuple(indices)
+        assert corelet.axon_count == len(indices)
+        assert corelet.neuron_count == arch.layers[0].neurons_per_core
+
+
+def test_corelet_expected_weights_match_trained_weights(trained_model):
+    network = build_corelets(trained_model)
+    for layer_corelets, layer_weights in zip(network.corelets, trained_model.block_weights):
+        for corelet, weights in zip(layer_corelets, layer_weights):
+            assert np.allclose(corelet.expected_weights(), weights, atol=1e-12)
+
+
+def test_corelet_validation():
+    with pytest.raises(ValueError):
+        Corelet(
+            layer=0,
+            index=0,
+            input_channels=(0, 1),
+            probabilities=np.zeros((3, 2)),
+            synaptic_values=np.zeros((2, 2)),
+            output_channels=(0, 1),
+        )
+    with pytest.raises(ValueError):
+        Corelet(
+            layer=0,
+            index=0,
+            input_channels=(0,),
+            probabilities=np.array([[1.5]]),
+            synaptic_values=np.array([[1.0]]),
+            output_channels=(0,),
+        )
+    with pytest.raises(ValueError):
+        Corelet(
+            layer=0,
+            index=0,
+            input_channels=(),
+            probabilities=np.zeros((0, 1)),
+            synaptic_values=np.zeros((0, 1)),
+            output_channels=(0,),
+        )
+
+
+def test_sample_connectivity_respects_probabilities(trained_model):
+    network = build_corelets(trained_model)
+    corelet = network.corelets[0][0]
+    samples = np.stack([sample_connectivity(corelet, rng=i) for i in range(200)])
+    on_rate = (samples != 0).mean(axis=0)
+    assert np.allclose(on_rate, corelet.probabilities, atol=0.12)
+    # Sampled values are either zero or the signed synaptic value.
+    nonzero = samples[samples != 0]
+    assert set(np.unique(np.abs(nonzero))) <= {1.0}
+
+
+def test_deploy_model_unbiased_in_expectation(trained_model):
+    network = build_corelets(trained_model)
+    corelet = network.corelets[0][0]
+    average = np.zeros_like(corelet.probabilities)
+    repeats = 200
+    for seed in range(repeats):
+        deployed = deploy_model(trained_model, rng=seed, corelet_network=network)
+        average += deployed.sampled_weights[0][0]
+    average /= repeats
+    assert np.allclose(average, corelet.expected_weights(), atol=0.15)
+
+
+def test_forward_spikes_shapes_and_binary_output(trained_model):
+    deployed = deploy_model(trained_model, rng=0)
+    frame = np.random.default_rng(0).integers(0, 2, size=(7, trained_model.architecture.input_dim))
+    spikes = deployed.forward_spikes(frame)
+    assert spikes.shape == (7, trained_model.architecture.layers[-1].output_dim)
+    assert set(np.unique(spikes)) <= {0.0, 1.0}
+    scores = deployed.class_scores(frame)
+    assert scores.shape == (7, trained_model.architecture.num_classes)
+
+
+def test_forward_spikes_validates_input(trained_model):
+    deployed = deploy_model(trained_model, rng=0)
+    with pytest.raises(ValueError):
+        deployed.forward_spikes(np.zeros((2, 5)))
+
+
+def test_evaluate_deployed_scores_grid_shape(trained_model):
+    copies = [deploy_model(trained_model, rng=i) for i in range(3)]
+    features = np.random.default_rng(1).random((5, trained_model.architecture.input_dim))
+    scores = evaluate_deployed_scores(copies, features, spikes_per_frame=2, rng=0)
+    assert scores.shape == (3, 2, 5, trained_model.architecture.num_classes)
+    with pytest.raises(ValueError):
+        evaluate_deployed_scores([], features, 1)
+
+
+def test_deploy_with_copies_counts_cores(trained_model):
+    deployment = deploy_with_copies(trained_model, copies=3, rng=0)
+    assert deployment.copy_count == 3
+    assert deployment.cores_per_copy == trained_model.cores_per_copy
+    assert deployment.total_cores == 3 * trained_model.cores_per_copy
+    # Copies are sampled independently.
+    first = deployment.copies[0].sampled_weights[0][0]
+    second = deployment.copies[1].sampled_weights[0][0]
+    assert not np.array_equal(first, second)
+    with pytest.raises(ValueError):
+        deploy_with_copies(trained_model, copies=0)
+
+
+def test_duplicated_prediction_shape(trained_model):
+    deployment = deploy_with_copies(trained_model, copies=2, rng=0)
+    features = np.random.default_rng(2).random((6, trained_model.architecture.input_dim))
+    predictions = deployment.predict(features, spikes_per_frame=2, rng=0)
+    assert predictions.shape == (6,)
+    assert set(np.unique(predictions)) <= set(range(trained_model.architecture.num_classes))
+
+
+def test_placement_assigns_unique_cores(trained_model):
+    network = build_corelets(trained_model)
+    placement = place_on_chip(network, copies=3, chip_config=ChipConfig(grid_shape=(8, 8)))
+    assert placement.occupied_cores == 3 * network.core_count
+    positions = list(placement.assignments.values())
+    assert len(set(positions)) == len(positions)
+    assert placement.max_interlayer_distance() >= 0
+
+
+def test_placement_capacity_enforced(trained_model):
+    network = build_corelets(trained_model)
+    with pytest.raises(RuntimeError):
+        place_on_chip(network, copies=100, chip_config=ChipConfig(grid_shape=(4, 4)))
+    with pytest.raises(ValueError):
+        place_on_chip(network, copies=0)

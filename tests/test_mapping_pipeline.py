@@ -1,0 +1,73 @@
+"""Tests for chip programming: the chip simulator must agree with the fast evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.core.tea import TeaLearning
+from repro.encoding.stochastic import StochasticEncoder
+from repro.mapping.deploy import deploy_model
+from repro.mapping.pipeline import program_chip, run_chip_inference
+
+
+@pytest.fixture(scope="module")
+def deployed_copy(small_architecture, small_dataset):
+    model = TeaLearning(epochs=3, seed=0).train(small_architecture, small_dataset).model
+    return deploy_model(model, rng=0)
+
+
+def test_program_chip_allocates_one_core_per_corelet(deployed_copy):
+    chip, core_ids = program_chip(deployed_copy)
+    assert chip.allocated_cores == deployed_copy.core_count
+    flat_ids = [core_id for layer in core_ids for core_id in layer]
+    assert len(set(flat_ids)) == len(flat_ids)
+    assert chip.input_channels() == ["pixels"]
+    assert chip.output_channels() == ["classes"]
+
+
+def test_chip_matches_vectorized_evaluator_spike_for_spike(deployed_copy):
+    chip, core_ids = program_chip(deployed_copy)
+    rng = np.random.default_rng(3)
+    network = deployed_copy.corelet_network
+    encoder = StochasticEncoder(spikes_per_frame=3)
+    values = rng.random((1, network.input_dim))
+    frames = encoder.encode(values, rng=rng)[:, 0, :]  # (ticks, input_dim)
+
+    chip_counts = run_chip_inference(chip, deployed_copy, core_ids, frames)
+
+    # Fast evaluator: accumulate class scores frame by frame.
+    fast_counts = np.zeros(network.num_classes)
+    for tick in range(frames.shape[0]):
+        fast_counts += deployed_copy.class_scores(frames[tick][None, :])[0]
+
+    # This architecture has a single hidden layer, so each input frame's
+    # response appears on the output channel in the same tick, and every one
+    # of the trailing drain ticks produces the network's zero-input response
+    # (a zero weighted sum still satisfies y' >= 0 under McCulloch-Pitts).
+    # The chip counts must therefore equal the fast evaluator's frame
+    # responses plus `drain` copies of the zero-input response.
+    zero_response = deployed_copy.class_scores(
+        np.zeros((1, network.input_dim))
+    )[0]
+    depth = len(network.corelets)
+    assert depth == 1
+    drain = depth * (chip.router.delay + 1) + 2
+    expected = fast_counts + drain * zero_response
+    assert np.array_equal(chip_counts, expected.astype(np.int64))
+
+
+def test_run_chip_inference_validates_shape(deployed_copy):
+    chip, core_ids = program_chip(deployed_copy)
+    with pytest.raises(ValueError):
+        run_chip_inference(chip, deployed_copy, core_ids, np.zeros((2, 5)))
+
+
+def test_chip_predictions_reasonable_on_training_like_input(
+    deployed_copy, small_dataset
+):
+    chip, core_ids = program_chip(deployed_copy)
+    encoder = StochasticEncoder(spikes_per_frame=4)
+    sample = small_dataset.test.features[:1]
+    frames = encoder.encode(sample, rng=0)[:, 0, :]
+    counts = run_chip_inference(chip, deployed_copy, core_ids, frames)
+    assert counts.shape == (deployed_copy.corelet_network.num_classes,)
+    assert counts.sum() > 0

@@ -1,0 +1,78 @@
+"""Tests for activation functions, including the TrueNorth erf activation."""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import (
+    Identity,
+    Relu,
+    Sigmoid,
+    Tanh,
+    TrueNorthErf,
+    get_activation,
+)
+
+
+def numeric_derivative(fn, x, eps=1e-6):
+    return (fn(x + eps) - fn(x - eps)) / (2 * eps)
+
+
+@pytest.mark.parametrize(
+    "activation",
+    [Identity(), Relu(), Sigmoid(), Tanh(), TrueNorthErf(sigma=1.0), TrueNorthErf(sigma=3.0)],
+)
+def test_backward_matches_numeric_derivative(activation):
+    x = np.linspace(-3, 3, 31)
+    x = x[np.abs(x) > 1e-3]  # avoid the ReLU kink
+    analytic = activation.backward(x)
+    numeric = numeric_derivative(activation.forward, x)
+    assert np.allclose(analytic, numeric, atol=1e-4)
+
+
+def test_truenorth_erf_range_and_midpoint():
+    act = TrueNorthErf(sigma=2.0)
+    y = act.forward(np.array([-100.0, 0.0, 100.0]))
+    assert np.isclose(y[0], 0.0, atol=1e-6)
+    assert np.isclose(y[1], 0.5)
+    assert np.isclose(y[2], 1.0, atol=1e-6)
+
+
+def test_truenorth_erf_is_monotone():
+    act = TrueNorthErf(sigma=1.5)
+    x = np.linspace(-5, 5, 101)
+    y = act.forward(x)
+    assert np.all(np.diff(y) > 0)
+
+
+def test_truenorth_erf_sigma_controls_softness():
+    sharp = TrueNorthErf(sigma=0.5).forward(np.array([1.0]))[0]
+    soft = TrueNorthErf(sigma=5.0).forward(np.array([1.0]))[0]
+    assert sharp > soft > 0.5
+
+
+def test_truenorth_erf_matches_firing_probability_interpretation():
+    # forward(x) should equal P(N(x, sigma^2) >= 0).
+    from repro.core.variance import firing_probability
+
+    act = TrueNorthErf(sigma=2.5)
+    for mean in (-2.0, -0.5, 0.0, 1.0, 3.0):
+        assert np.isclose(
+            act.forward(np.array([mean]))[0], firing_probability(mean, 2.5), atol=1e-12
+        )
+
+
+def test_sigma_must_be_positive():
+    with pytest.raises(ValueError):
+        TrueNorthErf(sigma=0.0)
+
+
+def test_registry_lookup():
+    assert isinstance(get_activation("relu"), Relu)
+    assert isinstance(get_activation("truenorth_erf", sigma=2.0), TrueNorthErf)
+    with pytest.raises(KeyError):
+        get_activation("swish")
+
+
+def test_relu_zero_negative():
+    relu = Relu()
+    assert np.array_equal(relu.forward(np.array([-2.0, 0.0, 3.0])), [0.0, 0.0, 3.0])

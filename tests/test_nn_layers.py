@@ -1,0 +1,158 @@
+"""Tests for layers: Dense, BlockDense, Gather, FixedDense (with gradient checks)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import Sigmoid, TrueNorthErf
+from repro.nn.layers import BlockDense, Dense, FixedDense, Gather
+from repro.nn.losses import MeanSquaredError
+
+
+def numeric_weight_gradient(layer, inputs, targets, loss, param, index, eps=1e-6):
+    original = param[index]
+    param[index] = original + eps
+    plus = loss.forward(layer.forward(inputs, training=True), targets)
+    param[index] = original - eps
+    minus = loss.forward(layer.forward(inputs, training=True), targets)
+    param[index] = original
+    return (plus - minus) / (2 * eps)
+
+
+def test_dense_forward_shape_and_bias():
+    layer = Dense(3, 2, rng=0)
+    layer.weights[:] = 0.0
+    layer.bias[:] = [1.0, -1.0]
+    out = layer.forward(np.zeros((4, 3)))
+    assert out.shape == (4, 2)
+    assert np.allclose(out, [[1.0, -1.0]] * 4)
+
+
+def test_dense_gradient_check():
+    rng = np.random.default_rng(0)
+    layer = Dense(4, 3, activation=Sigmoid(), rng=1)
+    loss = MeanSquaredError()
+    inputs = rng.random((5, 4))
+    targets = rng.random((5, 3))
+    predictions = layer.forward(inputs, training=True)
+    grad = loss.backward(predictions, targets)
+    layer.backward(grad)
+    for index in [(0, 0), (2, 1), (3, 2)]:
+        numeric = numeric_weight_gradient(layer, inputs, targets, loss, layer.weights, index)
+        assert np.isclose(layer.grad_weights[index], numeric, atol=1e-5)
+    numeric_bias = numeric_weight_gradient(layer, inputs, targets, loss, layer.bias, (1,))
+    assert np.isclose(layer.grad_bias[1], numeric_bias, atol=1e-5)
+
+
+def test_dense_input_gradient_check():
+    rng = np.random.default_rng(3)
+    layer = Dense(4, 3, activation=TrueNorthErf(sigma=1.0), rng=1)
+    loss = MeanSquaredError()
+    inputs = rng.random((2, 4))
+    targets = rng.random((2, 3))
+    predictions = layer.forward(inputs, training=True)
+    grad_inputs = layer.backward(loss.backward(predictions, targets))
+    eps = 1e-6
+    for index in [(0, 0), (1, 3)]:
+        perturbed = inputs.copy()
+        perturbed[index] += eps
+        plus = loss.forward(layer.forward(perturbed, training=True), targets)
+        perturbed[index] -= 2 * eps
+        minus = loss.forward(layer.forward(perturbed, training=True), targets)
+        numeric = (plus - minus) / (2 * eps)
+        assert np.isclose(grad_inputs[index], numeric, atol=1e-5)
+
+
+def test_dense_without_bias_has_no_bias_param():
+    layer = Dense(3, 2, use_bias=False)
+    assert "bias" not in layer.params()
+    assert "bias" not in layer.grads()
+    assert np.all(layer.bias == 0)
+
+
+def test_dense_validation():
+    with pytest.raises(ValueError):
+        Dense(0, 2)
+    with pytest.raises(ValueError):
+        Dense(2, 3, weight_init=np.zeros((3, 2)))
+    layer = Dense(3, 2)
+    with pytest.raises(ValueError):
+        layer.forward(np.zeros((4, 5)))
+    with pytest.raises(RuntimeError):
+        Dense(3, 2).backward(np.zeros((4, 2)))
+
+
+def test_block_dense_is_block_diagonal():
+    layer = BlockDense([2, 3], [2, 2], rng=0, use_bias=False)
+    inputs = np.array([[1.0, 1.0, 0.0, 0.0, 0.0]])
+    out_full = layer.forward(inputs)
+    # Zeroing the second block's inputs must not change the first block's output.
+    assert np.allclose(out_full[0, :2], layer.blocks[0].forward(inputs[:, :2])[0])
+    assert np.allclose(out_full[0, 2:], layer.blocks[1].forward(inputs[:, 2:])[0])
+
+
+def test_block_dense_gradients_flow_to_each_block():
+    rng = np.random.default_rng(0)
+    layer = BlockDense([3, 3], [2, 2], activation=Sigmoid(), rng=0)
+    loss = MeanSquaredError()
+    inputs = rng.random((4, 6))
+    targets = rng.random((4, 4))
+    predictions = layer.forward(inputs, training=True)
+    layer.backward(loss.backward(predictions, targets))
+    for block in layer.blocks:
+        assert np.any(block.grad_weights != 0)
+
+
+def test_block_dense_params_namespaced():
+    layer = BlockDense([2, 2], [1, 1], rng=0)
+    names = set(layer.params())
+    assert names == {"block0_weights", "block0_bias", "block1_weights", "block1_bias"}
+    assert set(layer.penalized_params()) == {"block0_weights", "block1_weights"}
+
+
+def test_block_dense_validation():
+    with pytest.raises(ValueError):
+        BlockDense([2], [1, 1])
+    with pytest.raises(ValueError):
+        BlockDense([], [])
+    with pytest.raises(ValueError):
+        BlockDense([2, 0], [1, 1])
+
+
+def test_gather_selects_and_scatters():
+    layer = Gather([3, 0, 0], input_dim=4)
+    inputs = np.array([[10.0, 20.0, 30.0, 40.0]])
+    out = layer.forward(inputs)
+    assert np.array_equal(out[0], [40.0, 10.0, 10.0])
+    grad = layer.backward(np.array([[1.0, 2.0, 3.0]]))
+    # Index 0 appears twice, so its gradient accumulates.
+    assert np.array_equal(grad[0], [5.0, 0.0, 0.0, 1.0])
+
+
+def test_gather_validation():
+    with pytest.raises(ValueError):
+        Gather([], input_dim=4)
+    with pytest.raises(ValueError):
+        Gather([4], input_dim=4)
+    layer = Gather([0, 1], input_dim=4)
+    with pytest.raises(ValueError):
+        layer.forward(np.zeros((2, 3)))
+
+
+def test_fixed_dense_has_no_trainable_params():
+    matrix = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+    layer = FixedDense(matrix)
+    assert layer.params() == {}
+    out = layer.forward(np.array([[1.0, 2.0, 3.0]]), training=True)
+    assert np.array_equal(out[0], [4.0, 5.0])
+    grad = layer.backward(np.array([[1.0, 1.0]]))
+    assert np.array_equal(grad[0], [1.0, 1.0, 2.0])
+
+
+def test_fixed_dense_validation():
+    with pytest.raises(ValueError):
+        FixedDense(np.zeros(3))
+    layer = FixedDense(np.zeros((3, 2)))
+    with pytest.raises(ValueError):
+        layer.forward(np.zeros((1, 4)))
+    with pytest.raises(RuntimeError):
+        FixedDense(np.zeros((3, 2))).backward(np.zeros((1, 2)))

@@ -1,0 +1,148 @@
+"""Tests for losses, optimizers, initializers, and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import glorot_uniform, he_normal, uniform_probability
+from repro.nn.losses import (
+    MeanSquaredError,
+    SoftmaxCrossEntropy,
+    predictions_to_labels,
+    softmax,
+)
+from repro.nn.metrics import accuracy_score, confusion_matrix, per_class_accuracy
+from repro.nn.optim import SGD, Adam, Momentum
+
+
+# ---------------------------------------------------------------- losses
+def test_softmax_rows_sum_to_one_and_stable():
+    logits = np.array([[1000.0, 1000.0, 999.0], [-5.0, 0.0, 5.0]])
+    probabilities = softmax(logits)
+    assert np.allclose(probabilities.sum(axis=1), 1.0)
+    assert np.all(np.isfinite(probabilities))
+
+
+def test_cross_entropy_perfect_prediction_near_zero():
+    loss = SoftmaxCrossEntropy()
+    logits = np.array([[100.0, 0.0, 0.0]])
+    assert loss.forward(logits, np.array([0])) < 1e-6
+
+
+def test_cross_entropy_gradient_matches_numeric():
+    loss = SoftmaxCrossEntropy()
+    rng = np.random.default_rng(0)
+    logits = rng.normal(size=(3, 4))
+    targets = np.array([1, 3, 0])
+    grad = loss.backward(logits, targets)
+    eps = 1e-6
+    for index in [(0, 1), (2, 2)]:
+        perturbed = logits.copy()
+        perturbed[index] += eps
+        plus = loss.forward(perturbed, targets)
+        perturbed[index] -= 2 * eps
+        minus = loss.forward(perturbed, targets)
+        assert np.isclose(grad[index], (plus - minus) / (2 * eps), atol=1e-5)
+
+
+def test_cross_entropy_accepts_one_hot_targets():
+    loss = SoftmaxCrossEntropy()
+    logits = np.array([[2.0, 1.0], [0.0, 3.0]])
+    labels = np.array([0, 1])
+    one_hot = np.eye(2)[labels]
+    assert np.isclose(loss.forward(logits, labels), loss.forward(logits, one_hot))
+
+
+def test_cross_entropy_rejects_bad_labels():
+    loss = SoftmaxCrossEntropy()
+    with pytest.raises(ValueError):
+        loss.forward(np.zeros((2, 3)), np.array([0, 5]))
+
+
+def test_mse_and_prediction_labels():
+    loss = MeanSquaredError()
+    predictions = np.array([[0.9, 0.1], [0.2, 0.8]])
+    assert loss.forward(predictions, np.array([0, 1])) < 0.05
+    assert list(predictions_to_labels(predictions)) == [0, 1]
+
+
+# ---------------------------------------------------------------- optimizers
+def quadratic_problem():
+    params = {"w": np.array([5.0, -3.0])}
+
+    def grads():
+        return {"w": 2.0 * params["w"]}
+
+    return params, grads
+
+
+@pytest.mark.parametrize(
+    "optimizer",
+    [SGD(learning_rate=0.1), Momentum(learning_rate=0.05, momentum=0.8), Adam(learning_rate=0.2)],
+)
+def test_optimizers_minimize_quadratic(optimizer):
+    params, grads = quadratic_problem()
+    for _ in range(200):
+        optimizer.step(params, grads())
+    assert np.linalg.norm(params["w"]) < 0.1
+
+
+def test_optimizer_missing_gradient_raises():
+    with pytest.raises(KeyError):
+        SGD().step({"w": np.zeros(2)}, {})
+
+
+def test_optimizer_validation():
+    with pytest.raises(ValueError):
+        SGD(learning_rate=0.0)
+    with pytest.raises(ValueError):
+        Momentum(momentum=1.0)
+    with pytest.raises(ValueError):
+        Adam(beta1=1.0)
+
+
+def test_momentum_reset_clears_velocity():
+    optimizer = Momentum(learning_rate=0.1)
+    params = {"w": np.array([1.0])}
+    optimizer.step(params, {"w": np.array([1.0])})
+    optimizer.reset()
+    assert optimizer._velocity == {}
+
+
+# ---------------------------------------------------------------- initializers
+def test_glorot_limits():
+    weights = glorot_uniform((100, 50), rng=0)
+    limit = np.sqrt(6.0 / 150)
+    assert weights.shape == (100, 50)
+    assert np.all(np.abs(weights) <= limit)
+
+
+def test_he_normal_scale():
+    weights = he_normal((2000, 10), rng=0)
+    assert np.isclose(weights.std(), np.sqrt(2.0 / 2000), rtol=0.1)
+
+
+def test_uniform_probability_range():
+    weights = uniform_probability((50, 50), synaptic_value=2.0, low=0.25, high=0.75, rng=0)
+    assert np.all(weights >= 0.5) and np.all(weights <= 1.5)
+    with pytest.raises(ValueError):
+        uniform_probability((2, 2), low=0.9, high=0.1)
+
+
+# ---------------------------------------------------------------- metrics
+def test_accuracy_and_confusion():
+    labels = np.array([0, 1, 2, 2])
+    predictions = np.array([0, 2, 2, 2])
+    assert accuracy_score(labels, predictions) == 0.75
+    matrix = confusion_matrix(labels, predictions, num_classes=3)
+    assert matrix[1, 2] == 1 and matrix[2, 2] == 2
+    per_class = per_class_accuracy(labels, predictions, num_classes=3)
+    assert per_class[0] == 1.0 and per_class[1] == 0.0 and per_class[2] == 1.0
+
+
+def test_metrics_validation():
+    with pytest.raises(ValueError):
+        accuracy_score(np.array([1]), np.array([1, 2]))
+    with pytest.raises(ValueError):
+        accuracy_score(np.array([]), np.array([]))
+    with pytest.raises(ValueError):
+        confusion_matrix(np.array([5]), np.array([0]), num_classes=3)

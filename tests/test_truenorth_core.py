@@ -1,0 +1,93 @@
+"""Tests for the neuro-synaptic core."""
+
+import numpy as np
+import pytest
+
+from repro.truenorth.config import CoreConfig, NeuronConfig
+from repro.truenorth.core import NeurosynapticCore
+
+
+def make_core(axons=16, neurons=8, **neuron_kwargs):
+    config = CoreConfig(
+        axons=axons,
+        neurons=neurons,
+        neuron_config=NeuronConfig(**neuron_kwargs),
+    )
+    return NeurosynapticCore(config, core_id=0)
+
+
+def test_tick_thresholds_integrated_input():
+    core = make_core()
+    connectivity = np.zeros((16, 8), dtype=bool)
+    connectivity[:3, 0] = True  # neuron 0 gets up to +3
+    core.crossbar.set_connectivity(connectivity)
+    spikes = np.zeros(16, dtype=int)
+    spikes[:3] = 1
+    out = core.tick(spikes)
+    assert out[0] == 1
+    # Neurons with zero input still satisfy y' >= 0, so they fire too under
+    # the McCulloch-Pitts rule with threshold 0.
+    assert out.sum() == 8
+
+
+def test_negative_input_suppresses_spike():
+    core = make_core()
+    signed = np.zeros((16, 8), dtype=int)
+    signed[0, 0] = -1
+    core.crossbar.set_signed_weights(signed)
+    spikes = np.zeros(16, dtype=int)
+    spikes[0] = 1
+    out = core.tick(spikes)
+    assert out[0] == 0
+
+
+def test_run_over_frames_and_counters():
+    core = make_core()
+    frames = np.zeros((5, 16), dtype=int)
+    outputs = core.run(frames)
+    assert outputs.shape == (5, 8)
+    assert core.tick_count == 5
+    assert core.spike_count == int(outputs.sum())
+
+
+def test_run_validates_shape():
+    core = make_core()
+    with pytest.raises(ValueError):
+        core.run(np.zeros((3, 10)))
+
+
+def test_reset_clears_counters_but_keeps_programming():
+    core = make_core()
+    connectivity = np.zeros((16, 8), dtype=bool)
+    connectivity[0, 0] = True
+    core.crossbar.set_connectivity(connectivity)
+    core.tick(np.ones(16, dtype=int))
+    core.reset()
+    assert core.tick_count == 0
+    assert core.spike_count == 0
+    assert core.crossbar.connectivity[0, 0]
+
+
+def test_stochastic_core_uses_probabilities():
+    core = make_core(stochastic_synapses=True, threshold=1)
+    core.crossbar.set_probabilities(np.full((16, 8), 0.5))
+    fired = 0
+    ticks = 60
+    for _ in range(ticks):
+        fired += int(core.tick(np.ones(16, dtype=int)).sum())
+    # With expectation 8 active synapses of weight +1 and threshold 1, neurons
+    # should fire most but not necessarily all of the time.
+    assert 0 < fired <= ticks * 8
+
+
+def test_utilization_statistics():
+    core = make_core()
+    connectivity = np.zeros((16, 8), dtype=bool)
+    connectivity[0, 0] = True
+    connectivity[1, 0] = True
+    core.crossbar.set_connectivity(connectivity)
+    stats = core.utilization()
+    assert stats["programmed_synapses"] == 2
+    assert stats["used_axons"] == 2
+    assert stats["used_neurons"] == 1
+    assert 0 < stats["synapse_density"] < 1

@@ -1,0 +1,101 @@
+"""Tests for the synaptic crossbar."""
+
+import numpy as np
+import pytest
+
+from repro.truenorth.crossbar import SynapticCrossbar
+from repro.truenorth.prng import LfsrPrng
+
+
+def make_crossbar(axons=8, neurons=6, table=(1, -1, 2, -2)):
+    return SynapticCrossbar(axons=axons, neurons=neurons, weight_table=table)
+
+
+def test_effective_weights_use_axon_types_and_tables():
+    crossbar = make_crossbar()
+    connectivity = np.zeros((8, 6), dtype=bool)
+    connectivity[0, 0] = True
+    connectivity[1, 1] = True
+    crossbar.set_connectivity(connectivity)
+    crossbar.set_axon_types([0, 1, 0, 0, 0, 0, 0, 0])
+    weights = crossbar.effective_weights()
+    assert weights[0, 0] == 1  # type 0 -> +1
+    assert weights[1, 1] == -1  # type 1 -> -1
+    assert weights.sum() == 0  # nothing else connected
+
+
+def test_per_neuron_weight_table_override():
+    crossbar = make_crossbar()
+    connectivity = np.ones((8, 6), dtype=bool)
+    crossbar.set_connectivity(connectivity)
+    crossbar.set_neuron_weight_table(2, (5, -5, 0, 0))
+    weights = crossbar.effective_weights()
+    assert np.all(weights[:, 2] == 5)  # all axons default to type 0
+    assert np.all(weights[:, 0] == 1)
+
+
+def test_integrate_deterministic():
+    crossbar = make_crossbar()
+    connectivity = np.zeros((8, 6), dtype=bool)
+    connectivity[:4, 0] = True
+    crossbar.set_connectivity(connectivity)
+    spikes = np.array([1, 1, 0, 1, 0, 0, 0, 0])
+    result = crossbar.integrate(spikes)
+    assert result[0] == 3  # three active connected axons at weight +1
+    assert np.all(result[1:] == 0)
+
+
+def test_integrate_stochastic_requires_prng():
+    crossbar = make_crossbar()
+    crossbar.set_probabilities(np.full((8, 6), 0.5))
+    with pytest.raises(ValueError):
+        crossbar.integrate(np.ones(8), stochastic=True)
+
+
+def test_integrate_stochastic_rate():
+    crossbar = make_crossbar(axons=64, neurons=4)
+    crossbar.set_probabilities(np.full((64, 4), 0.5))
+    prng = LfsrPrng(seed=3)
+    totals = np.zeros(4)
+    repeats = 50
+    for _ in range(repeats):
+        totals += crossbar.integrate(np.ones(64), prng=prng, stochastic=True)
+    mean = totals / repeats
+    # Expected value is 64 * 0.5 = 32 per neuron.
+    assert np.all(np.abs(mean - 32) < 6)
+
+
+def test_signed_weight_mode_overrides_tables():
+    crossbar = make_crossbar()
+    signed = np.zeros((8, 6), dtype=int)
+    signed[0, 0] = 3
+    signed[1, 0] = -2
+    crossbar.set_signed_weights(signed)
+    assert crossbar.connectivity[0, 0] and crossbar.connectivity[1, 0]
+    weights = crossbar.effective_weights()
+    assert weights[0, 0] == 3 and weights[1, 0] == -2
+    result = crossbar.integrate(np.array([1, 1, 0, 0, 0, 0, 0, 0]))
+    assert result[0] == 1  # 3 - 2
+
+
+def test_shape_validation():
+    crossbar = make_crossbar()
+    with pytest.raises(ValueError):
+        crossbar.set_connectivity(np.zeros((4, 6), dtype=bool))
+    with pytest.raises(ValueError):
+        crossbar.set_probabilities(np.full((8, 6), 1.5))
+    with pytest.raises(ValueError):
+        crossbar.set_axon_types([0] * 7)
+    with pytest.raises(ValueError):
+        crossbar.integrate(np.ones(7))
+    with pytest.raises(IndexError):
+        crossbar.set_neuron_weight_table(10, (1, 1, 1, 1))
+
+
+def test_crossbar_size_limits():
+    with pytest.raises(ValueError):
+        SynapticCrossbar(axons=0)
+    with pytest.raises(ValueError):
+        SynapticCrossbar(axons=257)
+    with pytest.raises(ValueError):
+        SynapticCrossbar(neurons=300)

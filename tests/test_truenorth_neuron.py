@@ -1,0 +1,91 @@
+"""Tests for the digital neuron models."""
+
+import numpy as np
+import pytest
+
+from repro.truenorth import constants
+from repro.truenorth.config import NeuronConfig
+from repro.truenorth.neuron import LifNeuron, McCullochPittsNeuron, NeuronArray
+
+
+def test_mcculloch_pitts_threshold_rule():
+    neuron = McCullochPittsNeuron(NeuronConfig(threshold=0, leak=0))
+    assert neuron.step(5) == 1
+    assert neuron.step(0) == 1  # y' >= 0 fires (Eq. 4)
+    assert neuron.step(-1) == 0
+
+
+def test_mcculloch_pitts_leak_subtracted():
+    neuron = McCullochPittsNeuron(NeuronConfig(leak=3))
+    assert neuron.step(2) == 0  # 2 - 3 < 0
+    assert neuron.step(3) == 1  # 3 - 3 >= 0
+
+
+def test_mcculloch_pitts_is_history_free():
+    neuron = McCullochPittsNeuron(NeuronConfig())
+    neuron.step(100)
+    # Potential resets regardless of input history.
+    assert neuron.potential == neuron.config.reset_potential
+    assert neuron.step(-1) == 0
+
+
+def test_lif_accumulates_when_not_history_free():
+    config = NeuronConfig(threshold=10, history_free=False)
+    neuron = LifNeuron(config)
+    assert neuron.step(4) == 0
+    assert neuron.step(4) == 0
+    assert neuron.potential == 8
+    assert neuron.step(4) == 1  # 12 >= 10 fires
+    assert neuron.potential == config.reset_potential
+
+
+def test_lif_history_free_matches_mcculloch_pitts():
+    config = NeuronConfig(threshold=0, leak=1, history_free=True)
+    lif = LifNeuron(config)
+    mcp = McCullochPittsNeuron(config)
+    rng = np.random.default_rng(0)
+    for _ in range(50):
+        value = int(rng.integers(-5, 6))
+        assert lif.step(value) == mcp.step(value)
+
+
+def test_lif_reset():
+    neuron = LifNeuron(NeuronConfig(threshold=100, history_free=False))
+    neuron.step(5)
+    neuron.reset()
+    assert neuron.potential == neuron.config.reset_potential
+
+
+def test_potential_saturates_at_hardware_range():
+    neuron = LifNeuron(NeuronConfig(threshold=2**30, history_free=False))
+    for _ in range(10):
+        neuron.step(constants.POTENTIAL_MAX)
+    assert neuron.potential <= constants.POTENTIAL_MAX
+
+
+def test_neuron_array_matches_scalar_neurons():
+    config = NeuronConfig(threshold=2, leak=1, history_free=False)
+    array = NeuronArray(4, config)
+    scalars = [LifNeuron(config) for _ in range(4)]
+    rng = np.random.default_rng(1)
+    for _ in range(30):
+        inputs = rng.integers(-3, 4, size=4)
+        vector_spikes = array.step(inputs)
+        scalar_spikes = [scalars[i].step(int(inputs[i])) for i in range(4)]
+        assert list(vector_spikes) == scalar_spikes
+        assert list(array.potentials) == [s.potential for s in scalars]
+
+
+def test_neuron_array_input_validation():
+    array = NeuronArray(3)
+    with pytest.raises(ValueError):
+        array.step(np.zeros(4))
+    with pytest.raises(ValueError):
+        NeuronArray(0)
+
+
+def test_neuron_config_validation():
+    with pytest.raises(ValueError):
+        NeuronConfig(weight_table=(1, 2, 3))
+    with pytest.raises(ValueError):
+        NeuronConfig(weight_table=(1, -1, 2, 10_000))

@@ -1,0 +1,80 @@
+"""Tests for the NSCS facade (deviation reports, frame running)."""
+
+import numpy as np
+import pytest
+
+from repro.truenorth.chip import TrueNorthChip
+from repro.truenorth.config import ChipConfig, CoreConfig, NeuronConfig
+from repro.truenorth.core import NeurosynapticCore
+from repro.truenorth.nscs import NeuroSynapticChipSimulator
+
+
+def test_deviation_report_zero_when_exact():
+    core = NeurosynapticCore(CoreConfig(axons=4, neurons=4))
+    signed = np.eye(4, dtype=int)
+    core.crossbar.set_signed_weights(signed)
+    report = NeuroSynapticChipSimulator.deviation_report(core, signed.astype(float))
+    assert report.zero_fraction == 1.0
+    assert report.above_half_fraction == 0.0
+    assert report.mean_deviation == 0.0
+
+
+def test_deviation_report_detects_missing_connections():
+    core = NeurosynapticCore(CoreConfig(axons=4, neurons=4))
+    core.crossbar.set_signed_weights(np.zeros((4, 4), dtype=int))
+    desired = np.full((4, 4), 0.8)
+    report = NeuroSynapticChipSimulator.deviation_report(core, desired, normalization=1.0)
+    assert report.above_half_fraction == 1.0
+    assert np.isclose(report.mean_deviation, 0.8)
+    assert np.isclose(report.max_deviation, 0.8)
+
+
+def test_deviation_report_validates_shape_and_normalization():
+    core = NeurosynapticCore(CoreConfig(axons=4, neurons=4))
+    with pytest.raises(ValueError):
+        NeuroSynapticChipSimulator.deviation_report(core, np.zeros((3, 4)))
+    with pytest.raises(ValueError):
+        NeuroSynapticChipSimulator.deviation_report(core, np.zeros((4, 4)), normalization=0.0)
+
+
+def test_deviation_summary_is_plain_dict():
+    core = NeurosynapticCore(CoreConfig(axons=4, neurons=4))
+    core.crossbar.set_signed_weights(np.zeros((4, 4), dtype=int))
+    report = NeuroSynapticChipSimulator.deviation_report(core, np.zeros((4, 4)))
+    summary = report.summary()
+    assert set(summary) == {
+        "zero_fraction",
+        "above_half_fraction",
+        "mean_deviation",
+        "max_deviation",
+    }
+
+
+def test_run_frames_accumulates_output_spikes():
+    config = ChipConfig(
+        grid_shape=(1, 1),
+        core_config=CoreConfig(axons=4, neurons=2, neuron_config=NeuronConfig()),
+    )
+    chip = TrueNorthChip(config)
+    core = chip.allocate_core()
+    signed = np.zeros((4, 2), dtype=int)
+    signed[0, 0] = 1
+    signed[1, 1] = -1
+    core.crossbar.set_signed_weights(signed)
+    chip.bind_input("in", core.core_id, axon_map=[0, 1])
+    chip.bind_output("out", core.core_id, neuron_map=[0, 1])
+    simulator = NeuroSynapticChipSimulator(chip)
+    frames = np.tile(np.array([[1, 1]]), (5, 1))
+    counts = simulator.run_frames("in", {0: frames}, "out", drain_ticks=2)
+    # The positive-drive neuron fires on all 5 input ticks, and also on the
+    # 2 drain ticks (zero input satisfies y' >= 0 under McCulloch-Pitts).
+    assert counts[0][0] == 7
+    # The negative-drive neuron is suppressed on input ticks and only fires
+    # on the drain ticks.
+    assert counts[0][1] == 2
+
+
+def test_run_frames_requires_input():
+    simulator = NeuroSynapticChipSimulator(TrueNorthChip(ChipConfig(grid_shape=(1, 1))))
+    with pytest.raises(ValueError):
+        simulator.run_frames("in", {}, "out")

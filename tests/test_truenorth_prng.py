@@ -1,0 +1,90 @@
+"""Tests for the LFSR pseudo-random number generator."""
+
+import numpy as np
+import pytest
+
+from repro.truenorth.prng import LfsrPrng
+
+
+def test_deterministic_given_seed():
+    a = LfsrPrng(seed=1234)
+    b = LfsrPrng(seed=1234)
+    assert [a.next_bit() for _ in range(64)] == [b.next_bit() for _ in range(64)]
+
+
+def test_different_seeds_differ():
+    a = LfsrPrng(seed=1)
+    b = LfsrPrng(seed=2)
+    assert [a.next_bit() for _ in range(64)] != [b.next_bit() for _ in range(64)]
+
+
+def test_zero_seed_remapped():
+    prng = LfsrPrng(seed=0)
+    assert prng.state != 0
+    # Still produces bits without getting stuck.
+    bits = [prng.next_bit() for _ in range(32)]
+    assert set(bits) <= {0, 1}
+
+
+def test_reset_restores_stream():
+    prng = LfsrPrng(seed=99)
+    first = [prng.next_bit() for _ in range(32)]
+    prng.reset()
+    second = [prng.next_bit() for _ in range(32)]
+    assert first == second
+
+
+def test_state_never_all_zero_over_long_run():
+    prng = LfsrPrng(seed=0xBEEF)
+    for _ in range(5000):
+        prng.next_bit()
+        assert prng.state != 0
+
+
+def test_next_uint_range_and_bits_validation():
+    prng = LfsrPrng(seed=5)
+    values = [prng.next_uint(8) for _ in range(100)]
+    assert all(0 <= v < 256 for v in values)
+    with pytest.raises(ValueError):
+        prng.next_uint(0)
+    with pytest.raises(ValueError):
+        prng.next_uint(40)
+
+
+def test_next_uniform_in_unit_interval():
+    prng = LfsrPrng(seed=7)
+    values = [prng.next_uniform() for _ in range(200)]
+    assert all(0.0 <= v < 1.0 for v in values)
+    # A maximal-length LFSR stream should not be constant.
+    assert len(set(values)) > 50
+
+
+def test_bernoulli_extremes():
+    prng = LfsrPrng(seed=3)
+    assert not any(prng.bernoulli(0.0) for _ in range(50))
+    assert all(prng.bernoulli(1.0) for _ in range(50))
+    with pytest.raises(ValueError):
+        prng.bernoulli(1.5)
+
+
+def test_bernoulli_array_shape_and_rate():
+    prng = LfsrPrng(seed=11)
+    probabilities = np.full((64, 64), 0.25)
+    sample = prng.bernoulli_array(probabilities)
+    assert sample.shape == (64, 64)
+    assert sample.dtype == bool
+    rate = sample.mean()
+    assert 0.15 < rate < 0.35
+
+
+def test_bernoulli_array_rejects_bad_probabilities():
+    prng = LfsrPrng(seed=11)
+    with pytest.raises(ValueError):
+        prng.bernoulli_array(np.array([0.5, 1.2]))
+
+
+def test_bernoulli_array_deterministic_given_state():
+    a = LfsrPrng(seed=21)
+    b = LfsrPrng(seed=21)
+    probabilities = np.linspace(0, 1, 100).reshape(10, 10)
+    assert np.array_equal(a.bernoulli_array(probabilities), b.bernoulli_array(probabilities))

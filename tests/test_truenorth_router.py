@@ -1,0 +1,76 @@
+"""Tests for the spike router."""
+
+import numpy as np
+import pytest
+
+from repro.truenorth.router import SpikeRouter
+
+
+def test_spikes_delivered_after_delay():
+    router = SpikeRouter(delay=1)
+    router.connect(source_core=0, source_neuron=2, target_core=1, target_axon=5)
+    submitted = router.submit(core_id=0, spikes=np.array([0, 0, 1, 0]), tick=0)
+    assert submitted == 1
+    assert router.deliver(tick=0, axons_per_core=8) == {}
+    delivery = router.deliver(tick=1, axons_per_core=8)
+    assert 1 in delivery
+    assert delivery[1][5] == 1
+
+
+def test_unrouted_spikes_dropped():
+    router = SpikeRouter()
+    submitted = router.submit(core_id=0, spikes=np.array([1, 1]), tick=0)
+    assert submitted == 0
+    assert router.deliver(tick=1, axons_per_core=4) == {}
+
+
+def test_multiple_spikes_merge_on_axon_vector():
+    router = SpikeRouter()
+    router.connect(0, 0, 2, 1)
+    router.connect(0, 1, 2, 3)
+    router.submit(0, np.array([1, 1]), tick=5)
+    delivery = router.deliver(tick=6, axons_per_core=4)
+    assert list(delivery[2]) == [0, 1, 0, 1]
+
+
+def test_hop_counting_with_positions():
+    router = SpikeRouter()
+    router.set_core_position(0, 0, 0)
+    router.set_core_position(1, 2, 3)
+    router.connect(0, 0, 1, 0)
+    router.submit(0, np.array([1]), tick=0)
+    router.deliver(tick=1, axons_per_core=2)
+    assert router.hop_count == 5
+    assert router.delivered_count == 1
+
+
+def test_invalid_target_axon_raises():
+    router = SpikeRouter()
+    router.connect(0, 0, 1, 10)
+    router.submit(0, np.array([1]), tick=0)
+    with pytest.raises(IndexError):
+        router.deliver(tick=1, axons_per_core=4)
+
+
+def test_zero_delay_delivers_same_tick():
+    router = SpikeRouter(delay=0)
+    router.connect(0, 0, 1, 0)
+    router.submit(0, np.array([1]), tick=7)
+    delivery = router.deliver(tick=7, axons_per_core=2)
+    assert delivery[1][0] == 1
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        SpikeRouter(delay=-1)
+
+
+def test_pending_events_enumeration():
+    router = SpikeRouter()
+    router.connect(0, 0, 1, 0)
+    router.connect(0, 1, 1, 1)
+    router.submit(0, np.array([1, 1]), tick=0)
+    events = list(router.pending_events())
+    assert len(events) == 2
+    assert {e.target_axon for e in events} == {0, 1}
+    assert router.route_count == 2

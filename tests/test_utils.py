@@ -1,0 +1,101 @@
+"""Tests for the utility modules (rng, tables, serialization, logging)."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.utils.logging import configure_logging, get_logger
+from repro.utils.rng import SeedSequenceFactory, new_rng, spawn_rngs
+from repro.utils.serialization import load_json, load_npz, save_json, save_npz
+from repro.utils.tables import format_table
+
+
+def test_new_rng_accepts_all_forms():
+    generator = np.random.default_rng(0)
+    assert new_rng(generator) is generator
+    assert isinstance(new_rng(5), np.random.Generator)
+    assert isinstance(new_rng(None), np.random.Generator)
+    # Same integer seed -> same stream.
+    assert new_rng(7).integers(0, 100, 5).tolist() == new_rng(7).integers(0, 100, 5).tolist()
+
+
+def test_spawn_rngs_independent_and_deterministic():
+    streams_a = spawn_rngs(0, 3)
+    streams_b = spawn_rngs(0, 3)
+    draws_a = [r.integers(0, 1000, 4).tolist() for r in streams_a]
+    draws_b = [r.integers(0, 1000, 4).tolist() for r in streams_b]
+    assert draws_a == draws_b
+    assert draws_a[0] != draws_a[1]
+    assert spawn_rngs(0, 0) == []
+    with pytest.raises(ValueError):
+        spawn_rngs(0, -1)
+
+
+def test_spawn_rngs_from_generator():
+    parent = np.random.default_rng(3)
+    children = spawn_rngs(parent, 2)
+    assert len(children) == 2
+    assert children[0].integers(0, 10) != children[1].integers(0, 10) or True
+
+
+def test_seed_sequence_factory_streams_are_stable():
+    factory_a = SeedSequenceFactory(42)
+    factory_b = SeedSequenceFactory(42)
+    assert (
+        factory_a.rng("weights").integers(0, 1000, 3).tolist()
+        == factory_b.rng("weights").integers(0, 1000, 3).tolist()
+    )
+    # Different names give different streams; repeated calls advance the stream.
+    assert (
+        factory_a.rng("spikes").integers(0, 1000, 3).tolist()
+        != factory_b.rng("weights").integers(0, 1000, 3).tolist()
+    )
+    factory_a.reset()
+    assert factory_a.root_seed == 42
+
+
+def test_format_table_alignment_and_validation():
+    table = format_table(
+        ["name", "value"], [("alpha", 1.23456), ("b", 7)], title="demo"
+    )
+    lines = table.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert "1.2346" in table  # floats rendered with 4 decimals
+    with pytest.raises(ValueError):
+        format_table(["a"], [(1, 2)])
+
+
+def test_json_roundtrip_with_numpy_types(tmp_path):
+    payload = {
+        "array": np.arange(3),
+        "float": np.float64(1.5),
+        "int": np.int32(7),
+        "flag": np.bool_(True),
+        "nested": {"values": [np.float32(0.25)]},
+    }
+    path = save_json(tmp_path / "sub" / "report.json", payload)
+    loaded = load_json(path)
+    assert loaded["array"] == [0, 1, 2]
+    assert loaded["float"] == 1.5
+    assert loaded["int"] == 7
+    assert loaded["flag"] is True
+    assert loaded["nested"]["values"] == [0.25]
+
+
+def test_npz_roundtrip(tmp_path):
+    arrays = {"a": np.random.default_rng(0).random((4, 4)), "b": np.arange(5)}
+    path = save_npz(tmp_path / "arrays.npz", arrays)
+    loaded = load_npz(path)
+    assert set(loaded) == {"a", "b"}
+    assert np.array_equal(loaded["a"], arrays["a"])
+
+
+def test_logging_configuration_idempotent():
+    logger = configure_logging(level=logging.DEBUG)
+    handler_count = len(logger.handlers)
+    configure_logging(level=logging.INFO)
+    assert len(logger.handlers) == handler_count
+    assert get_logger().name == "repro"
+    assert get_logger("repro.custom").name == "repro.custom"
