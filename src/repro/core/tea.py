@@ -143,10 +143,7 @@ class TeaLearning:
             validation_data=(splits.test.features, splits.test.labels),
             rng=rng,
         )
-        history.train_loss.extend(penalized_history.train_loss)
-        history.train_accuracy.extend(penalized_history.train_accuracy)
-        history.validation_accuracy.extend(penalized_history.validation_accuracy)
-        history.penalty.extend(penalized_history.penalty)
+        history.merge(penalized_history)
         predictions = network.predict(splits.test.features)
         float_accuracy = accuracy_score(splits.test.labels, predictions)
         model = TrueNorthModel.from_network(

@@ -9,9 +9,15 @@ but proportionally longer inference time).
 
 from __future__ import annotations
 
+from typing import Iterator, Optional, Tuple
+
 import numpy as np
 
 from repro.utils.rng import RngLike, new_rng
+
+#: Soft cap on the number of elements one encoded chunk may hold; keeps the
+#: streaming path from materializing the full (spf, batch, features) tensor.
+_DEFAULT_CHUNK_ELEMENTS = 4_000_000
 
 
 class StochasticEncoder:
@@ -39,14 +45,50 @@ class StochasticEncoder:
         Returns:
             uint8 array of shape (spikes_per_frame, batch, features).
         """
+        values = self._validate(values)
+        rng = new_rng(rng)
+        draws = rng.random((self.spikes_per_frame,) + values.shape)
+        return (draws < values[None, :, :]).astype(np.uint8)
+
+    def iter_encoded(
+        self,
+        values: np.ndarray,
+        rng: RngLike = None,
+        chunk_frames: Optional[int] = None,
+    ) -> Iterator[Tuple[int, np.ndarray]]:
+        """Stream spike frames in chunks along the spikes-per-frame axis.
+
+        Yields ``(start, frames)`` pairs where ``frames`` has shape
+        ``(chunk, batch, features)`` and covers spike frames
+        ``start .. start + chunk``.  Generator draws fill sequentially, so
+        concatenating all chunks reproduces :meth:`encode` bit for bit for
+        the same ``rng`` — callers can stream without changing results.
+
+        Args:
+            values: array of shape (batch, features) with entries in [0, 1].
+            rng: randomness source.
+            chunk_frames: frames per chunk; ``None`` targets a few million
+                elements per chunk.
+        """
+        values = self._validate(values)
+        rng = new_rng(rng)
+        if chunk_frames is None:
+            per_frame = max(int(values.size), 1)
+            chunk_frames = max(1, _DEFAULT_CHUNK_ELEMENTS // per_frame)
+        if chunk_frames <= 0:
+            raise ValueError(f"chunk_frames must be positive, got {chunk_frames}")
+        for start in range(0, self.spikes_per_frame, chunk_frames):
+            count = min(chunk_frames, self.spikes_per_frame - start)
+            draws = rng.random((count,) + values.shape)
+            yield start, (draws < values[None, :, :]).astype(np.uint8)
+
+    def _validate(self, values: np.ndarray) -> np.ndarray:
         values = np.asarray(values, dtype=float)
         if values.ndim != 2:
             raise ValueError(f"values must be 2-D (batch, features), got {values.shape}")
         if values.size and (values.min() < 0.0 or values.max() > 1.0):
             raise ValueError("values must lie in [0, 1]")
-        rng = new_rng(rng)
-        draws = rng.random((self.spikes_per_frame,) + values.shape)
-        return (draws < values[None, :, :]).astype(np.uint8)
+        return values
 
     def expected_rate(self, values: np.ndarray) -> np.ndarray:
         """Expected number of spikes per feature over one frame."""

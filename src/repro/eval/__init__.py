@@ -12,9 +12,29 @@ This package measures the three quantities the paper co-optimizes:
 plus the accuracy-matched comparison procedure of Table 2
 (:mod:`repro.eval.comparison`) and the synaptic-deviation analysis of
 Figure 4 (:mod:`repro.eval.deviation`).
+
+All deployed evaluation runs on the vectorized multi-copy engine
+(:mod:`repro.eval.engine`): every copy's sampled weights are stacked into
+per-layer tensors and whole (copies x spf x batch) spike volumes propagate
+in a handful of matmuls.  :mod:`repro.eval.runner` layers the
+(copies, spf) grid sweep, streamed encoding, and a results cache on top.
+Deployed class scores follow the float model's merge convention (per-class
+means, ``1/n_k`` weighting) — see :mod:`repro.eval.engine` for the full
+scoring and firing-rule conventions.
 """
 
 from repro.eval.accuracy import DeployedAccuracy, evaluate_deployed_accuracy
+from repro.eval.engine import (
+    VectorizedEvaluator,
+    evaluate_scores_reference,
+    forward_spikes_reference,
+)
+from repro.eval.runner import (
+    GLOBAL_SCORE_CACHE,
+    ScoreCache,
+    SweepRunner,
+    model_fingerprint,
+)
 from repro.eval.sweep import SweepResult, accuracy_sweep, accuracy_boost
 from repro.eval.occupation import core_occupation, occupation_table
 from repro.eval.performance import frames_to_latency, speedup_between
@@ -29,6 +49,13 @@ from repro.eval.deviation import model_deviation_report
 __all__ = [
     "DeployedAccuracy",
     "evaluate_deployed_accuracy",
+    "VectorizedEvaluator",
+    "evaluate_scores_reference",
+    "forward_spikes_reference",
+    "SweepRunner",
+    "ScoreCache",
+    "GLOBAL_SCORE_CACHE",
+    "model_fingerprint",
     "SweepResult",
     "accuracy_sweep",
     "accuracy_boost",

@@ -5,7 +5,9 @@ sampled crossbar connectivity of every copy and on the stochastic input
 spikes.  Following the paper (Section 4.2, "we have averaged accuracy at each
 grid over ten results"), :func:`evaluate_deployed_accuracy` repeats the whole
 deployment + evaluation several times and reports the mean and standard
-deviation.
+deviation.  The evaluation itself runs on the vectorized multi-copy engine
+(:mod:`repro.eval.engine`); scores follow the class-mean merge convention
+shared with the float model.
 """
 
 from __future__ import annotations

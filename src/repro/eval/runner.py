@@ -1,0 +1,250 @@
+"""SweepRunner: one-pass evaluation of a whole (copies, spf) grid.
+
+The sweep drivers of Figures 7-9 and Table 2 all need deployed accuracy over
+a grid of spatial x temporal duplication levels.  :class:`SweepRunner` wires
+the pieces together on top of :class:`repro.eval.engine.VectorizedEvaluator`:
+
+* the corelets are built once and the *largest* copy count is deployed once
+  per repeat;
+* the input frames are encoded once per repeat (streamed in chunks so the
+  spike volume never fully materializes) and pushed through all copies in a
+  single vectorized pass;
+* every smaller grid point is derived from cumulative sums of the score
+  tensor (the scores of a 16-copy, 4-spf deployment contain those of every
+  nested configuration — just sum fewer copies / fewer frames);
+* repeated evaluations of the same (model, grid, seed) are served from a
+  results cache keyed by ``(model fingerprint, copies, spf, seed)``, which
+  the experiment drivers share when they re-sweep the same trained model
+  (e.g. Figure 7 feeding Figure 8, or Figure 9(a) probing several spf levels
+  of the same Table 2 procedure).
+
+Caching only engages for integer seeds — a caller-supplied generator has
+hidden state, so results evaluated from one are never reused.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.model import TrueNorthModel
+from repro.datasets.base import Dataset
+from repro.eval.engine import VectorizedEvaluator
+from repro.mapping.corelet import CoreletNetwork, build_corelets
+from repro.mapping.duplication import deploy_with_copies
+from repro.nn.metrics import accuracy_score
+from repro.utils.rng import RngLike, new_rng, spawn_rngs
+
+
+def model_fingerprint(model: TrueNorthModel) -> str:
+    """Stable content hash of a trained model (architecture + weights)."""
+    digest = hashlib.sha256()
+    arch = model.architecture
+    digest.update(
+        f"{arch.name}|{arch.input_dim}|{arch.num_classes}|"
+        f"{arch.synaptic_value}|{len(arch.layers)}".encode()
+    )
+    for layer_weights in model.block_weights:
+        for weights in layer_weights:
+            digest.update(str(weights.shape).encode())
+            digest.update(np.ascontiguousarray(weights, dtype=np.float64).tobytes())
+    return digest.hexdigest()
+
+
+def dataset_fingerprint(dataset: Dataset) -> str:
+    """Stable content hash of an evaluation dataset (features + labels)."""
+    digest = hashlib.sha256()
+    features = np.ascontiguousarray(dataset.features, dtype=np.float64)
+    labels = np.ascontiguousarray(dataset.labels)
+    digest.update(str(features.shape).encode())
+    digest.update(features.tobytes())
+    digest.update(labels.tobytes())
+    return digest.hexdigest()
+
+
+class ScoreCache:
+    """In-memory cache of evaluated score tensors.
+
+    Keys are ``(model fingerprint, max copies, max spf, seed, repeats,
+    sample count)`` — everything that determines the evaluated score grid.
+    Values are the per-repeat cumulative score tensors, from which any nested
+    (copies, spf) sub-grid can be read off without re-deploying anything.
+    """
+
+    def __init__(self, max_entries: int = 16):
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: Dict[Tuple, List[np.ndarray]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Tuple) -> Optional[List[np.ndarray]]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, key: Tuple, value: List[np.ndarray]) -> None:
+        if key not in self._entries and len(self._entries) >= self.max_entries:
+            # Drop the oldest entry (insertion order) to bound memory.
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        # Cached tensors are handed out by reference; freeze them so a caller
+        # mutating a returned array cannot silently poison later sweeps.
+        for array in value:
+            array.flags.writeable = False
+        self._entries[key] = value
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Default cache shared by every :class:`SweepRunner` that is not given one.
+GLOBAL_SCORE_CACHE = ScoreCache(max_entries=16)
+
+
+@dataclass
+class SweepRunner:
+    """Evaluates a trained model over a (copies, spf) grid in one pass.
+
+    Args:
+        copy_levels: spatial duplication levels to report (deduplicated and
+            sorted ascending).
+        spf_levels: temporal duplication levels to report.
+        repeats: independent deployment + encoding repeats averaged per grid
+            point.
+        max_samples: optional cap on evaluated samples.
+        chunk_frames: spike frames encoded per streaming chunk (``None`` =
+            automatic).
+        cache: results cache; ``None`` uses the module-level
+            :data:`GLOBAL_SCORE_CACHE`.
+    """
+
+    copy_levels: Sequence[int] = (1, 2, 4, 8, 16)
+    spf_levels: Sequence[int] = (1, 2, 3, 4)
+    repeats: int = 3
+    max_samples: Optional[int] = None
+    chunk_frames: Optional[int] = None
+    cache: Optional[ScoreCache] = None
+
+    def __post_init__(self):
+        self.copy_levels = tuple(sorted(set(int(c) for c in self.copy_levels)))
+        self.spf_levels = tuple(sorted(set(int(s) for s in self.spf_levels)))
+        if not self.copy_levels or self.copy_levels[0] <= 0:
+            raise ValueError("copy_levels must be positive integers")
+        if not self.spf_levels or self.spf_levels[0] <= 0:
+            raise ValueError("spf_levels must be positive integers")
+        if self.repeats <= 0:
+            raise ValueError(f"repeats must be positive, got {self.repeats}")
+        if self.cache is None:
+            self.cache = GLOBAL_SCORE_CACHE
+
+    # ------------------------------------------------------------------
+    def cumulative_scores(
+        self,
+        model: TrueNorthModel,
+        dataset: Dataset,
+        rng: RngLike = None,
+        corelet_network: Optional[CoreletNetwork] = None,
+    ) -> List[np.ndarray]:
+        """Per-repeat cumulative score tensors of the largest configuration.
+
+        Each returned array has shape ``(max_copies, max_spf, batch,
+        num_classes)`` and holds ``cumsum`` over the copy and frame axes, so
+        ``tensor[c - 1, s - 1]`` is the accumulated score of a (c, s)
+        deployment.  Served from the cache when the same (model, grid, seed)
+        was evaluated before.
+        """
+        evaluation = (
+            dataset if self.max_samples is None else dataset.take(self.max_samples)
+        )
+        max_copies = self.copy_levels[-1]
+        max_spf = self.spf_levels[-1]
+        key = None
+        # Only an explicit integer seed is cacheable: rng=None means fresh
+        # entropy (each call must be an independent random sample) and a
+        # caller-supplied generator has hidden state.
+        if isinstance(rng, int) and not isinstance(rng, bool):
+            key = (
+                model_fingerprint(model),
+                max_copies,
+                max_spf,
+                rng,
+                self.repeats,
+                dataset_fingerprint(evaluation),
+            )
+        if key is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+        network = corelet_network or build_corelets(model)
+        tensors: List[np.ndarray] = []
+        for repeat_rng in spawn_rngs(new_rng(rng), self.repeats):
+            deployment = deploy_with_copies(
+                model, copies=max_copies, rng=repeat_rng, corelet_network=network
+            )
+            evaluator = VectorizedEvaluator(deployment.copies)
+            scores = evaluator.evaluate_scores(
+                evaluation.features,
+                max_spf,
+                rng=repeat_rng,
+                chunk_frames=self.chunk_frames,
+            )  # (copies, spf, batch, classes)
+            tensors.append(np.cumsum(np.cumsum(scores, axis=0), axis=1))
+        if key is not None:
+            self.cache.put(key, tensors)
+        return tensors
+
+    def run(
+        self,
+        model: TrueNorthModel,
+        dataset: Dataset,
+        rng: RngLike = None,
+        label: str = "",
+        corelet_network: Optional[CoreletNetwork] = None,
+    ):
+        """Full grid sweep; returns a :class:`repro.eval.sweep.SweepResult`."""
+        from repro.eval.sweep import SweepResult
+
+        evaluation = (
+            dataset if self.max_samples is None else dataset.take(self.max_samples)
+        )
+        labels = evaluation.labels
+        tensors = self.cumulative_scores(
+            model, dataset, rng=rng, corelet_network=corelet_network
+        )
+        accuracy_samples = np.zeros(
+            (self.repeats, len(self.copy_levels), len(self.spf_levels))
+        )
+        for repeat_index, grid_cumulative in enumerate(tensors):
+            for i, copies in enumerate(self.copy_levels):
+                for j, spf in enumerate(self.spf_levels):
+                    merged = grid_cumulative[copies - 1, spf - 1]
+                    predictions = merged.argmax(axis=1)
+                    accuracy_samples[repeat_index, i, j] = accuracy_score(
+                        labels, predictions
+                    )
+        # cores_per_network comes from the architecture directly, so a
+        # cache-served run never rebuilds the corelets.
+        cores_per_copy = model.architecture.cores_per_network
+        cores = np.array([c * cores_per_copy for c in self.copy_levels])
+        return SweepResult(
+            copy_levels=self.copy_levels,
+            spf_levels=self.spf_levels,
+            mean_accuracy=accuracy_samples.mean(axis=0),
+            std_accuracy=accuracy_samples.std(axis=0),
+            cores=cores,
+            repeats=self.repeats,
+            label=label,
+        )

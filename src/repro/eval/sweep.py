@@ -3,10 +3,15 @@
 Evaluating every grid point independently would redo most of the work: the
 class scores of a 16-copy, 4-spf deployment already contain the scores of
 every smaller configuration (just sum fewer copies / fewer frames).  The
-sweep therefore evaluates the largest configuration once per repeat and
-derives every grid point from cumulative sums, exactly reproducing what an
-independent evaluation of each point would measure for nested subsets of
-copies and frames.
+sweep therefore evaluates the largest configuration once per repeat — on the
+vectorized engine (:mod:`repro.eval.engine`), via
+:class:`repro.eval.runner.SweepRunner` — and derives every grid point from
+cumulative sums, exactly reproducing what an independent evaluation of each
+point would measure for nested subsets of copies and frames.
+
+:func:`accuracy_sweep` is the stable functional entry point; construct a
+:class:`~repro.eval.runner.SweepRunner` directly to share its score cache
+across several sweeps of the same model.
 """
 
 from __future__ import annotations
@@ -18,11 +23,8 @@ import numpy as np
 
 from repro.core.model import TrueNorthModel
 from repro.datasets.base import Dataset
-from repro.mapping.corelet import build_corelets
-from repro.mapping.deploy import evaluate_deployed_scores
-from repro.mapping.duplication import deploy_with_copies
-from repro.nn.metrics import accuracy_score
-from repro.utils.rng import RngLike, new_rng, spawn_rngs
+from repro.eval.runner import ScoreCache, SweepRunner
+from repro.utils.rng import RngLike
 
 
 @dataclass(frozen=True)
@@ -79,8 +81,11 @@ def accuracy_sweep(
     rng: RngLike = None,
     max_samples: Optional[int] = None,
     label: str = "",
+    cache: Optional[ScoreCache] = None,
 ) -> SweepResult:
     """Measure deployed accuracy across a grid of duplication levels.
+
+    Thin functional wrapper over :class:`repro.eval.runner.SweepRunner`.
 
     Args:
         model: trained model to deploy.
@@ -91,56 +96,20 @@ def accuracy_sweep(
         rng: root randomness.
         max_samples: optional cap on evaluated samples.
         label: name recorded in the result.
+        cache: optional score cache shared with other sweeps of the same
+            model (``None`` uses the global cache).
 
     Returns:
         a :class:`SweepResult` covering the full grid.
     """
-    copy_levels = tuple(sorted(set(int(c) for c in copy_levels)))
-    spf_levels = tuple(sorted(set(int(s) for s in spf_levels)))
-    if not copy_levels or copy_levels[0] <= 0:
-        raise ValueError("copy_levels must be positive integers")
-    if not spf_levels or spf_levels[0] <= 0:
-        raise ValueError("spf_levels must be positive integers")
-    if repeats <= 0:
-        raise ValueError(f"repeats must be positive, got {repeats}")
-
-    evaluation = dataset if max_samples is None else dataset.take(max_samples)
-    network = build_corelets(model)
-    max_copies = copy_levels[-1]
-    max_spf = spf_levels[-1]
-    labels = evaluation.labels
-
-    accuracy_samples = np.zeros((repeats, len(copy_levels), len(spf_levels)))
-    for repeat_index, repeat_rng in enumerate(spawn_rngs(new_rng(rng), repeats)):
-        deployment = deploy_with_copies(
-            model, copies=max_copies, rng=repeat_rng, corelet_network=network
-        )
-        scores = evaluate_deployed_scores(
-            deployment.copies,
-            evaluation.features,
-            spikes_per_frame=max_spf,
-            rng=repeat_rng,
-        )  # (copies, spf, batch, classes)
-        copy_cumulative = np.cumsum(scores, axis=0)
-        grid_cumulative = np.cumsum(copy_cumulative, axis=1)
-        for i, copies in enumerate(copy_levels):
-            for j, spf in enumerate(spf_levels):
-                merged = grid_cumulative[copies - 1, spf - 1]
-                predictions = merged.argmax(axis=1)
-                accuracy_samples[repeat_index, i, j] = accuracy_score(
-                    labels, predictions
-                )
-
-    cores = np.array([c * network.core_count for c in copy_levels])
-    return SweepResult(
+    runner = SweepRunner(
         copy_levels=copy_levels,
         spf_levels=spf_levels,
-        mean_accuracy=accuracy_samples.mean(axis=0),
-        std_accuracy=accuracy_samples.std(axis=0),
-        cores=cores,
         repeats=repeats,
-        label=label,
+        max_samples=max_samples,
+        cache=cache,
     )
+    return runner.run(model, dataset, rng=rng, label=label)
 
 
 def accuracy_boost(ours: SweepResult, baseline: SweepResult) -> np.ndarray:

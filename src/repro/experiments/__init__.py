@@ -14,6 +14,7 @@ from repro.experiments.testbenches import (
     TEST_BENCHES,
     build_testbench_architecture,
     load_testbench_data,
+    testbench_sweep,
 )
 from repro.experiments.runner import ExperimentContext, train_method_pair
 from repro.experiments.table1 import run_table1
@@ -30,6 +31,7 @@ __all__ = [
     "TEST_BENCHES",
     "build_testbench_architecture",
     "load_testbench_data",
+    "testbench_sweep",
     "ExperimentContext",
     "train_method_pair",
     "run_table1",

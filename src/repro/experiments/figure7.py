@@ -6,13 +6,18 @@ and temporal duplication levels (spikes per frame).  The paper's shape
 claims, which the corresponding benchmark asserts, are that both surfaces
 rise and saturate toward the floating-point ceiling as duplication grows and
 that the biased surface sits above the Tea surface.
+
+Both sweeps run on the vectorized evaluation engine through one shared
+:class:`~repro.eval.runner.SweepRunner`, so Figure 8 (which differences the
+two surfaces) and repeated invocations reuse the cached score tensors
+instead of re-deploying anything.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from repro.eval.sweep import accuracy_sweep
+from repro.eval.runner import SweepRunner
 from repro.experiments.runner import ExperimentContext
 
 
@@ -20,29 +25,34 @@ def run_figure7(
     context: Optional[ExperimentContext] = None,
     copy_levels: Sequence[int] = (1, 2, 4, 8, 16),
     spf_levels: Sequence[int] = (1, 2, 3, 4),
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, object]:
     """Regenerate Figure 7 (both accuracy surfaces).
+
+    Args:
+        context: shared trained-model context.
+        copy_levels / spf_levels: grid to sweep (ignored when ``runner`` is
+            given, which carries its own grid).
+        runner: optional pre-configured sweep runner (lets callers share its
+            score cache across figures).
 
     Returns a dict with the grids, each method's mean-accuracy surface (as
     nested lists), and the float-model ceiling accuracies.
     """
     context = context or ExperimentContext()
     dataset = context.evaluation_dataset()
+    runner = runner or SweepRunner(
+        copy_levels=copy_levels,
+        spf_levels=spf_levels,
+        repeats=context.repeats,
+    )
     report: Dict[str, object] = {
-        "copy_levels": list(copy_levels),
-        "spf_levels": list(spf_levels),
+        "copy_levels": list(runner.copy_levels),
+        "spf_levels": list(runner.spf_levels),
     }
     for method in ("tea", "biased"):
         result = context.result(method)
-        sweep = accuracy_sweep(
-            result.model,
-            dataset,
-            copy_levels=copy_levels,
-            spf_levels=spf_levels,
-            repeats=context.repeats,
-            rng=context.seed,
-            label=method,
-        )
+        sweep = runner.run(result.model, dataset, rng=context.seed, label=method)
         report[method] = {
             "surface": sweep.mean_accuracy.tolist(),
             "std": sweep.std_accuracy.tolist(),

@@ -12,6 +12,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.eval.runner import SweepRunner
 from repro.eval.sweep import accuracy_boost
 from repro.experiments.figure7 import run_figure7
 from repro.experiments.runner import ExperimentContext
@@ -22,15 +23,18 @@ def run_figure8(
     copy_levels: Sequence[int] = (1, 2, 4, 8, 16),
     spf_levels: Sequence[int] = (1, 2, 3, 4),
     figure7_report: Optional[Dict[str, object]] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, object]:
     """Regenerate Figure 8 (the boost surface).
 
     Reuses a Figure 7 report when provided (the two figures share their
-    sweeps); otherwise runs the sweeps itself.
+    sweeps); otherwise runs the sweeps itself on the vectorized engine —
+    when neither a report nor a runner is given, the runner's score cache
+    still deduplicates against any earlier Figure 7 run with the same seed.
     """
     context = context or ExperimentContext()
     report = figure7_report or run_figure7(
-        context, copy_levels=copy_levels, spf_levels=spf_levels
+        context, copy_levels=copy_levels, spf_levels=spf_levels, runner=runner
     )
     boost = accuracy_boost(report["_sweep_biased"], report["_sweep_tea"])
     max_index = np.unravel_index(np.argmax(boost), boost.shape)

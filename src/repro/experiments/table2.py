@@ -16,28 +16,42 @@ from repro.eval.comparison import (
     label_points,
     performance_comparison,
 )
-from repro.eval.sweep import accuracy_sweep
+from repro.eval.sweep import SweepResult, accuracy_sweep
 from repro.experiments.runner import ExperimentContext
 from repro.utils.tables import format_table
 
 
-def _copy_sweep_points(context: ExperimentContext, method: str, copy_levels, spf: int):
-    """Accuracy-vs-cores points for one method at fixed spf."""
-    result = context.result(method)
-    dataset = context.evaluation_dataset()
-    sweep = accuracy_sweep(
-        result.model,
-        dataset,
-        copy_levels=copy_levels,
-        spf_levels=(spf,),
-        repeats=context.repeats,
-        rng=context.seed,
-        label=method,
-    )
-    accuracies = [sweep.accuracy_at(c, spf) for c in sweep.copy_levels]
-    cores = [int(core) for core in sweep.cores]
+def _copy_sweep_points(
+    context: ExperimentContext,
+    method: str,
+    copy_levels,
+    spf: int,
+    sweep: Optional[SweepResult] = None,
+):
+    """Accuracy-vs-cores points for one method at fixed spf.
+
+    A pre-computed ``sweep`` covering ``copy_levels`` and ``spf`` (e.g. one
+    full-grid pass shared by Figure 9(a)'s per-spf rows) is used when given;
+    otherwise a single-spf sweep runs on the vectorized engine.
+    """
+    if sweep is None:
+        result = context.result(method)
+        dataset = context.evaluation_dataset()
+        sweep = accuracy_sweep(
+            result.model,
+            dataset,
+            copy_levels=copy_levels,
+            spf_levels=(spf,),
+            repeats=context.repeats,
+            rng=context.seed,
+            label=method,
+        )
+    levels = tuple(sorted(set(int(c) for c in copy_levels)))
+    accuracies = [sweep.accuracy_at(c, spf) for c in levels]
+    cores_by_level = dict(zip(sweep.copy_levels, sweep.cores))
+    cores = [int(cores_by_level[c]) for c in levels]
     prefix = "N" if method == "tea" else "B"
-    return label_points(sweep.copy_levels, accuracies, cores, prefix), sweep
+    return label_points(levels, accuracies, cores, prefix), sweep
 
 
 def _spf_sweep_points(context: ExperimentContext, method: str, spf_levels, copies: int):
@@ -64,11 +78,20 @@ def run_table2a(
     copy_levels: Sequence[int] = (1, 2, 3, 4, 5, 7, 9, 10, 16),
     biased_copy_levels: Sequence[int] = (1, 2, 3, 4, 5),
     spf: int = 1,
+    tea_sweep: Optional[SweepResult] = None,
+    biased_sweep: Optional[SweepResult] = None,
 ) -> Dict[str, object]:
-    """Regenerate Table 2(a): core occupation efficiency at ``spf`` spikes/frame."""
+    """Regenerate Table 2(a): core occupation efficiency at ``spf`` spikes/frame.
+
+    ``tea_sweep`` / ``biased_sweep`` may carry pre-computed grids covering
+    the requested levels (Figure 9(a) passes one full-grid evaluation and
+    reads every spf row off it).
+    """
     context = context or ExperimentContext()
-    tea_points, _ = _copy_sweep_points(context, "tea", copy_levels, spf)
-    biased_points, _ = _copy_sweep_points(context, "biased", biased_copy_levels, spf)
+    tea_points, _ = _copy_sweep_points(context, "tea", copy_levels, spf, sweep=tea_sweep)
+    biased_points, _ = _copy_sweep_points(
+        context, "biased", biased_copy_levels, spf, sweep=biased_sweep
+    )
     rows, average_saving, max_saving = core_occupation_comparison(
         tea_points, biased_points
     )

@@ -25,7 +25,7 @@ the overall network remains laptop-trainable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.model import LayerSpec, NetworkArchitecture
 from repro.datasets.base import DatasetSplits
@@ -201,3 +201,44 @@ def load_testbench_data(
         )
         return Splits(train=train, test=test)
     return splits
+
+
+def testbench_sweep(
+    bench: int,
+    method: str = "tea",
+    copy_levels: Sequence[int] = (1, 2, 4, 8, 16),
+    spf_levels: Sequence[int] = (1, 2, 3, 4),
+    context_overrides: Optional[Dict[str, object]] = None,
+):
+    """Train one test bench's model and sweep it on the vectorized engine.
+
+    Convenience entry point tying a Table 3 bench to the
+    :class:`repro.eval.runner.SweepRunner` grid evaluation — the path the
+    eval-engine benchmark and the scalability figures use.
+
+    Args:
+        bench: test bench number (1-5).
+        method: learning method to train ("tea", "biased", or "l1").
+        copy_levels / spf_levels: duplication grid to evaluate.
+        context_overrides: keyword overrides for the bench's
+            :class:`~repro.experiments.runner.ExperimentContext` (e.g. a
+            smaller ``train_size`` for smoke runs).
+
+    Returns:
+        ``(sweep, context)`` — the :class:`repro.eval.sweep.SweepResult` and
+        the context holding the trained model.
+    """
+    from repro.eval.runner import SweepRunner
+    from repro.experiments.runner import ExperimentContext
+
+    context = ExperimentContext(testbench=int(bench), **dict(context_overrides or {}))
+    runner = SweepRunner(
+        copy_levels=copy_levels, spf_levels=spf_levels, repeats=context.repeats
+    )
+    sweep = runner.run(
+        context.result(method).model,
+        context.evaluation_dataset(),
+        rng=context.seed,
+        label=f"testbench-{bench}-{method}",
+    )
+    return sweep, context

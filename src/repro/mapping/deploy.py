@@ -3,24 +3,32 @@
 Deployment turns the trained connection probabilities into concrete binary
 crossbar connectivities by Bernoulli sampling (one independent sample per
 network copy), exactly as the paper's flow does when it writes a model onto
-the chip.  :class:`DeployedNetwork` is the fast, vectorized functional
-equivalent of running the sampled network on hardware: it propagates binary
-spike frames through the sampled integer weights with the McCulloch-Pitts
-threshold rule.  Its arithmetic is identical to the per-core simulator in
-``repro.truenorth`` (the test suite checks the two agree spike for spike);
-the vectorized form exists because the evaluation sweeps of Figures 7-9 run
-hundreds of samples through up to 16 copies x 16 spf combinations.
+the chip.  :class:`DeployedNetwork` is the functional equivalent of running
+one sampled copy on hardware; since the heavy sweeps of Figures 7-9 always
+evaluate many copies over many spike frames, the actual propagation is done
+by :class:`repro.eval.engine.VectorizedEvaluator`, which stacks all copies'
+sampled weights into per-layer tensors and pushes the whole spike volume
+through in a handful of matmuls.  :class:`DeployedNetwork` remains as the
+thin single-copy compatibility wrapper over that engine.
+
+Scoring convention: deployed class scores are per-class *means* of the
+readout spikes (``1/n_k`` weighting), matching the float model's
+:meth:`~repro.core.model.NetworkArchitecture.merge_matrix` so float and
+deployed scores are directly comparable even when ``output_dim %
+num_classes != 0``.  Firing rule: a neuron spikes iff its weighted sum
+satisfies ``y' >= 0`` *and* at least one ON synapse received a spike this
+tick — identical to the per-core simulator in ``repro.truenorth`` (the test
+suite checks the two agree spike for spike).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.core.model import TrueNorthModel
-from repro.encoding.stochastic import StochasticEncoder
 from repro.mapping.corelet import Corelet, CoreletNetwork, build_corelets
 from repro.utils.rng import RngLike, new_rng
 
@@ -48,11 +56,22 @@ class DeployedNetwork:
 
     corelet_network: CoreletNetwork
     sampled_weights: List[List[np.ndarray]] = field(default_factory=list)
+    _evaluator: Optional[object] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def core_count(self) -> int:
         """Cores occupied by this copy."""
         return self.corelet_network.core_count
+
+    def evaluator(self):
+        """The (lazily built) single-copy vectorized evaluator."""
+        from repro.eval.engine import VectorizedEvaluator
+
+        if self._evaluator is None:
+            self._evaluator = VectorizedEvaluator([self])
+        return self._evaluator
 
     # ------------------------------------------------------------------
     def forward_spikes(self, spike_frame: np.ndarray) -> np.ndarray:
@@ -63,7 +82,9 @@ class DeployedNetwork:
 
         Returns:
             binary array of shape (batch, last_layer_output_dim) with the
-            output spikes of the last hidden layer's neurons.
+            output spikes of the last hidden layer's neurons.  A neuron only
+            fires when its weighted sum satisfies ``y' >= 0`` *and* at least
+            one ON synapse received a spike (a silent crossbar never spikes).
         """
         spike_frame = np.asarray(spike_frame, dtype=float)
         network = self.corelet_network
@@ -72,27 +93,16 @@ class DeployedNetwork:
                 f"expected spikes of shape (batch, {network.input_dim}), "
                 f"got {spike_frame.shape}"
             )
-        current = spike_frame
-        for depth, layer_corelets in enumerate(network.corelets):
-            outputs = []
-            for corelet, weights in zip(layer_corelets, self.sampled_weights[depth]):
-                indices = np.asarray(corelet.input_channels, dtype=int)
-                # y' = w' . x'  (leak = 0); spike iff y' >= 0 and at least one
-                # synapse could contribute (the hardware never fires a neuron
-                # with no active synapses in the history-free mode when the
-                # threshold is positive; with threshold 0 the >= rule applies).
-                pre = current[:, indices] @ weights
-                outputs.append((pre >= 0.0).astype(float))
-            current = np.concatenate(outputs, axis=1)
-        return current
+        return self.evaluator().forward_spikes(spike_frame)[0]
 
     def class_scores(self, spike_frame: np.ndarray) -> np.ndarray:
-        """Per-class spike scores for one frame (batch, num_classes)."""
-        network = self.corelet_network
-        spikes = self.forward_spikes(spike_frame)
-        scores = np.zeros((spikes.shape[0], network.num_classes))
-        np.add.at(scores, (slice(None), network.class_assignment), spikes)
-        return scores
+        """Class-mean spike scores for one frame (batch, num_classes).
+
+        Each readout neuron contributes ``1/n_k`` of its spike to its class
+        (``n_k`` = readout neurons of that class), matching the float model's
+        merge convention.
+        """
+        return self.evaluator().class_scores(spike_frame)[0]
 
 
 def deploy_model(
@@ -122,28 +132,28 @@ def evaluate_deployed_scores(
     features: np.ndarray,
     spikes_per_frame: int,
     rng: RngLike = None,
+    chunk_frames: Optional[int] = None,
 ) -> np.ndarray:
     """Class-score tensor of several deployed copies over several spike frames.
 
     Every copy sees the *same* input spike realizations (on hardware a
     splitter fans the one spike stream out to all copies), while each copy
-    applies its own sampled connectivity.
+    applies its own sampled connectivity.  The propagation is fully
+    vectorized (:class:`repro.eval.engine.VectorizedEvaluator`) and the
+    encoding is streamed, so the spike volume never fully materializes.
 
     Returns:
         array of shape (copies, spikes_per_frame, batch, num_classes) holding
-        the per-frame class scores of each copy.  Summing over leading axes
-        yields the accumulated scores of any smaller (copies, spf) setting,
-        which is how the evaluation sweeps reuse one pass for a whole grid.
+        the per-frame class-mean scores of each copy.  Summing over leading
+        axes yields the accumulated scores of any smaller (copies, spf)
+        setting, which is how the evaluation sweeps reuse one pass for a
+        whole grid.
     """
+    from repro.eval.engine import VectorizedEvaluator
+
     if not copies:
         raise ValueError("at least one deployed copy is required")
-    rng = new_rng(rng)
-    encoder = StochasticEncoder(spikes_per_frame=spikes_per_frame)
-    frames = encoder.encode(features, rng=rng)  # (spf, batch, features)
-    num_classes = copies[0].corelet_network.num_classes
-    batch = frames.shape[1]
-    scores = np.zeros((len(copies), spikes_per_frame, batch, num_classes))
-    for copy_index, copy in enumerate(copies):
-        for frame_index in range(spikes_per_frame):
-            scores[copy_index, frame_index] = copy.class_scores(frames[frame_index])
-    return scores
+    evaluator = VectorizedEvaluator(copies)
+    return evaluator.evaluate_scores(
+        features, spikes_per_frame, rng=rng, chunk_frames=chunk_frames
+    )

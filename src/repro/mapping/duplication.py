@@ -12,14 +12,14 @@ is based on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
 
 from repro.core.model import TrueNorthModel
 from repro.mapping.corelet import CoreletNetwork, build_corelets
-from repro.mapping.deploy import DeployedNetwork, deploy_model, evaluate_deployed_scores
+from repro.mapping.deploy import DeployedNetwork, deploy_model
 from repro.utils.rng import RngLike, new_rng, spawn_rngs
 
 
@@ -34,6 +34,15 @@ class DuplicatedDeployment:
 
     copies: List[DeployedNetwork]
     corelet_network: CoreletNetwork
+    _evaluator: object = field(default=None, init=False, repr=False, compare=False)
+
+    def evaluator(self):
+        """The (lazily built, cached) vectorized evaluator over all copies."""
+        from repro.eval.engine import VectorizedEvaluator
+
+        if self._evaluator is None:
+            self._evaluator = VectorizedEvaluator(self.copies)
+        return self._evaluator
 
     @property
     def copy_count(self) -> int:
@@ -63,12 +72,12 @@ class DuplicatedDeployment:
     ) -> np.ndarray:
         """Merged class scores over all copies and spike frames.
 
-        Returns an array of shape (batch, num_classes) holding the summed
-        spike scores — the quantity whose argmax is the deployment's
-        prediction.
+        Returns an array of shape (batch, num_classes) holding the per-frame
+        class-mean scores accumulated over copies and frames — the quantity
+        whose argmax is the deployment's prediction.
         """
-        scores = evaluate_deployed_scores(
-            self.copies, features, spikes_per_frame=spikes_per_frame, rng=rng
+        scores = self.evaluator().evaluate_scores(
+            features, spikes_per_frame, rng=rng
         )
         return scores.sum(axis=(0, 1))
 

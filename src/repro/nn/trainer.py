@@ -17,7 +17,13 @@ from repro.utils.rng import RngLike, new_rng
 
 @dataclass
 class TrainingHistory:
-    """Per-epoch records produced by :class:`Trainer.fit`."""
+    """Per-epoch records produced by :class:`Trainer.fit`.
+
+    All four lists always have one entry per completed epoch:
+    ``validation_accuracy`` records NaN for epochs trained without validation
+    data, so histories from separate fits (e.g. a warmup phase followed by a
+    penalized phase) stay aligned when merged.
+    """
 
     train_loss: List[float] = field(default_factory=list)
     train_accuracy: List[float] = field(default_factory=list)
@@ -31,9 +37,28 @@ class TrainingHistory:
 
     def best_validation_accuracy(self) -> float:
         """Highest validation accuracy observed (NaN if never evaluated)."""
-        if not self.validation_accuracy:
+        observed = [v for v in self.validation_accuracy if not np.isnan(v)]
+        if not observed:
             return float("nan")
-        return max(self.validation_accuracy)
+        return max(observed)
+
+    def merge(self, other: "TrainingHistory") -> "TrainingHistory":
+        """Append another history's epochs to this one, in place.
+
+        Defensively pads either side's ``validation_accuracy`` with NaN up to
+        its epoch count first, so merging histories recorded with and without
+        validation data never desynchronizes the lists.  Returns ``self`` for
+        chaining.
+        """
+        for history in (self, other):
+            missing = history.epochs - len(history.validation_accuracy)
+            if missing > 0:
+                history.validation_accuracy.extend([float("nan")] * missing)
+        self.train_loss.extend(other.train_loss)
+        self.train_accuracy.extend(other.train_accuracy)
+        self.validation_accuracy.extend(other.validation_accuracy)
+        self.penalty.extend(other.penalty)
+        return self
 
 
 class Trainer:
@@ -181,7 +206,9 @@ class Trainer:
                 if val_labels.ndim == 2:
                     val_labels = val_labels.argmax(axis=1)
                 validation_accuracy = accuracy_score(val_labels, val_predictions)
-                history.validation_accuracy.append(validation_accuracy)
+            # Always record the slot (NaN when no validation data) so the
+            # history lists stay aligned epoch for epoch.
+            history.validation_accuracy.append(validation_accuracy)
 
             history.train_loss.append(epoch_loss)
             history.train_accuracy.append(train_accuracy)

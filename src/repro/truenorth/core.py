@@ -62,13 +62,29 @@ class NeurosynapticCore:
 
     # ------------------------------------------------------------------
     def tick(self, axon_spikes: np.ndarray) -> np.ndarray:
-        """Run one tick: integrate axon spikes and produce neuron spikes."""
+        """Run one tick: integrate axon spikes and produce neuron spikes.
+
+        In history-free (McCulloch-Pitts) mode a neuron only fires when at
+        least one ON synapse received a spike this tick; a silent crossbar
+        never produces a spike even though its zero weighted sum satisfies
+        ``y' >= 0`` when the threshold is zero.
+        """
         axon_spikes = np.asarray(axon_spikes)
-        stochastic = self.config.neuron_config.stochastic_synapses
-        synaptic_input = self.crossbar.integrate(
-            axon_spikes, prng=self.prng, stochastic=stochastic
-        )
-        spikes = self.neurons.step(synaptic_input)
+        neuron_cfg = self.config.neuron_config
+        if neuron_cfg.history_free:
+            synaptic_input, active_counts = self.crossbar.integrate(
+                axon_spikes,
+                prng=self.prng,
+                stochastic=neuron_cfg.stochastic_synapses,
+                return_active_counts=True,
+            )
+            spikes = self.neurons.step(synaptic_input, active_synapses=active_counts)
+        else:
+            # Stateful (LIF) mode ignores the gate; skip the counts matmul.
+            synaptic_input = self.crossbar.integrate(
+                axon_spikes, prng=self.prng, stochastic=neuron_cfg.stochastic_synapses
+            )
+            spikes = self.neurons.step(synaptic_input)
         self._tick_count += 1
         self._spike_count += int(spikes.sum())
         return spikes

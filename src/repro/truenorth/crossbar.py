@@ -163,7 +163,8 @@ class SynapticCrossbar:
         axon_spikes: np.ndarray,
         prng: Optional[LfsrPrng] = None,
         stochastic: bool = False,
-    ) -> np.ndarray:
+        return_active_counts: bool = False,
+    ):
         """Compute the synaptic input of every neuron for one tick.
 
         Args:
@@ -172,10 +173,14 @@ class SynapticCrossbar:
             stochastic: when True, each programmed connection is re-sampled
                 from its Bernoulli probability this tick; when False the
                 static connectivity is used.
+            return_active_counts: when True, also return the number of ON
+                synapses that received a spike, per neuron — the quantity the
+                neuron array uses to gate firing in history-free mode.
 
         Returns:
             integer vector of length ``neurons`` — the weighted sum each
-            neuron receives this tick.
+            neuron receives this tick — or a ``(sums, active_counts)`` pair
+            when ``return_active_counts`` is set.
         """
         axon_spikes = np.asarray(axon_spikes)
         if axon_spikes.shape != (self.axons,):
@@ -190,4 +195,8 @@ class SynapticCrossbar:
             connectivity = self.connectivity
         weights = self.effective_weights(connectivity)
         active = axon_spikes.astype(np.int64)
-        return active @ weights
+        sums = active @ weights
+        if not return_active_counts:
+            return sums
+        counts = active @ connectivity.astype(np.int64)
+        return sums, counts

@@ -52,10 +52,21 @@ class McCullochPittsNeuron:
         """Clear the membrane potential."""
         self._potential = self.config.reset_potential
 
-    def step(self, synaptic_input: int) -> int:
-        """Evaluate one tick and return 1 if the neuron spikes, else 0."""
+    def step(self, synaptic_input: int, active_synapses: Optional[int] = None) -> int:
+        """Evaluate one tick and return 1 if the neuron spikes, else 0.
+
+        Args:
+            synaptic_input: crossbar-summed input for this tick.
+            active_synapses: number of ON synapses whose axon spiked this
+                tick.  When provided, a tick with zero active synapses never
+                fires — the hardware rule for the history-free mode, where a
+                silent crossbar must not be mistaken for a zero-valued
+                weighted sum that satisfies ``y' >= 0``.
+        """
         y = _saturate(int(synaptic_input) - self.config.leak)
         spike = 1 if y >= self.config.threshold else 0
+        if active_synapses is not None and int(active_synapses) == 0:
+            spike = 0
         self._potential = self.config.reset_potential
         return spike
 
@@ -87,14 +98,26 @@ class LifNeuron:
         """Reset the membrane potential to the configured reset value."""
         self._potential = int(self.config.reset_potential)
 
-    def step(self, synaptic_input: int) -> int:
-        """Advance one tick; return 1 if the neuron fires, else 0."""
+    def step(self, synaptic_input: int, active_synapses: Optional[int] = None) -> int:
+        """Advance one tick; return 1 if the neuron fires, else 0.
+
+        ``active_synapses`` gates firing exactly as in
+        :meth:`McCullochPittsNeuron.step`, but only in the history-free mode:
+        a stateful LIF neuron may legitimately cross threshold on a silent
+        tick from potential accumulated earlier.
+        """
         cfg = self.config
         potential = _saturate(self._potential + int(synaptic_input) - cfg.leak)
         if potential >= cfg.threshold:
             spike = 1
             potential = int(cfg.reset_potential)
         else:
+            spike = 0
+        if (
+            cfg.history_free
+            and active_synapses is not None
+            and int(active_synapses) == 0
+        ):
             spike = 0
         if cfg.history_free:
             potential = int(cfg.reset_potential)
@@ -126,8 +149,21 @@ class NeuronArray:
         """Reset all membrane potentials."""
         self._potentials.fill(self.config.reset_potential)
 
-    def step(self, synaptic_inputs: np.ndarray) -> np.ndarray:
-        """Advance all neurons one tick; returns a binary spike vector."""
+    def step(
+        self,
+        synaptic_inputs: np.ndarray,
+        active_synapses: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Advance all neurons one tick; returns a binary spike vector.
+
+        Args:
+            synaptic_inputs: crossbar-summed input per neuron.
+            active_synapses: optional per-neuron count of ON synapses whose
+                axon spiked this tick.  In history-free mode a neuron with
+                zero active synapses never fires (the hardware never emits a
+                spike from a silent crossbar even though ``0 >= 0`` satisfies
+                the threshold rule).
+        """
         synaptic_inputs = np.asarray(synaptic_inputs, dtype=np.int64)
         if synaptic_inputs.shape != (self.count,):
             raise ValueError(
@@ -142,6 +178,14 @@ class NeuronArray:
             out=potentials,
         )
         spikes = (potentials >= cfg.threshold).astype(np.int8)
+        if cfg.history_free and active_synapses is not None:
+            active_synapses = np.asarray(active_synapses, dtype=np.int64)
+            if active_synapses.shape != (self.count,):
+                raise ValueError(
+                    f"expected active counts of shape ({self.count},), "
+                    f"got {active_synapses.shape}"
+                )
+            spikes = np.where(active_synapses > 0, spikes, 0).astype(np.int8)
         potentials = np.where(spikes == 1, cfg.reset_potential, potentials)
         if cfg.history_free:
             potentials = np.full(self.count, cfg.reset_potential, dtype=np.int64)

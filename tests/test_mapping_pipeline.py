@@ -34,25 +34,25 @@ def test_chip_matches_vectorized_evaluator_spike_for_spike(deployed_copy):
 
     chip_counts = run_chip_inference(chip, deployed_copy, core_ids, frames)
 
-    # Fast evaluator: accumulate class scores frame by frame.
+    # Fast evaluator: raw per-class spike sums accumulated frame by frame
+    # (the chip reports raw sums; the class-mean convention of class_scores
+    # is the same quantity divided by the readout population sizes).
+    spikes = deployed_copy.forward_spikes(frames)  # (ticks, output_dim)
     fast_counts = np.zeros(network.num_classes)
-    for tick in range(frames.shape[0]):
-        fast_counts += deployed_copy.class_scores(frames[tick][None, :])[0]
+    np.add.at(fast_counts, network.class_assignment, spikes.sum(axis=0))
+    class_sizes = np.bincount(network.class_assignment, minlength=network.num_classes)
+    mean_scores = deployed_copy.class_scores(frames).sum(axis=0)
+    assert np.allclose(mean_scores, fast_counts / class_sizes)
 
     # This architecture has a single hidden layer, so each input frame's
-    # response appears on the output channel in the same tick, and every one
-    # of the trailing drain ticks produces the network's zero-input response
-    # (a zero weighted sum still satisfies y' >= 0 under McCulloch-Pitts).
-    # The chip counts must therefore equal the fast evaluator's frame
-    # responses plus `drain` copies of the zero-input response.
-    zero_response = deployed_copy.class_scores(
-        np.zeros((1, network.input_dim))
-    )[0]
+    # response appears on the output channel in the same tick; the trailing
+    # drain ticks are silent because a neuron with no active synapse never
+    # fires (both in the fast evaluator and on the chip).
+    zero_response = deployed_copy.class_scores(np.zeros((1, network.input_dim)))[0]
+    assert np.array_equal(zero_response, np.zeros(network.num_classes))
     depth = len(network.corelets)
     assert depth == 1
-    drain = depth * (chip.router.delay + 1) + 2
-    expected = fast_counts + drain * zero_response
-    assert np.array_equal(chip_counts, expected.astype(np.int64))
+    assert np.array_equal(chip_counts, fast_counts.astype(np.int64))
 
 
 def test_run_chip_inference_validates_shape(deployed_copy):
@@ -70,4 +70,13 @@ def test_chip_predictions_reasonable_on_training_like_input(
     frames = encoder.encode(sample, rng=0)[:, 0, :]
     counts = run_chip_inference(chip, deployed_copy, core_ids, frames)
     assert counts.shape == (deployed_copy.corelet_network.num_classes,)
-    assert counts.sum() > 0
+    assert (counts >= 0).all()
+    # Whatever the chip reports must equal the fast evaluator's raw class
+    # sums on the same frames (the counts themselves may legitimately be
+    # zero for a weakly-trained copy — the firing gate means silent drain
+    # ticks no longer pad them).
+    network = deployed_copy.corelet_network
+    spikes = deployed_copy.forward_spikes(frames)
+    fast_counts = np.zeros(network.num_classes)
+    np.add.at(fast_counts, network.class_assignment, spikes.sum(axis=0))
+    assert np.array_equal(counts, fast_counts.astype(np.int64))

@@ -25,9 +25,22 @@ def test_tick_thresholds_integrated_input():
     spikes[:3] = 1
     out = core.tick(spikes)
     assert out[0] == 1
-    # Neurons with zero input still satisfy y' >= 0, so they fire too under
-    # the McCulloch-Pitts rule with threshold 0.
-    assert out.sum() == 8
+    # Neurons with no active synapse never fire, even though their zero
+    # weighted sum satisfies y' >= 0 under the threshold-0 rule.
+    assert out.sum() == 1
+
+
+def test_tick_silent_crossbar_never_fires():
+    core = make_core()
+    connectivity = np.zeros((16, 8), dtype=bool)
+    connectivity[0, 0] = True
+    core.crossbar.set_connectivity(connectivity)
+    # No input spikes at all: every neuron is silent.
+    assert core.tick(np.zeros(16, dtype=int)).sum() == 0
+    # A spike on an axon with no ON synapse for a neuron leaves it silent too.
+    spikes = np.zeros(16, dtype=int)
+    spikes[1] = 1
+    assert core.tick(spikes).sum() == 0
 
 
 def test_negative_input_suppresses_spike():

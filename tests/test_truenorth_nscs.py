@@ -66,12 +66,12 @@ def test_run_frames_accumulates_output_spikes():
     simulator = NeuroSynapticChipSimulator(chip)
     frames = np.tile(np.array([[1, 1]]), (5, 1))
     counts = simulator.run_frames("in", {0: frames}, "out", drain_ticks=2)
-    # The positive-drive neuron fires on all 5 input ticks, and also on the
-    # 2 drain ticks (zero input satisfies y' >= 0 under McCulloch-Pitts).
-    assert counts[0][0] == 7
-    # The negative-drive neuron is suppressed on input ticks and only fires
-    # on the drain ticks.
-    assert counts[0][1] == 2
+    # The positive-drive neuron fires on all 5 input ticks; the drain ticks
+    # are silent because a crossbar with no active synapse never fires.
+    assert counts[0][0] == 5
+    # The negative-drive neuron is suppressed on input ticks (y' = -1) and
+    # stays silent on the drain ticks.
+    assert counts[0][1] == 0
 
 
 def test_run_frames_requires_input():
