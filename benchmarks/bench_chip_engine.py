@@ -1,0 +1,148 @@
+"""Benchmark: batched chip-simulation engine vs the per-sample tick loop.
+
+Times the paper's "ground truth" path — cycle-accurate TrueNorth chip
+simulation of a deployed test-bench network — on the batched engine
+(:func:`repro.mapping.pipeline.run_chip_inference_batch`, one crossbar
+matmul per core per tick for the whole batch) against the original
+per-sample loop (:func:`repro.mapping.pipeline.run_chip_inference`, one
+chip pass per sample), verifies the two per-sample class-count tensors and
+the per-core spike counters are bit-identical, and records the result to a
+JSON file for CI tracking.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_chip_engine.py --quick
+    PYTHONPATH=src python benchmarks/bench_chip_engine.py \
+        --samples 500 --spf 4 --output BENCH_chip.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+
+import numpy as np
+
+from repro.encoding.stochastic import StochasticEncoder
+from repro.experiments.runner import ExperimentContext
+from repro.mapping.deploy import deploy_model
+from repro.mapping.pipeline import (
+    program_chip,
+    run_chip_inference,
+    run_chip_inference_batch,
+)
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--testbench", type=int, default=1, help="Table 3 test bench")
+    parser.add_argument("--samples", type=int, default=500, help="evaluated samples")
+    parser.add_argument(
+        "--spf", type=int, default=4, help="spikes per frame (input ticks per sample)"
+    )
+    parser.add_argument(
+        "--train-size", type=int, default=600, help="training samples for the model"
+    )
+    parser.add_argument("--epochs", type=int, default=3, help="training epochs")
+    parser.add_argument(
+        "--batch-repeats",
+        type=int,
+        default=3,
+        help="timing repeats of the batched path (best is reported)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke settings: fewer samples so CI finishes in seconds",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_chip.json", help="where to write the JSON record"
+    )
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    if args.quick:
+        args.samples = min(args.samples, 60)
+        args.train_size = min(args.train_size, 300)
+
+    context = ExperimentContext(
+        testbench=args.testbench,
+        train_size=args.train_size,
+        test_size=max(args.samples, 50),
+        epochs=args.epochs,
+        eval_samples=args.samples,
+        repeats=1,
+        seed=0,
+    )
+    model = context.result("tea").model
+    dataset = context.evaluation_dataset()
+    deployed = deploy_model(model, rng=0)
+    chip, core_ids = program_chip(deployed)
+    core_order = [core_id for layer in core_ids for core_id in layer]
+
+    encoder = StochasticEncoder(spikes_per_frame=args.spf)
+    volumes = encoder.encode(dataset.features, rng=0).transpose(1, 0, 2)
+    volumes = np.ascontiguousarray(volumes)  # (samples, ticks, input_dim)
+    samples = volumes.shape[0]
+
+    start = time.perf_counter()
+    loop_counts = np.zeros((samples, deployed.corelet_network.num_classes), np.int64)
+    loop_spikes = np.zeros((samples, len(core_order)), dtype=np.int64)
+    for index in range(samples):
+        loop_counts[index] = run_chip_inference(
+            chip, deployed, core_ids, volumes[index]
+        )
+        loop_spikes[index] = [chip.core(c).spike_count for c in core_order]
+    loop_seconds = time.perf_counter() - start
+
+    batch_times = []
+    for _ in range(args.batch_repeats):
+        start = time.perf_counter()
+        batch_counts = run_chip_inference_batch(chip, deployed, core_ids, volumes)
+        batch_times.append(time.perf_counter() - start)
+    batch_seconds = min(batch_times)
+    batch_spikes = np.stack(
+        [chip.core(c).batch_spike_counts for c in core_order], axis=1
+    )
+
+    counts_identical = bool(np.array_equal(loop_counts, batch_counts))
+    spikes_identical = bool(np.array_equal(loop_spikes, batch_spikes))
+    record = {
+        "benchmark": "chip-engine",
+        "config": {
+            "testbench": args.testbench,
+            "samples": int(samples),
+            "spikes_per_frame": args.spf,
+            "ticks_per_sample": int(volumes.shape[1]),
+            "input_dim": int(volumes.shape[2]),
+            "cores": len(core_order),
+            "layers": len(core_ids),
+            "router_delay": chip.router.delay,
+            "quick": bool(args.quick),
+        },
+        "loop_seconds": loop_seconds,
+        "batch_seconds": batch_seconds,
+        "speedup": loop_seconds / batch_seconds if batch_seconds else float("inf"),
+        "class_counts_bit_identical": counts_identical,
+        "spike_counters_bit_identical": spikes_identical,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(record, indent=2))
+    if not counts_identical:
+        raise SystemExit("batched class counts diverged from the per-sample loop")
+    if not spikes_identical:
+        raise SystemExit("batched spike counters diverged from the per-sample loop")
+    if record["speedup"] < 1.0:
+        raise SystemExit("batched engine slower than the per-sample loop")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,28 @@ in a handful of matmuls.  :mod:`repro.eval.runner` layers the
 Deployed class scores follow the float model's merge convention (per-class
 means, ``1/n_k`` weighting) — see :mod:`repro.eval.engine` for the full
 scoring and firing-rule conventions.
+
+Which evaluator do I use?
+-------------------------
+
+* **Functional sweeps** (Figures 7-9, Table 2, anything that needs scores
+  over a (copies, spf) grid): :class:`repro.eval.runner.SweepRunner` on top
+  of :class:`repro.eval.engine.VectorizedEvaluator`.  Fastest path; folds
+  the firing gate into the weights and never simulates ticks.  Add
+  ``cache_dir=`` for a persistent cross-process score cache and
+  ``workers=N`` to fan repeats over processes.
+* **Cycle-accurate validation** (router delays, per-core spike counters,
+  ground-truthing the functional engine): the chip simulator via
+  :func:`repro.mapping.pipeline.run_chip_inference_batch`, which advances a
+  whole sample batch through a programmed
+  :class:`~repro.truenorth.chip.TrueNorthChip` in lock-step ticks —
+  bit-identical to per-sample :func:`~repro.mapping.pipeline.run_chip_inference`
+  and ~50x faster on test-bench workloads (``BENCH_chip.json``).
+* **Repeated evaluations of the same configuration** (serve-style
+  workloads, experiment drivers re-sweeping one trained model): let the
+  caches do the work — the in-memory :class:`~repro.eval.runner.ScoreCache`
+  within a process, :class:`~repro.eval.runner.DiskScoreCache` across
+  processes and restarts.
 """
 
 from repro.eval.accuracy import DeployedAccuracy, evaluate_deployed_accuracy
@@ -31,8 +53,10 @@ from repro.eval.engine import (
 )
 from repro.eval.runner import (
     GLOBAL_SCORE_CACHE,
+    DiskScoreCache,
     ScoreCache,
     SweepRunner,
+    dataset_fingerprint,
     model_fingerprint,
 )
 from repro.eval.sweep import SweepResult, accuracy_sweep, accuracy_boost
@@ -54,8 +78,10 @@ __all__ = [
     "forward_spikes_reference",
     "SweepRunner",
     "ScoreCache",
+    "DiskScoreCache",
     "GLOBAL_SCORE_CACHE",
     "model_fingerprint",
+    "dataset_fingerprint",
     "SweepResult",
     "accuracy_sweep",
     "accuracy_boost",

@@ -16,7 +16,16 @@ the pieces together on top of :class:`repro.eval.engine.VectorizedEvaluator`:
   results cache keyed by ``(model fingerprint, copies, spf, seed)``, which
   the experiment drivers share when they re-sweep the same trained model
   (e.g. Figure 7 feeding Figure 8, or Figure 9(a) probing several spf levels
-  of the same Table 2 procedure).
+  of the same Table 2 procedure);
+* with ``cache_dir`` set, score tensors additionally persist to disk as
+  ``.npz`` entries (:class:`DiskScoreCache`), written with an atomic rename
+  so concurrent sweep processes can share one cache directory — a serve-style
+  workload restarting its workers re-reads instead of re-evaluating;
+* with ``workers=N``, :meth:`SweepRunner.run` fans the independent
+  per-repeat deployment+evaluation passes over a ``ProcessPoolExecutor``.
+  The child generators are spawned in the parent exactly as the serial path
+  spawns them, so parallel results are bit-identical to serial ones and land
+  in the same (memory + disk) cache.
 
 Caching only engages for integer seeds — a caller-supplied generator has
 hidden state, so results evaluated from one are never reused.
@@ -25,8 +34,13 @@ hidden state, so results evaluated from one are never reused.
 from __future__ import annotations
 
 import hashlib
+import os
+import tempfile
+import weakref
+import zipfile
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,37 +53,102 @@ from repro.nn.metrics import accuracy_score
 from repro.utils.rng import RngLike, new_rng, spawn_rngs
 
 
+#: Memoized fingerprints keyed by object identity.  Models and datasets are
+#: de-facto immutable once built (Dataset is a frozen dataclass), but they
+#: hold numpy arrays and thus are unhashable, so this is an ``id()`` table
+#: with a weak reference guarding against id reuse after garbage collection.
+_FINGERPRINT_MEMO: Dict[int, Tuple["weakref.ref", str]] = {}
+
+
+def _memoized_fingerprint(obj, compute: Callable[[], str], hashed_arrays) -> str:
+    """Content hash memoized per object identity.
+
+    The memo is only sound if the hashed content does not change under it,
+    so the arrays that went into the hash are frozen (``writeable = False``)
+    as a best-effort guard: a direct in-place mutation afterwards raises
+    instead of silently serving cached scores for the pre-mutation object.
+    Objects holding view arrays are never memoized (their base buffer stays
+    writable; the hash is recomputed per call, the pre-memo behaviour).
+    The guard is not airtight — writing through a view taken *before* the
+    first fingerprint call, or replacing a list slot with a new array,
+    bypasses it — so trained models and evaluation datasets must be treated
+    as immutable once they enter the evaluation layer, which everything in
+    this package does.
+    """
+    entry = _FINGERPRINT_MEMO.get(id(obj))
+    if entry is not None and entry[0]() is obj:
+        return entry[1]
+    fingerprint = compute()
+    if any(array.base is not None for array in hashed_arrays):
+        return fingerprint
+    if len(_FINGERPRINT_MEMO) > 64:
+        for key in [k for k, (ref, _) in _FINGERPRINT_MEMO.items() if ref() is None]:
+            del _FINGERPRINT_MEMO[key]
+    try:
+        _FINGERPRINT_MEMO[id(obj)] = (weakref.ref(obj), fingerprint)
+    except TypeError:
+        return fingerprint  # no weak references; recompute next time
+    for array in hashed_arrays:
+        array.flags.writeable = False
+    return fingerprint
+
+
 def model_fingerprint(model: TrueNorthModel) -> str:
-    """Stable content hash of a trained model (architecture + weights)."""
-    digest = hashlib.sha256()
-    arch = model.architecture
-    digest.update(
-        f"{arch.name}|{arch.input_dim}|{arch.num_classes}|"
-        f"{arch.synaptic_value}|{len(arch.layers)}".encode()
-    )
-    for layer_weights in model.block_weights:
-        for weights in layer_weights:
-            digest.update(str(weights.shape).encode())
-            digest.update(np.ascontiguousarray(weights, dtype=np.float64).tobytes())
-    return digest.hexdigest()
+    """Stable content hash of a trained model (architecture + weights).
+
+    Memoized per model instance so repeated sweeps of the same trained model
+    (the cache-hit path of serve-style workloads) do not re-hash the full
+    weight tensors on every request.  Side effect: the hashed weight arrays
+    are frozen (``writeable = False``) to keep the memo sound — treat a
+    model as immutable once it has been evaluated.
+    """
+
+    def compute() -> str:
+        digest = hashlib.sha256()
+        arch = model.architecture
+        digest.update(
+            f"{arch.name}|{arch.input_dim}|{arch.num_classes}|"
+            f"{arch.synaptic_value}|{len(arch.layers)}".encode()
+        )
+        for layer_weights in model.block_weights:
+            for weights in layer_weights:
+                digest.update(str(weights.shape).encode())
+                digest.update(
+                    np.ascontiguousarray(weights, dtype=np.float64).tobytes()
+                )
+        return digest.hexdigest()
+
+    arrays = [w for layer_weights in model.block_weights for w in layer_weights]
+    return _memoized_fingerprint(model, compute, arrays)
 
 
 def dataset_fingerprint(dataset: Dataset) -> str:
-    """Stable content hash of an evaluation dataset (features + labels)."""
-    digest = hashlib.sha256()
-    features = np.ascontiguousarray(dataset.features, dtype=np.float64)
-    labels = np.ascontiguousarray(dataset.labels)
-    digest.update(str(features.shape).encode())
-    digest.update(features.tobytes())
-    digest.update(labels.tobytes())
-    return digest.hexdigest()
+    """Stable content hash of an evaluation dataset (features + labels).
+
+    Memoized per dataset instance; the hashed feature/label arrays are
+    frozen to keep the memo sound (see :func:`model_fingerprint`).
+    """
+
+    def compute() -> str:
+        digest = hashlib.sha256()
+        features = np.ascontiguousarray(dataset.features, dtype=np.float64)
+        labels = np.ascontiguousarray(dataset.labels)
+        digest.update(str(features.shape).encode())
+        digest.update(features.tobytes())
+        digest.update(labels.tobytes())
+        return digest.hexdigest()
+
+    return _memoized_fingerprint(
+        dataset, compute, (dataset.features, dataset.labels)
+    )
 
 
 class ScoreCache:
     """In-memory cache of evaluated score tensors.
 
     Keys are ``(model fingerprint, max copies, max spf, seed, repeats,
-    sample count)`` — everything that determines the evaluated score grid.
+    dataset fingerprint)`` — everything that determines the evaluated score
+    grid.
     Values are the per-repeat cumulative score tensors, from which any nested
     (copies, spf) sub-grid can be read off without re-deploying anything.
     """
@@ -114,6 +193,108 @@ class ScoreCache:
 GLOBAL_SCORE_CACHE = ScoreCache(max_entries=16)
 
 
+class DiskScoreCache:
+    """Persistent on-disk score cache, safe to share across processes.
+
+    Each entry is one ``.npz`` file holding the per-repeat cumulative score
+    tensors of a fully-keyed evaluation.  The filename is the SHA-256 of the
+    cache key — ``(model fingerprint, max copies, max spf, seed, repeats,
+    dataset fingerprint)``, the same tuple :class:`ScoreCache` uses — so two
+    processes sweeping the same configuration resolve to the same file.
+    Writes go to a temporary file in the cache directory followed by an
+    atomic ``os.replace``: a concurrent reader sees either nothing or a
+    complete entry, never a torn one, and the last concurrent writer of
+    identical content simply wins.
+    """
+
+    def __init__(self, cache_dir: str):
+        self.cache_dir = str(cache_dir)
+        os.makedirs(self.cache_dir, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: Tuple) -> str:
+        digest = hashlib.sha256(repr(key).encode()).hexdigest()
+        return os.path.join(self.cache_dir, f"scores-{digest}.npz")
+
+    def contains(self, key: Tuple) -> bool:
+        """Whether an entry for ``key`` is on disk (no content validation)."""
+        return os.path.exists(self._path(key))
+
+    def get(self, key: Tuple) -> Optional[List[np.ndarray]]:
+        path = self._path(key)
+        try:
+            with np.load(path) as entry:
+                count = int(entry["repeat_count"])
+                tensors = [entry[f"repeat_{i}"] for i in range(count)]
+        except (
+            FileNotFoundError,
+            KeyError,
+            ValueError,
+            OSError,
+            EOFError,
+            zipfile.BadZipFile,
+        ):
+            # A torn or corrupt entry (e.g. a crash between write and
+            # fsync) is a miss: the caller recomputes and overwrites it.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return tensors
+
+    def put(self, key: Tuple, value: List[np.ndarray]) -> None:
+        path = self._path(key)
+        arrays = {f"repeat_{i}": tensor for i, tensor in enumerate(value)}
+        arrays["repeat_count"] = np.asarray(len(value))
+        handle, tmp_path = tempfile.mkstemp(
+            dir=self.cache_dir, prefix=".tmp-scores-", suffix=".npz"
+        )
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                np.savez_compressed(stream, **arrays)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return len(
+            [
+                name
+                for name in os.listdir(self.cache_dir)
+                if name.startswith("scores-") and name.endswith(".npz")
+            ]
+        )
+
+
+def _evaluate_repeat(
+    model: TrueNorthModel,
+    features: np.ndarray,
+    max_copies: int,
+    max_spf: int,
+    chunk_frames: Optional[int],
+    repeat_rng: np.random.Generator,
+    corelet_network: CoreletNetwork,
+) -> np.ndarray:
+    """One repeat's cumulative score tensor (module-level for picklability).
+
+    This is the unit of work the worker pool distributes: one independent
+    deployment (``max_copies`` sampled connectivities) plus one evaluation
+    pass, consuming ``repeat_rng`` exactly as the serial loop does.
+    """
+    deployment = deploy_with_copies(
+        model, copies=max_copies, rng=repeat_rng, corelet_network=corelet_network
+    )
+    evaluator = VectorizedEvaluator(deployment.copies)
+    scores = evaluator.evaluate_scores(
+        features, max_spf, rng=repeat_rng, chunk_frames=chunk_frames
+    )  # (copies, spf, batch, classes)
+    return np.cumsum(np.cumsum(scores, axis=0), axis=1)
+
+
 @dataclass
 class SweepRunner:
     """Evaluates a trained model over a (copies, spf) grid in one pass.
@@ -129,6 +310,9 @@ class SweepRunner:
             automatic).
         cache: results cache; ``None`` uses the module-level
             :data:`GLOBAL_SCORE_CACHE`.
+        cache_dir: optional directory for a persistent
+            :class:`DiskScoreCache` shared across processes and runs;
+            ``None`` (default) keeps caching in-memory only.
     """
 
     copy_levels: Sequence[int] = (1, 2, 4, 8, 16)
@@ -137,6 +321,7 @@ class SweepRunner:
     max_samples: Optional[int] = None
     chunk_frames: Optional[int] = None
     cache: Optional[ScoreCache] = None
+    cache_dir: Optional[str] = None
 
     def __post_init__(self):
         self.copy_levels = tuple(sorted(set(int(c) for c in self.copy_levels)))
@@ -149,6 +334,34 @@ class SweepRunner:
             raise ValueError(f"repeats must be positive, got {self.repeats}")
         if self.cache is None:
             self.cache = GLOBAL_SCORE_CACHE
+        self.disk_cache: Optional[DiskScoreCache] = (
+            DiskScoreCache(self.cache_dir) if self.cache_dir is not None else None
+        )
+        self._take_memo: Optional[Tuple["weakref.ref", int, Dataset]] = None
+
+    def _evaluation_view(self, dataset: Dataset) -> Dataset:
+        """The (possibly capped) evaluation dataset, memoized per source.
+
+        ``dataset.take`` builds a fresh object per call, which would defeat
+        the per-instance fingerprint memo on every request of a serve-style
+        workload; reusing the taken view keeps the cache-hit path hash-free.
+        The memo is keyed on (source identity, ``max_samples``) so changing
+        the cap on a live runner takes effect.
+        """
+        if self.max_samples is None:
+            return dataset
+        if (
+            self._take_memo is not None
+            and self._take_memo[0]() is dataset
+            and self._take_memo[1] == self.max_samples
+        ):
+            return self._take_memo[2]
+        taken = dataset.take(self.max_samples)
+        try:
+            self._take_memo = (weakref.ref(dataset), self.max_samples, taken)
+        except TypeError:
+            self._take_memo = None
+        return taken
 
     # ------------------------------------------------------------------
     def cumulative_scores(
@@ -157,18 +370,25 @@ class SweepRunner:
         dataset: Dataset,
         rng: RngLike = None,
         corelet_network: Optional[CoreletNetwork] = None,
+        workers: Optional[int] = None,
     ) -> List[np.ndarray]:
         """Per-repeat cumulative score tensors of the largest configuration.
 
         Each returned array has shape ``(max_copies, max_spf, batch,
         num_classes)`` and holds ``cumsum`` over the copy and frame axes, so
         ``tensor[c - 1, s - 1]`` is the accumulated score of a (c, s)
-        deployment.  Served from the cache when the same (model, grid, seed)
-        was evaluated before.
+        deployment.  Served from the in-memory cache — and, when
+        ``cache_dir`` is set, from the persistent disk cache — when the same
+        (model, grid, seed) was evaluated before.
+
+        With ``workers=N`` the independent per-repeat passes (each one full
+        deployment + evaluation; every (copies, spf) grid cell is a nested
+        prefix of its repeat's tensor, so repeats are the parallel unit) are
+        fanned over a ``ProcessPoolExecutor``.  The child generators are
+        spawned in the parent exactly as the serial loop spawns them, so the
+        results are bit-identical to ``workers=None``.
         """
-        evaluation = (
-            dataset if self.max_samples is None else dataset.take(self.max_samples)
-        )
+        evaluation = self._evaluation_view(dataset)
         max_copies = self.copy_levels[-1]
         max_spf = self.spf_levels[-1]
         key = None
@@ -187,22 +407,52 @@ class SweepRunner:
         if key is not None:
             cached = self.cache.get(key)
             if cached is not None:
+                # Backfill the disk cache: the memory entry may predate this
+                # runner's cache_dir (e.g. the shared GLOBAL_SCORE_CACHE was
+                # populated by a runner without one), and persistence is the
+                # whole point of configuring a cache directory.
+                if self.disk_cache is not None and not self.disk_cache.contains(key):
+                    self.disk_cache.put(key, list(cached))
                 return cached
+            if self.disk_cache is not None:
+                persisted = self.disk_cache.get(key)
+                if persisted is not None:
+                    self.cache.put(key, persisted)
+                    return persisted
         network = corelet_network or build_corelets(model)
-        tensors: List[np.ndarray] = []
-        for repeat_rng in spawn_rngs(new_rng(rng), self.repeats):
-            deployment = deploy_with_copies(
-                model, copies=max_copies, rng=repeat_rng, corelet_network=network
-            )
-            evaluator = VectorizedEvaluator(deployment.copies)
-            scores = evaluator.evaluate_scores(
-                evaluation.features,
-                max_spf,
-                rng=repeat_rng,
-                chunk_frames=self.chunk_frames,
-            )  # (copies, spf, batch, classes)
-            tensors.append(np.cumsum(np.cumsum(scores, axis=0), axis=1))
+        repeat_rngs = spawn_rngs(new_rng(rng), self.repeats)
+        if workers is not None and workers > 1 and self.repeats > 1:
+            with ProcessPoolExecutor(max_workers=min(workers, self.repeats)) as pool:
+                futures = [
+                    pool.submit(
+                        _evaluate_repeat,
+                        model,
+                        evaluation.features,
+                        max_copies,
+                        max_spf,
+                        self.chunk_frames,
+                        repeat_rng,
+                        network,
+                    )
+                    for repeat_rng in repeat_rngs
+                ]
+                tensors = [future.result() for future in futures]
+        else:
+            tensors = [
+                _evaluate_repeat(
+                    model,
+                    evaluation.features,
+                    max_copies,
+                    max_spf,
+                    self.chunk_frames,
+                    repeat_rng,
+                    network,
+                )
+                for repeat_rng in repeat_rngs
+            ]
         if key is not None:
+            if self.disk_cache is not None:
+                self.disk_cache.put(key, tensors)
             self.cache.put(key, tensors)
         return tensors
 
@@ -213,16 +463,20 @@ class SweepRunner:
         rng: RngLike = None,
         label: str = "",
         corelet_network: Optional[CoreletNetwork] = None,
+        workers: Optional[int] = None,
     ):
-        """Full grid sweep; returns a :class:`repro.eval.sweep.SweepResult`."""
+        """Full grid sweep; returns a :class:`repro.eval.sweep.SweepResult`.
+
+        ``workers=N`` distributes the per-repeat evaluation passes over N
+        processes (see :meth:`cumulative_scores`); results are bit-identical
+        to the serial path and merge into the same caches.
+        """
         from repro.eval.sweep import SweepResult
 
-        evaluation = (
-            dataset if self.max_samples is None else dataset.take(self.max_samples)
-        )
+        evaluation = self._evaluation_view(dataset)
         labels = evaluation.labels
         tensors = self.cumulative_scores(
-            model, dataset, rng=rng, corelet_network=corelet_network
+            model, dataset, rng=rng, corelet_network=corelet_network, workers=workers
         )
         accuracy_samples = np.zeros(
             (self.repeats, len(self.copy_levels), len(self.spf_levels))

@@ -242,3 +242,68 @@ def testbench_sweep(
         label=f"testbench-{bench}-{method}",
     )
     return sweep, context
+
+
+def testbench_chip_validation(
+    bench: int,
+    method: str = "tea",
+    spikes_per_frame: int = 4,
+    max_samples: Optional[int] = None,
+    context_overrides: Optional[Dict[str, object]] = None,
+):
+    """Validate a test bench on the cycle-accurate chip simulator.
+
+    The "ground truth" counterpart of :func:`testbench_sweep`: one deployed
+    copy is programmed onto a :class:`~repro.truenorth.chip.TrueNorthChip`
+    and the whole evaluation set is pushed through the **batched** tick
+    engine (:func:`repro.mapping.pipeline.run_chip_inference_batch`) in
+    lock-step — the path the chip-engine benchmark times and the table
+    experiments use to cross-check the fast evaluator.
+
+    Args:
+        bench: test bench number (1-5).
+        method: learning method to train ("tea", "biased", or "l1").
+        spikes_per_frame: input ticks encoded per sample.
+        max_samples: optional cap on validated samples.
+        context_overrides: keyword overrides for the bench's
+            :class:`~repro.experiments.runner.ExperimentContext`.
+
+    Returns:
+        dict with ``accuracy``, per-sample ``class_counts`` (batch,
+        num_classes), the ``predictions``, and the evaluated sample count.
+    """
+    import numpy as np
+
+    from repro.encoding.stochastic import StochasticEncoder
+    from repro.experiments.runner import ExperimentContext
+    from repro.mapping.deploy import deploy_model
+    from repro.mapping.pipeline import program_chip, run_chip_inference_batch
+
+    from repro.utils.rng import new_rng
+
+    context = ExperimentContext(testbench=int(bench), **dict(context_overrides or {}))
+    model = context.result(method).model
+    dataset = context.evaluation_dataset()
+    if max_samples is not None:
+        dataset = dataset.take(max_samples)
+    # One generator threaded through deployment then encoding, so the
+    # sampled connectivity and the input spikes are independent draws
+    # (seeding both from the same integer would replay the same stream).
+    rng = new_rng(context.seed)
+    deployed = deploy_model(model, rng=rng)
+    chip, core_ids = program_chip(deployed)
+    encoder = StochasticEncoder(spikes_per_frame=spikes_per_frame)
+    volumes = np.ascontiguousarray(
+        encoder.encode(dataset.features, rng=rng).transpose(1, 0, 2)
+    )
+    class_counts = run_chip_inference_batch(chip, deployed, core_ids, volumes)
+    predictions = class_counts.argmax(axis=1)
+    return {
+        "bench": int(bench),
+        "method": method,
+        "samples": int(volumes.shape[0]),
+        "spikes_per_frame": int(spikes_per_frame),
+        "accuracy": float((predictions == dataset.labels).mean()),
+        "class_counts": class_counts,
+        "predictions": predictions,
+    }

@@ -15,7 +15,11 @@ from repro.mapping.corelet import Corelet, CoreletNetwork, build_corelets
 from repro.mapping.deploy import DeployedNetwork, sample_connectivity, deploy_model
 from repro.mapping.duplication import DuplicatedDeployment, deploy_with_copies
 from repro.mapping.placement import ChipPlacement, place_on_chip
-from repro.mapping.pipeline import program_chip, run_chip_inference
+from repro.mapping.pipeline import (
+    program_chip,
+    run_chip_inference,
+    run_chip_inference_batch,
+)
 
 __all__ = [
     "BlockPartition",
@@ -32,4 +36,5 @@ __all__ = [
     "place_on_chip",
     "program_chip",
     "run_chip_inference",
+    "run_chip_inference_batch",
 ]

@@ -7,6 +7,34 @@ network copy (crossbar connectivity, axon types per row, routing of hidden
 layers into the next layer's axons, external I/O bindings) and push spike
 frames through it tick by tick.  The test suite uses this path to check that
 the vectorized evaluator and the hardware-level simulation agree exactly.
+
+Two inference drivers exist: :func:`run_chip_inference` pushes one sample
+through the chip (the scalar reference), and :func:`run_chip_inference_batch`
+pushes a whole ``(batch, ticks, input_dim)`` spike volume through in
+lock-step using the chip's batched engine — bit-identical class counts, one
+crossbar matmul per core per tick instead of one per (sample, core, tick).
+
+Latency model
+-------------
+
+The chip is synchronous: within one tick every core consumes the axon
+spikes delivered at the start of the tick and emits its output spikes at the
+end of it, and the router delivers a spike submitted at tick ``t`` at tick
+``t + delay``.  External input injected at tick ``t`` therefore appears on
+the output binding of a ``depth``-layer network at tick
+``t + (depth - 1) * delay``: layer 0 fires at ``t``, layer ``l`` at
+``t + l * delay``.  For ``T`` input ticks the final output lands at tick
+``T - 1 + (depth - 1) * delay``, so exactly ``(depth - 1) * delay`` drain
+ticks after the last input flush every in-flight spike.  (The previous
+heuristic, ``depth * (delay + 1) + 2``, over-drained every sample; the
+drivers now drain until the router queue is empty and assert the exact
+bound.)  History-free cores cannot fire on a silent crossbar, so an empty
+router queue means the network is quiescent; stateful LIF cores with
+``leak >= 0`` and ``reset_potential < threshold`` also go quiet once input
+stops (the membrane potential is non-increasing from then on and a fired
+neuron restarts below threshold).  Configurations without a finite drain
+point — negative leak, or a reset at/above threshold — are rejected up
+front by the inference drivers.
 """
 
 from __future__ import annotations
@@ -33,6 +61,8 @@ OUTPUT_CHANNEL = "classes"
 def program_chip(
     deployed: DeployedNetwork,
     chip: Optional[TrueNorthChip] = None,
+    neuron_config: Optional[NeuronConfig] = None,
+    router_delay: Optional[int] = None,
 ) -> Tuple[TrueNorthChip, List[List[int]]]:
     """Program a chip with one deployed network copy.
 
@@ -48,32 +78,50 @@ def program_chip(
         deployed: a sampled network copy.
         chip: chip to program; a fresh one (with capacity for the copy) is
             created when omitted.
+        neuron_config: overrides the paper's history-free zero-threshold
+            neuron (e.g. a stateful LIF configuration for the equivalence
+            tests); the default reproduces the paper's deployment.
+        router_delay: overrides the router's delivery delay; must be >= 1 so
+            the synchronous tick discipline can deliver every routed spike.
+            Only valid when the chip is created here — combining it with an
+            explicit ``chip`` raises (set the delay on that chip's router
+            instead of having it silently ignored).
 
     Returns:
         (chip, core_ids) where ``core_ids[layer][index]`` is the physical core
         id assigned to each corelet.
     """
     network = deployed.corelet_network
-    synaptic_magnitude = _infer_synaptic_magnitude(deployed)
-    weight_table = (
-        int(round(synaptic_magnitude)),
-        -int(round(synaptic_magnitude)),
-        0,
-        0,
-    )
-    neuron_config = NeuronConfig(
-        weight_table=weight_table,
-        leak=0,
-        threshold=0,
-        history_free=True,
-        stochastic_synapses=False,
-    )
+    if neuron_config is None:
+        synaptic_magnitude = _infer_synaptic_magnitude(deployed)
+        weight_table = (
+            int(round(synaptic_magnitude)),
+            -int(round(synaptic_magnitude)),
+            0,
+            0,
+        )
+        neuron_config = NeuronConfig(
+            weight_table=weight_table,
+            leak=0,
+            threshold=0,
+            history_free=True,
+            stochastic_synapses=False,
+        )
+    if chip is not None and router_delay is not None:
+        raise ValueError(
+            "router_delay only applies to a freshly created chip; set the "
+            "delay on the provided chip's router instead"
+        )
     if chip is None:
         rows = int(np.ceil(np.sqrt(network.core_count))) or 1
         grid = (max(rows, 1), max(int(np.ceil(network.core_count / rows)), 1))
         chip = TrueNorthChip(
             ChipConfig(grid_shape=grid, core_config=CoreConfig(neuron_config=neuron_config))
         )
+        if router_delay is not None:
+            if router_delay < 1:
+                raise ValueError(f"router_delay must be >= 1, got {router_delay}")
+            chip.router.delay = int(router_delay)
 
     core_ids: List[List[int]] = []
     for layer_index, layer_corelets in enumerate(network.corelets):
@@ -150,27 +198,156 @@ def run_chip_inference(
             f"expected frames of shape (ticks, {network.input_dim}), "
             f"got {spike_frames.shape}"
         )
+    _validate_latency_model(chip, network)
     chip.reset()
     ticks = spike_frames.shape[0]
-    depth = len(network.corelets)
     class_counts = np.zeros(network.num_classes, dtype=np.int64)
-    # Spikes need `depth` ticks to traverse the layers plus router delays.
-    drain = depth * (chip.router.delay + 1) + 2
-    for t in range(ticks + drain):
-        inputs = None
-        if t < ticks:
-            per_binding = {}
-            for corelet_index, corelet in enumerate(network.corelets[0]):
-                indices = np.asarray(corelet.input_channels, dtype=int)
-                per_binding[corelet_index] = spike_frames[t, indices]
-            inputs = {INPUT_CHANNEL: per_binding}
-        outputs = chip.step(inputs)
+
+    def accumulate(outputs) -> None:
         for binding_index, spikes in outputs.get(OUTPUT_CHANNEL, {}).items():
             corelet = network.corelets[-1][binding_index]
             channels = np.asarray(corelet.output_channels, dtype=int)
             classes = network.class_assignment[channels]
             np.add.at(class_counts, classes, spikes.astype(np.int64))
+
+    for t in range(ticks):
+        per_binding = {}
+        for corelet_index, corelet in enumerate(network.corelets[0]):
+            indices = np.asarray(corelet.input_channels, dtype=int)
+            per_binding[corelet_index] = spike_frames[t, indices]
+        accumulate(chip.step({INPUT_CHANNEL: per_binding}))
+    _drain_chip(chip, network, accumulate, batched=False)
     return class_counts
+
+
+def run_chip_inference_batch(
+    chip: TrueNorthChip,
+    deployed: DeployedNetwork,
+    core_ids: List[List[int]],
+    spike_volumes: np.ndarray,
+) -> np.ndarray:
+    """Run a batch of samples through a programmed chip in lock-step.
+
+    Bit-identical to calling :func:`run_chip_inference` on each sample
+    separately (the property tests enforce it), but every tick advances all
+    samples at once on the chip's batched engine: one ``(batch, axons) @
+    (axons, neurons)`` matmul per core, ``(batch, neurons)`` neuron state,
+    index-array spike routing.
+
+    Args:
+        chip: chip programmed by :func:`program_chip`.
+        deployed: the deployed copy the chip was programmed from.
+        core_ids: physical core ids returned by :func:`program_chip`.
+        spike_volumes: binary array of shape (batch, ticks, input_dim).
+
+    Returns:
+        per-sample, per-class accumulated spike counts
+        (batch, num_classes), dtype int64.
+    """
+    network = deployed.corelet_network
+    spike_volumes = np.asarray(spike_volumes)
+    if spike_volumes.ndim != 3 or spike_volumes.shape[2] != network.input_dim:
+        raise ValueError(
+            f"expected volumes of shape (batch, ticks, {network.input_dim}), "
+            f"got {spike_volumes.shape}"
+        )
+    _validate_latency_model(chip, network)
+    batch, ticks = spike_volumes.shape[0], spike_volumes.shape[1]
+    if batch == 0:
+        return np.zeros((0, network.num_classes), dtype=np.int64)
+    chip.begin_batch(batch)
+    class_counts = np.zeros((batch, network.num_classes), dtype=np.int64)
+    # Readout: one indicator matmul per binding replaces the per-spike
+    # np.add.at scatter (integer matmuls are exact).
+    indicators = []
+    for corelet in network.corelets[-1]:
+        channels = np.asarray(corelet.output_channels, dtype=int)
+        classes = network.class_assignment[channels]
+        indicator = np.zeros((channels.size, network.num_classes), dtype=np.int64)
+        indicator[np.arange(channels.size), classes] = 1
+        indicators.append(indicator)
+
+    def accumulate(outputs) -> None:
+        for binding_index, spikes in outputs.get(OUTPUT_CHANNEL, {}).items():
+            np.add(
+                class_counts,
+                spikes.astype(np.int64) @ indicators[binding_index],
+                out=class_counts,
+            )
+
+    input_indices = [
+        np.asarray(corelet.input_channels, dtype=int)
+        for corelet in network.corelets[0]
+    ]
+    for t in range(ticks):
+        per_binding = {
+            corelet_index: spike_volumes[:, t, indices]
+            for corelet_index, indices in enumerate(input_indices)
+        }
+        accumulate(chip.step_batch({INPUT_CHANNEL: per_binding}))
+    _drain_chip(chip, network, accumulate, batched=True)
+    return class_counts
+
+
+def _validate_latency_model(chip: TrueNorthChip, network) -> None:
+    """Reject configurations the exact drain model cannot bound.
+
+    Multi-layer networks need ``delay >= 1``: the chip pops deliveries for
+    tick ``t`` *before* cores submit at tick ``t``, so a zero-delay event
+    targets a tick that has already been served and would be silently lost.
+
+    Stateful (LIF) neurons need ``leak >= 0`` and ``reset_potential <
+    threshold``: a negative leak charges the membrane on silent ticks, and
+    a reset at or above the threshold re-fires immediately, so either way
+    neurons can keep firing indefinitely after input stops and no finite
+    drain point exists (unrouted output layers would truncate silently
+    rather than trip the in-flight assertion).
+    """
+    if len(network.corelets) > 1 and chip.router.delay < 1:
+        raise ValueError(
+            "router delay must be >= 1 for multi-layer networks "
+            f"(got {chip.router.delay})"
+        )
+    for core in chip.cores.values():
+        neuron_cfg = core.config.neuron_config
+        if neuron_cfg.history_free:
+            continue
+        if neuron_cfg.leak < 0:
+            raise ValueError(
+                "stateful neurons with negative leak have no finite drain "
+                f"point (core {core.core_id} has leak={neuron_cfg.leak}); "
+                "the latency model requires leak >= 0"
+            )
+        if neuron_cfg.reset_potential >= neuron_cfg.threshold:
+            raise ValueError(
+                "stateful neurons whose reset potential reaches the "
+                f"threshold re-fire forever (core {core.core_id} has "
+                f"reset_potential={neuron_cfg.reset_potential}, "
+                f"threshold={neuron_cfg.threshold}); the latency model "
+                "requires reset_potential < threshold"
+            )
+
+
+def _drain_chip(chip: TrueNorthChip, network, accumulate, batched: bool) -> None:
+    """Step the chip until no spike is in flight, accumulating outputs.
+
+    See the module docstring for the latency model: the exact flush point is
+    ``(depth - 1) * delay`` ticks after the last input, which this loop
+    reaches by stepping while the router holds pending spikes.  The bound is
+    asserted, so a routed spike can never be silently dropped the way the
+    old fixed drain heuristic could hide.
+    """
+    flush_bound = (len(network.corelets) - 1) * chip.router.delay
+    extra = 0
+    while chip.router.has_pending():
+        extra += 1
+        if extra > flush_bound:
+            raise RuntimeError(
+                f"spikes still in flight after {flush_bound} drain ticks; "
+                "the latency model was violated (unexpected routing "
+                "topology, e.g. a cycle?)"
+            )
+        accumulate(chip.step_batch(None) if batched else chip.step(None))
 
 
 def _infer_synaptic_magnitude(deployed: DeployedNetwork) -> float:

@@ -4,6 +4,20 @@
 instances placed on a 2-D grid, a :class:`~repro.truenorth.router.SpikeRouter`
 that carries inter-core spikes, and external input/output bindings so that
 host code can inject spike frames and read out classification spikes.
+
+The chip runs in one of two modes:
+
+* **scalar** — :meth:`TrueNorthChip.step` advances one sample one tick at a
+  time (the reference path, unchanged from the original simulator);
+* **batched** — :meth:`TrueNorthChip.begin_batch` resets the chip for B
+  lock-step samples and :meth:`TrueNorthChip.step_batch` advances all of
+  them per tick: every core performs one ``(B, axons) @ (axons, neurons)``
+  crossbar matmul, neuron state lives in ``(B, neurons)`` arrays, and the
+  router scatters ``(B,)`` spike columns with index arrays.  External
+  bindings accept and emit ``(B, len(map))`` matrices.  The batched engine
+  is spike-for-spike equivalent to B independent scalar runs (including the
+  per-tick LFSR stream in stochastic mode, which every scalar run replays
+  identically after its reset); the test suite enforces this.
 """
 
 from __future__ import annotations
@@ -60,6 +74,7 @@ class TrueNorthChip:
         self._input_bindings: Dict[str, List[ExternalInputBinding]] = {}
         self._output_bindings: Dict[str, List[ExternalOutputBinding]] = {}
         self._tick = 0
+        self._batch_size: Optional[int] = None
 
     # ------------------------------------------------------------------
     # allocation and programming
@@ -132,14 +147,31 @@ class TrueNorthChip:
     # ------------------------------------------------------------------
     # simulation
     # ------------------------------------------------------------------
+    @property
+    def batch_size(self) -> Optional[int]:
+        """Current batch size, or ``None`` in scalar mode."""
+        return self._batch_size
+
     def reset(self) -> None:
-        """Reset all cores, the router queue, and the tick counter."""
+        """Reset all cores, the router run state, and the tick counter.
+
+        Routing programming (routes, positions) is preserved — only in-flight
+        spikes and counters are dropped.  Batch mode, if active, is left.
+        """
         for core in self.cores.values():
             core.reset()
-        self.router = SpikeRouter(delay=self.router.delay)
-        for core_id, position in self._positions.items():
-            self.router.set_core_position(core_id, *position)
+        self.router.reset_state()
         self._tick = 0
+        self._batch_size = None
+
+    def begin_batch(self, batch_size: int) -> None:
+        """Reset the chip and switch every core to lock-step batch execution."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.reset()
+        for core in self.cores.values():
+            core.begin_batch(batch_size)
+        self._batch_size = int(batch_size)
 
     def step(
         self, external_inputs: Optional[Dict[str, Dict[int, np.ndarray]]] = None
@@ -155,6 +187,8 @@ class TrueNorthChip:
             mapping ``channel -> {binding_index -> spike vector}`` of the
             output spikes produced this tick by bound neurons.
         """
+        if self._batch_size is not None:
+            raise RuntimeError("chip is in batch mode; use step_batch() or reset()")
         axons = self.config.core_config.axons
         routed = self.router.deliver(self._tick, axons_per_core=axons)
         per_core_axons: Dict[int, np.ndarray] = {
@@ -202,6 +236,77 @@ class TrueNorthChip:
                 ].copy()
             external_outputs[channel] = per_binding
 
+        self._tick += 1
+        return external_outputs
+
+    def step_batch(
+        self, external_inputs: Optional[Dict[str, Dict[int, np.ndarray]]] = None
+    ) -> Dict[str, Dict[int, np.ndarray]]:
+        """Advance the whole batch by one tick (requires :meth:`begin_batch`).
+
+        Args:
+            external_inputs: mapping ``channel -> {binding_index -> spike
+                matrix}`` where each matrix has shape ``(batch,
+                len(axon_map))``.
+
+        Returns:
+            mapping ``channel -> {binding_index -> (batch, len(neuron_map))
+            spike matrix}`` of the output spikes produced this tick.
+        """
+        if self._batch_size is None:
+            raise RuntimeError("chip is in scalar mode; call begin_batch() first")
+        batch = self._batch_size
+        axons = self.config.core_config.axons
+        per_core_axons = self.router.deliver_batch(
+            self._tick, axons_per_core=axons, batch_size=batch
+        )
+
+        if external_inputs:
+            for channel, per_binding in external_inputs.items():
+                bindings = self._input_bindings.get(channel)
+                if bindings is None:
+                    raise KeyError(f"unknown input channel {channel!r}")
+                for binding_index, spikes in per_binding.items():
+                    binding = bindings[binding_index]
+                    spikes = np.asarray(spikes)
+                    if spikes.shape != (batch, len(binding.axon_map)):
+                        raise ValueError(
+                            f"channel {channel!r} binding {binding_index} expects "
+                            f"spikes of shape ({batch}, {len(binding.axon_map)}), "
+                            f"got {spikes.shape}"
+                        )
+                    matrix = per_core_axons.get(binding.core_id)
+                    if matrix is None:
+                        matrix = np.zeros((batch, axons), dtype=np.int8)
+                        per_core_axons[binding.core_id] = matrix
+                    axon_idx = np.asarray(binding.axon_map, dtype=np.intp)
+                    matrix[:, axon_idx] |= spikes.astype(np.int8)
+
+        zero_input: Optional[np.ndarray] = None
+        outputs_by_core: Dict[int, np.ndarray] = {}
+        for core_id, core in self.cores.items():
+            axon_matrix = per_core_axons.get(core_id)
+            if axon_matrix is None:
+                if zero_input is None:
+                    zero_input = np.zeros((batch, axons), dtype=np.int8)
+                axon_matrix = zero_input
+            spikes = core.tick_batch(axon_matrix)
+            outputs_by_core[core_id] = spikes
+            self.router.submit_batch(
+                core_id, spikes, tick=self._tick, axons_per_core=axons
+            )
+
+        external_outputs: Dict[str, Dict[int, np.ndarray]] = {}
+        for channel, bindings in self._output_bindings.items():
+            per_binding: Dict[int, np.ndarray] = {}
+            for index, binding in enumerate(bindings):
+                spikes = outputs_by_core.get(binding.core_id)
+                if spikes is None:
+                    continue
+                per_binding[index] = spikes[
+                    :, np.asarray(binding.neuron_map, dtype=np.intp)
+                ].copy()
+            external_outputs[channel] = per_binding
         self._tick += 1
         return external_outputs
 

@@ -41,6 +41,7 @@ class NeurosynapticCore:
         self.prng = LfsrPrng(seed=self.config.seed + core_id + 1)
         self._tick_count = 0
         self._spike_count = 0
+        self._batch_spike_counts: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     @property
@@ -50,15 +51,51 @@ class NeurosynapticCore:
 
     @property
     def spike_count(self) -> int:
-        """Total number of output spikes produced since the last reset."""
+        """Total number of output spikes produced since the last reset.
+
+        In batch mode this is the sum over all batch samples; the per-sample
+        breakdown is :attr:`batch_spike_counts`.
+        """
         return self._spike_count
 
+    @property
+    def batch_size(self) -> Optional[int]:
+        """Current batch size, or ``None`` in scalar mode."""
+        return self.neurons.batch_size
+
+    @property
+    def batch_spike_counts(self) -> Optional[np.ndarray]:
+        """Per-sample output spike counts ``(batch,)`` since ``begin_batch``.
+
+        ``None`` in scalar mode.  For a batch of B samples, entry ``i``
+        equals the :attr:`spike_count` a scalar run of sample ``i`` alone
+        would report — the equivalence tests rely on this.
+        """
+        if self._batch_spike_counts is None:
+            return None
+        return self._batch_spike_counts.copy()
+
     def reset(self) -> None:
-        """Reset neuron state, PRNG, and activity counters (keeps programming)."""
+        """Reset neuron state, PRNG, and activity counters (keeps programming).
+
+        Also leaves batch mode: the next :meth:`tick` runs scalar again.
+        """
         self.neurons.reset()
         self.prng.reset()
         self._tick_count = 0
         self._spike_count = 0
+        self._batch_spike_counts = None
+
+    def begin_batch(self, batch_size: int) -> None:
+        """Reset the core and switch to lock-step batch execution.
+
+        After this call :meth:`tick_batch` advances ``batch_size`` samples
+        per tick on shared programming (crossbar) but independent neuron
+        state; :meth:`reset` returns to scalar mode.
+        """
+        self.reset()
+        self.neurons.begin_batch(batch_size)
+        self._batch_spike_counts = np.zeros(batch_size, dtype=np.int64)
 
     # ------------------------------------------------------------------
     def tick(self, axon_spikes: np.ndarray) -> np.ndarray:
@@ -87,6 +124,44 @@ class NeurosynapticCore:
             spikes = self.neurons.step(synaptic_input)
         self._tick_count += 1
         self._spike_count += int(spikes.sum())
+        return spikes
+
+    def tick_batch(self, axon_spikes: np.ndarray) -> np.ndarray:
+        """Run one tick for every batch sample at once.
+
+        The crossbar integration is a single ``(batch, axons) @ (axons,
+        neurons)`` matmul and the neuron update operates on ``(batch,
+        neurons)`` state, so B samples advance in one numpy pass with
+        exactly the spikes B scalar runs would produce.
+
+        Args:
+            axon_spikes: binary array of shape ``(batch, axons)``.
+
+        Returns:
+            binary int8 spike matrix of shape ``(batch, neurons)``.
+        """
+        if self.neurons.batch_size is None:
+            raise RuntimeError("core is in scalar mode; call begin_batch() first")
+        neuron_cfg = self.config.neuron_config
+        if neuron_cfg.history_free:
+            synaptic_input, active_counts = self.crossbar.integrate_batch(
+                axon_spikes,
+                prng=self.prng,
+                stochastic=neuron_cfg.stochastic_synapses,
+                return_active_counts=True,
+            )
+            spikes = self.neurons.step_batch(
+                synaptic_input, active_synapses=active_counts
+            )
+        else:
+            synaptic_input = self.crossbar.integrate_batch(
+                axon_spikes, prng=self.prng, stochastic=neuron_cfg.stochastic_synapses
+            )
+            spikes = self.neurons.step_batch(synaptic_input)
+        self._tick_count += 1
+        per_sample = spikes.sum(axis=1, dtype=np.int64)
+        self._batch_spike_counts += per_sample
+        self._spike_count += int(per_sample.sum())
         return spikes
 
     def run(self, spike_frames: np.ndarray) -> np.ndarray:

@@ -7,6 +7,16 @@ stochastic deployments the crossbar additionally stores a per-connection ON
 probability; at every tick each programmed connection is re-sampled by the
 core PRNG (spatially static deployments sample the connectivity once at
 programming time instead — that choice lives in ``repro.mapping.deploy``).
+
+Two integration entry points are provided: :meth:`SynapticCrossbar.integrate`
+evaluates one tick for a single spike vector (the scalar reference path), and
+:meth:`SynapticCrossbar.integrate_batch` evaluates the same tick for a whole
+batch of samples at once — one ``(batch, axons) @ (axons, neurons)`` matmul —
+which is what the batched chip engine in :mod:`repro.truenorth.chip` uses.
+In stochastic mode the batch path draws *one* connectivity sample per tick
+from the core LFSR, shared by every sample in the batch: that is exactly the
+stream each per-sample run sees after a chip reset, so batch and scalar
+execution are spike-for-spike identical.
 """
 
 from __future__ import annotations
@@ -64,6 +74,13 @@ class SynapticCrossbar:
         #: optional per-connection signed weight override (see
         #: :meth:`set_signed_weights`); ``None`` means axon-type weights apply
         self.signed_weights: Optional[np.ndarray] = None
+        #: cached static effective-weight matrix (invalidated on programming)
+        self._static_weights: Optional[np.ndarray] = None
+        self._static_connectivity_f64: Optional[np.ndarray] = None
+
+    def _invalidate_cache(self) -> None:
+        self._static_weights = None
+        self._static_connectivity_f64 = None
 
     # ------------------------------------------------------------------
     # programming interface
@@ -77,6 +94,7 @@ class SynapticCrossbar:
             )
         validate_axon_types(axon_types.tolist())
         self.axon_types = axon_types.copy()
+        self._invalidate_cache()
 
     def set_neuron_weight_table(self, neuron: int, weight_table: Sequence[int]) -> None:
         """Program the 4-entry weight table of a single neuron."""
@@ -90,6 +108,7 @@ class SynapticCrossbar:
             if not (constants.WEIGHT_MIN <= value <= constants.WEIGHT_MAX):
                 raise ValueError(f"weight {value} outside hardware range")
         self.weight_tables[neuron] = np.asarray(weight_table, dtype=np.int64)
+        self._invalidate_cache()
 
     def set_connectivity(self, connectivity: np.ndarray) -> None:
         """Program the full binary connectivity matrix (axons x neurons)."""
@@ -100,6 +119,7 @@ class SynapticCrossbar:
                 f"got {connectivity.shape}"
             )
         self.connectivity = connectivity.copy()
+        self._invalidate_cache()
 
     def set_signed_weights(self, weights: np.ndarray) -> None:
         """Program an explicit signed weight per connection.
@@ -124,6 +144,7 @@ class SynapticCrossbar:
             raise ValueError("signed weights outside the hardware range")
         self.signed_weights = weights.copy()
         self.connectivity = weights != 0
+        self._invalidate_cache()
 
     def set_probabilities(self, probabilities: np.ndarray) -> None:
         """Program per-synapse Bernoulli ON probabilities (stochastic mode)."""
@@ -199,4 +220,73 @@ class SynapticCrossbar:
         if not return_active_counts:
             return sums
         counts = active @ connectivity.astype(np.int64)
+        return sums, counts
+
+    def _static_tensors(self):
+        """Cached (weights, connectivity) float64 pair for the static fast path.
+
+        The scalar :meth:`integrate` recomputes the effective weights every
+        tick (it is the reference path and must remain trivially auditable);
+        the batch path amortizes the ``np.where`` and dtype conversions over
+        the whole run instead.  The tensors are float64 so the batched
+        matmul takes the BLAS path (numpy integer matmuls run a slow
+        fallback loop): every product is an integer with ``|w| <= 255`` and
+        at most 256 terms per sum, so all partial sums stay integers far
+        below 2**53 and the float64 result casts back to int64 exactly.
+        The cache is invalidated by every programming method.
+        """
+        if self._static_weights is None:
+            self._static_weights = self.effective_weights(self.connectivity).astype(
+                np.float64
+            )
+            self._static_connectivity_f64 = self.connectivity.astype(np.float64)
+        return self._static_weights, self._static_connectivity_f64
+
+    def integrate_batch(
+        self,
+        axon_spikes: np.ndarray,
+        prng: Optional[LfsrPrng] = None,
+        stochastic: bool = False,
+        return_active_counts: bool = False,
+    ):
+        """Batched :meth:`integrate`: one tick for ``batch`` samples at once.
+
+        Args:
+            axon_spikes: binary array of shape ``(batch, axons)``.
+            prng: core PRNG used to gate synapses when ``stochastic`` is True.
+                One connectivity sample is drawn *per tick* and shared by the
+                whole batch — the identical LFSR stream every per-sample run
+                consumes after a chip reset, keeping batch execution
+                spike-for-spike equivalent to the scalar path.
+            stochastic: re-sample the connectivity from the programmed
+                Bernoulli probabilities this tick.
+            return_active_counts: also return the per-sample count of ON
+                synapses that received a spike, per neuron.
+
+        Returns:
+            integer array of shape ``(batch, neurons)`` — or a
+            ``(sums, active_counts)`` pair of such arrays when
+            ``return_active_counts`` is set.
+        """
+        axon_spikes = np.asarray(axon_spikes)
+        if axon_spikes.ndim != 2 or axon_spikes.shape[1] != self.axons:
+            raise ValueError(
+                f"expected spikes of shape (batch, {self.axons}), "
+                f"got {axon_spikes.shape}"
+            )
+        if stochastic:
+            if prng is None:
+                raise ValueError("stochastic integration requires a PRNG")
+            connectivity = prng.bernoulli_array(self.probabilities)
+            weights = self.effective_weights(connectivity).astype(np.float64)
+            connectivity_f64 = connectivity.astype(np.float64)
+        else:
+            weights, connectivity_f64 = self._static_tensors()
+        # Float64 matmuls take the BLAS path and are exact for these
+        # small-integer operands (see _static_tensors); cast back to int64.
+        active = axon_spikes.astype(np.float64)
+        sums = (active @ weights).astype(np.int64)
+        if not return_active_counts:
+            return sums
+        counts = (active @ connectivity_f64).astype(np.int64)
         return sums, counts

@@ -131,6 +131,14 @@ class NeuronArray:
     The per-core simulation is performed on integer numpy vectors for speed;
     the scalar classes above remain the reference implementations and are
     cross-checked against this array in the test suite.
+
+    The array supports two execution modes.  In scalar mode (the default)
+    the membrane state is one ``(count,)`` vector and :meth:`step` advances a
+    single sample per tick.  :meth:`begin_batch` switches to batch mode, in
+    which the state becomes a ``(batch, count)`` matrix — one independent
+    membrane potential per (sample, neuron) pair — and :meth:`step_batch`
+    advances every sample in lock-step.  Batch mode is how the batched chip
+    engine runs B copies of the same programmed network simultaneously.
     """
 
     def __init__(self, count: int, config: Optional[NeuronConfig] = None):
@@ -139,15 +147,38 @@ class NeuronArray:
         self.count = count
         self.config = config or NeuronConfig()
         self._potentials = np.full(count, self.config.reset_potential, dtype=np.int64)
+        self._batch_size: Optional[int] = None
 
     @property
     def potentials(self) -> np.ndarray:
-        """Copy of the current membrane potentials."""
+        """Copy of the current membrane potentials.
+
+        Shape ``(count,)`` in scalar mode, ``(batch, count)`` in batch mode.
+        """
         return self._potentials.copy()
 
+    @property
+    def batch_size(self) -> Optional[int]:
+        """Current batch size, or ``None`` in scalar mode."""
+        return self._batch_size
+
     def reset(self) -> None:
-        """Reset all membrane potentials."""
-        self._potentials.fill(self.config.reset_potential)
+        """Reset all membrane potentials and return to scalar mode."""
+        self._batch_size = None
+        self._potentials = np.full(
+            self.count, self.config.reset_potential, dtype=np.int64
+        )
+
+    def begin_batch(self, batch_size: int) -> None:
+        """Switch to batch mode with freshly reset ``(batch, count)`` state."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self._batch_size = int(batch_size)
+        self._potentials = np.full(
+            (self._batch_size, self.count),
+            self.config.reset_potential,
+            dtype=np.int64,
+        )
 
     def step(
         self,
@@ -164,6 +195,10 @@ class NeuronArray:
                 spike from a silent crossbar even though ``0 >= 0`` satisfies
                 the threshold rule).
         """
+        if self._batch_size is not None:
+            raise RuntimeError(
+                "NeuronArray is in batch mode; use step_batch() or reset()"
+            )
         synaptic_inputs = np.asarray(synaptic_inputs, dtype=np.int64)
         if synaptic_inputs.shape != (self.count,):
             raise ValueError(
@@ -189,5 +224,59 @@ class NeuronArray:
         potentials = np.where(spikes == 1, cfg.reset_potential, potentials)
         if cfg.history_free:
             potentials = np.full(self.count, cfg.reset_potential, dtype=np.int64)
+        self._potentials = potentials
+        return spikes
+
+    def step_batch(
+        self,
+        synaptic_inputs: np.ndarray,
+        active_synapses: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Advance all neurons of every batch sample one tick.
+
+        The update rule is identical to :meth:`step`, applied element-wise on
+        ``(batch, count)`` state, so a batch of B samples produces exactly
+        the spikes B independent scalar runs would.
+
+        Args:
+            synaptic_inputs: crossbar-summed input, shape ``(batch, count)``.
+            active_synapses: optional per-sample ON-synapse counts, same
+                shape; gates firing in history-free mode exactly as in
+                :meth:`step`.
+
+        Returns:
+            binary int8 spike matrix of shape ``(batch, count)``.
+        """
+        if self._batch_size is None:
+            raise RuntimeError(
+                "NeuronArray is in scalar mode; call begin_batch() first"
+            )
+        synaptic_inputs = np.asarray(synaptic_inputs, dtype=np.int64)
+        expected = (self._batch_size, self.count)
+        if synaptic_inputs.shape != expected:
+            raise ValueError(
+                f"expected input of shape {expected}, got {synaptic_inputs.shape}"
+            )
+        cfg = self.config
+        potentials = self._potentials + synaptic_inputs - cfg.leak
+        np.clip(
+            potentials,
+            constants.POTENTIAL_MIN,
+            constants.POTENTIAL_MAX,
+            out=potentials,
+        )
+        spikes = (potentials >= cfg.threshold).astype(np.int8)
+        if cfg.history_free and active_synapses is not None:
+            active_synapses = np.asarray(active_synapses, dtype=np.int64)
+            if active_synapses.shape != expected:
+                raise ValueError(
+                    f"expected active counts of shape {expected}, "
+                    f"got {active_synapses.shape}"
+                )
+            spikes = np.where(active_synapses > 0, spikes, 0).astype(np.int8)
+        if cfg.history_free:
+            potentials.fill(cfg.reset_potential)
+        else:
+            potentials = np.where(spikes == 1, cfg.reset_potential, potentials)
         self._potentials = potentials
         return spikes

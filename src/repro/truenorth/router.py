@@ -9,6 +9,15 @@ during tick *t* and exposes per-core axon vectors at tick *t + delay*.
 The router also counts hop distance on the 2-D mesh so experiments can report
 communication statistics, although the paper's evaluation does not depend on
 them.
+
+Batched execution replaces the per-event queue with index-array scatter:
+the programmed routes of each source core are compiled once into
+``(neuron indices, target axons)`` arrays grouped by target core
+(:meth:`SpikeRouter.submit_batch`), so enqueueing a ``(batch, neurons)``
+spike matrix is a handful of column gathers, and delivery
+(:meth:`SpikeRouter.deliver_batch`) pops pre-scattered ``(batch, axons)``
+buffers.  Delivered/hop counters advance by the same amounts the scalar
+event path would accrue, summed over the batch.
 """
 
 from __future__ import annotations
@@ -65,11 +74,18 @@ class SpikeRouter:
         self._core_positions: Dict[int, Tuple[int, int]] = {}
         self.delivered_count = 0
         self.hop_count = 0
+        # Batched state: compiled route arrays per source core, pre-scattered
+        # (batch, axons) buffers per (tick, target core), and the counter
+        # increments to apply when each tick's buffers are delivered.
+        self._route_arrays: Optional[Dict[int, List[Tuple]]] = None
+        self._pending_batch: Dict[int, Dict[int, np.ndarray]] = {}
+        self._pending_batch_stats: Dict[int, List[int]] = {}
 
     # ------------------------------------------------------------------
     def set_core_position(self, core_id: int, row: int, col: int) -> None:
         """Record the mesh position of a core (used for hop statistics)."""
         self._core_positions[core_id] = (row, col)
+        self._route_arrays = None
 
     def connect(
         self, source_core: int, source_neuron: int, target_core: int, target_axon: int
@@ -78,6 +94,22 @@ class SpikeRouter:
         self._routes[(source_core, source_neuron)] = NeuronTarget(
             target_core=target_core, target_axon=target_axon
         )
+        self._route_arrays = None
+
+    def reset_state(self) -> None:
+        """Drop all in-flight spikes and statistics, keeping the programming.
+
+        Routes and core positions survive (they are chip programming, not
+        run state); pending events, batch buffers, and the delivered/hop
+        counters are cleared.  The original chip ``reset`` re-created the
+        router from scratch, which silently erased the inter-layer routes of
+        multi-layer networks.
+        """
+        self._pending = defaultdict(list)
+        self._pending_batch = {}
+        self._pending_batch_stats = {}
+        self.delivered_count = 0
+        self.hop_count = 0
 
     def route_of(self, source_core: int, source_neuron: int) -> Optional[NeuronTarget]:
         """Return the routing entry of a neuron, or None if unrouted."""
@@ -127,6 +159,114 @@ class SpikeRouter:
             self.delivered_count += 1
             self.hop_count += self._hops(event.source_core, event.target_core)
         return delivery
+
+    # ------------------------------------------------------------------
+    # batched path
+    # ------------------------------------------------------------------
+    def _compiled_routes(self) -> Dict[int, List[Tuple]]:
+        """Routes grouped as index arrays: ``source -> [(target, neuron_idx,
+        axon_idx, unique_axons, hops), ...]``.
+
+        Compiled lazily and invalidated whenever a route or core position
+        changes.  ``unique_axons`` records whether the target axons within a
+        group are distinct, which lets delivery use a plain scatter instead
+        of ``np.maximum.at``.
+        """
+        if self._route_arrays is None:
+            grouped: Dict[int, Dict[int, List[Tuple[int, int]]]] = {}
+            for (source_core, neuron), target in self._routes.items():
+                grouped.setdefault(source_core, {}).setdefault(
+                    target.target_core, []
+                ).append((neuron, target.target_axon))
+            compiled: Dict[int, List[Tuple]] = {}
+            for source_core, by_target in grouped.items():
+                entries = []
+                for target_core, pairs in sorted(by_target.items()):
+                    pairs.sort()
+                    neuron_idx = np.array([p[0] for p in pairs], dtype=np.intp)
+                    axon_idx = np.array([p[1] for p in pairs], dtype=np.intp)
+                    unique_axons = np.unique(axon_idx).size == axon_idx.size
+                    entries.append(
+                        (
+                            target_core,
+                            neuron_idx,
+                            axon_idx,
+                            unique_axons,
+                            self._hops(source_core, target_core),
+                        )
+                    )
+                compiled[source_core] = entries
+            self._route_arrays = compiled
+        return self._route_arrays
+
+    def submit_batch(
+        self, core_id: int, spikes: np.ndarray, tick: int, axons_per_core: int
+    ) -> int:
+        """Enqueue a ``(batch, neurons)`` spike matrix produced at ``tick``.
+
+        Spikes are scattered into per-target ``(batch, axons)`` buffers
+        immediately (index-array writes, no per-spike Python work); delivery
+        at ``tick + delay`` just pops the buffers.  Returns the number of
+        routed (sample, spike) pairs enqueued.
+        """
+        spikes = np.asarray(spikes)
+        entries = self._compiled_routes().get(core_id)
+        if entries is None or not spikes.any():
+            return 0
+        due = tick + self.delay
+        batch = spikes.shape[0]
+        buffers = self._pending_batch.setdefault(due, {})
+        stats = self._pending_batch_stats.setdefault(due, [0, 0])
+        enqueued = 0
+        for target_core, neuron_idx, axon_idx, unique_axons, hops in entries:
+            columns = spikes[:, neuron_idx]
+            routed = int(np.count_nonzero(columns))
+            if routed == 0:
+                continue
+            buffer = buffers.get(target_core)
+            if buffer is None:
+                buffer = np.zeros((batch, axons_per_core), dtype=np.int8)
+                buffers[target_core] = buffer
+            if axon_idx.size and (
+                axon_idx.min() < 0 or axon_idx.max() >= axons_per_core
+            ):
+                bad = axon_idx.min() if axon_idx.min() < 0 else axon_idx.max()
+                raise IndexError(
+                    f"target axon {int(bad)} outside [0, {axons_per_core})"
+                )
+            columns = (columns != 0).astype(np.int8)
+            if unique_axons:
+                buffer[:, axon_idx] = np.maximum(buffer[:, axon_idx], columns)
+            else:
+                np.maximum.at(buffer, (slice(None), axon_idx), columns)
+            # Counters advance on delivery, like the scalar event path; each
+            # routed (sample, spike) pair counts once even when OR-merged.
+            stats[0] += routed
+            stats[1] += routed * hops
+            enqueued += routed
+        return enqueued
+
+    def deliver_batch(
+        self, tick: int, axons_per_core: int, batch_size: int
+    ) -> Dict[int, np.ndarray]:
+        """Pop the pre-scattered ``(batch, axons)`` buffers due at ``tick``."""
+        buffers = self._pending_batch.pop(tick, {})
+        delivered, hops = self._pending_batch_stats.pop(tick, (0, 0))
+        self.delivered_count += delivered
+        self.hop_count += hops
+        for buffer in buffers.values():
+            if buffer.shape != (batch_size, axons_per_core):
+                raise ValueError(
+                    f"pending buffer of shape {buffer.shape} does not match "
+                    f"({batch_size}, {axons_per_core})"
+                )
+        return buffers
+
+    def has_pending(self) -> bool:
+        """True when any spike (scalar event or batch buffer) is in flight."""
+        if any(events for events in self._pending.values()):
+            return True
+        return any(self._pending_batch.values())
 
     def pending_events(self) -> Iterable[SpikeEvent]:
         """Iterate over all not-yet-delivered spike events (any tick)."""

@@ -1,0 +1,196 @@
+"""Persistent disk cache and multi-process sweeps of :class:`SweepRunner`.
+
+Covers the serve-style workload gaps: score tensors persist across processes
+through an on-disk ``.npz`` cache (atomic-rename writes), and the per-repeat
+evaluation passes can fan out over a ``ProcessPoolExecutor`` without changing
+a single bit of the results.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.eval.runner import DiskScoreCache, ScoreCache, SweepRunner
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_context):
+    model = tiny_context.result("tea").model
+    dataset = tiny_context.evaluation_dataset()
+    return model, dataset
+
+
+def _runner(cache_dir=None):
+    # A fresh in-memory cache per runner isolates what the disk layer serves.
+    return SweepRunner(
+        copy_levels=(1, 2),
+        spf_levels=(1, 2),
+        repeats=2,
+        cache=ScoreCache(),
+        cache_dir=cache_dir,
+    )
+
+
+def test_disk_cache_round_trip(tmp_path):
+    cache = DiskScoreCache(str(tmp_path))
+    key = ("fingerprint", 4, 2, 0, 3, "dataset")
+    tensors = [np.arange(24.0).reshape(4, 2, 3, 1), np.ones((4, 2, 3, 1))]
+    assert cache.get(key) is None
+    cache.put(key, tensors)
+    loaded = cache.get(key)
+    assert loaded is not None
+    for original, restored in zip(tensors, loaded):
+        assert np.array_equal(original, restored)
+    assert cache.hits == 1 and cache.misses == 1
+    assert len(cache) == 1
+    # No temporary files left behind by the atomic write.
+    assert all(not name.startswith(".tmp-") for name in os.listdir(tmp_path))
+
+
+def test_disk_cache_treats_corrupt_entry_as_miss(tmp_path):
+    cache = DiskScoreCache(str(tmp_path))
+    key = ("fingerprint", 2, 2, 0, 1, "dataset")
+    cache.put(key, [np.ones((2, 2, 1, 1))])
+    path = cache._path(key)
+    with open(path, "wb") as handle:
+        handle.write(b"torn write, not a zip file")
+    assert cache.get(key) is None
+    # Recomputing overwrites the corrupt entry and serving works again.
+    cache.put(key, [np.ones((2, 2, 1, 1))])
+    assert cache.get(key) is not None
+
+
+def test_sweep_runner_serves_second_runner_from_disk(trained, tmp_path):
+    model, dataset = trained
+    first = _runner(cache_dir=str(tmp_path))
+    tensors = first.cumulative_scores(model, dataset, rng=0)
+    assert first.disk_cache.misses == 1 and len(first.disk_cache) == 1
+
+    second = _runner(cache_dir=str(tmp_path))
+    served = second.cumulative_scores(model, dataset, rng=0)
+    assert second.disk_cache.hits == 1
+    for a, b in zip(tensors, served):
+        assert np.array_equal(a, b)
+
+    # The disk entry also seeds the in-memory cache for subsequent calls.
+    assert second.cache.hits == 0
+    second.cumulative_scores(model, dataset, rng=0)
+    assert second.cache.hits == 1
+
+
+def test_memory_hit_backfills_disk_cache(trained, tmp_path):
+    """A memory-cache hit still persists the entry when cache_dir is set."""
+    model, dataset = trained
+    shared = ScoreCache()
+    warm = SweepRunner(
+        copy_levels=(1, 2), spf_levels=(1, 2), repeats=2, cache=shared
+    )
+    tensors = warm.cumulative_scores(model, dataset, rng=0)
+    persisting = SweepRunner(
+        copy_levels=(1, 2),
+        spf_levels=(1, 2),
+        repeats=2,
+        cache=shared,
+        cache_dir=str(tmp_path),
+    )
+    served = persisting.cumulative_scores(model, dataset, rng=0)
+    assert len(persisting.disk_cache) == 1
+    for a, b in zip(tensors, served):
+        assert np.array_equal(a, b)
+
+
+def test_fingerprint_memo_freezes_hashed_arrays(trained):
+    """After fingerprinting, in-place weight mutation raises loudly.
+
+    The fingerprint is memoized by object identity; freezing the hashed
+    arrays is what keeps that sound (a mutated model can never silently
+    reuse its pre-mutation cache entries).
+    """
+    from repro.eval.runner import model_fingerprint
+
+    model, _ = trained
+    model_fingerprint(model)
+    with pytest.raises(ValueError):
+        model.block_weights[0][0][0, 0] = 123.0
+
+
+def test_evaluation_view_tracks_max_samples(trained):
+    model, dataset = trained
+    runner = SweepRunner(
+        copy_levels=(1,), spf_levels=(1,), repeats=1, cache=ScoreCache(),
+        max_samples=20,
+    )
+    assert runner._evaluation_view(dataset).sample_count == 20
+    runner.max_samples = 10
+    assert runner._evaluation_view(dataset).sample_count == 10
+
+
+def test_sweep_runner_disk_cache_ignores_generator_rng(trained, tmp_path):
+    model, dataset = trained
+    runner = _runner(cache_dir=str(tmp_path))
+    runner.cumulative_scores(model, dataset, rng=np.random.default_rng(0))
+    assert len(runner.disk_cache) == 0
+
+
+def test_workers_bit_identical_to_serial(trained):
+    model, dataset = trained
+    serial = _runner().cumulative_scores(model, dataset, rng=7)
+    parallel = _runner().cumulative_scores(model, dataset, rng=7, workers=2)
+    assert len(serial) == len(parallel) == 2
+    for a, b in zip(serial, parallel):
+        assert np.array_equal(a, b)
+
+
+def test_workers_run_produces_identical_sweep(trained):
+    model, dataset = trained
+    serial = _runner().run(model, dataset, rng=3, label="serial")
+    parallel = _runner().run(model, dataset, rng=3, label="parallel", workers=2)
+    assert np.array_equal(serial.mean_accuracy, parallel.mean_accuracy)
+    assert np.array_equal(serial.std_accuracy, parallel.std_accuracy)
+
+
+_SUBPROCESS_SCRIPT = """
+import sys
+import numpy as np
+from repro.eval.runner import ScoreCache, SweepRunner
+from repro.experiments.runner import ExperimentContext
+
+cache_dir, out_path = sys.argv[1], sys.argv[2]
+context = ExperimentContext(
+    train_size=120, test_size=60, epochs=2, eval_samples=30, repeats=1, seed=0
+)
+runner = SweepRunner(
+    copy_levels=(1, 2), spf_levels=(1, 2), repeats=1,
+    cache=ScoreCache(), cache_dir=cache_dir,
+)
+tensors = runner.cumulative_scores(
+    context.result("tea").model, context.evaluation_dataset(), rng=0
+)
+np.savez(out_path, scores=tensors[0])
+print("HITS", runner.disk_cache.hits, "MISSES", runner.disk_cache.misses)
+"""
+
+
+def test_disk_cache_shared_across_fresh_processes(tmp_path):
+    """Two fresh interpreter processes: identical tensors, second hits disk."""
+    outputs = []
+    for run in range(2):
+        out_path = str(tmp_path / f"scores-{run}.npz")
+        result = subprocess.run(
+            [sys.executable, "-c", _SUBPROCESS_SCRIPT, str(tmp_path / "cache"), out_path],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        outputs.append((result.stdout.strip().splitlines()[-1], out_path))
+    assert outputs[0][0] == "HITS 0 MISSES 1"
+    assert outputs[1][0] == "HITS 1 MISSES 0"
+    with np.load(outputs[0][1]) as first, np.load(outputs[1][1]) as second:
+        assert np.array_equal(first["scores"], second["scores"])

@@ -54,3 +54,24 @@ def test_rs130_data_padded_to_grid():
 def test_paper_accuracy_column_recorded():
     assert TEST_BENCHES[1].paper_caffe_accuracy == pytest.approx(0.9527)
     assert TEST_BENCHES[5].paper_caffe_accuracy == pytest.approx(0.6965)
+
+
+def test_testbench_chip_validation_smoke():
+    from repro.experiments.testbenches import testbench_chip_validation
+
+    report = testbench_chip_validation(
+        1,
+        spikes_per_frame=2,
+        max_samples=20,
+        context_overrides={
+            "train_size": 150,
+            "test_size": 60,
+            "epochs": 2,
+            "eval_samples": 40,
+            "repeats": 1,
+        },
+    )
+    assert report["samples"] == 20
+    assert report["class_counts"].shape == (20, 10)
+    assert report["predictions"].shape == (20,)
+    assert 0.0 <= report["accuracy"] <= 1.0

@@ -5,8 +5,44 @@ import pytest
 
 from repro.core.tea import TeaLearning
 from repro.encoding.stochastic import StochasticEncoder
-from repro.mapping.deploy import deploy_model
-from repro.mapping.pipeline import program_chip, run_chip_inference
+from repro.mapping.corelet import Corelet, CoreletNetwork
+from repro.mapping.deploy import DeployedNetwork, deploy_model
+from repro.mapping.pipeline import (
+    program_chip,
+    run_chip_inference,
+    run_chip_inference_batch,
+)
+
+
+def _two_layer_network(rng: np.random.Generator) -> DeployedNetwork:
+    """A small hand-built 2-layer deployed copy (2 cores -> 1 core)."""
+    input_dim, hidden_per_core, out_neurons = 16, 5, 7
+    corelets, weights = [], []
+    layer0, w0 = [], []
+    for index in range(2):
+        ins = tuple(range(index * 8, (index + 1) * 8))
+        outs = tuple(range(index * hidden_per_core, (index + 1) * hidden_per_core))
+        sampled = rng.integers(-1, 2, size=(8, hidden_per_core)).astype(float)
+        layer0.append(
+            Corelet(0, index, ins, np.abs(sampled), np.sign(sampled), outs)
+        )
+        w0.append(sampled)
+    corelets.append(layer0)
+    weights.append(w0)
+    ins = tuple(range(2 * hidden_per_core))
+    sampled = rng.integers(-1, 2, size=(len(ins), out_neurons)).astype(float)
+    corelets.append(
+        [Corelet(1, 0, ins, np.abs(sampled), np.sign(sampled), tuple(range(out_neurons)))]
+    )
+    weights.append([sampled])
+    assignment = np.array([0, 1, 2, 0, 1, 2, 0])  # 7 neurons, 3 classes
+    network = CoreletNetwork(
+        corelets=corelets,
+        class_assignment=assignment,
+        num_classes=3,
+        input_dim=input_dim,
+    )
+    return DeployedNetwork(corelet_network=network, sampled_weights=weights)
 
 
 @pytest.fixture(scope="module")
@@ -59,6 +95,114 @@ def test_run_chip_inference_validates_shape(deployed_copy):
     chip, core_ids = program_chip(deployed_copy)
     with pytest.raises(ValueError):
         run_chip_inference(chip, deployed_copy, core_ids, np.zeros((2, 5)))
+
+
+def test_run_chip_inference_batch_validates_shape(deployed_copy):
+    chip, core_ids = program_chip(deployed_copy)
+    with pytest.raises(ValueError):
+        run_chip_inference_batch(chip, deployed_copy, core_ids, np.zeros((3, 2, 5)))
+    with pytest.raises(ValueError):
+        run_chip_inference_batch(
+            chip,
+            deployed_copy,
+            core_ids,
+            np.zeros((4, deployed_copy.corelet_network.input_dim)),
+        )
+
+
+def test_chip_reset_preserves_routing():
+    """Resetting a chip keeps the programmed inter-layer routes.
+
+    The original reset re-created the router from scratch, dropping every
+    route — which silently broke any multi-layer inference after the first
+    reset (all hidden-layer spikes were dropped on the floor).
+    """
+    deployed = _two_layer_network(np.random.default_rng(0))
+    chip, core_ids = program_chip(deployed)
+    routes_before = chip.router.route_count
+    assert routes_before > 0
+    chip.reset()
+    assert chip.router.route_count == routes_before
+
+
+def test_drain_is_exact_for_layer_depth_and_router_delay():
+    """Total ticks = input ticks + (depth - 1) * delay, spikes fully drained.
+
+    The old heuristic (`depth * (delay + 1) + 2`) over-drained every sample;
+    the exact latency model stops as soon as the last routed spike lands.
+    """
+    deployed = _two_layer_network(np.random.default_rng(1))
+    rng = np.random.default_rng(2)
+    frames = (rng.random((5, deployed.corelet_network.input_dim)) < 0.5).astype(
+        np.int8
+    )
+    for delay in (1, 2, 4):
+        chip, core_ids = program_chip(deployed, router_delay=delay)
+        counts = run_chip_inference(chip, deployed, core_ids, frames)
+        assert chip.tick == frames.shape[0] + (2 - 1) * delay
+        assert not chip.router.has_pending()
+        batch_counts = run_chip_inference_batch(
+            chip, deployed, core_ids, frames[None]
+        )
+        assert chip.tick == frames.shape[0] + (2 - 1) * delay
+        assert np.array_equal(batch_counts[0], counts)
+
+
+def test_empty_batch_returns_empty_counts(deployed_copy):
+    chip, core_ids = program_chip(deployed_copy)
+    counts = run_chip_inference_batch(
+        chip,
+        deployed_copy,
+        core_ids,
+        np.zeros((0, 3, deployed_copy.corelet_network.input_dim), dtype=np.int8),
+    )
+    assert counts.shape == (0, deployed_copy.corelet_network.num_classes)
+
+
+def test_negative_leak_lif_rejected():
+    """A negative leak self-charges silent neurons: no finite drain point.
+
+    Rather than silently truncating output spikes at the router-empty
+    point, the inference drivers refuse the configuration up front.
+    """
+    from repro.truenorth.config import NeuronConfig
+
+    deployed = _two_layer_network(np.random.default_rng(4))
+    chip, core_ids = program_chip(
+        deployed, neuron_config=NeuronConfig(threshold=2, leak=-1, history_free=False)
+    )
+    frames = np.zeros((2, deployed.corelet_network.input_dim), dtype=np.int8)
+    with pytest.raises(ValueError, match="leak"):
+        run_chip_inference(chip, deployed, core_ids, frames)
+    with pytest.raises(ValueError, match="leak"):
+        run_chip_inference_batch(chip, deployed, core_ids, frames[None])
+
+
+def test_self_refiring_lif_rejected():
+    """A reset potential at/above threshold re-fires every tick forever."""
+    from repro.truenorth.config import NeuronConfig
+
+    deployed = _two_layer_network(np.random.default_rng(5))
+    chip, core_ids = program_chip(
+        deployed, neuron_config=NeuronConfig(history_free=False)  # 0 >= 0
+    )
+    frames = np.zeros((2, deployed.corelet_network.input_dim), dtype=np.int8)
+    with pytest.raises(ValueError, match="reset"):
+        run_chip_inference(chip, deployed, core_ids, frames)
+    with pytest.raises(ValueError, match="reset"):
+        run_chip_inference_batch(chip, deployed, core_ids, frames[None])
+
+
+def test_multi_layer_rejects_zero_router_delay():
+    """Zero-delay events target an already-served tick and would be lost."""
+    deployed = _two_layer_network(np.random.default_rng(3))
+    chip, core_ids = program_chip(deployed)
+    chip.router.delay = 0
+    frames = np.zeros((2, deployed.corelet_network.input_dim), dtype=np.int8)
+    with pytest.raises(ValueError):
+        run_chip_inference(chip, deployed, core_ids, frames)
+    with pytest.raises(ValueError):
+        run_chip_inference_batch(chip, deployed, core_ids, frames[None])
 
 
 def test_chip_predictions_reasonable_on_training_like_input(
