@@ -1,0 +1,124 @@
+"""CI smoke: one small EvalRequest through a registered repro.api backend.
+
+Runs a tiny trained model through the requested backend via
+:class:`repro.api.Session` and asserts that backend's cross-backend
+equivalence invariant:
+
+* ``vectorized`` — score tensors bit-identical to the ``reference`` loop;
+* ``chip`` — integer readout class counts bit-identical to ``vectorized``;
+* ``reference`` — deterministic: two evaluations of the same request are
+  bit-identical, and accuracy lies in [0, 1].
+
+Exits non-zero when an invariant fails, which is what makes the CI
+backend-matrix job a regression gate rather than a timing report.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_api_backends.py --backend chip
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+
+import numpy as np
+
+from repro.api import EvalRequest, Session, backend_names
+from repro.experiments.runner import ExperimentContext
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--backend",
+        required=True,
+        choices=sorted(backend_names()),
+        help="backend to smoke-test",
+    )
+    parser.add_argument("--copies", type=int, default=2, help="network copies")
+    parser.add_argument("--spf", type=int, default=2, help="spikes per frame")
+    parser.add_argument("--samples", type=int, default=40, help="evaluated samples")
+    parser.add_argument(
+        "--train-size", type=int, default=200, help="training samples for the model"
+    )
+    parser.add_argument("--epochs", type=int, default=2, help="training epochs")
+    parser.add_argument(
+        "--output", default=None, help="optional path for the JSON record"
+    )
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    context = ExperimentContext(
+        train_size=args.train_size,
+        test_size=max(args.samples, 30),
+        epochs=args.epochs,
+        eval_samples=args.samples,
+        repeats=1,
+        seed=0,
+    )
+    request = EvalRequest(
+        model=context.result("tea").model,
+        dataset=context.evaluation_dataset(),
+        copy_levels=(1, args.copies),
+        spf_levels=(args.spf,),
+        repeats=2,
+        seed=0,
+    )
+    session = Session()
+    start = time.perf_counter()
+    result = session.evaluate(request, backend=args.backend)
+    seconds = time.perf_counter() - start
+
+    failures = []
+    if args.backend == "vectorized":
+        reference = session.evaluate(request, backend="reference")
+        if not np.array_equal(result.scores, reference.scores):
+            failures.append("vectorized scores diverged from the reference loop")
+        invariant = "scores bit-identical to reference"
+    elif args.backend == "chip":
+        vectorized = session.evaluate(request, backend="vectorized")
+        if not np.array_equal(result.class_counts(), vectorized.class_counts()):
+            failures.append("chip class counts diverged from the vectorized engine")
+        invariant = "class counts bit-identical to vectorized"
+    else:
+        again = session.evaluate(request, backend="reference")
+        if not np.array_equal(result.scores, again.scores):
+            failures.append("reference backend is not deterministic")
+        invariant = "deterministic re-evaluation"
+    accuracy = result.mean_accuracy
+    if not (np.all(accuracy >= 0.0) and np.all(accuracy <= 1.0)):
+        failures.append(f"accuracy grid out of [0, 1]: {accuracy.tolist()}")
+
+    record = {
+        "benchmark": "api-backend-smoke",
+        "backend": args.backend,
+        "invariant": invariant,
+        "config": {
+            "copy_levels": list(request.copy_levels),
+            "spf_levels": list(request.spf_levels),
+            "repeats": request.repeats,
+            "samples": int(result.labels.shape[0]),
+        },
+        "seconds": seconds,
+        "mean_accuracy": accuracy.tolist(),
+        "ok": not failures,
+        "failures": failures,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+    print(json.dumps(record, indent=2))
+    if failures:
+        raise SystemExit("; ".join(failures))
+
+
+if __name__ == "__main__":
+    main()

@@ -11,8 +11,8 @@ Run with:  python examples/core_occupation_tradeoff.py
 
 from __future__ import annotations
 
+from repro.api import EvalRequest, Session
 from repro.eval.comparison import core_occupation_comparison, label_points
-from repro.eval.sweep import accuracy_sweep
 from repro.experiments.runner import ExperimentContext
 from repro.utils.tables import format_table
 
@@ -33,14 +33,19 @@ def main() -> None:
     copy_levels_tea = (1, 2, 3, 4, 5, 7, 9, 16)
     copy_levels_biased = (1, 2, 3, 4)
     print("Sweeping spatial duplication (this deploys and evaluates both models)...")
-    tea_sweep = accuracy_sweep(
-        tea.model, dataset, copy_levels=copy_levels_tea, spf_levels=(1,),
-        repeats=context.repeats, rng=context.seed, label="tea",
-    )
-    biased_sweep = accuracy_sweep(
-        biased.model, dataset, copy_levels=copy_levels_biased, spf_levels=(1,),
-        repeats=context.repeats, rng=context.seed, label="biased",
-    )
+    session = Session(backend="vectorized")
+    tea_sweep = session.evaluate(
+        EvalRequest(
+            model=tea.model, dataset=dataset, copy_levels=copy_levels_tea,
+            spf_levels=(1,), repeats=context.repeats, seed=context.seed,
+        )
+    ).sweep(label="tea")
+    biased_sweep = session.evaluate(
+        EvalRequest(
+            model=biased.model, dataset=dataset, copy_levels=copy_levels_biased,
+            spf_levels=(1,), repeats=context.repeats, seed=context.seed,
+        )
+    ).sweep(label="biased")
 
     tea_points = label_points(
         tea_sweep.copy_levels,

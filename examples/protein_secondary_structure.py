@@ -12,7 +12,7 @@ Run with:  python examples/protein_secondary_structure.py
 
 from __future__ import annotations
 
-from repro.eval.accuracy import evaluate_deployed_accuracy
+from repro.api import EvalRequest, Session
 from repro.experiments.runner import ExperimentContext
 
 
@@ -41,15 +41,22 @@ def main() -> None:
 
     dataset = context.evaluation_dataset()
     print("\nDeployed accuracy (copies x spikes-per-frame):")
+    # One grid request per method covers all three reported configurations
+    # in a single engine pass (every point is a nested prefix of the
+    # largest), served through the unified evaluation facade.
+    session = Session(backend="vectorized")
     for name, result in (("Tea", tea), ("Biased", biased)):
-        for copies, spf in ((1, 1), (4, 1), (1, 4)):
-            record = evaluate_deployed_accuracy(
-                result.model, dataset, copies=copies, spikes_per_frame=spf,
-                repeats=context.repeats, rng=1,
+        evaluation = session.evaluate(
+            EvalRequest(
+                model=result.model, dataset=dataset, copy_levels=(1, 4),
+                spf_levels=(1, 4), repeats=context.repeats, seed=1,
             )
+        )
+        for copies, spf in ((1, 1), (4, 1), (1, 4)):
+            cores = int(evaluation.cores[evaluation.copy_levels.index(copies)])
             print(
                 f"  {name:6s} {copies:2d} copies x {spf} spf "
-                f"({record.cores:3d} cores): {record.mean_accuracy:.4f}"
+                f"({cores:3d} cores): {evaluation.accuracy_at(copies, spf):.4f}"
             )
 
     print(

@@ -6,7 +6,8 @@ This is the smallest end-to-end walk through the reproduction's public API:
 1. build the paper's test bench 1 (synthetic MNIST, 4 neuro-synaptic cores),
 2. train the baseline Tea model and the probability-biased model,
 3. deploy both onto (simulated) TrueNorth cores with Bernoulli-sampled
-   connectivity,
+   connectivity and score them through one :class:`repro.api.Session`
+   (the unified facade over the vectorized, chip, and reference backends),
 4. compare deployed accuracy at the lowest duplication level (1 network
    copy, 1 spike per frame), where the paper's method helps the most.
 
@@ -15,8 +16,8 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
+from repro.api import EvalRequest, Session
 from repro.core.penalties import pole_fraction
-from repro.eval.accuracy import evaluate_deployed_accuracy
 from repro.experiments.runner import ExperimentContext
 
 
@@ -45,14 +46,30 @@ def main() -> None:
     print(f"Biased probabilities near a deterministic pole: {100 * biased_pole:.1f}%")
 
     print("\n== Deployment at 1 network copy, 1 spike per frame ==")
+    # One session serves every request; submitting both before flushing lets
+    # the facade coalesce compatible requests onto shared engine passes.
+    session = Session(backend="vectorized")
     dataset = context.evaluation_dataset()
-    for name, result in (("Tea", tea), ("Biased", biased)):
-        record = evaluate_deployed_accuracy(
-            result.model, dataset, copies=1, spikes_per_frame=1, repeats=3, rng=1
+    pending = {
+        name: session.submit(
+            EvalRequest(
+                model=result.model,
+                dataset=dataset,
+                copy_levels=(1,),
+                spf_levels=(1,),
+                repeats=3,
+                seed=1,
+            )
         )
+        for name, result in (("Tea", tea), ("Biased", biased))
+    }
+    session.flush()
+    for name, handle in pending.items():
+        result = handle.result()
         print(
-            f"{name:6s} deployed accuracy: {record.mean_accuracy:.4f} "
-            f"(+/- {record.std_accuracy:.4f}) using {record.cores} cores"
+            f"{name:6s} deployed accuracy: {result.accuracy_at(1, 1):.4f} "
+            f"(+/- {float(result.std_accuracy[0, 0]):.4f}) "
+            f"using {int(result.cores[0])} cores"
         )
 
     print(

@@ -18,12 +18,21 @@ Chip" (DAC 2016) as a self-contained Python library:
 * :mod:`repro.datasets` — synthetic MNIST / RS130 stand-ins.
 * :mod:`repro.eval` — accuracy sweeps, core occupation, performance, and the
   accuracy-matched comparison of Table 2.
+* :mod:`repro.api` — the unified evaluation-backend protocol and serving
+  facade (``EvalRequest`` / ``Session`` over the vectorized, chip, and
+  reference backends).
 * :mod:`repro.experiments` — one driver per table / figure of the paper.
 
 Quickstart::
 
+    from repro.api import EvalRequest, Session
     from repro.experiments.runner import ExperimentContext, train_method_pair
-    tea, biased = train_method_pair(ExperimentContext(train_size=400, epochs=3))
+
+    context = ExperimentContext(train_size=400, epochs=3)
+    tea, biased = train_method_pair(context)
+    result = Session(backend="vectorized").evaluate(
+        EvalRequest(model=biased.model, dataset=context.evaluation_dataset())
+    )
 """
 
 __version__ = "1.0.0"

@@ -1,0 +1,79 @@
+"""repro.api — unified evaluation-backend protocol and serving facade.
+
+One stable API in front of the repo's three evaluation engines:
+
+* :class:`EvalRequest` / :class:`EvalResult` — normalized request and
+  result shapes (grids, seeds, encoder choice, score/accuracy tensors)
+  shared by every backend.
+* :class:`EvaluationBackend` + the registry (:func:`register_backend`,
+  :func:`create_backend`, :func:`backend_names`) — pluggable engines:
+  ``vectorized`` (SweepRunner / VectorizedEvaluator), ``chip`` (batched
+  cycle-accurate TrueNorth simulation), ``reference`` (the per-corelet
+  ground-truth loop).
+* :class:`Session` — the serving facade: backend selection (explicit or
+  capability-based ``auto``), the persistent score caches, and request
+  batching that coalesces queued requests onto shared engine passes.
+
+Quickstart::
+
+    from repro.api import EvalRequest, Session
+    from repro.experiments.runner import ExperimentContext
+
+    context = ExperimentContext(train_size=400, epochs=3)
+    session = Session(backend="vectorized", cache_dir="/tmp/scores")
+    result = session.evaluate(
+        EvalRequest(
+            model=context.result("tea").model,
+            dataset=context.evaluation_dataset(),
+            copy_levels=(1, 2, 4),
+            spf_levels=(1, 2),
+            repeats=2,
+            seed=0,
+        )
+    )
+    print(result.mean_accuracy)       # (copies, spf) accuracy grid
+    print(result.accuracy_at(4, 2))   # one grid point
+
+Switching ``backend="vectorized"`` to ``"reference"`` or ``"chip"`` changes
+nothing but the engine: the same request produces bit-identical score
+tensors on the vectorized and reference backends, and bit-identical integer
+readout counts (``result.class_counts()``) on the chip backend.  See the
+top-level README for the full backend-choice guide.
+"""
+
+from repro.api.backends import (
+    ChipBackend,
+    ReferenceBackend,
+    VectorizedBackend,
+    backend_names,
+    create_backend,
+    register_backend,
+)
+from repro.api.protocol import (
+    KNOWN_ENCODERS,
+    BackendCapabilities,
+    EvalRequest,
+    EvalResult,
+    EvaluationBackend,
+    UnsupportedRequestError,
+)
+from repro.api.session import AUTO, PendingEvaluation, Session, SessionStats
+
+__all__ = [
+    "AUTO",
+    "BackendCapabilities",
+    "ChipBackend",
+    "EvalRequest",
+    "EvalResult",
+    "EvaluationBackend",
+    "KNOWN_ENCODERS",
+    "PendingEvaluation",
+    "ReferenceBackend",
+    "Session",
+    "SessionStats",
+    "UnsupportedRequestError",
+    "VectorizedBackend",
+    "backend_names",
+    "create_backend",
+    "register_backend",
+]

@@ -1,0 +1,387 @@
+"""Registered evaluation backends serving the :mod:`repro.api` protocol.
+
+Three backends wrap the repo's three evaluation engines behind one
+:class:`~repro.api.protocol.EvaluationBackend` contract:
+
+* ``vectorized`` — :class:`repro.eval.runner.SweepRunner` over
+  :class:`repro.eval.engine.VectorizedEvaluator`: the fast functional path
+  (folded firing gate, one GEMM per corelet per layer, streamed encoding)
+  with the in-memory and on-disk score caches.
+* ``reference`` — the kept per-corelet equivalence loop
+  (:func:`repro.eval.engine.evaluate_scores_reference`): slow by design,
+  never cached, the ground truth the vectorized backend must match bit for
+  bit.
+* ``chip`` — the batched cycle-accurate TrueNorth simulator
+  (:func:`repro.mapping.pipeline.run_chip_inference_batch`): one programmed
+  chip per deployed copy, lock-step ticks, per-core spike counters and
+  router-delay control.
+
+All three consume the canonical randomness layout documented in
+:mod:`repro.api.protocol`, so a request produces the same sampled
+connectivities and the same input spike realizations on every backend.
+Each backend's ``evaluate`` returns per-repeat *cumulative* score tensors
+sliced to the requested grid; the shared helpers here do the slicing and
+accuracy derivation so result shapes cannot drift apart between backends.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.api.protocol import (
+    BackendCapabilities,
+    EvalRequest,
+    EvalResult,
+    UnsupportedRequestError,
+)
+from repro.datasets.base import Dataset
+from repro.encoding.stochastic import StochasticEncoder
+from repro.eval.engine import class_counts as class_neuron_counts
+from repro.eval.engine import evaluate_scores_reference
+from repro.eval.runner import ScoreCache, SweepRunner
+from repro.mapping.corelet import build_corelets
+from repro.mapping.duplication import deploy_with_copies
+from repro.mapping.pipeline import program_chip, run_chip_inference_batch
+from repro.utils.rng import new_rng, spawn_rngs
+
+
+def _check_capabilities(request: EvalRequest, caps: BackendCapabilities) -> None:
+    """Reject request features the backend does not implement.
+
+    Raising here (instead of ignoring the feature or quietly delegating to
+    another backend) is the protocol's no-silent-fallback rule.
+    """
+    if request.needs_cycle_accuracy and not caps.cycle_accurate:
+        features = []
+        if request.collect_spike_counters:
+            features.append("collect_spike_counters")
+        if request.router_delay is not None:
+            features.append(f"router_delay={request.router_delay}")
+        raise UnsupportedRequestError(
+            f"backend {caps.name!r} is not cycle-accurate and cannot serve "
+            f"{', '.join(features)}; use the 'chip' backend (or backend='auto')"
+        )
+    if len(request.spf_levels) > 1 and not caps.spf_grids:
+        raise UnsupportedRequestError(
+            f"backend {caps.name!r} cannot derive a multi-spf grid in one "
+            f"pass (requested spf_levels={request.spf_levels}); submit one "
+            "request per spf level or use a grid-capable backend"
+        )
+
+
+def _result_from_cumulative(
+    request: EvalRequest,
+    backend_name: str,
+    tensors: List[np.ndarray],
+    evaluation: Dataset,
+    n_k: np.ndarray,
+    cores_per_copy: int,
+    spike_counters: Optional[np.ndarray] = None,
+    spf_axis_levels: Optional[Tuple[int, ...]] = None,
+) -> EvalResult:
+    """Slice per-repeat cumulative ``(max_c, max_s, batch, classes)`` tensors
+    down to the requested grid and derive the accuracy tensor.
+
+    Every backend funnels through this one helper, which is what keeps the
+    result shape (and the accuracy convention: argmax of accumulated
+    class-mean scores against the labels) identical across backends.
+
+    ``spf_axis_levels`` names the spf levels the tensors' second axis holds
+    when it is not the dense ``1..max_spf`` range (the chip backend reports
+    a single level with a singleton axis).
+    """
+    copy_index = np.asarray(request.copy_levels, dtype=int) - 1
+    if spf_axis_levels is None:
+        spf_index = np.asarray(request.spf_levels, dtype=int) - 1
+    else:
+        spf_index = np.asarray(
+            [spf_axis_levels.index(s) for s in request.spf_levels], dtype=int
+        )
+    stacked = np.stack(tensors)  # (repeats, max_c, max_s, batch, classes)
+    scores = stacked[:, copy_index][:, :, spf_index]
+    predictions = scores.argmax(axis=-1)
+    labels = np.asarray(evaluation.labels)
+    accuracy = (predictions == labels).mean(axis=-1)
+    return EvalResult(
+        backend=backend_name,
+        copy_levels=request.copy_levels,
+        spf_levels=request.spf_levels,
+        scores=scores,
+        accuracy=accuracy,
+        labels=labels,
+        class_neuron_counts=n_k,
+        cores=np.array([c * cores_per_copy for c in request.copy_levels]),
+        seed=request.seed,
+        repeats=request.repeats,
+        spike_counters=spike_counters,
+    )
+
+
+class VectorizedBackend:
+    """The fast functional path: ``SweepRunner`` + ``VectorizedEvaluator``.
+
+    Args:
+        cache: in-memory score cache shared across requests; ``None`` uses
+            the process-global cache.
+        cache_dir: optional persistent on-disk score cache directory.
+        cache_max_bytes: optional size bound for ``cache_dir`` (mtime-LRU
+            eviction, see :class:`repro.eval.runner.DiskScoreCache`).
+        workers: fan independent per-repeat passes over N processes.
+    """
+
+    name = "vectorized"
+
+    def __init__(
+        self,
+        cache: Optional[ScoreCache] = None,
+        cache_dir: Optional[str] = None,
+        cache_max_bytes: Optional[int] = None,
+        workers: Optional[int] = None,
+    ):
+        self.cache = cache
+        self.cache_dir = cache_dir
+        self.cache_max_bytes = cache_max_bytes
+        self.workers = workers
+        #: engine passes actually computed (cache-served requests excluded).
+        self.passes = 0
+        #: one long-lived runner per grid config, so the disk cache (and its
+        #: hit/miss/eviction telemetry) persists across requests instead of
+        #: being rebuilt per call.
+        self._runners: Dict[Tuple, SweepRunner] = {}
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name=self.name,
+            description=(
+                "vectorized multi-copy engine (folded gate, streamed "
+                "encoding, score caches)"
+            ),
+            spf_grids=True,
+            cycle_accurate=False,
+            cacheable=True,
+        )
+
+    def _runner(self, request: EvalRequest) -> SweepRunner:
+        key = (request.copy_levels, request.spf_levels, request.repeats)
+        runner = self._runners.get(key)
+        if runner is None:
+            runner = SweepRunner(
+                copy_levels=request.copy_levels,
+                spf_levels=request.spf_levels,
+                repeats=request.repeats,
+                cache=self.cache,
+                cache_dir=self.cache_dir,
+                cache_max_bytes=self.cache_max_bytes,
+            )
+            self._runners[key] = runner
+        return runner
+
+    def evaluate(self, request: EvalRequest) -> EvalResult:
+        _check_capabilities(request, self.capabilities())
+        evaluation = request.evaluation_dataset()
+        runner = self._runner(request)
+        cache_hits_before = runner.cache.hits + (
+            runner.disk_cache.hits if runner.disk_cache is not None else 0
+        )
+        tensors = runner.cumulative_scores(
+            request.model, evaluation, rng=request.seed, workers=self.workers
+        )
+        cache_hits_after = runner.cache.hits + (
+            runner.disk_cache.hits if runner.disk_cache is not None else 0
+        )
+        if cache_hits_after == cache_hits_before:
+            self.passes += 1
+        network = build_corelets(request.model)
+        return _result_from_cumulative(
+            request,
+            self.name,
+            list(tensors),
+            evaluation,
+            class_neuron_counts(network),
+            request.model.architecture.cores_per_network,
+        )
+
+
+class ReferenceBackend:
+    """The kept per-corelet equivalence loop — slow, uncached ground truth.
+
+    Never served from a cache: its whole point is to recompute from first
+    principles so the vectorized backend has something independent to be
+    bit-identical against.
+    """
+
+    name = "reference"
+
+    def __init__(self):
+        self.passes = 0
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name=self.name,
+            description="per-(copy, frame, corelet) reference loop (uncached)",
+            spf_grids=True,
+            cycle_accurate=False,
+            cacheable=False,
+        )
+
+    def evaluate(self, request: EvalRequest) -> EvalResult:
+        _check_capabilities(request, self.capabilities())
+        evaluation = request.evaluation_dataset()
+        network = build_corelets(request.model)
+        tensors: List[np.ndarray] = []
+        self.passes += 1
+        for repeat_rng in spawn_rngs(new_rng(request.seed), request.repeats):
+            deployment = deploy_with_copies(
+                request.model,
+                copies=request.max_copies,
+                rng=repeat_rng,
+                corelet_network=network,
+            )
+            scores = evaluate_scores_reference(
+                deployment.copies,
+                evaluation.features,
+                request.max_spf,
+                rng=repeat_rng,
+            )
+            tensors.append(np.cumsum(np.cumsum(scores, axis=0), axis=1))
+        return _result_from_cumulative(
+            request,
+            self.name,
+            tensors,
+            evaluation,
+            class_neuron_counts(network),
+            network.core_count,
+        )
+
+
+class ChipBackend:
+    """The cycle-accurate path: one programmed TrueNorth chip per copy.
+
+    Each deployed copy is programmed onto its own chip and the whole sample
+    batch advances in lock-step ticks
+    (:func:`~repro.mapping.pipeline.run_chip_inference_batch`).  The chip
+    reports no per-tick score breakdown, so a request may carry only a
+    single spf level (``spf_grids=False``); copy levels are served as
+    nested prefixes via an exact integer cumsum over the per-copy readout
+    counts.  Scores are the class-mean convention ``counts / n_k``, so
+    :meth:`EvalResult.class_counts` recovers the chip's integer readout
+    counts exactly — the cross-backend invariant the property tests assert
+    against the vectorized backend.
+    """
+
+    name = "chip"
+
+    def __init__(self):
+        self.passes = 0
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name=self.name,
+            description=(
+                "batched cycle-accurate TrueNorth simulation (spike "
+                "counters, router delay)"
+            ),
+            spf_grids=False,
+            cycle_accurate=True,
+            cacheable=False,
+        )
+
+    def evaluate(self, request: EvalRequest) -> EvalResult:
+        _check_capabilities(request, self.capabilities())
+        evaluation = request.evaluation_dataset()
+        network = build_corelets(request.model)
+        n_k = class_neuron_counts(network)
+        spf = request.max_spf
+        encoder = StochasticEncoder(spikes_per_frame=spf)
+        tensors: List[np.ndarray] = []
+        counter_repeats: List[np.ndarray] = []
+        self.passes += 1
+        for repeat_rng in spawn_rngs(new_rng(request.seed), request.repeats):
+            deployment = deploy_with_copies(
+                request.model,
+                copies=request.max_copies,
+                rng=repeat_rng,
+                corelet_network=network,
+            )
+            frames = encoder.encode(evaluation.features, rng=repeat_rng)
+            volumes = np.ascontiguousarray(frames.transpose(1, 0, 2))
+            per_copy_counts: List[np.ndarray] = []
+            per_copy_counters: List[np.ndarray] = []
+            for copy in deployment.copies:
+                chip, core_ids = program_chip(
+                    copy, router_delay=request.router_delay
+                )
+                per_copy_counts.append(
+                    run_chip_inference_batch(chip, copy, core_ids, volumes)
+                )
+                if request.collect_spike_counters:
+                    flat_ids = [cid for layer in core_ids for cid in layer]
+                    per_copy_counters.append(
+                        np.stack(
+                            [chip.core(cid).batch_spike_counts for cid in flat_ids]
+                        )
+                    )
+            cumulative = np.cumsum(np.stack(per_copy_counts), axis=0)
+            # (max_copies, batch, classes) ints -> class-mean score tensor
+            # with a singleton spf axis; the integer counts stay exactly
+            # recoverable through EvalResult.class_counts().
+            tensors.append(cumulative[:, None].astype(float) / n_k)
+            if request.collect_spike_counters:
+                counter_repeats.append(np.stack(per_copy_counters))
+        spike_counters = (
+            np.stack(counter_repeats) if request.collect_spike_counters else None
+        )
+        return _result_from_cumulative(
+            request,
+            self.name,
+            tensors,
+            evaluation,
+            n_k,
+            network.core_count,
+            spike_counters=spike_counters,
+            spf_axis_levels=(spf,),
+        )
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Callable[..., object]] = {}
+
+
+def register_backend(name: str, factory: Callable[..., object]) -> None:
+    """Register an :class:`EvaluationBackend` factory under ``name``.
+
+    Re-registering a name replaces the factory (useful for tests and for
+    out-of-tree backends like a future GPU engine).
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"backend name must be a non-empty string, got {name!r}")
+    _REGISTRY[name] = factory
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Names of all registered backends (sorted)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create_backend(name: str, **config) -> object:
+    """Instantiate a registered backend by name.
+
+    Keyword arguments are passed to the backend factory (e.g. ``cache_dir``
+    for the vectorized backend).
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown evaluation backend {name!r}; registered: {backend_names()}"
+        ) from None
+    return factory(**config)
+
+
+register_backend("vectorized", VectorizedBackend)
+register_backend("reference", ReferenceBackend)
+register_backend("chip", ChipBackend)

@@ -1,0 +1,333 @@
+"""The serving facade: backend selection, caching, request coalescing.
+
+:class:`Session` is the one object experiment drivers, examples, and the
+future service front end talk to.  It owns
+
+* **backend selection** — explicit (``Session(backend="chip")``) or by
+  capability (``backend="auto"``: requests using a chip-only feature go to
+  the cycle-accurate backend, everything else to the vectorized engine).
+  A request the selected backend cannot serve raises
+  :class:`~repro.api.protocol.UnsupportedRequestError` — never a silent
+  fallback to a different backend.
+* **the score caches** — ``cache_dir`` (with optional ``cache_max_bytes``
+  LRU bounding) and the in-memory cache are threaded into the vectorized
+  backend, so a long-running session re-serves repeated configurations
+  from memory or disk instead of re-evaluating.
+* **request batching** — :meth:`submit` queues requests;
+  :meth:`flush` groups queued requests that share one *coalescing key*
+  (backend, model fingerprint, dataset fingerprint, seed, repeats,
+  encoder, and the grid maxima) and serves each group with **one** engine
+  pass over the union of the requested levels, slicing every request's
+  sub-grid out of the shared cumulative tensors.
+
+Coalescing never changes results: a request's scores are defined by the
+evaluation at its own ``(max(copy_levels), max(spf_levels))`` — every
+smaller level is a nested prefix of that pass — so only requests with
+identical maxima share a pass, and the sliced results are bit-identical to
+evaluating each request alone (the property tests assert it).  Requests
+with ``seed=None`` ask for fresh entropy and are therefore never coalesced
+(each must be an independent random sample) and never cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.api.backends import backend_names, create_backend
+from repro.api.protocol import (
+    BackendCapabilities,
+    EvalRequest,
+    EvalResult,
+    UnsupportedRequestError,
+)
+from repro.eval.runner import ScoreCache, dataset_fingerprint, model_fingerprint
+
+#: Sentinel for capability-based backend selection.
+AUTO = "auto"
+
+
+@dataclass
+class PendingEvaluation:
+    """Handle for a queued request; resolved by :meth:`Session.flush`."""
+
+    request: EvalRequest
+    backend_name: str
+    _session: "Session" = field(repr=False)
+    _result: Optional[EvalResult] = field(default=None, repr=False)
+    _error: Optional[BaseException] = field(default=None, repr=False)
+
+    @property
+    def done(self) -> bool:
+        """Whether the request has been served (or failed)."""
+        return self._result is not None or self._error is not None
+
+    def result(self) -> EvalResult:
+        """The evaluation result, flushing the session's queue if needed.
+
+        A request that failed (e.g. with
+        :class:`~repro.api.protocol.UnsupportedRequestError`) re-raises its
+        error here; failures never abort the other requests of a flush.
+        """
+        if not self.done:
+            self._session.flush()
+        if self._error is not None:
+            raise self._error
+        if self._result is None:
+            raise RuntimeError("request was never served (flush did not reach it)")
+        return self._result
+
+
+@dataclass
+class SessionStats:
+    """Counters of what a session actually did.
+
+    ``engine_passes`` counts evaluation passes the backends actually
+    computed — cache-served requests are excluded when the backend exposes
+    a ``passes`` counter.  ``coalesced_requests`` counts requests served by
+    slicing another request's engine pass instead of running their own.
+    """
+
+    submitted: int = 0
+    flushes: int = 0
+    engine_passes: int = 0
+    coalesced_requests: int = 0
+
+
+class Session:
+    """Unified front end over the registered evaluation backends.
+
+    Args:
+        backend: default backend name for :meth:`evaluate` / :meth:`submit`
+            (``"vectorized"``, ``"reference"``, ``"chip"``, or ``"auto"``
+            to select by request capability).
+        cache: in-memory score cache for the vectorized backend (``None``
+            shares the process-global cache).
+        cache_dir: persistent on-disk score cache directory shared across
+            sessions, processes, and restarts.
+        cache_max_bytes: size bound for ``cache_dir`` (mtime-LRU eviction).
+        workers: fan vectorized per-repeat passes over N processes.
+    """
+
+    def __init__(
+        self,
+        backend: str = AUTO,
+        cache: Optional[ScoreCache] = None,
+        cache_dir: Optional[str] = None,
+        cache_max_bytes: Optional[int] = None,
+        workers: Optional[int] = None,
+    ):
+        if backend != AUTO and backend not in backend_names():
+            raise KeyError(
+                f"unknown evaluation backend {backend!r}; registered: "
+                f"{backend_names()} (or 'auto')"
+            )
+        self.default_backend = backend
+        self.cache = cache
+        self.cache_dir = cache_dir
+        self.cache_max_bytes = cache_max_bytes
+        self.workers = workers
+        self.stats = SessionStats()
+        self._backends: Dict[str, object] = {}
+        self._queue: List[PendingEvaluation] = []
+
+    # ------------------------------------------------------------------
+    # backends
+    # ------------------------------------------------------------------
+    def backend(self, name: str):
+        """The (lazily created, cached) backend instance for ``name``."""
+        if name not in self._backends:
+            if name == "vectorized":
+                self._backends[name] = create_backend(
+                    name,
+                    cache=self.cache,
+                    cache_dir=self.cache_dir,
+                    cache_max_bytes=self.cache_max_bytes,
+                    workers=self.workers,
+                )
+            else:
+                self._backends[name] = create_backend(name)
+        return self._backends[name]
+
+    def capabilities(self, name: str) -> BackendCapabilities:
+        """Capabilities of one registered backend."""
+        return self.backend(name).capabilities()
+
+    def select_backend(self, request: EvalRequest) -> str:
+        """Backend name that will serve ``request``.
+
+        With an explicit default backend this simply returns it (the
+        backend itself rejects requests it cannot serve); in ``auto`` mode
+        the request's capability needs pick the backend: chip-only features
+        route to the cycle-accurate backend, everything else to the
+        vectorized engine.
+        """
+        if self.default_backend != AUTO:
+            return self.default_backend
+        if request.needs_cycle_accuracy:
+            return "chip"
+        return "vectorized"
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, request: EvalRequest, backend: Optional[str] = None
+    ) -> EvalResult:
+        """Serve one request now (submit + flush)."""
+        pending = self.submit(request, backend=backend)
+        self.flush()
+        return pending.result()
+
+    def submit(
+        self, request: EvalRequest, backend: Optional[str] = None
+    ) -> PendingEvaluation:
+        """Queue a request for the next :meth:`flush`.
+
+        Queued requests with the same coalescing key are served by one
+        shared engine pass.  The returned handle's ``result()`` flushes on
+        demand, so callers may also treat ``submit`` as a lazy evaluate.
+        """
+        if not isinstance(request, EvalRequest):
+            raise TypeError(f"expected an EvalRequest, got {type(request).__name__}")
+        name = backend if backend is not None else self.select_backend(request)
+        if name not in backend_names():
+            raise KeyError(
+                f"unknown evaluation backend {name!r}; registered: {backend_names()}"
+            )
+        pending = PendingEvaluation(request=request, backend_name=name, _session=self)
+        self._queue.append(pending)
+        self.stats.submitted += 1
+        return pending
+
+    def flush(self) -> None:
+        """Serve every queued request, coalescing shared engine passes."""
+        if not self._queue:
+            return
+        queue, self._queue = self._queue, []
+        self.stats.flushes += 1
+        groups: Dict[Tuple, List[PendingEvaluation]] = {}
+        singles: List[PendingEvaluation] = []
+        for pending in queue:
+            # A failure while computing the key (e.g. a backend factory that
+            # cannot be constructed) resolves that handle alone — it must
+            # not abort the already-detached queue.
+            try:
+                key = self._coalesce_key(pending)
+            except Exception as error:
+                pending._error = error
+                continue
+            if key is None:
+                singles.append(pending)
+            else:
+                groups.setdefault(key, []).append(pending)
+        for pending in singles:
+            backend = self.backend(pending.backend_name)
+            passes_before = getattr(backend, "passes", None)
+            try:
+                pending._result = backend.evaluate(pending.request)
+            except Exception as error:
+                pending._error = error
+                continue
+            self._count_engine_passes(backend, passes_before)
+        for members in groups.values():
+            self._serve_group(members)
+
+    def _count_engine_passes(self, backend, passes_before) -> None:
+        """Add a backend's actually-computed passes to the session stats.
+
+        Backends exposing a ``passes`` counter (which excludes cache-served
+        requests) contribute their delta, so ``engine_passes`` reflects real
+        engine work; backends without one count one pass per evaluation.
+        """
+        if passes_before is None:
+            self.stats.engine_passes += 1
+        else:
+            self.stats.engine_passes += backend.passes - passes_before
+
+    def _serve_group(self, members: List[PendingEvaluation]) -> None:
+        """One engine pass over the union grid, sliced per member request."""
+        copy_union = tuple(
+            sorted({c for m in members for c in m.request.copy_levels})
+        )
+        spf_union = tuple(sorted({s for m in members for s in m.request.spf_levels}))
+        union_request = members[0].request.with_levels(copy_union, spf_union)
+        backend = self.backend(members[0].backend_name)
+        passes_before = getattr(backend, "passes", None)
+        try:
+            union_result = backend.evaluate(union_request)
+        except Exception as error:
+            for member in members:
+                member._error = error
+            return
+        self._count_engine_passes(backend, passes_before)
+        self.stats.coalesced_requests += len(members) - 1
+        for member in members:
+            member._result = _slice_result(union_result, member.request)
+
+    # ------------------------------------------------------------------
+    def _coalesce_key(self, pending: PendingEvaluation) -> Optional[Tuple]:
+        """Key under which queued requests may share one engine pass.
+
+        ``None`` marks an uncoalescible request (fresh entropy).  The grid
+        *maxima* are part of the key — only passes over the same largest
+        configuration produce bit-identical nested prefixes — while the
+        reported levels below the maxima are free to differ (that is the
+        coalescing win: many sub-grid reads off one tensor).
+        """
+        request = pending.request
+        if request.seed is None:
+            return None
+        # A backend that cannot derive spf sub-grids (the chip) must only
+        # group requests with identical spf levels, or the union request
+        # could become multi-spf and fail where each member alone would not.
+        if self.capabilities(pending.backend_name).spf_grids:
+            spf_key = request.max_spf
+        else:
+            spf_key = request.spf_levels
+        # Keyed on the *source* dataset's memoized fingerprint plus the cap
+        # (equivalent to fingerprinting the taken view, without building and
+        # re-hashing a fresh view per request).
+        return (
+            pending.backend_name,
+            model_fingerprint(request.model),
+            dataset_fingerprint(request.dataset),
+            request.max_samples,
+            request.seed,
+            request.repeats,
+            request.encoder,
+            request.max_copies,
+            spf_key,
+            request.collect_spike_counters,
+            request.router_delay,
+        )
+
+
+def _slice_result(union: EvalResult, request: EvalRequest) -> EvalResult:
+    """A member request's result, read off a union-grid result.
+
+    Exact by construction: the union pass is keyed on the same grid maxima,
+    so every requested level indexes a nested prefix the member's own pass
+    would have produced bit for bit.
+    """
+    copy_index = np.asarray(
+        [union.copy_levels.index(c) for c in request.copy_levels], dtype=int
+    )
+    spf_index = np.asarray(
+        [union.spf_levels.index(s) for s in request.spf_levels], dtype=int
+    )
+    return EvalResult(
+        backend=union.backend,
+        copy_levels=request.copy_levels,
+        spf_levels=request.spf_levels,
+        scores=union.scores[:, copy_index][:, :, spf_index],
+        accuracy=union.accuracy[:, copy_index][:, :, spf_index],
+        labels=union.labels,
+        class_neuron_counts=union.class_neuron_counts,
+        cores=union.cores[copy_index],
+        seed=request.seed,
+        repeats=request.repeats,
+        spike_counters=union.spike_counters,
+    )

@@ -25,24 +25,16 @@ scoring and firing-rule conventions.
 Which evaluator do I use?
 -------------------------
 
-* **Functional sweeps** (Figures 7-9, Table 2, anything that needs scores
-  over a (copies, spf) grid): :class:`repro.eval.runner.SweepRunner` on top
-  of :class:`repro.eval.engine.VectorizedEvaluator`.  Fastest path; folds
-  the firing gate into the weights and never simulates ticks.  Add
-  ``cache_dir=`` for a persistent cross-process score cache and
-  ``workers=N`` to fan repeats over processes.
-* **Cycle-accurate validation** (router delays, per-core spike counters,
-  ground-truthing the functional engine): the chip simulator via
-  :func:`repro.mapping.pipeline.run_chip_inference_batch`, which advances a
-  whole sample batch through a programmed
-  :class:`~repro.truenorth.chip.TrueNorthChip` in lock-step ticks —
-  bit-identical to per-sample :func:`~repro.mapping.pipeline.run_chip_inference`
-  and ~50x faster on test-bench workloads (``BENCH_chip.json``).
-* **Repeated evaluations of the same configuration** (serve-style
-  workloads, experiment drivers re-sweeping one trained model): let the
-  caches do the work — the in-memory :class:`~repro.eval.runner.ScoreCache`
-  within a process, :class:`~repro.eval.runner.DiskScoreCache` across
-  processes and restarts.
+Callers should not pick an engine here directly: :mod:`repro.api` wraps
+all of them — the vectorized engine, the batched chip simulator, and the
+reference loop — behind one ``EvalRequest``/``Session`` facade with
+backend selection, caching, and request coalescing.  The full
+backend-choice guide lives in the top-level ``README.md`` ("Which backend
+do I use?"); in short: ``vectorized`` for functional grid sweeps,
+``chip`` for cycle-accurate validation, ``reference`` for ground truth,
+and the session's caches (:class:`~repro.eval.runner.ScoreCache` in
+memory, :class:`~repro.eval.runner.DiskScoreCache` on disk) for repeated
+evaluations of the same configuration.
 """
 
 from repro.eval.accuracy import DeployedAccuracy, evaluate_deployed_accuracy

@@ -205,13 +205,24 @@ class DiskScoreCache:
     atomic ``os.replace``: a concurrent reader sees either nothing or a
     complete entry, never a torn one, and the last concurrent writer of
     identical content simply wins.
+
+    With ``max_bytes`` set the cache is size-bounded: every write (and any
+    explicit :meth:`prune` call) evicts least-recently-used entries —
+    oldest mtime first; reads touch the mtime so hot entries survive —
+    until the directory's ``scores-*.npz`` total is back under the bound.
+    The newest entry is never evicted, so one oversized tensor degrades the
+    cache to a single entry instead of thrashing it to zero.
     """
 
-    def __init__(self, cache_dir: str):
+    def __init__(self, cache_dir: str, max_bytes: Optional[int] = None):
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.cache_dir = str(cache_dir)
+        self.max_bytes = max_bytes
         os.makedirs(self.cache_dir, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def _path(self, key: Tuple) -> str:
         digest = hashlib.sha256(repr(key).encode()).hexdigest()
@@ -240,6 +251,11 @@ class DiskScoreCache:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            # Touch the entry so mtime-LRU eviction treats it as recent.
+            os.utime(path)
+        except OSError:
+            pass
         return tensors
 
     def put(self, key: Tuple, value: List[np.ndarray]) -> None:
@@ -259,6 +275,50 @@ class DiskScoreCache:
             except OSError:
                 pass
             raise
+        if self.max_bytes is not None:
+            self.prune()
+
+    def prune(self, max_bytes: Optional[int] = None) -> int:
+        """Evict least-recently-used entries until the cache fits the bound.
+
+        Args:
+            max_bytes: size bound to enforce; defaults to the instance's
+                ``max_bytes`` (a no-op when neither is set).
+
+        Returns:
+            number of bytes freed.  Entries are removed oldest-mtime first
+            (reads refresh mtime, so this is LRU); the most recent entry is
+            always kept.  Races with concurrent writers/readers are benign:
+            a vanished file is skipped, and an evicted entry is simply a
+            future cache miss.
+        """
+        limit = self.max_bytes if max_bytes is None else max_bytes
+        if limit is None:
+            return 0
+        entries = []
+        for name in os.listdir(self.cache_dir):
+            if not (name.startswith("scores-") and name.endswith(".npz")):
+                continue
+            path = os.path.join(self.cache_dir, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()  # oldest mtime first
+        total = sum(size for _, size, _ in entries)
+        freed = 0
+        for _, size, path in entries[:-1]:  # never evict the newest entry
+            if total <= limit:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            freed += size
+            self.evictions += 1
+        return freed
 
     def __len__(self) -> int:
         return len(
@@ -313,6 +373,9 @@ class SweepRunner:
         cache_dir: optional directory for a persistent
             :class:`DiskScoreCache` shared across processes and runs;
             ``None`` (default) keeps caching in-memory only.
+        cache_max_bytes: optional size bound for ``cache_dir``; writes
+            evict least-recently-used entries past it so long-lived cache
+            directories stop growing unboundedly.
     """
 
     copy_levels: Sequence[int] = (1, 2, 4, 8, 16)
@@ -322,6 +385,7 @@ class SweepRunner:
     chunk_frames: Optional[int] = None
     cache: Optional[ScoreCache] = None
     cache_dir: Optional[str] = None
+    cache_max_bytes: Optional[int] = None
 
     def __post_init__(self):
         self.copy_levels = tuple(sorted(set(int(c) for c in self.copy_levels)))
@@ -335,7 +399,9 @@ class SweepRunner:
         if self.cache is None:
             self.cache = GLOBAL_SCORE_CACHE
         self.disk_cache: Optional[DiskScoreCache] = (
-            DiskScoreCache(self.cache_dir) if self.cache_dir is not None else None
+            DiskScoreCache(self.cache_dir, max_bytes=self.cache_max_bytes)
+            if self.cache_dir is not None
+            else None
         )
         self._take_memo: Optional[Tuple["weakref.ref", int, Dataset]] = None
 

@@ -7,9 +7,12 @@ claims, which the corresponding benchmark asserts, are that both surfaces
 rise and saturate toward the floating-point ceiling as duplication grows and
 that the biased surface sits above the Tea surface.
 
-Both sweeps run on the vectorized evaluation engine through one shared
-:class:`~repro.eval.runner.SweepRunner`, so Figure 8 (which differences the
-two surfaces) and repeated invocations reuse the cached score tensors
+All scoring goes through :class:`repro.api.Session`: the two sweeps are
+*submitted* and flushed together so requests sharing a model fingerprint
+coalesce onto one engine pass, and the backend is a one-line config —
+``backend="vectorized"`` (default), ``"reference"``, or a pre-configured
+session with a persistent ``cache_dir``.  Figure 8 (which differences the
+two surfaces) and repeated invocations reuse the session's score caches
 instead of re-deploying anything.
 """
 
@@ -17,7 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from repro.eval.runner import SweepRunner
+from repro.api import EvalRequest, Session
 from repro.experiments.runner import ExperimentContext
 
 
@@ -25,39 +28,52 @@ def run_figure7(
     context: Optional[ExperimentContext] = None,
     copy_levels: Sequence[int] = (1, 2, 4, 8, 16),
     spf_levels: Sequence[int] = (1, 2, 3, 4),
-    runner: Optional[SweepRunner] = None,
+    session: Optional[Session] = None,
+    backend: str = "vectorized",
 ) -> Dict[str, object]:
     """Regenerate Figure 7 (both accuracy surfaces).
 
     Args:
         context: shared trained-model context.
-        copy_levels / spf_levels: grid to sweep (ignored when ``runner`` is
-            given, which carries its own grid).
-        runner: optional pre-configured sweep runner (lets callers share its
-            score cache across figures).
+        copy_levels / spf_levels: grid to sweep.
+        session: optional pre-configured :class:`repro.api.Session` (lets
+            callers share its caches across figures); created from
+            ``backend`` when omitted.
+        backend: evaluation backend to score on when no session is given.
 
     Returns a dict with the grids, each method's mean-accuracy surface (as
     nested lists), and the float-model ceiling accuracies.
     """
     context = context or ExperimentContext()
     dataset = context.evaluation_dataset()
-    runner = runner or SweepRunner(
-        copy_levels=copy_levels,
-        spf_levels=spf_levels,
-        repeats=context.repeats,
-    )
-    report: Dict[str, object] = {
-        "copy_levels": list(runner.copy_levels),
-        "spf_levels": list(runner.spf_levels),
+    session = session or Session(backend=backend)
+    pending = {
+        method: session.submit(
+            EvalRequest(
+                model=context.result(method).model,
+                dataset=dataset,
+                copy_levels=tuple(copy_levels),
+                spf_levels=tuple(spf_levels),
+                repeats=context.repeats,
+                seed=context.seed,
+            )
+        )
+        for method in ("tea", "biased")
     }
-    for method in ("tea", "biased"):
-        result = context.result(method)
-        sweep = runner.run(result.model, dataset, rng=context.seed, label=method)
+    session.flush()
+    report: Dict[str, object] = {
+        "copy_levels": list(pending["tea"].request.copy_levels),
+        "spf_levels": list(pending["tea"].request.spf_levels),
+    }
+    for method, handle in pending.items():
+        result = handle.result()
+        sweep = result.sweep(label=method)
         report[method] = {
             "surface": sweep.mean_accuracy.tolist(),
             "std": sweep.std_accuracy.tolist(),
             "cores": sweep.cores.tolist(),
-            "float_accuracy": result.float_accuracy,
+            "float_accuracy": context.result(method).float_accuracy,
         }
         report[f"_sweep_{method}"] = sweep
+        report[f"_result_{method}"] = result
     return report

@@ -12,7 +12,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.eval.runner import SweepRunner
+from repro.api import Session
 from repro.eval.sweep import accuracy_boost
 from repro.experiments.figure7 import run_figure7
 from repro.experiments.runner import ExperimentContext
@@ -23,18 +23,24 @@ def run_figure8(
     copy_levels: Sequence[int] = (1, 2, 4, 8, 16),
     spf_levels: Sequence[int] = (1, 2, 3, 4),
     figure7_report: Optional[Dict[str, object]] = None,
-    runner: Optional[SweepRunner] = None,
+    session: Optional[Session] = None,
+    backend: str = "vectorized",
 ) -> Dict[str, object]:
     """Regenerate Figure 8 (the boost surface).
 
     Reuses a Figure 7 report when provided (the two figures share their
-    sweeps); otherwise runs the sweeps itself on the vectorized engine —
-    when neither a report nor a runner is given, the runner's score cache
-    still deduplicates against any earlier Figure 7 run with the same seed.
+    sweeps); otherwise runs the sweeps itself through
+    :class:`repro.api.Session` — when neither a report nor a session is
+    given, the vectorized backend's score cache still deduplicates against
+    any earlier Figure 7 run with the same seed.
     """
     context = context or ExperimentContext()
     report = figure7_report or run_figure7(
-        context, copy_levels=copy_levels, spf_levels=spf_levels, runner=runner
+        context,
+        copy_levels=copy_levels,
+        spf_levels=spf_levels,
+        session=session,
+        backend=backend,
     )
     boost = accuracy_boost(report["_sweep_biased"], report["_sweep_tea"])
     max_index = np.unravel_index(np.argmax(boost), boost.shape)

@@ -5,14 +5,15 @@
 * Figure 9(b): average core reduction across the five test benches of
   Table 3.
 
-Both reuse the Table 2(a) matching procedure.
+Both reuse the Table 2(a) matching procedure; all scoring goes through one
+shared :class:`repro.api.Session`.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from repro.eval.runner import SweepRunner
+from repro.api import EvalRequest, Session
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.table2 import run_table2a
 
@@ -22,23 +23,36 @@ def run_figure9a(
     spf_levels: Sequence[int] = (1, 2, 3, 4),
     copy_levels: Sequence[int] = (1, 2, 3, 4, 5, 7, 9, 16),
     biased_copy_levels: Sequence[int] = (1, 2, 3, 4),
+    session: Optional[Session] = None,
+    backend: str = "vectorized",
 ) -> Dict[str, object]:
     """Regenerate Figure 9(a): average core saving vs spikes per frame.
 
-    The vectorized engine evaluates each method's full (copies x spf) grid in
-    a single pass; every per-spf Table 2(a) matching then reads its rows off
-    that one score tensor instead of re-deploying per spf level.
+    Each method's full (copies x spf) grid is evaluated in a single session
+    pass; every per-spf Table 2(a) matching then reads its rows off that
+    one score tensor instead of re-deploying per spf level.
     """
     context = context or ExperimentContext()
     dataset = context.evaluation_dataset()
-    sweeps = {}
-    for method, levels in (("tea", copy_levels), ("biased", biased_copy_levels)):
-        runner = SweepRunner(
-            copy_levels=levels, spf_levels=spf_levels, repeats=context.repeats
+    session = session or Session(backend=backend)
+    pending = {
+        method: session.submit(
+            EvalRequest(
+                model=context.result(method).model,
+                dataset=dataset,
+                copy_levels=tuple(levels),
+                spf_levels=tuple(spf_levels),
+                repeats=context.repeats,
+                seed=context.seed,
+            )
         )
-        sweeps[method] = runner.run(
-            context.result(method).model, dataset, rng=context.seed, label=method
-        )
+        for method, levels in (("tea", copy_levels), ("biased", biased_copy_levels))
+    }
+    session.flush()
+    sweeps = {
+        method: handle.result().sweep(label=method)
+        for method, handle in pending.items()
+    }
     savings = {}
     for spf in spf_levels:
         report = run_table2a(
@@ -48,6 +62,7 @@ def run_figure9a(
             spf=spf,
             tea_sweep=sweeps["tea"],
             biased_sweep=sweeps["biased"],
+            session=session,
         )
         savings[int(spf)] = {
             "average_saved_fraction": report["average_saved_fraction"],
@@ -61,6 +76,8 @@ def run_figure9b(
     copy_levels: Sequence[int] = (1, 2, 3, 4, 5, 7, 9, 16),
     biased_copy_levels: Sequence[int] = (1, 2, 3, 4),
     context_overrides: Optional[Dict[str, object]] = None,
+    session: Optional[Session] = None,
+    backend: str = "vectorized",
 ) -> Dict[str, object]:
     """Regenerate Figure 9(b): average core saving per test bench.
 
@@ -69,6 +86,7 @@ def run_figure9b(
     ``testbenches=(1, 2, 3, 4, 5)`` for the full figure.
     """
     overrides = dict(context_overrides or {})
+    session = session or Session(backend=backend)
     results: Dict[int, Dict[str, object]] = {}
     for bench in testbenches:
         context = ExperimentContext(testbench=bench, **overrides)
@@ -77,6 +95,7 @@ def run_figure9b(
             copy_levels=copy_levels,
             biased_copy_levels=biased_copy_levels,
             spf=1,
+            session=session,
         )
         results[int(bench)] = {
             "average_saved_fraction": report["average_saved_fraction"],

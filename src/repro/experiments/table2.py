@@ -5,23 +5,51 @@ for both methods; every Tea configuration N# is matched with the cheapest
 biased configuration B# reaching at least the same accuracy, and the saved
 cores are reported.  Table 2(b) fixes one network copy and sweeps spikes per
 frame, reporting the speedup instead.
+
+All scoring goes through :class:`repro.api.Session` (backend selectable per
+call); pre-computed sweeps covering the requested levels — e.g. Figure
+9(a)'s one full-grid pass feeding every per-spf row — are accepted and used
+as-is.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.api import EvalRequest, Session
 from repro.eval.comparison import (
     core_occupation_comparison,
     label_points,
     performance_comparison,
 )
-from repro.eval.sweep import SweepResult, accuracy_sweep
+from repro.eval.sweep import SweepResult
 from repro.experiments.runner import ExperimentContext
 from repro.utils.tables import format_table
 
 
+def _method_sweep(
+    session: Session,
+    context: ExperimentContext,
+    method: str,
+    copy_levels: Sequence[int],
+    spf_levels: Sequence[int],
+) -> SweepResult:
+    """One method's accuracy sweep served through the session."""
+    result = session.evaluate(
+        EvalRequest(
+            model=context.result(method).model,
+            dataset=context.evaluation_dataset(),
+            copy_levels=tuple(copy_levels),
+            spf_levels=tuple(spf_levels),
+            repeats=context.repeats,
+            seed=context.seed,
+        )
+    )
+    return result.sweep(label=method)
+
+
 def _copy_sweep_points(
+    session: Session,
     context: ExperimentContext,
     method: str,
     copy_levels,
@@ -32,20 +60,10 @@ def _copy_sweep_points(
 
     A pre-computed ``sweep`` covering ``copy_levels`` and ``spf`` (e.g. one
     full-grid pass shared by Figure 9(a)'s per-spf rows) is used when given;
-    otherwise a single-spf sweep runs on the vectorized engine.
+    otherwise a single-spf sweep runs through the session.
     """
     if sweep is None:
-        result = context.result(method)
-        dataset = context.evaluation_dataset()
-        sweep = accuracy_sweep(
-            result.model,
-            dataset,
-            copy_levels=copy_levels,
-            spf_levels=(spf,),
-            repeats=context.repeats,
-            rng=context.seed,
-            label=method,
-        )
+        sweep = _method_sweep(session, context, method, copy_levels, (spf,))
     levels = tuple(sorted(set(int(c) for c in copy_levels)))
     accuracies = [sweep.accuracy_at(c, spf) for c in levels]
     cores_by_level = dict(zip(sweep.copy_levels, sweep.cores))
@@ -54,19 +72,15 @@ def _copy_sweep_points(
     return label_points(levels, accuracies, cores, prefix), sweep
 
 
-def _spf_sweep_points(context: ExperimentContext, method: str, spf_levels, copies: int):
+def _spf_sweep_points(
+    session: Session,
+    context: ExperimentContext,
+    method: str,
+    spf_levels,
+    copies: int,
+):
     """Accuracy-vs-spf points for one method at fixed copies."""
-    result = context.result(method)
-    dataset = context.evaluation_dataset()
-    sweep = accuracy_sweep(
-        result.model,
-        dataset,
-        copy_levels=(copies,),
-        spf_levels=spf_levels,
-        repeats=context.repeats,
-        rng=context.seed,
-        label=method,
-    )
+    sweep = _method_sweep(session, context, method, (copies,), spf_levels)
     accuracies = [sweep.accuracy_at(copies, s) for s in sweep.spf_levels]
     costs = [float(s) for s in sweep.spf_levels]
     prefix = "N" if method == "tea" else "B"
@@ -80,17 +94,23 @@ def run_table2a(
     spf: int = 1,
     tea_sweep: Optional[SweepResult] = None,
     biased_sweep: Optional[SweepResult] = None,
+    session: Optional[Session] = None,
+    backend: str = "vectorized",
 ) -> Dict[str, object]:
     """Regenerate Table 2(a): core occupation efficiency at ``spf`` spikes/frame.
 
     ``tea_sweep`` / ``biased_sweep`` may carry pre-computed grids covering
     the requested levels (Figure 9(a) passes one full-grid evaluation and
-    reads every spf row off it).
+    reads every spf row off it); fresh sweeps run through ``session`` (or a
+    new one on ``backend``).
     """
     context = context or ExperimentContext()
-    tea_points, _ = _copy_sweep_points(context, "tea", copy_levels, spf, sweep=tea_sweep)
+    session = session or Session(backend=backend)
+    tea_points, _ = _copy_sweep_points(
+        session, context, "tea", copy_levels, spf, sweep=tea_sweep
+    )
     biased_points, _ = _copy_sweep_points(
-        context, "biased", biased_copy_levels, spf, sweep=biased_sweep
+        session, context, "biased", biased_copy_levels, spf, sweep=biased_sweep
     )
     rows, average_saving, max_saving = core_occupation_comparison(
         tea_points, biased_points
@@ -130,11 +150,16 @@ def run_table2b(
     spf_levels: Sequence[int] = (1, 2, 3, 6, 7, 11, 13),
     biased_spf_levels: Sequence[int] = (1, 2, 3, 4, 5),
     copies: int = 1,
+    session: Optional[Session] = None,
+    backend: str = "vectorized",
 ) -> Dict[str, object]:
     """Regenerate Table 2(b): performance efficiency at ``copies`` network copies."""
     context = context or ExperimentContext()
-    tea_points, _ = _spf_sweep_points(context, "tea", spf_levels, copies)
-    biased_points, _ = _spf_sweep_points(context, "biased", biased_spf_levels, copies)
+    session = session or Session(backend=backend)
+    tea_points, _ = _spf_sweep_points(session, context, "tea", spf_levels, copies)
+    biased_points, _ = _spf_sweep_points(
+        session, context, "biased", biased_spf_levels, copies
+    )
     rows, max_speedup = performance_comparison(tea_points, biased_points)
     table_rows: List[tuple] = []
     for row in rows:

@@ -209,12 +209,14 @@ def testbench_sweep(
     copy_levels: Sequence[int] = (1, 2, 4, 8, 16),
     spf_levels: Sequence[int] = (1, 2, 3, 4),
     context_overrides: Optional[Dict[str, object]] = None,
+    session=None,
+    backend: str = "vectorized",
 ):
-    """Train one test bench's model and sweep it on the vectorized engine.
+    """Train one test bench's model and sweep its (copies, spf) grid.
 
     Convenience entry point tying a Table 3 bench to the
-    :class:`repro.eval.runner.SweepRunner` grid evaluation — the path the
-    eval-engine benchmark and the scalability figures use.
+    :class:`repro.api.Session` grid evaluation — the path the eval-engine
+    benchmark and the scalability figures use.
 
     Args:
         bench: test bench number (1-5).
@@ -223,25 +225,30 @@ def testbench_sweep(
         context_overrides: keyword overrides for the bench's
             :class:`~repro.experiments.runner.ExperimentContext` (e.g. a
             smaller ``train_size`` for smoke runs).
+        session: optional pre-configured :class:`repro.api.Session`;
+            created from ``backend`` when omitted.
+        backend: evaluation backend to score on when no session is given.
 
     Returns:
         ``(sweep, context)`` — the :class:`repro.eval.sweep.SweepResult` and
         the context holding the trained model.
     """
-    from repro.eval.runner import SweepRunner
+    from repro.api import EvalRequest, Session
     from repro.experiments.runner import ExperimentContext
 
     context = ExperimentContext(testbench=int(bench), **dict(context_overrides or {}))
-    runner = SweepRunner(
-        copy_levels=copy_levels, spf_levels=spf_levels, repeats=context.repeats
+    session = session or Session(backend=backend)
+    result = session.evaluate(
+        EvalRequest(
+            model=context.result(method).model,
+            dataset=context.evaluation_dataset(),
+            copy_levels=tuple(copy_levels),
+            spf_levels=tuple(spf_levels),
+            repeats=context.repeats,
+            seed=context.seed,
+        )
     )
-    sweep = runner.run(
-        context.result(method).model,
-        context.evaluation_dataset(),
-        rng=context.seed,
-        label=f"testbench-{bench}-{method}",
-    )
-    return sweep, context
+    return result.sweep(label=f"testbench-{bench}-{method}"), context
 
 
 def testbench_chip_validation(
@@ -250,15 +257,17 @@ def testbench_chip_validation(
     spikes_per_frame: int = 4,
     max_samples: Optional[int] = None,
     context_overrides: Optional[Dict[str, object]] = None,
+    session=None,
 ):
     """Validate a test bench on the cycle-accurate chip simulator.
 
-    The "ground truth" counterpart of :func:`testbench_sweep`: one deployed
-    copy is programmed onto a :class:`~repro.truenorth.chip.TrueNorthChip`
-    and the whole evaluation set is pushed through the **batched** tick
-    engine (:func:`repro.mapping.pipeline.run_chip_inference_batch`) in
-    lock-step — the path the chip-engine benchmark times and the table
-    experiments use to cross-check the fast evaluator.
+    The "ground truth" counterpart of :func:`testbench_sweep`: the same
+    :class:`repro.api.EvalRequest` is served by the ``chip`` backend, which
+    programs each deployed copy onto a
+    :class:`~repro.truenorth.chip.TrueNorthChip` and pushes the whole
+    evaluation set through the batched tick engine in lock-step — the path
+    the chip-engine benchmark times and the table experiments use to
+    cross-check the fast evaluator.
 
     Args:
         bench: test bench number (1-5).
@@ -267,43 +276,38 @@ def testbench_chip_validation(
         max_samples: optional cap on validated samples.
         context_overrides: keyword overrides for the bench's
             :class:`~repro.experiments.runner.ExperimentContext`.
+        session: optional pre-configured :class:`repro.api.Session`; the
+            chip backend is requested explicitly either way.
 
     Returns:
         dict with ``accuracy``, per-sample ``class_counts`` (batch,
         num_classes), the ``predictions``, and the evaluated sample count.
     """
-    import numpy as np
-
-    from repro.encoding.stochastic import StochasticEncoder
+    from repro.api import EvalRequest, Session
     from repro.experiments.runner import ExperimentContext
-    from repro.mapping.deploy import deploy_model
-    from repro.mapping.pipeline import program_chip, run_chip_inference_batch
-
-    from repro.utils.rng import new_rng
 
     context = ExperimentContext(testbench=int(bench), **dict(context_overrides or {}))
-    model = context.result(method).model
-    dataset = context.evaluation_dataset()
-    if max_samples is not None:
-        dataset = dataset.take(max_samples)
-    # One generator threaded through deployment then encoding, so the
-    # sampled connectivity and the input spikes are independent draws
-    # (seeding both from the same integer would replay the same stream).
-    rng = new_rng(context.seed)
-    deployed = deploy_model(model, rng=rng)
-    chip, core_ids = program_chip(deployed)
-    encoder = StochasticEncoder(spikes_per_frame=spikes_per_frame)
-    volumes = np.ascontiguousarray(
-        encoder.encode(dataset.features, rng=rng).transpose(1, 0, 2)
+    session = session or Session()
+    result = session.evaluate(
+        EvalRequest(
+            model=context.result(method).model,
+            dataset=context.evaluation_dataset(),
+            copy_levels=(1,),
+            spf_levels=(int(spikes_per_frame),),
+            repeats=1,
+            seed=context.seed,
+            max_samples=max_samples,
+        ),
+        backend="chip",
     )
-    class_counts = run_chip_inference_batch(chip, deployed, core_ids, volumes)
-    predictions = class_counts.argmax(axis=1)
+    class_counts = result.class_counts()[0, 0, 0]
+    predictions = result.scores[0, 0, 0].argmax(axis=1)
     return {
         "bench": int(bench),
         "method": method,
-        "samples": int(volumes.shape[0]),
+        "samples": int(class_counts.shape[0]),
         "spikes_per_frame": int(spikes_per_frame),
-        "accuracy": float((predictions == dataset.labels).mean()),
+        "accuracy": float(result.accuracy[0, 0, 0]),
         "class_counts": class_counts,
         "predictions": predictions,
     }

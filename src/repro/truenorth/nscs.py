@@ -120,10 +120,19 @@ class NeuroSynapticChipSimulator:
     ) -> Dict[int, np.ndarray]:
         """Drive the chip with spike frames and accumulate output spike counts.
 
+        Given a *batch* of samples — 3-D per-binding arrays of shape
+        ``(batch, ticks, axons_in_binding)`` — the facade delegates to the
+        chip's batched lock-step engine (one crossbar matmul per core per
+        tick for the whole batch) instead of looping samples through the
+        scalar path; the returned counts are spike-for-spike identical to
+        running each sample separately (the test suite asserts it).
+
         Args:
             input_channel: name of the bound external input channel.
             frames_per_binding: mapping ``binding_index -> frames`` where
-                frames has shape (ticks, axons_in_binding).
+                frames has shape (ticks, axons_in_binding) for a single
+                sample, or (batch, ticks, axons_in_binding) for a batch
+                (all bindings must agree on which).
             output_channel: name of the bound external output channel.
             ticks: number of input ticks to run; defaults to the common frame
                 count of the inputs.
@@ -132,25 +141,73 @@ class NeuroSynapticChipSimulator:
 
         Returns:
             mapping ``binding_index -> spike counts`` accumulated per output
-            neuron over the whole run.
+            neuron over the whole run: shape ``(neurons,)`` for a single
+            sample, ``(batch, neurons)`` for a batch.
         """
         if not frames_per_binding:
             raise ValueError("frames_per_binding must not be empty")
-        frame_counts = {k: np.asarray(v).shape[0] for k, v in frames_per_binding.items()}
+        arrays = {k: np.asarray(v) for k, v in frames_per_binding.items()}
+        dims = {array.ndim for array in arrays.values()}
+        if dims == {3}:
+            return self._run_frames_batch(
+                input_channel, arrays, output_channel, ticks, drain_ticks
+            )
+        if dims != {2}:
+            raise ValueError(
+                "frames must all be 2-D (ticks, axons) or all 3-D "
+                f"(batch, ticks, axons); got dimensions {sorted(dims)}"
+            )
         if ticks is None:
-            ticks = max(frame_counts.values())
+            ticks = max(array.shape[0] for array in arrays.values())
         counts: Dict[int, np.ndarray] = {}
         self.chip.reset()
         for t in range(ticks + drain_ticks):
             inputs = {}
             per_binding = {}
-            for binding_index, frames in frames_per_binding.items():
-                frames = np.asarray(frames)
+            for binding_index, frames in arrays.items():
                 if t < frames.shape[0]:
                     per_binding[binding_index] = frames[t]
             if per_binding:
                 inputs[input_channel] = per_binding
             outputs = self.chip.step(inputs if inputs else None)
+            for binding_index, spikes in outputs.get(output_channel, {}).items():
+                if binding_index not in counts:
+                    counts[binding_index] = np.zeros_like(spikes, dtype=np.int64)
+                counts[binding_index] += spikes
+        return counts
+
+    def _run_frames_batch(
+        self,
+        input_channel: str,
+        volumes_per_binding: Dict[int, np.ndarray],
+        output_channel: str,
+        ticks: Optional[int],
+        drain_ticks: int,
+    ) -> Dict[int, np.ndarray]:
+        """Batched :meth:`run_frames`: all samples advance in lock-step.
+
+        Every tick performs one ``(batch, axons) @ (axons, neurons)``
+        crossbar matmul per core via :meth:`TrueNorthChip.step_batch`.
+        Inputs shorter than ``ticks`` inject nothing on their remaining
+        ticks, mirroring the scalar path's behaviour for ragged bindings.
+        """
+        batch_sizes = {array.shape[0] for array in volumes_per_binding.values()}
+        if len(batch_sizes) != 1:
+            raise ValueError(
+                f"all bindings must share one batch size, got {sorted(batch_sizes)}"
+            )
+        batch = batch_sizes.pop()
+        if ticks is None:
+            ticks = max(array.shape[1] for array in volumes_per_binding.values())
+        counts: Dict[int, np.ndarray] = {}
+        self.chip.begin_batch(batch)
+        for t in range(ticks + drain_ticks):
+            per_binding = {}
+            for binding_index, volumes in volumes_per_binding.items():
+                if t < volumes.shape[1]:
+                    per_binding[binding_index] = volumes[:, t]
+            inputs = {input_channel: per_binding} if per_binding else None
+            outputs = self.chip.step_batch(inputs)
             for binding_index, spikes in outputs.get(output_channel, {}).items():
                 if binding_index not in counts:
                     counts[binding_index] = np.zeros_like(spikes, dtype=np.int64)

@@ -1,0 +1,158 @@
+"""Cross-backend equivalence properties of the repro.api protocol.
+
+The protocol's core promise: the backend is an implementation detail.  The
+same :class:`EvalRequest` must produce
+
+* **bit-identical score tensors** on the ``vectorized`` and ``reference``
+  backends (``atol=0`` — the folded-gate engine is exact, see
+  :mod:`repro.eval.engine`), and
+* **bit-identical integer readout class counts** on the ``chip`` backend
+  (scores differ only in the order of the final class-mean division).
+
+These are property tests over grids and seeds on a tiny trained model, plus
+the Figure 7 acceptance check: flipping the driver's ``backend=`` config
+between ``"vectorized"`` and ``"reference"`` changes nothing in the scores.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import EvalRequest, Session
+from repro.eval.runner import ScoreCache
+
+_MODEL = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _trained(tiny_context):
+    """Module-scoped trained model shared with the hypothesis tests.
+
+    Hypothesis ``@given`` functions cannot take function-scoped fixtures, so
+    the model/dataset pair is stashed in a module-level dict.
+    """
+    _MODEL["model"] = tiny_context.result("tea").model
+    # A small slice keeps each sampled example fast; the properties do not
+    # depend on the batch size.
+    _MODEL["dataset"] = tiny_context.evaluation_dataset().take(24)
+    yield
+    _MODEL.clear()
+
+
+def _request(copy_levels, spf_levels, seed, repeats=1):
+    return EvalRequest(
+        model=_MODEL["model"],
+        dataset=_MODEL["dataset"],
+        copy_levels=copy_levels,
+        spf_levels=spf_levels,
+        repeats=repeats,
+        seed=seed,
+    )
+
+
+def _session():
+    # A private cache so a cached vectorized tensor can never mask a
+    # divergence (the reference backend is uncached by design).
+    return Session(cache=ScoreCache())
+
+
+# ----------------------------------------------------------------------
+# vectorized vs reference: bit-identical scores
+# ----------------------------------------------------------------------
+@given(
+    copies=st.lists(st.integers(1, 4), min_size=1, max_size=3),
+    spfs=st.lists(st.integers(1, 3), min_size=1, max_size=2),
+    seed=st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=10, deadline=None)
+def test_vectorized_reference_scores_bit_identical(copies, spfs, seed):
+    session = _session()
+    request = _request(tuple(copies), tuple(spfs), seed)
+    vectorized = session.evaluate(request, backend="vectorized")
+    reference = session.evaluate(request, backend="reference")
+    assert np.array_equal(vectorized.scores, reference.scores)
+    assert np.array_equal(vectorized.accuracy, reference.accuracy)
+    assert np.array_equal(vectorized.cores, reference.cores)
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=5, deadline=None)
+def test_vectorized_reference_identical_across_repeats(seed):
+    session = _session()
+    request = _request((1, 2), (2,), seed, repeats=2)
+    vectorized = session.evaluate(request, backend="vectorized")
+    reference = session.evaluate(request, backend="reference")
+    assert np.array_equal(vectorized.scores, reference.scores)
+
+
+# ----------------------------------------------------------------------
+# chip vs vectorized: bit-identical integer readout counts
+# ----------------------------------------------------------------------
+@given(
+    copies=st.integers(1, 3),
+    spf=st.integers(1, 3),
+    seed=st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=6, deadline=None)
+def test_chip_class_counts_bit_identical_to_vectorized(copies, spf, seed):
+    session = _session()
+    request = _request((1, copies), (spf,), seed)
+    chip = session.evaluate(request, backend="chip")
+    vectorized = session.evaluate(request, backend="vectorized")
+    assert np.array_equal(chip.class_counts(), vectorized.class_counts())
+    # Same counts => same predictions => same accuracy grids.
+    assert np.array_equal(chip.accuracy, vectorized.accuracy)
+
+
+def test_chip_multilayer_counts_match_vectorized(tiny_context):
+    """The multi-layer path (router hops, drain ticks) agrees too."""
+    from repro.experiments.runner import ExperimentContext
+
+    context = ExperimentContext(
+        testbench=5,
+        train_size=120,
+        test_size=40,
+        epochs=1,
+        eval_samples=16,
+        repeats=1,
+        seed=0,
+    )
+    request = EvalRequest(
+        model=context.result("tea").model,
+        dataset=context.evaluation_dataset(),
+        copy_levels=(1, 2),
+        spf_levels=(2,),
+        repeats=1,
+        seed=3,
+    )
+    session = _session()
+    chip = session.evaluate(request, backend="chip")
+    vectorized = session.evaluate(request, backend="vectorized")
+    assert np.array_equal(chip.class_counts(), vectorized.class_counts())
+
+
+# ----------------------------------------------------------------------
+# acceptance: Figure 7 backend switch is a no-op on the scores
+# ----------------------------------------------------------------------
+def test_figure7_backend_switch_bit_identical(tiny_context):
+    from repro.experiments.figure7 import run_figure7
+
+    reports = {
+        backend: run_figure7(
+            tiny_context,
+            copy_levels=(1, 2),
+            spf_levels=(1, 2),
+            session=Session(backend=backend, cache=ScoreCache()),
+        )
+        for backend in ("vectorized", "reference")
+    }
+    for method in ("tea", "biased"):
+        fast = reports["vectorized"][f"_result_{method}"]
+        slow = reports["reference"][f"_result_{method}"]
+        assert fast.backend == "vectorized" and slow.backend == "reference"
+        assert np.array_equal(fast.scores, slow.scores)
+        assert np.array_equal(
+            np.asarray(reports["vectorized"][method]["surface"]),
+            np.asarray(reports["reference"][method]["surface"]),
+        )

@@ -1,0 +1,195 @@
+"""Tests for the repro.api protocol layer: requests, results, registry."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    BackendCapabilities,
+    ChipBackend,
+    EvalRequest,
+    EvalResult,
+    EvaluationBackend,
+    ReferenceBackend,
+    VectorizedBackend,
+    backend_names,
+    create_backend,
+    register_backend,
+)
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_context):
+    return tiny_context.result("tea").model, tiny_context.evaluation_dataset()
+
+
+# ----------------------------------------------------------------------
+# EvalRequest normalization and validation
+# ----------------------------------------------------------------------
+def test_request_normalizes_grid_levels(trained):
+    model, dataset = trained
+    request = EvalRequest(
+        model=model, dataset=dataset, copy_levels=[4, 1, 4, 2], spf_levels=(2, 1, 2)
+    )
+    assert request.copy_levels == (1, 2, 4)
+    assert request.spf_levels == (1, 2)
+    assert request.max_copies == 4
+    assert request.max_spf == 2
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"copy_levels": ()},
+        {"copy_levels": (0,)},
+        {"spf_levels": (-1,)},
+        {"repeats": 0},
+        {"seed": True},
+        {"seed": np.random.default_rng(0)},
+        {"encoder": "morse"},
+        {"max_samples": 0},
+        {"router_delay": 0},
+    ],
+)
+def test_request_rejects_invalid_fields(trained, kwargs):
+    model, dataset = trained
+    with pytest.raises(ValueError):
+        EvalRequest(model=model, dataset=dataset, **kwargs)
+
+
+def test_request_accepts_numpy_integer_seed(trained):
+    model, dataset = trained
+    request = EvalRequest(model=model, dataset=dataset, seed=np.int64(7))
+    assert request.seed == 7 and isinstance(request.seed, int)
+
+
+def test_request_evaluation_dataset_caps_samples(trained):
+    model, dataset = trained
+    request = EvalRequest(model=model, dataset=dataset, max_samples=10)
+    assert request.evaluation_dataset().sample_count == 10
+    assert EvalRequest(model=model, dataset=dataset).evaluation_dataset() is dataset
+
+
+def test_request_cycle_accuracy_flags(trained):
+    model, dataset = trained
+    assert not EvalRequest(model=model, dataset=dataset).needs_cycle_accuracy
+    assert EvalRequest(
+        model=model, dataset=dataset, collect_spike_counters=True
+    ).needs_cycle_accuracy
+    assert EvalRequest(
+        model=model, dataset=dataset, router_delay=2
+    ).needs_cycle_accuracy
+
+
+def test_with_levels_keeps_everything_else(trained):
+    model, dataset = trained
+    request = EvalRequest(model=model, dataset=dataset, repeats=2, seed=5)
+    widened = request.with_levels((1, 8), (1, 2))
+    assert widened.copy_levels == (1, 8)
+    assert widened.spf_levels == (1, 2)
+    assert widened.repeats == 2 and widened.seed == 5
+
+
+# ----------------------------------------------------------------------
+# backend protocol and registry
+# ----------------------------------------------------------------------
+def test_builtin_backends_registered():
+    assert set(backend_names()) >= {"vectorized", "reference", "chip"}
+
+
+@pytest.mark.parametrize(
+    "factory", [VectorizedBackend, ReferenceBackend, ChipBackend]
+)
+def test_builtin_backends_satisfy_protocol(factory):
+    backend = factory()
+    assert isinstance(backend, EvaluationBackend)
+    caps = backend.capabilities()
+    assert isinstance(caps, BackendCapabilities)
+    assert caps.name == backend.name
+
+
+def test_capability_flags_match_design():
+    assert VectorizedBackend().capabilities().spf_grids
+    assert VectorizedBackend().capabilities().cacheable
+    assert not VectorizedBackend().capabilities().cycle_accurate
+    assert ChipBackend().capabilities().cycle_accurate
+    assert not ChipBackend().capabilities().spf_grids
+    assert not ReferenceBackend().capabilities().cacheable
+
+
+def test_create_backend_unknown_name():
+    with pytest.raises(KeyError):
+        create_backend("gpu-someday")
+
+
+def test_register_backend_replaces_and_validates():
+    class Dummy:
+        name = "dummy-test-backend"
+
+        def capabilities(self):
+            return BackendCapabilities(
+                name=self.name,
+                description="",
+                spf_grids=True,
+                cycle_accurate=False,
+                cacheable=False,
+            )
+
+        def evaluate(self, request):  # pragma: no cover - never called
+            raise NotImplementedError
+
+    register_backend("dummy-test-backend", Dummy)
+    try:
+        assert "dummy-test-backend" in backend_names()
+        assert isinstance(create_backend("dummy-test-backend"), Dummy)
+    finally:
+        from repro.api import backends as backends_module
+
+        del backends_module._REGISTRY["dummy-test-backend"]
+    with pytest.raises(ValueError):
+        register_backend("", Dummy)
+
+
+# ----------------------------------------------------------------------
+# EvalResult helpers
+# ----------------------------------------------------------------------
+def test_result_accessors_and_class_counts(trained):
+    model, dataset = trained
+    result = VectorizedBackend().evaluate(
+        EvalRequest(
+            model=model,
+            dataset=dataset,
+            copy_levels=(1, 2),
+            spf_levels=(1, 2),
+            repeats=2,
+            seed=0,
+        )
+    )
+    batch = dataset.sample_count
+    classes = model.architecture.num_classes
+    assert result.scores.shape == (2, 2, 2, batch, classes)
+    assert result.accuracy.shape == (2, 2, 2)
+    assert result.mean_accuracy.shape == (2, 2)
+    assert result.accuracy_at(2, 1) == pytest.approx(result.mean_accuracy[1, 0])
+    counts = result.class_counts()
+    assert counts.dtype == np.int64
+    # Counts recover the scores exactly: scores are counts / n_k.
+    assert np.array_equal(
+        counts / result.class_neuron_counts, result.scores
+    )
+    # Counts accumulate monotonically along the copy and spf axes.
+    assert np.all(np.diff(counts, axis=1) >= 0)
+    assert np.all(np.diff(counts, axis=2) >= 0)
+
+
+def test_result_sweep_conversion(trained):
+    model, dataset = trained
+    result = VectorizedBackend().evaluate(
+        EvalRequest(
+            model=model, dataset=dataset, copy_levels=(1, 2), spf_levels=(1,), seed=0
+        )
+    )
+    sweep = result.sweep(label="api")
+    assert sweep.copy_levels == (1, 2)
+    assert sweep.label == "api"
+    assert np.array_equal(sweep.mean_accuracy, result.mean_accuracy)
+    assert sweep.cores[1] == 2 * model.architecture.cores_per_network

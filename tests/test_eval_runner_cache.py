@@ -65,6 +65,87 @@ def test_disk_cache_treats_corrupt_entry_as_miss(tmp_path):
     assert cache.get(key) is not None
 
 
+def _fill_cache(cache, count, repeats=1, shape=(2, 2, 8, 4)):
+    for index in range(count):
+        cache.put(
+            ("fp", 2, 2, index, repeats, "ds"),
+            [np.full(shape, float(index)) for _ in range(repeats)],
+        )
+
+
+def test_disk_cache_prune_evicts_oldest_first(tmp_path):
+    cache = DiskScoreCache(str(tmp_path))
+    _fill_cache(cache, 4)
+    paths = [cache._path(("fp", 2, 2, i, 1, "ds")) for i in range(4)]
+    # Make the eviction order unambiguous regardless of write timing.
+    for index, path in enumerate(paths):
+        os.utime(path, (index, index))
+    keep_bytes = os.path.getsize(paths[2]) + os.path.getsize(paths[3])
+    drop_bytes = os.path.getsize(paths[0]) + os.path.getsize(paths[1])
+    freed = cache.prune(max_bytes=keep_bytes)
+    assert freed == drop_bytes
+    assert not os.path.exists(paths[0]) and not os.path.exists(paths[1])
+    assert os.path.exists(paths[2]) and os.path.exists(paths[3])
+    assert cache.evictions == 2
+
+
+def test_disk_cache_prune_keeps_newest_even_when_oversized(tmp_path):
+    cache = DiskScoreCache(str(tmp_path))
+    _fill_cache(cache, 2)
+    paths = [cache._path(("fp", 2, 2, i, 1, "ds")) for i in range(2)]
+    os.utime(paths[0], (1, 1))
+    os.utime(paths[1], (2, 2))
+    cache.prune(max_bytes=1)  # smaller than any single entry
+    assert not os.path.exists(paths[0])
+    assert os.path.exists(paths[1])  # the newest entry always survives
+    assert len(cache) == 1
+
+
+def test_disk_cache_max_bytes_enforced_on_put(tmp_path):
+    cache = DiskScoreCache(str(tmp_path), max_bytes=1)
+    _fill_cache(cache, 3)
+    # Every write prunes back down to the newest entry.
+    assert len(cache) == 1
+    assert cache.get(("fp", 2, 2, 2, 1, "ds")) is not None
+
+
+def test_disk_cache_get_refreshes_mtime_for_lru(tmp_path):
+    cache = DiskScoreCache(str(tmp_path))
+    _fill_cache(cache, 2)
+    old = cache._path(("fp", 2, 2, 0, 1, "ds"))
+    new = cache._path(("fp", 2, 2, 1, 1, "ds"))
+    os.utime(old, (1, 1))
+    os.utime(new, (2, 2))
+    # Reading the older entry marks it recently used...
+    assert cache.get(("fp", 2, 2, 0, 1, "ds")) is not None
+    entry_size = os.path.getsize(old)
+    cache.prune(max_bytes=entry_size)
+    # ...so the other entry is the one evicted.
+    assert os.path.exists(old) and not os.path.exists(new)
+
+
+def test_disk_cache_rejects_nonpositive_max_bytes(tmp_path):
+    with pytest.raises(ValueError):
+        DiskScoreCache(str(tmp_path), max_bytes=0)
+
+
+def test_sweep_runner_threads_cache_max_bytes(trained, tmp_path):
+    model, dataset = trained
+    runner = SweepRunner(
+        copy_levels=(1,),
+        spf_levels=(1,),
+        repeats=1,
+        cache=ScoreCache(),
+        cache_dir=str(tmp_path),
+        cache_max_bytes=1,
+    )
+    assert runner.disk_cache.max_bytes == 1
+    runner.cumulative_scores(model, dataset, rng=0)
+    runner.cumulative_scores(model, dataset, rng=1)
+    # The bound keeps the directory at a single (the newest) entry.
+    assert len(runner.disk_cache) == 1
+
+
 def test_sweep_runner_serves_second_runner_from_disk(trained, tmp_path):
     model, dataset = trained
     first = _runner(cache_dir=str(tmp_path))
