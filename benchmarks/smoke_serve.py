@@ -1,0 +1,312 @@
+"""CI smoke: the HTTP evaluation service under a concurrent mixed burst.
+
+Boots :class:`repro.serve.EvalServer` on an ephemeral port, fires a
+concurrent burst of mixed vectorized/chip wire requests through
+:class:`repro.serve.client.ServeClient`, and exits non-zero when any of the
+service promises breaks:
+
+* **bit-identity** — every served response equals a direct
+  ``Session.evaluate`` of the same request, to the last bit (scores,
+  accuracy, labels, integer class counts, chip spike counters);
+* **overload** — a full admission queue answers 429 with ``Retry-After``
+  and shutdown resolves every admitted request (no deadlock, no silent
+  drop);
+* **metrics** — the ``/metrics`` conservation invariants hold:
+  ``received == admitted + rejected`` and
+  ``admitted == completed + failed + in_flight``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_serve.py --output SMOKE_serve.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import threading
+import time
+
+import numpy as np
+
+from repro.api import EvalRequest, Session
+from repro.eval.runner import ScoreCache
+from repro.experiments.runner import ExperimentContext
+from repro.serve import (
+    EvalServer,
+    ModelRegistry,
+    ServeClient,
+    ServeConfig,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
+)
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--train-size", type=int, default=200, help="training samples for the model"
+    )
+    parser.add_argument("--epochs", type=int, default=2, help="training epochs")
+    parser.add_argument(
+        "--samples", type=int, default=40, help="evaluated samples per request"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="service worker threads"
+    )
+    parser.add_argument(
+        "--output", default=None, help="optional path for the JSON record"
+    )
+    return parser.parse_args()
+
+
+def burst_payloads(samples: int):
+    """A mixed burst: vectorized grids (coalescible sub-grids) + chip requests."""
+    payloads = []
+    for copy_levels in ([1], [1, 2], [2], [1, 2]):
+        payloads.append(
+            {
+                "model": "tea",
+                "backend": "vectorized",
+                "copy_levels": copy_levels,
+                "spf_levels": [1, 2],
+                "repeats": 2,
+                "seed": 0,
+                "max_samples": samples,
+            }
+        )
+    for seed, collect in ((0, True), (1, False)):
+        payloads.append(
+            {
+                "model": "tea",
+                "backend": "chip",
+                "copy_levels": [1, 2],
+                "spf_levels": [2],
+                "repeats": 1,
+                "seed": seed,
+                "max_samples": samples,
+                "collect_spike_counters": collect,
+            }
+        )
+    # auto-routed: the capability flags pick the chip backend server-side.
+    payloads.append(
+        {
+            "model": "tea",
+            "copy_levels": [2],
+            "spf_levels": [1],
+            "seed": 2,
+            "max_samples": samples,
+            "collect_spike_counters": True,
+        }
+    )
+    return payloads
+
+
+def check_metrics_invariants(metrics, failures, where: str) -> None:
+    requests = metrics["requests"]
+    if requests["received"] != requests["admitted"] + requests["rejected"]:
+        failures.append(f"{where}: received != admitted + rejected ({requests})")
+    if requests["admitted"] != (
+        requests["completed"] + requests["failed"] + requests["in_flight"]
+    ):
+        failures.append(
+            f"{where}: admitted != completed + failed + in_flight ({requests})"
+        )
+    p50 = requests["latency_p50_seconds"]
+    p95 = requests["latency_p95_seconds"]
+    if p50 is not None and p95 is not None and p50 > p95:
+        failures.append(f"{where}: latency p50 {p50} > p95 {p95}")
+
+
+def run_burst(server, registry, payloads, failures):
+    """Fire all payloads concurrently, then re-check each against a direct
+    Session.evaluate of the identical request."""
+    client = ServeClient(port=server.port, timeout=600.0)
+    responses = {}
+
+    def fire(index, payload):
+        try:
+            responses[index] = client.evaluate_payload(payload)
+        except Exception as error:
+            responses[index] = error
+
+    threads = [
+        threading.Thread(target=fire, args=(index, payload))
+        for index, payload in enumerate(payloads)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=600)
+    seconds = time.perf_counter() - start
+    if any(thread.is_alive() for thread in threads):
+        failures.append("burst: a request thread is still alive (hang)")
+        return seconds
+
+    direct_session = Session(cache=ScoreCache())
+    for index, payload in enumerate(payloads):
+        served = responses.get(index)
+        if isinstance(served, Exception):
+            failures.append(f"burst request {index} failed: {served!r}")
+            continue
+        request = EvalRequest(
+            model=registry.model(payload["model"]),
+            dataset=registry.dataset("test"),
+            copy_levels=tuple(payload["copy_levels"]),
+            spf_levels=tuple(payload["spf_levels"]),
+            repeats=payload.get("repeats", 1),
+            seed=payload["seed"],
+            max_samples=payload.get("max_samples"),
+            collect_spike_counters=payload.get("collect_spike_counters", False),
+        )
+        direct = direct_session.evaluate(request, backend=payload.get("backend"))
+        if served.backend != direct.backend:
+            failures.append(
+                f"burst request {index}: backend {served.backend!r} != "
+                f"{direct.backend!r}"
+            )
+        for name in ("scores", "accuracy", "labels"):
+            if not np.array_equal(getattr(served, name), getattr(direct, name)):
+                failures.append(
+                    f"burst request {index}: served {name} diverged from "
+                    "direct Session.evaluate"
+                )
+        if not np.array_equal(served.class_counts(), direct.class_counts()):
+            failures.append(f"burst request {index}: class counts diverged")
+        if (served.spike_counters is None) != (direct.spike_counters is None):
+            failures.append(f"burst request {index}: spike counter presence differs")
+        elif served.spike_counters is not None and not np.array_equal(
+            served.spike_counters, direct.spike_counters
+        ):
+            failures.append(f"burst request {index}: spike counters diverged")
+    return seconds
+
+
+def run_overload(registry, failures):
+    """Deterministic shedding: a frozen pool (workers=0) with queue depth 2.
+
+    Two admitted requests park in the queue, the rest of the burst must be
+    shed with 429 + Retry-After, and closing the server must resolve the
+    parked requests with 503 instead of leaving their clients hanging.
+    """
+    config = ServeConfig(port=0, workers=0, queue_depth=2)
+    server = EvalServer(registry, config).start()
+    client = ServeClient(port=server.port, timeout=120.0)
+    outcomes = {}
+
+    def fire(index):
+        try:
+            outcomes[index] = client.evaluate(model="tea", seed=index)
+        except Exception as error:
+            outcomes[index] = error
+
+    parked = []
+    try:
+        for index in range(2):
+            thread = threading.Thread(target=fire, args=(index,))
+            thread.start()
+            parked.append(thread)
+        for _ in range(200):
+            if client.metrics()["requests"]["queue_depth"] == 2:
+                break
+            time.sleep(0.02)
+        else:
+            failures.append("overload: queue never filled to depth 2")
+
+        rejections = 0
+        for index in range(2, 6):
+            try:
+                client.evaluate(model="tea", seed=index)
+                failures.append(f"overload: request {index} was not shed")
+            except ServiceOverloadedError as error:
+                rejections += 1
+                if error.retry_after < 1:
+                    failures.append(
+                        f"overload: Retry-After {error.retry_after} < 1s"
+                    )
+            except Exception as error:
+                failures.append(f"overload: request {index} got {error!r}")
+        if rejections != 4:
+            failures.append(f"overload: expected 4 rejections, got {rejections}")
+        metrics = client.metrics()
+        check_metrics_invariants(metrics, failures, "overload")
+        if metrics["requests"]["rejected"] != 4:
+            failures.append(
+                f"overload: /metrics rejected={metrics['requests']['rejected']}"
+            )
+    finally:
+        server.close()
+        for thread in parked:
+            thread.join(timeout=30)
+    if any(thread.is_alive() for thread in parked):
+        failures.append("overload: a parked client is still waiting (hang)")
+    for index in range(2):
+        if not isinstance(outcomes.get(index), ServiceUnavailableError):
+            failures.append(
+                f"overload: parked request {index} resolved with "
+                f"{outcomes.get(index)!r} instead of a 503"
+            )
+
+
+def main() -> None:
+    args = parse_args()
+    context = ExperimentContext(
+        train_size=args.train_size,
+        test_size=max(args.samples, 30),
+        epochs=args.epochs,
+        eval_samples=args.samples,
+        repeats=1,
+        seed=0,
+    )
+    registry = ModelRegistry.from_context(context, methods=("tea",))
+    failures = []
+    payloads = burst_payloads(args.samples)
+
+    config = ServeConfig(
+        port=0, workers=args.workers, queue_depth=max(16, 2 * len(payloads))
+    )
+    with EvalServer(registry, config) as server:
+        burst_seconds = run_burst(server, registry, payloads, failures)
+        client = ServeClient(port=server.port, timeout=60.0)
+        metrics = client.metrics()
+        check_metrics_invariants(metrics, failures, "burst")
+        if metrics["requests"]["completed"] != len(payloads):
+            failures.append(
+                f"burst: completed={metrics['requests']['completed']}, "
+                f"expected {len(payloads)}"
+            )
+        if metrics["requests"]["in_flight"] != 0:
+            failures.append("burst: in_flight != 0 after the burst drained")
+        coalesced = metrics["sessions"]["coalesced_requests"]
+    run_overload(registry, failures)
+
+    record = {
+        "benchmark": "serve-smoke",
+        "config": {
+            "burst": len(payloads),
+            "workers": args.workers,
+            "samples": args.samples,
+            "train_size": args.train_size,
+        },
+        "burst_seconds": burst_seconds,
+        "coalesced_requests": coalesced,
+        "requests": metrics["requests"],
+        "cache": metrics["cache"],
+        "ok": not failures,
+        "failures": failures,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+    print(json.dumps(record, indent=2))
+    if failures:
+        raise SystemExit("; ".join(failures))
+
+
+if __name__ == "__main__":
+    main()

@@ -9,7 +9,6 @@ benchmark verifies that analytic relationship on the trained Tea model and
 its consequence for the deployment deviation.
 """
 
-import numpy as np
 from conftest import run_once
 
 from repro.core.probability import weights_to_probabilities

@@ -8,7 +8,6 @@ qualitative outcome: large per-layer sparsity, earlier layers sparser, small
 accuracy cost.
 """
 
-import numpy as np
 from conftest import run_once
 
 from repro.core.penalties import L1Penalty, zero_fraction

@@ -4,18 +4,23 @@ Metadata is defined here (rather than in a ``[project]`` table) so that
 editable installs work in the offline environment this reproduction targets:
 the available setuptools has no ``wheel`` package, which the PEP 517/660
 editable path requires, while the classic ``setup.py``-based path does not.
-``pyproject.toml`` carries only tool configuration (pytest).
+``pyproject.toml`` carries only tool configuration (ruff).
+
+The declared ``install_requires`` pins are the same specs CI installs
+(see .github/actions/setup-repro/action.yml), so an installed package and
+a CI checkout agree on the dependency floor.
 """
 
 from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Reproduction of probability-biased learning for TrueNorth "
         "(Wen et al., DAC 2016): a neuro-synaptic core simulator, training "
-        "framework, and co-optimization benchmarks"
+        "framework, co-optimization benchmarks, and an HTTP evaluation "
+        "service over the unified backend API"
     ),
     long_description=open("README.md", encoding="utf-8").read()
     if __import__("os").path.exists("README.md")
@@ -27,6 +32,26 @@ setup(
     packages=find_packages(where="src"),
     install_requires=["numpy>=1.21", "scipy>=1.7"],
     extras_require={
-        "dev": ["pytest>=7.0", "pytest-benchmark>=4.0", "hypothesis>=6.0"],
+        "dev": [
+            "pytest>=7.0",
+            "pytest-benchmark>=4.0",
+            "hypothesis>=6.0",
+            "ruff",
+        ],
     },
+    entry_points={
+        "console_scripts": [
+            "repro-serve = repro.serve.__main__:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering :: Artificial Intelligence",
+    ],
 )

@@ -37,12 +37,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.api.backends import backend_names, create_backend
-from repro.api.protocol import (
-    BackendCapabilities,
-    EvalRequest,
-    EvalResult,
-    UnsupportedRequestError,
-)
+from repro.api.protocol import BackendCapabilities, EvalRequest, EvalResult
 from repro.eval.runner import ScoreCache, dataset_fingerprint, model_fingerprint
 
 #: Sentinel for capability-based backend selection.
@@ -88,12 +83,44 @@ class SessionStats:
     computed — cache-served requests are excluded when the backend exposes
     a ``passes`` counter.  ``coalesced_requests`` counts requests served by
     slicing another request's engine pass instead of running their own.
+
+    The instance doubles as the session's stats *hook*: calling it
+    (``session.stats()``) returns a plain-dict snapshot of the counters
+    plus the score-cache telemetry aggregated over the session's
+    instantiated backends — the shape the serving layer's ``/metrics``
+    endpoint publishes.
     """
 
     submitted: int = 0
     flushes: int = 0
     engine_passes: int = 0
     coalesced_requests: int = 0
+    _session: Optional["Session"] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __call__(self) -> Dict[str, object]:
+        """Snapshot of the counters plus aggregated cache telemetry.
+
+        ``cache_hit_rate`` is ``None`` until at least one cacheable lookup
+        happened (no traffic is not a 0% hit rate).
+        """
+        snapshot: Dict[str, object] = {
+            "submitted": self.submitted,
+            "flushes": self.flushes,
+            "engine_passes": self.engine_passes,
+            "coalesced_requests": self.coalesced_requests,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "cache_hit_rate": None,
+        }
+        if self._session is not None:
+            hits, misses = self._session._cache_counts()
+            snapshot["cache_hits"] = hits
+            snapshot["cache_misses"] = misses
+            if hits + misses:
+                snapshot["cache_hit_rate"] = hits / (hits + misses)
+        return snapshot
 
 
 class Session:
@@ -129,9 +156,37 @@ class Session:
         self.cache_dir = cache_dir
         self.cache_max_bytes = cache_max_bytes
         self.workers = workers
-        self.stats = SessionStats()
+        self.stats = SessionStats(_session=self)
         self._backends: Dict[str, object] = {}
         self._queue: List[PendingEvaluation] = []
+
+    def _cache_objects(self) -> List[object]:
+        """The distinct score-cache objects this session's backends use.
+
+        Runners may share one cache object (the session-level ``cache``),
+        so caches are deduplicated by identity — a shared cache's counters
+        must not be counted once per runner.  The serve layer unions these
+        lists across worker sessions for the same reason.
+
+        The backend/runner dicts are snapshotted (``list`` is atomic under
+        the GIL) because a metrics scrape may run while a worker thread is
+        lazily creating a backend or runner — iterating the live dict would
+        raise ``RuntimeError: dictionary changed size during iteration``.
+        """
+        caches: Dict[int, object] = {}
+        for backend in list(self._backends.values()):
+            for runner in list(getattr(backend, "_runners", {}).values()):
+                for cache in (runner.cache, getattr(runner, "disk_cache", None)):
+                    if cache is not None:
+                        caches[id(cache)] = cache
+        return list(caches.values())
+
+    def _cache_counts(self) -> Tuple[int, int]:
+        """Aggregate (hits, misses) over the distinct score caches in use."""
+        caches = self._cache_objects()
+        hits = sum(cache.hits for cache in caches)
+        misses = sum(cache.misses for cache in caches)
+        return hits, misses
 
     # ------------------------------------------------------------------
     # backends
@@ -224,9 +279,12 @@ class Session:
             else:
                 groups.setdefault(key, []).append(pending)
         for pending in singles:
-            backend = self.backend(pending.backend_name)
-            passes_before = getattr(backend, "passes", None)
+            # Backend construction sits inside the guard too: a factory
+            # that raises must resolve this handle alone, not lose the
+            # rest of the detached queue.
             try:
+                backend = self.backend(pending.backend_name)
+                passes_before = getattr(backend, "passes", None)
                 pending._result = backend.evaluate(pending.request)
             except Exception as error:
                 pending._error = error
@@ -253,10 +311,10 @@ class Session:
             sorted({c for m in members for c in m.request.copy_levels})
         )
         spf_union = tuple(sorted({s for m in members for s in m.request.spf_levels}))
-        union_request = members[0].request.with_levels(copy_union, spf_union)
-        backend = self.backend(members[0].backend_name)
-        passes_before = getattr(backend, "passes", None)
         try:
+            union_request = members[0].request.with_levels(copy_union, spf_union)
+            backend = self.backend(members[0].backend_name)
+            passes_before = getattr(backend, "passes", None)
             union_result = backend.evaluate(union_request)
         except Exception as error:
             for member in members:

@@ -36,10 +36,11 @@ from __future__ import annotations
 import hashlib
 import os
 import tempfile
+import threading
 import weakref
 import zipfile
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -151,6 +152,10 @@ class ScoreCache:
     grid.
     Values are the per-repeat cumulative score tensors, from which any nested
     (copies, spf) sub-grid can be read off without re-deploying anything.
+
+    Safe to share across threads (the serve worker pool shares one cache):
+    the eviction read-modify-write in :meth:`put` and the hit/miss counters
+    are guarded by a lock.
     """
 
     def __init__(self, max_entries: int = 16):
@@ -158,32 +163,36 @@ class ScoreCache:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.max_entries = max_entries
         self._entries: Dict[Tuple, List[np.ndarray]] = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key: Tuple) -> Optional[List[np.ndarray]]:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return entry
 
     def put(self, key: Tuple, value: List[np.ndarray]) -> None:
-        if key not in self._entries and len(self._entries) >= self.max_entries:
-            # Drop the oldest entry (insertion order) to bound memory.
-            oldest = next(iter(self._entries))
-            del self._entries[oldest]
         # Cached tensors are handed out by reference; freeze them so a caller
         # mutating a returned array cannot silently poison later sweeps.
         for array in value:
             array.flags.writeable = False
-        self._entries[key] = value
+        with self._lock:
+            if key not in self._entries and len(self._entries) >= self.max_entries:
+                # Drop the oldest entry (insertion order) to bound memory.
+                oldest = next(iter(self._entries))
+                del self._entries[oldest]
+            self._entries[key] = value
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)

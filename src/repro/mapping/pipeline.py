@@ -44,7 +44,6 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.mapping.deploy import DeployedNetwork
-from repro.truenorth import constants
 from repro.truenorth.chip import TrueNorthChip
 from repro.truenorth.config import ChipConfig, CoreConfig, NeuronConfig
 

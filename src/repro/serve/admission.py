@@ -1,0 +1,249 @@
+"""Admission control, job lifecycle, and service metrics.
+
+Overload policy follows the admission-control literature (see PAPERS.md —
+Babu et al. on call admission for wireless networks): the service decides
+*at arrival time* whether a request is admitted into a **bounded** queue or
+shed with an explicit retry hint, instead of letting an unbounded backlog
+degrade every in-flight request.  The controller therefore owns
+
+* the bounded FIFO of :class:`Job` objects the worker pool drains in
+  batches (so the session layer can coalesce same-fingerprint requests),
+* the request accounting the ``/metrics`` endpoint publishes, with two
+  conservation invariants the CI smoke job asserts::
+
+      received == admitted + rejected
+      admitted == completed + failed + in_flight
+
+  where ``in_flight`` counts admitted jobs that are still queued or
+  executing, and
+* the latency window behind the published p50/p95.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.api.protocol import EvalRequest
+
+
+class QueueFullError(RuntimeError):
+    """The bounded queue is full; the request was shed, not queued.
+
+    Attributes:
+        retry_after: suggested client back-off in seconds (the HTTP layer
+            publishes it as the ``Retry-After`` header).
+    """
+
+    def __init__(self, message: str, retry_after: float):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServiceClosedError(RuntimeError):
+    """The service is shutting down and no longer serves requests."""
+
+
+@dataclass
+class Job:
+    """One admitted evaluation request moving through the worker pool."""
+
+    request: EvalRequest
+    backend: Optional[str] = None
+    created: float = field(default_factory=time.monotonic)
+    done: threading.Event = field(default_factory=threading.Event, repr=False)
+    result: Optional[object] = field(default=None, repr=False)
+    error: Optional[BaseException] = field(default=None, repr=False)
+
+    def resolve(self, result: object) -> None:
+        self.result = result
+        self.done.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self.done.set()
+
+    @property
+    def latency(self) -> float:
+        """Seconds from admission to now (or to resolution once done)."""
+        return time.monotonic() - self.created
+
+
+class LatencyWindow:
+    """A bounded window of recent request latencies with percentile reads."""
+
+    def __init__(self, maxlen: int = 1024):
+        self._samples: deque = deque(maxlen=maxlen)
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(float(seconds))
+
+    def percentile(self, fraction: float) -> Optional[float]:
+        """The ``fraction`` quantile of the window, ``None`` when empty."""
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return None
+        index = min(len(samples) - 1, int(fraction * len(samples)))
+        return samples[index]
+
+    def mean(self) -> Optional[float]:
+        with self._lock:
+            samples = list(self._samples)
+        if not samples:
+            return None
+        return sum(samples) / len(samples)
+
+
+class AdmissionController:
+    """Bounded admission queue plus the request accounting behind /metrics.
+
+    Args:
+        max_depth: largest number of *queued* (admitted, not yet claimed)
+            jobs; an arrival beyond it is shed with :class:`QueueFullError`.
+        workers: worker-pool size, used only to scale the retry hint.
+    """
+
+    def __init__(self, max_depth: int = 64, workers: int = 1):
+        if max_depth <= 0:
+            raise ValueError(f"max_depth must be positive, got {max_depth}")
+        self.max_depth = max_depth
+        self.workers = max(1, workers)
+        self.latencies = LatencyWindow()
+        self._jobs: deque = deque()
+        self._lock = threading.Lock()
+        self._nonempty = threading.Condition(self._lock)
+        self._closed = False
+        self.received = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> Job:
+        """Admit a job into the bounded queue or shed it.
+
+        Raises:
+            QueueFullError: the queue is at ``max_depth``.
+            ServiceClosedError: the controller was closed.
+        """
+        with self._nonempty:
+            if self._closed:
+                raise ServiceClosedError("service is shutting down")
+            self.received += 1
+            if len(self._jobs) >= self.max_depth:
+                self.rejected += 1
+                # Computed with the already-held lock's depth: retry_after()
+                # re-acquires the (non-reentrant) lock and must not be
+                # called from here.
+                raise QueueFullError(
+                    f"admission queue is full ({self.max_depth} queued); "
+                    "retry later",
+                    retry_after=self._retry_hint(len(self._jobs)),
+                )
+            self.admitted += 1
+            self._jobs.append(job)
+            self._nonempty.notify()
+            return job
+
+    def retry_after(self) -> float:
+        """Suggested back-off: the time the current backlog needs to drain."""
+        with self._lock:
+            depth = len(self._jobs)
+        return self._retry_hint(depth)
+
+    def _retry_hint(self, depth: int) -> float:
+        """``depth × recent mean latency / workers``, clamped to [1, 60].
+
+        A coarse hint, not a promise (the data-center serving surveys in
+        PAPERS.md motivate hinting from queue state rather than a constant).
+        Takes ``depth`` as an argument so :meth:`submit` can call it while
+        holding the queue lock (:class:`LatencyWindow` has its own lock).
+        """
+        mean = self.latencies.mean() or 1.0
+        return float(min(60.0, max(1.0, depth * mean / self.workers)))
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def next_batch(self, max_batch: int, timeout: float = 0.5) -> List[Job]:
+        """Claim up to ``max_batch`` queued jobs (empty list on timeout).
+
+        Claimed jobs stay ``in_flight`` until :meth:`job_done`.  Draining a
+        *batch* (rather than one job) is what lets the worker's session
+        coalesce same-fingerprint requests onto one engine pass.
+        """
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        with self._nonempty:
+            if not self._jobs and not self._closed:
+                self._nonempty.wait(timeout)
+            batch = []
+            while self._jobs and len(batch) < max_batch:
+                batch.append(self._jobs.popleft())
+            return batch
+
+    def job_done(self, job: Job, ok: bool) -> None:
+        """Account one claimed job's resolution and record its latency."""
+        with self._lock:
+            if ok:
+                self.completed += 1
+            else:
+                self.failed += 1
+        self.latencies.record(job.latency)
+
+    # ------------------------------------------------------------------
+    def close(self) -> List[Job]:
+        """Refuse new arrivals and return the still-queued jobs.
+
+        The caller (the service) fails the returned jobs so no waiter
+        deadlocks on a job that will never run.
+        """
+        with self._nonempty:
+            self._closed = True
+            drained = list(self._jobs)
+            self._jobs.clear()
+            self._nonempty.notify_all()
+        return drained
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def queue_depth(self) -> int:
+        """Admitted jobs waiting to be claimed by a worker."""
+        with self._lock:
+            return len(self._jobs)
+
+    @property
+    def in_flight(self) -> int:
+        """Admitted jobs not yet resolved (queued or executing)."""
+        with self._lock:
+            return self.admitted - self.completed - self.failed
+
+    def snapshot(self) -> Dict[str, object]:
+        """The /metrics view: counters, depth, and latency percentiles."""
+        with self._lock:
+            counters = {
+                "received": self.received,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "failed": self.failed,
+                "in_flight": self.admitted - self.completed - self.failed,
+                "queue_depth": len(self._jobs),
+                "max_depth": self.max_depth,
+            }
+        counters["latency_p50_seconds"] = self.latencies.percentile(0.50)
+        counters["latency_p95_seconds"] = self.latencies.percentile(0.95)
+        counters["latency_mean_seconds"] = self.latencies.mean()
+        return counters

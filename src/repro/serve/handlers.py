@@ -1,0 +1,156 @@
+"""HTTP request handling for the evaluation service.
+
+One :class:`ServeHandler` instance serves one connection of the
+:class:`~repro.serve.server.EvalServer`'s ThreadingHTTPServer.  Routes:
+
+* ``POST /v1/evaluate`` — admit one wire request, block until the worker
+  pool resolves it, answer ``200 {"result": ...}``.  Failures answer the
+  typed error payloads of :func:`repro.serve.codec.error_payload`; overload
+  answers ``429`` with a ``Retry-After`` header (the admission controller's
+  drain estimate) instead of queuing without bound.
+* ``GET /v1/models`` — the hosted models/datasets/backends.
+* ``GET /healthz`` — liveness plus queue occupancy.
+* ``GET /metrics`` — request counters (with the conservation invariants),
+  latency percentiles, session/coalescing stats, cache hit rate.
+
+Everything is JSON; every response carries an exact ``Content-Length``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler
+from typing import Dict, Optional
+
+from repro.serve.admission import QueueFullError, ServiceClosedError
+from repro.serve.codec import (
+    CodecError,
+    UnknownDatasetError,
+    UnknownModelError,
+    encode_result,
+    error_payload,
+)
+
+#: Largest accepted request body; a bounded queue deserves a bounded parser.
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """Routes one HTTP connection onto the owning server's EvalService."""
+
+    server_version = "repro-serve/1.1"
+
+    @property
+    def service(self):
+        return self.server.service
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        """Silence per-request stderr logging (metrics cover it)."""
+
+    # ------------------------------------------------------------------
+    def _send_json(
+        self,
+        route: str,
+        status: int,
+        payload: Dict[str, object],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+        self.service.record_http(route, status)
+
+    def _send_error_payload(self, route: str, error: BaseException) -> None:
+        status, payload = error_payload(error)
+        headers = {}
+        retry_after = payload["error"].get("retry_after")
+        if retry_after is not None:
+            headers["Retry-After"] = str(retry_after)
+        self._send_json(route, status, payload, headers=headers)
+
+    def _not_found(self) -> None:
+        self._send_json(
+            f"{self.command} {self.path}",
+            404,
+            {
+                "error": {
+                    "type": "not-found",
+                    "message": f"no route {self.command} {self.path}",
+                }
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:
+        if self.path == "/healthz":
+            self._send_json("GET /healthz", 200, self.service.health())
+        elif self.path == "/metrics":
+            self._send_json("GET /metrics", 200, self.service.metrics())
+        elif self.path == "/v1/models":
+            self._send_json("GET /v1/models", 200, self.service.models())
+        else:
+            self._not_found()
+
+    def do_POST(self) -> None:
+        if self.path != "/v1/evaluate":
+            self._not_found()
+            return
+        route = "POST /v1/evaluate"
+        try:
+            payload = self._read_json_body()
+            job = self.service.enqueue(payload)
+        except (
+            QueueFullError,  # 429, Retry-After mirrored from the payload
+            ServiceClosedError,  # 503
+            CodecError,  # 400
+            UnknownModelError,  # 404
+            UnknownDatasetError,  # 404
+        ) as error:
+            self._send_error_payload(route, error)
+            return
+
+        if not job.done.wait(timeout=self.service.config.request_timeout):
+            self._send_json(
+                route,
+                504,
+                {
+                    "error": {
+                        "type": "timeout",
+                        "message": (
+                            "request did not complete within "
+                            f"{self.service.config.request_timeout:.0f}s; it "
+                            "may still finish server-side"
+                        ),
+                    }
+                },
+            )
+            return
+        if job.error is not None:
+            self._send_error_payload(route, job.error)
+            return
+        self._send_json(route, 200, {"result": encode_result(job.result)})
+
+    # ------------------------------------------------------------------
+    def _read_json_body(self) -> object:
+        """The parsed JSON body, or :class:`CodecError` on any malformation."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise CodecError("Content-Length header is not an integer") from None
+        if length <= 0:
+            raise CodecError("request body is empty; POST a JSON object")
+        if length > MAX_BODY_BYTES:
+            raise CodecError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        body = self.rfile.read(length)
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise CodecError(f"request body is not valid JSON: {error}") from None

@@ -7,7 +7,6 @@ from repro.api import (
     BackendCapabilities,
     ChipBackend,
     EvalRequest,
-    EvalResult,
     EvaluationBackend,
     ReferenceBackend,
     VectorizedBackend,

@@ -1,6 +1,5 @@
 """Tests for deployed-accuracy evaluation and the (copies, spf) sweep."""
 
-import numpy as np
 import pytest
 
 from repro.core.tea import TeaLearning

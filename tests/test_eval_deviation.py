@@ -1,6 +1,5 @@
 """Tests for the synaptic-deviation analysis (Figure 4)."""
 
-import numpy as np
 import pytest
 
 from repro.core.biased import ProbabilityBiasedLearning

@@ -17,7 +17,7 @@ from repro.eval.engine import (
 from repro.eval.runner import ScoreCache, SweepRunner, model_fingerprint
 from repro.eval.sweep import accuracy_sweep
 from repro.encoding.stochastic import StochasticEncoder
-from repro.mapping.corelet import Corelet, CoreletNetwork, build_corelets
+from repro.mapping.corelet import Corelet, CoreletNetwork
 from repro.mapping.deploy import DeployedNetwork, deploy_model, evaluate_deployed_scores
 from repro.mapping.duplication import deploy_with_copies
 from repro.nn.trainer import TrainingHistory

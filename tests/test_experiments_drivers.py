@@ -11,7 +11,7 @@ from repro.experiments.figure4 import run_figure4
 from repro.experiments.figure5 import run_figure5
 from repro.experiments.figure7 import run_figure7
 from repro.experiments.figure8 import run_figure8
-from repro.experiments.runner import ExperimentContext, train_method_pair
+from repro.experiments.runner import train_method_pair
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2a, run_table2b
 from repro.experiments.table3 import run_table3

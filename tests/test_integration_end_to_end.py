@@ -5,7 +5,6 @@ tests in the suite; together they verify the reproduction's headline shape
 claims on test bench 1.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.penalties import pole_fraction

@@ -1,6 +1,5 @@
 """Tests for the stride-based block partitioning (paper Figure 3 / Table 3)."""
 
-import numpy as np
 import pytest
 
 from repro.mapping.blocks import stride_blocks

@@ -3,10 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core.model import TrueNorthModel
 from repro.mapping.corelet import Corelet, build_corelets
 from repro.mapping.deploy import (
-    DeployedNetwork,
     deploy_model,
     evaluate_deployed_scores,
     sample_connectivity,
