@@ -9,11 +9,19 @@ chip pass per sample), verifies the two per-sample class-count tensors and
 the per-core spike counters are bit-identical, and records the result to a
 JSON file for CI tracking.
 
+A second section times the **multi-copy** engine: ``--copies C`` sampled
+copies programmed side by side into one chip image and advanced as one
+``C * samples`` lock-step batch
+(:func:`repro.mapping.pipeline.run_chip_inference_multicopy`) against the
+one-chip-per-copy loop (C ``program_chip`` + ``run_chip_inference_batch``
+passes), again enforcing bit-identical per-copy class counts and per-core
+spike counters.  Both records land in the same JSON file.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_chip_engine.py --quick
     PYTHONPATH=src python benchmarks/bench_chip_engine.py \
-        --samples 500 --spf 4 --output BENCH_chip.json
+        --samples 500 --spf 4 --copies 5 --output BENCH_chip.json
 """
 
 from __future__ import annotations
@@ -28,10 +36,13 @@ import numpy as np
 from repro.encoding.stochastic import StochasticEncoder
 from repro.experiments.runner import ExperimentContext
 from repro.mapping.deploy import deploy_model
+from repro.mapping.duplication import deploy_with_copies
 from repro.mapping.pipeline import (
     program_chip,
+    program_chip_multicopy,
     run_chip_inference,
     run_chip_inference_batch,
+    run_chip_inference_multicopy,
 )
 
 
@@ -51,6 +62,12 @@ def parse_args() -> argparse.Namespace:
         type=int,
         default=3,
         help="timing repeats of the batched path (best is reported)",
+    )
+    parser.add_argument(
+        "--copies",
+        type=int,
+        default=10,
+        help="sampled copies for the multi-copy engine section (0 disables)",
     )
     parser.add_argument(
         "--quick",
@@ -109,6 +126,12 @@ def main() -> None:
         [chip.core(c).batch_spike_counts for c in core_order], axis=1
     )
 
+    multicopy_record = None
+    if args.copies > 0:
+        multicopy_record = bench_multicopy(
+            model, volumes, copies=args.copies, repeats=args.batch_repeats
+        )
+
     counts_identical = bool(np.array_equal(loop_counts, batch_counts))
     spikes_identical = bool(np.array_equal(loop_spikes, batch_spikes))
     record = {
@@ -123,12 +146,14 @@ def main() -> None:
             "layers": len(core_ids),
             "router_delay": chip.router.delay,
             "quick": bool(args.quick),
+            "batch_repeats": args.batch_repeats,
         },
         "loop_seconds": loop_seconds,
         "batch_seconds": batch_seconds,
         "speedup": loop_seconds / batch_seconds if batch_seconds else float("inf"),
         "class_counts_bit_identical": counts_identical,
         "spike_counters_bit_identical": spikes_identical,
+        "multicopy": multicopy_record,
         "python": platform.python_version(),
         "numpy": np.__version__,
     }
@@ -142,6 +167,77 @@ def main() -> None:
         raise SystemExit("batched spike counters diverged from the per-sample loop")
     if record["speedup"] < 1.0:
         raise SystemExit("batched engine slower than the per-sample loop")
+    if multicopy_record is not None:
+        if not multicopy_record["class_counts_bit_identical"]:
+            raise SystemExit(
+                "multi-copy class counts diverged from the per-copy loop"
+            )
+        if not multicopy_record["spike_counters_bit_identical"]:
+            raise SystemExit(
+                "multi-copy spike counters diverged from the per-copy loop"
+            )
+        if multicopy_record["speedup"] < 1.0:
+            raise SystemExit("multi-copy engine slower than the per-copy loop")
+
+
+def bench_multicopy(model, volumes: np.ndarray, copies: int, repeats: int) -> dict:
+    """Time one multi-copy chip pass against the one-chip-per-copy loop.
+
+    Both sides include chip programming (that is the end-to-end cost a
+    (copies, spf) sweep pays per grid point) and both report per-copy class
+    counts and per-core spike counters, compared bit for bit.
+    """
+    deployment = deploy_with_copies(model, copies=copies, rng=0)
+
+    def percopy_pass():
+        counts, spikes = [], []
+        for copy in deployment.copies:
+            chip, core_ids = program_chip(copy)
+            counts.append(run_chip_inference_batch(chip, copy, core_ids, volumes))
+            order = [cid for layer in core_ids for cid in layer]
+            spikes.append(
+                np.stack([chip.core(k).batch_spike_counts for k in order])
+            )
+        return np.stack(counts), np.stack(spikes)
+
+    def multicopy_pass():
+        chip, core_ids = program_chip_multicopy(deployment.copies)
+        counts = run_chip_inference_multicopy(
+            chip, deployment.copies, core_ids, volumes
+        )
+        order = [cid for layer in core_ids for cid in layer]
+        spikes = np.stack(
+            [chip.core(k).multicopy_spike_counts for k in order], axis=1
+        )
+        return counts, spikes
+
+    def best_of(pass_fn):
+        result, times = None, []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = pass_fn()
+            times.append(time.perf_counter() - start)
+        return result, min(times)
+
+    (loop_counts, loop_spikes), percopy_seconds = best_of(percopy_pass)
+    (multi_counts, multi_spikes), multicopy_seconds = best_of(multicopy_pass)
+
+    return {
+        "copies": int(copies),
+        "percopy_seconds": percopy_seconds,
+        "multicopy_seconds": multicopy_seconds,
+        "speedup": (
+            percopy_seconds / multicopy_seconds
+            if multicopy_seconds
+            else float("inf")
+        ),
+        "class_counts_bit_identical": bool(
+            np.array_equal(loop_counts, multi_counts)
+        ),
+        "spike_counters_bit_identical": bool(
+            np.array_equal(loop_spikes, multi_spikes)
+        ),
+    }
 
 
 if __name__ == "__main__":

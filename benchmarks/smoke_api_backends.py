@@ -5,7 +5,10 @@ Runs a tiny trained model through the requested backend via
 equivalence invariant:
 
 * ``vectorized`` — score tensors bit-identical to the ``reference`` loop;
-* ``chip`` — integer readout class counts bit-identical to ``vectorized``;
+* ``chip`` — integer readout class counts bit-identical to ``vectorized``,
+  and the default multi-copy chip image bit-identical (counts and per-core
+  spike counters, deterministic and stochastic-synapse mode) to the
+  one-chip-per-copy loop (``ChipBackend(multicopy=False)``);
 * ``reference`` — deterministic: two evaluations of the same request are
   bit-identical, and accuracy lies in [0, 1].
 
@@ -26,7 +29,9 @@ import time
 
 import numpy as np
 
-from repro.api import EvalRequest, Session, backend_names
+from dataclasses import replace
+
+from repro.api import ChipBackend, EvalRequest, Session, backend_names
 from repro.experiments.runner import ExperimentContext
 
 
@@ -84,7 +89,27 @@ def main() -> None:
         vectorized = session.evaluate(request, backend="vectorized")
         if not np.array_equal(result.class_counts(), vectorized.class_counts()):
             failures.append("chip class counts diverged from the vectorized engine")
-        invariant = "class counts bit-identical to vectorized"
+        # Multi-copy image vs one-chip-per-copy loop, spike counters
+        # included, deterministic and stochastic-synapse mode.
+        counters = replace(request, collect_spike_counters=True)
+        for variant in (counters, replace(counters, stochastic_synapses=True)):
+            multi = session.evaluate(variant, backend="chip")
+            percopy = ChipBackend(multicopy=False).evaluate(variant)
+            label = "stochastic" if variant.stochastic_synapses else "deterministic"
+            if not np.array_equal(multi.class_counts(), percopy.class_counts()):
+                failures.append(
+                    f"multi-copy chip class counts diverged from the "
+                    f"per-copy loop ({label})"
+                )
+            if not np.array_equal(multi.spike_counters, percopy.spike_counters):
+                failures.append(
+                    f"multi-copy chip spike counters diverged from the "
+                    f"per-copy loop ({label})"
+                )
+        invariant = (
+            "class counts bit-identical to vectorized; multi-copy image "
+            "bit-identical to per-copy loop (incl. stochastic synapses)"
+        )
     else:
         again = session.evaluate(request, backend="reference")
         if not np.array_equal(result.scores, again.scores):

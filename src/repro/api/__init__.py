@@ -55,6 +55,7 @@ from repro.api.protocol import (
     EvalRequest,
     EvalResult,
     EvaluationBackend,
+    ResultShapeError,
     UnsupportedRequestError,
 )
 from repro.api.session import AUTO, PendingEvaluation, Session, SessionStats
@@ -69,6 +70,7 @@ __all__ = [
     "KNOWN_ENCODERS",
     "PendingEvaluation",
     "ReferenceBackend",
+    "ResultShapeError",
     "Session",
     "SessionStats",
     "UnsupportedRequestError",

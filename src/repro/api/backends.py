@@ -12,9 +12,12 @@ Three backends wrap the repo's three evaluation engines behind one
   never cached, the ground truth the vectorized backend must match bit for
   bit.
 * ``chip`` — the batched cycle-accurate TrueNorth simulator
-  (:func:`repro.mapping.pipeline.run_chip_inference_batch`): one programmed
-  chip per deployed copy, lock-step ticks, per-core spike counters and
-  router-delay control.
+  (:func:`repro.mapping.pipeline.run_chip_inference_multicopy`): all
+  deployed copies programmed side by side into one multi-copy chip image,
+  lock-step ticks over ``copies x batch`` rows, per-core spike counters,
+  router-delay control, and stochastic-synapse sweeps on per-copy LFSR
+  streams.  ``ChipBackend(multicopy=False)`` keeps the bit-identical
+  one-chip-per-copy loop the property tests pin the engine against.
 
 All three consume the canonical randomness layout documented in
 :mod:`repro.api.protocol`, so a request produces the same sampled
@@ -34,6 +37,7 @@ from repro.api.protocol import (
     BackendCapabilities,
     EvalRequest,
     EvalResult,
+    ResultShapeError,
     UnsupportedRequestError,
 )
 from repro.datasets.base import Dataset
@@ -43,7 +47,14 @@ from repro.eval.engine import evaluate_scores_reference
 from repro.eval.runner import ScoreCache, SweepRunner
 from repro.mapping.corelet import build_corelets
 from repro.mapping.duplication import deploy_with_copies
-from repro.mapping.pipeline import program_chip, run_chip_inference_batch
+from repro.mapping.pipeline import (
+    program_chip,
+    program_chip_multicopy,
+    run_chip_inference_batch,
+    run_chip_inference_multicopy,
+    stochastic_neuron_config,
+)
+from repro.truenorth.config import NeuronConfig
 from repro.utils.rng import new_rng, spawn_rngs
 
 
@@ -59,9 +70,16 @@ def _check_capabilities(request: EvalRequest, caps: BackendCapabilities) -> None
             features.append("collect_spike_counters")
         if request.router_delay is not None:
             features.append(f"router_delay={request.router_delay}")
+        if request.stochastic_synapses:
+            features.append("stochastic_synapses")
         raise UnsupportedRequestError(
             f"backend {caps.name!r} is not cycle-accurate and cannot serve "
             f"{', '.join(features)}; use the 'chip' backend (or backend='auto')"
+        )
+    if request.stochastic_synapses and not caps.stochastic_synapses:
+        raise UnsupportedRequestError(
+            f"backend {caps.name!r} cannot re-sample synapses per tick "
+            "(stochastic_synapses); use the 'chip' backend (or backend='auto')"
         )
     if len(request.spf_levels) > 1 and not caps.spf_grids:
         raise UnsupportedRequestError(
@@ -91,6 +109,12 @@ def _result_from_cumulative(
     ``spf_axis_levels`` names the spf levels the tensors' second axis holds
     when it is not the dense ``1..max_spf`` range (the chip backend reports
     a single level with a singleton axis).
+
+    Raises:
+        ResultShapeError: when the copies axis of the cumulative tensors or
+            of the spike counters does not cover the requested grid —
+            instead of a bare ``IndexError`` (or, worse, silent numpy
+            broadcasting) deep inside the slicing below.
     """
     copy_index = np.asarray(request.copy_levels, dtype=int) - 1
     if spf_axis_levels is None:
@@ -100,6 +124,24 @@ def _result_from_cumulative(
             [spf_axis_levels.index(s) for s in request.spf_levels], dtype=int
         )
     stacked = np.stack(tensors)  # (repeats, max_c, max_s, batch, classes)
+    if stacked.ndim != 5 or stacked.shape[1] < request.max_copies:
+        raise ResultShapeError(
+            f"backend {backend_name!r} produced cumulative tensors of shape "
+            f"{stacked.shape}; the request needs a (repeats, >= "
+            f"{request.max_copies} copies, spf, batch, classes) tensor"
+        )
+    if spike_counters is not None:
+        batch = len(np.asarray(evaluation.labels))
+        if spike_counters.ndim != 4 or spike_counters.shape[:2] != (
+            request.repeats,
+            request.max_copies,
+        ) or spike_counters.shape[3] != batch:
+            raise ResultShapeError(
+                f"backend {backend_name!r} produced spike counters of shape "
+                f"{spike_counters.shape}; expected (repeats="
+                f"{request.repeats}, copies={request.max_copies}, "
+                f"cores_per_copy, batch={batch})"
+            )
     scores = stacked[:, copy_index][:, :, spf_index]
     predictions = scores.argmax(axis=-1)
     labels = np.asarray(evaluation.labels)
@@ -257,36 +299,120 @@ class ReferenceBackend:
 
 
 class ChipBackend:
-    """The cycle-accurate path: one programmed TrueNorth chip per copy.
+    """The cycle-accurate path: batched TrueNorth chip simulation.
 
-    Each deployed copy is programmed onto its own chip and the whole sample
-    batch advances in lock-step ticks
-    (:func:`~repro.mapping.pipeline.run_chip_inference_batch`).  The chip
-    reports no per-tick score breakdown, so a request may carry only a
-    single spf level (``spf_grids=False``); copy levels are served as
-    nested prefixes via an exact integer cumsum over the per-copy readout
-    counts.  Scores are the class-mean convention ``counts / n_k``, so
-    :meth:`EvalResult.class_counts` recovers the chip's integer readout
+    By default (``multicopy=True``) all requested copies are programmed
+    side by side into **one** multi-copy chip image
+    (:func:`~repro.mapping.pipeline.program_chip_multicopy`: stacked
+    per-core crossbar tensors, shared route table, per-copy LFSR streams)
+    and the whole ``copies x batch`` volume advances in lock-step ticks
+    (:func:`~repro.mapping.pipeline.run_chip_inference_multicopy`).
+    ``multicopy=False`` keeps the one-chip-per-copy loop — bit-identical
+    results (class counts, per-core spike counters, and in stochastic mode
+    the LFSR streams; the property tests enforce it), just C chip programs
+    and C tick loops instead of one.
+
+    ``stochastic_synapses`` requests deploy the corelets' Bernoulli
+    probabilities onto the crossbars and re-sample every synapse per tick;
+    each copy draws from its own seeded LFSR stream, so (copies, spf)
+    stochastic sweeps run at batch speed with hardware semantics.
+
+    The chip reports no per-tick score breakdown, so a request may carry
+    only a single spf level (``spf_grids=False``); copy levels are served
+    as nested prefixes via an exact integer cumsum over the per-copy
+    readout counts.  Scores are the class-mean convention ``counts / n_k``,
+    so :meth:`EvalResult.class_counts` recovers the chip's integer readout
     counts exactly — the cross-backend invariant the property tests assert
     against the vectorized backend.
     """
 
     name = "chip"
 
-    def __init__(self):
+    def __init__(self, multicopy: bool = True):
+        self.multicopy = bool(multicopy)
         self.passes = 0
 
     def capabilities(self) -> BackendCapabilities:
         return BackendCapabilities(
             name=self.name,
             description=(
-                "batched cycle-accurate TrueNorth simulation (spike "
-                "counters, router delay)"
+                "batched cycle-accurate TrueNorth simulation (multi-copy "
+                "chip images, spike counters, router delay, stochastic "
+                "synapses)"
+                if self.multicopy
+                else "batched cycle-accurate TrueNorth simulation (one chip "
+                "per copy, spike counters, router delay, stochastic "
+                "synapses)"
             ),
             spf_grids=False,
             cycle_accurate=True,
             cacheable=False,
+            multicopy_chips=self.multicopy,
+            stochastic_synapses=True,
         )
+
+    def _run_multicopy(
+        self,
+        deployment,
+        volumes: np.ndarray,
+        request: EvalRequest,
+        neuron_config: Optional[NeuronConfig],
+        copy_seeds: Optional[List[int]],
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """One multi-copy chip pass -> ``(counts, counters)``.
+
+        ``counts`` is ``(copies, batch, classes)``; ``counters`` is
+        ``(copies, cores_per_copy, batch)`` or ``None``.
+        """
+        chip, core_ids = program_chip_multicopy(
+            deployment.copies,
+            neuron_config=neuron_config,
+            router_delay=request.router_delay,
+        )
+        counts = run_chip_inference_multicopy(
+            chip, deployment.copies, core_ids, volumes, copy_seeds=copy_seeds
+        )
+        counters = None
+        if request.collect_spike_counters:
+            flat_ids = [cid for layer in core_ids for cid in layer]
+            counters = np.stack(
+                [chip.core(cid).multicopy_spike_counts for cid in flat_ids],
+                axis=1,
+            )
+        return counts, counters
+
+    def _run_percopy(
+        self,
+        deployment,
+        volumes: np.ndarray,
+        request: EvalRequest,
+        neuron_config: Optional[NeuronConfig],
+        copy_seeds: Optional[List[int]],
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """The kept one-chip-per-copy loop -> ``(counts, counters)``."""
+        per_copy_counts: List[np.ndarray] = []
+        per_copy_counters: List[np.ndarray] = []
+        for index, copy in enumerate(deployment.copies):
+            chip, core_ids = program_chip(
+                copy,
+                neuron_config=neuron_config,
+                router_delay=request.router_delay,
+                core_seed=0 if copy_seeds is None else copy_seeds[index],
+            )
+            per_copy_counts.append(
+                run_chip_inference_batch(chip, copy, core_ids, volumes)
+            )
+            if request.collect_spike_counters:
+                flat_ids = [cid for layer in core_ids for cid in layer]
+                per_copy_counters.append(
+                    np.stack(
+                        [chip.core(cid).batch_spike_counts for cid in flat_ids]
+                    )
+                )
+        counters = (
+            np.stack(per_copy_counters) if request.collect_spike_counters else None
+        )
+        return np.stack(per_copy_counts), counters
 
     def evaluate(self, request: EvalRequest) -> EvalResult:
         _check_capabilities(request, self.capabilities())
@@ -295,9 +421,15 @@ class ChipBackend:
         n_k = class_neuron_counts(network)
         spf = request.max_spf
         encoder = StochasticEncoder(spikes_per_frame=spf)
+        neuron_config = (
+            stochastic_neuron_config(network)
+            if request.stochastic_synapses
+            else None
+        )
         tensors: List[np.ndarray] = []
         counter_repeats: List[np.ndarray] = []
         self.passes += 1
+        run = self._run_multicopy if self.multicopy else self._run_percopy
         for repeat_rng in spawn_rngs(new_rng(request.seed), request.repeats):
             deployment = deploy_with_copies(
                 request.model,
@@ -307,29 +439,34 @@ class ChipBackend:
             )
             frames = encoder.encode(evaluation.features, rng=repeat_rng)
             volumes = np.ascontiguousarray(frames.transpose(1, 0, 2))
-            per_copy_counts: List[np.ndarray] = []
-            per_copy_counters: List[np.ndarray] = []
-            for copy in deployment.copies:
-                chip, core_ids = program_chip(
-                    copy, router_delay=request.router_delay
-                )
-                per_copy_counts.append(
-                    run_chip_inference_batch(chip, copy, core_ids, volumes)
-                )
-                if request.collect_spike_counters:
-                    flat_ids = [cid for layer in core_ids for cid in layer]
-                    per_copy_counters.append(
-                        np.stack(
-                            [chip.core(cid).batch_spike_counts for cid in flat_ids]
-                        )
+            copy_seeds = None
+            if request.stochastic_synapses:
+                # Drawn after deployment and encoding so deterministic
+                # requests keep their exact historical streams; identical
+                # in both chip modes, which is what keeps them
+                # bit-identical to each other.  Sampled *without*
+                # replacement — the LFSR seed space is only 16 bits, and
+                # two copies sharing a seed would replay byte-identical
+                # streams, silently collapsing the copies-averaging
+                # statistic the sweep measures.
+                copy_seeds = [
+                    int(seed)
+                    for seed in repeat_rng.choice(
+                        np.arange(1, 2**16),
+                        size=request.max_copies,
+                        replace=False,
                     )
-            cumulative = np.cumsum(np.stack(per_copy_counts), axis=0)
+                ]
+            counts, counters = run(
+                deployment, volumes, request, neuron_config, copy_seeds
+            )
+            cumulative = np.cumsum(counts, axis=0)
             # (max_copies, batch, classes) ints -> class-mean score tensor
             # with a singleton spf axis; the integer counts stay exactly
             # recoverable through EvalResult.class_counts().
             tensors.append(cumulative[:, None].astype(float) / n_k)
             if request.collect_spike_counters:
-                counter_repeats.append(np.stack(per_copy_counters))
+                counter_repeats.append(counters)
         spike_counters = (
             np.stack(counter_repeats) if request.collect_spike_counters else None
         )

@@ -58,6 +58,16 @@ class UnsupportedRequestError(ValueError):
     """
 
 
+class ResultShapeError(ValueError):
+    """A result tensor does not match its declared grid/readout layout.
+
+    Raised by :meth:`EvalResult.class_counts` and the chip backend's
+    spike-counter plumbing when the copies axis (or the class axis) of a
+    tensor disagrees with the declared levels — instead of letting numpy
+    broadcasting silently produce a wrong-shaped (or wrong-valued) array.
+    """
+
+
 @dataclass(frozen=True)
 class BackendCapabilities:
     """What one evaluation backend can serve.
@@ -71,6 +81,13 @@ class BackendCapabilities:
             ``collect_spike_counters`` and ``router_delay`` requests.
         cacheable: integer-seed results are deterministic cache keys the
             session layer may serve from its score cache.
+        multicopy_chips: batches all requested copies through one
+            multi-copy chip image instead of one chip (and one pass) per
+            copy — same results, ~C x less tick-loop work, ~C x one chip's
+            crossbar memory.
+        stochastic_synapses: can serve ``stochastic_synapses`` requests
+            (per-tick Bernoulli re-sampling of every synapse from per-copy
+            hardware LFSR streams).
     """
 
     name: str
@@ -78,6 +95,8 @@ class BackendCapabilities:
     spf_grids: bool
     cycle_accurate: bool
     cacheable: bool
+    multicopy_chips: bool = False
+    stochastic_synapses: bool = False
 
 
 @dataclass(frozen=True)
@@ -98,6 +117,10 @@ class EvalRequest:
         collect_spike_counters: chip-only — also return per-core readout
             spike counters.
         router_delay: chip-only — override the router delivery delay.
+        stochastic_synapses: chip-only — deploy with per-tick Bernoulli
+            synapse re-sampling from per-copy LFSR streams instead of one
+            frozen connectivity sample per copy (the paper's temporal
+            averaging alternative to spatial duplication).
     """
 
     model: TrueNorthModel
@@ -110,6 +133,7 @@ class EvalRequest:
     max_samples: Optional[int] = None
     collect_spike_counters: bool = False
     router_delay: Optional[int] = None
+    stochastic_synapses: bool = False
 
     def __post_init__(self):
         copy_levels = tuple(sorted(set(int(c) for c in self.copy_levels)))
@@ -154,7 +178,11 @@ class EvalRequest:
     @property
     def needs_cycle_accuracy(self) -> bool:
         """Whether the request uses a chip-only feature."""
-        return self.collect_spike_counters or self.router_delay is not None
+        return (
+            self.collect_spike_counters
+            or self.router_delay is not None
+            or self.stochastic_synapses
+        )
 
     def evaluation_dataset(self) -> Dataset:
         """The (possibly capped) dataset the request evaluates.
@@ -243,8 +271,34 @@ class EvalResult:
         orders of magnitude below 1/2.  Shape matches :attr:`scores`, dtype
         int64 — the quantity the chip backend's equivalence invariant is
         stated on.
+
+        Raises:
+            ResultShapeError: when the score tensor's grid axes disagree
+                with the declared copy/spf levels or its class axis
+                disagrees with ``class_neuron_counts`` — numpy would
+                otherwise broadcast a mismatched ``n_k`` silently and
+                return well-shaped wrong integers.
         """
-        return np.rint(self.scores * self.class_neuron_counts).astype(np.int64)
+        scores = np.asarray(self.scores)
+        n_k = np.asarray(self.class_neuron_counts)
+        if scores.ndim != 5:
+            raise ResultShapeError(
+                "scores must be (repeats, copies, spf, batch, classes); got "
+                f"{scores.ndim}-D shape {scores.shape}"
+            )
+        expected_grid = (len(self.copy_levels), len(self.spf_levels))
+        if scores.shape[1:3] != expected_grid:
+            raise ResultShapeError(
+                f"scores grid axes {scores.shape[1:3]} do not match the "
+                f"declared levels {expected_grid} "
+                f"(copy_levels={self.copy_levels}, spf_levels={self.spf_levels})"
+            )
+        if n_k.ndim != 1 or scores.shape[-1] != n_k.shape[0]:
+            raise ResultShapeError(
+                f"class axis of scores ({scores.shape[-1]} classes) does not "
+                f"match class_neuron_counts of shape {n_k.shape}"
+            )
+        return np.rint(scores * n_k).astype(np.int64)
 
     def sweep(self, label: str = ""):
         """This result as a :class:`repro.eval.sweep.SweepResult`.

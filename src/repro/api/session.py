@@ -360,6 +360,7 @@ class Session:
             spf_key,
             request.collect_spike_counters,
             request.router_delay,
+            request.stochastic_synapses,
         )
 
 

@@ -35,6 +35,15 @@ do I use?"); in short: ``vectorized`` for functional grid sweeps,
 and the session's caches (:class:`~repro.eval.runner.ScoreCache` in
 memory, :class:`~repro.eval.runner.DiskScoreCache` on disk) for repeated
 evaluations of the same configuration.
+
+The chip backend defaults to **multi-copy chip images**: all requested
+copies are programmed side by side (stacked per-core crossbar tensors,
+per-copy LFSR streams) and advance as one ``copies x batch`` lock-step
+pass — use it for any cycle-accurate request with ``copies > 1``,
+including ``stochastic_synapses`` sweeps; it is bit-identical to the
+one-chip-per-copy loop at ~``C x`` one chip's crossbar memory (one image
+instead of C whole chips).  ``ChipBackend(multicopy=False)`` keeps the
+per-copy reference loop the property tests pin the image against.
 """
 
 from repro.eval.accuracy import DeployedAccuracy, evaluate_deployed_accuracy

@@ -17,8 +17,10 @@ from repro.mapping.duplication import DuplicatedDeployment, deploy_with_copies
 from repro.mapping.placement import ChipPlacement, place_on_chip
 from repro.mapping.pipeline import (
     program_chip,
+    program_chip_multicopy,
     run_chip_inference,
     run_chip_inference_batch,
+    run_chip_inference_multicopy,
 )
 
 __all__ = [
@@ -35,6 +37,8 @@ __all__ = [
     "ChipPlacement",
     "place_on_chip",
     "program_chip",
+    "program_chip_multicopy",
     "run_chip_inference",
     "run_chip_inference_batch",
+    "run_chip_inference_multicopy",
 ]

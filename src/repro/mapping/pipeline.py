@@ -8,11 +8,25 @@ layers into the next layer's axons, external I/O bindings) and push spike
 frames through it tick by tick.  The test suite uses this path to check that
 the vectorized evaluator and the hardware-level simulation agree exactly.
 
-Two inference drivers exist: :func:`run_chip_inference` pushes one sample
-through the chip (the scalar reference), and :func:`run_chip_inference_batch`
+Three inference drivers exist: :func:`run_chip_inference` pushes one sample
+through the chip (the scalar reference), :func:`run_chip_inference_batch`
 pushes a whole ``(batch, ticks, input_dim)`` spike volume through in
 lock-step using the chip's batched engine — bit-identical class counts, one
-crossbar matmul per core per tick instead of one per (sample, core, tick).
+crossbar matmul per core per tick instead of one per (sample, core, tick) —
+and :func:`run_chip_inference_multicopy` additionally batches over network
+*copies*: :func:`program_chip_multicopy` stacks C sampled copies side by
+side into one multi-copy chip image (per-copy crossbar tensors, shared
+route table, per-copy LFSR streams) and the driver advances all ``C *
+batch`` lock-step rows at once, returning per-copy class counts that are
+bit-identical to C independent :func:`run_chip_inference_batch` runs.
+
+Stochastic-synapse deployments are supported on all drivers: programming a
+chip with a ``stochastic_synapses=True`` neuron config writes the corelets'
+*potential* signed values and Bernoulli ON-probabilities into the crossbar
+(instead of one frozen connectivity sample), so the hardware re-samples
+every synapse each tick from its core LFSR.  ``core_seed`` /
+``copy_seeds`` control the per-chip / per-copy streams; the multi-copy
+engine replays exactly the streams the one-chip-per-copy loop consumes.
 
 Latency model
 -------------
@@ -39,7 +53,7 @@ front by the inference drivers.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -57,87 +71,98 @@ INPUT_CHANNEL = "pixels"
 OUTPUT_CHANNEL = "classes"
 
 
-def program_chip(
-    deployed: DeployedNetwork,
-    chip: Optional[TrueNorthChip] = None,
-    neuron_config: Optional[NeuronConfig] = None,
-    router_delay: Optional[int] = None,
-) -> Tuple[TrueNorthChip, List[List[int]]]:
-    """Program a chip with one deployed network copy.
+def _default_neuron_config(
+    synaptic_magnitude: float, stochastic_synapses: bool = False
+) -> NeuronConfig:
+    """The paper's history-free zero-threshold deployment neuron."""
+    weight_table = (
+        int(round(synaptic_magnitude)),
+        -int(round(synaptic_magnitude)),
+        0,
+        0,
+    )
+    return NeuronConfig(
+        weight_table=weight_table,
+        leak=0,
+        threshold=0,
+        history_free=True,
+        stochastic_synapses=stochastic_synapses,
+    )
 
-    Every corelet becomes one physical core: the sampled signed weights are
-    written into the crossbar (per-connection signed mode, the simulator's
-    functional equivalent of IBM's axon-splitting corelets — see
-    :meth:`repro.truenorth.crossbar.SynapticCrossbar.set_signed_weights`),
-    hidden-to-hidden connections are routed through the spike router,
-    first-layer axons are bound to the external input channel, and last-layer
-    neurons to the external output channel.
 
-    Args:
-        deployed: a sampled network copy.
-        chip: chip to program; a fresh one (with capacity for the copy) is
-            created when omitted.
-        neuron_config: overrides the paper's history-free zero-threshold
-            neuron (e.g. a stateful LIF configuration for the equivalence
-            tests); the default reproduces the paper's deployment.
-        router_delay: overrides the router's delivery delay; must be >= 1 so
-            the synchronous tick discipline can deliver every routed spike.
-            Only valid when the chip is created here — combining it with an
-            explicit ``chip`` raises (set the delay on that chip's router
-            instead of having it silently ignored).
+def stochastic_neuron_config(network) -> NeuronConfig:
+    """The deployment neuron with per-tick synapse re-sampling enabled.
 
-    Returns:
-        (chip, core_ids) where ``core_ids[layer][index]`` is the physical core
-        id assigned to each corelet.
+    The magnitude comes from the corelets' *potential* signed synaptic
+    values — stochastic deployments never use the frozen per-copy samples.
     """
-    network = deployed.corelet_network
-    if neuron_config is None:
-        synaptic_magnitude = _infer_synaptic_magnitude(deployed)
-        weight_table = (
-            int(round(synaptic_magnitude)),
-            -int(round(synaptic_magnitude)),
-            0,
-            0,
-        )
-        neuron_config = NeuronConfig(
-            weight_table=weight_table,
-            leak=0,
-            threshold=0,
-            history_free=True,
-            stochastic_synapses=False,
-        )
-    if chip is not None and router_delay is not None:
-        raise ValueError(
-            "router_delay only applies to a freshly created chip; set the "
-            "delay on the provided chip's router instead"
-        )
-    if chip is None:
-        rows = int(np.ceil(np.sqrt(network.core_count))) or 1
-        grid = (max(rows, 1), max(int(np.ceil(network.core_count / rows)), 1))
-        chip = TrueNorthChip(
-            ChipConfig(grid_shape=grid, core_config=CoreConfig(neuron_config=neuron_config))
-        )
-        if router_delay is not None:
-            if router_delay < 1:
-                raise ValueError(f"router_delay must be >= 1, got {router_delay}")
-            chip.router.delay = int(router_delay)
+    best = 0.0
+    for layer in network.corelets:
+        for corelet in layer:
+            if corelet.synaptic_values.size:
+                best = max(best, float(np.abs(corelet.synaptic_values).max()))
+    return _default_neuron_config(
+        best if best > 0 else 1.0, stochastic_synapses=True
+    )
 
-    core_ids: List[List[int]] = []
-    for layer_index, layer_corelets in enumerate(network.corelets):
-        layer_ids: List[int] = []
-        for corelet_index, corelet in enumerate(layer_corelets):
-            core = chip.allocate_core(CoreConfig(neuron_config=neuron_config))
-            sampled = deployed.sampled_weights[layer_index][corelet_index]
-            axons = corelet.axon_count
-            neurons = corelet.neuron_count
-            full_weights = np.zeros(
-                (core.config.axons, core.config.neurons), dtype=np.int64
-            )
-            full_weights[:axons, :neurons] = np.rint(sampled).astype(np.int64)
-            core.crossbar.set_signed_weights(full_weights)
-            layer_ids.append(core.core_id)
-        core_ids.append(layer_ids)
 
+def _core_shape(network) -> Tuple[int, int]:
+    """(axons, neurons) every allocated core is trimmed to.
+
+    A physical core is 256 x 256, but simulating the unused rows and columns
+    only multiplies zeros: unused axons never receive a spike (bindings and
+    routes only address corelet channels) and unused neurons never fire —
+    history-free neurons are gated by their silent crossbar, and the
+    stateful configurations the inference drivers accept (``leak >= 0``,
+    ``reset < threshold``, enforced by ``_validate_latency_model``) keep a
+    never-stimulated membrane below threshold forever.  Trimming to the
+    network's largest corelet is therefore spike-for-spike identical while
+    cutting every crossbar matmul to the occupied block.  The router wants
+    one uniform axon count per chip, so the maximum over all corelets is
+    used rather than a per-core fit.
+    """
+    axons = max(c.axon_count for layer in network.corelets for c in layer)
+    neurons = max(c.neuron_count for layer in network.corelets for c in layer)
+    return axons, neurons
+
+
+def _make_chip(
+    core_count: int,
+    neuron_config: NeuronConfig,
+    router_delay: Optional[int],
+    core_shape: Tuple[int, int],
+) -> TrueNorthChip:
+    """A fresh chip sized for ``core_count`` trimmed cores."""
+    rows = int(np.ceil(np.sqrt(core_count))) or 1
+    grid = (max(rows, 1), max(int(np.ceil(core_count / rows)), 1))
+    chip = TrueNorthChip(
+        ChipConfig(
+            grid_shape=grid,
+            core_config=CoreConfig(
+                axons=core_shape[0],
+                neurons=core_shape[1],
+                neuron_config=neuron_config,
+            ),
+        )
+    )
+    if router_delay is not None:
+        if router_delay < 1:
+            raise ValueError(f"router_delay must be >= 1, got {router_delay}")
+        chip.router.delay = int(router_delay)
+    return chip
+
+
+def _full_core_matrix(
+    core, values: np.ndarray, corelet, dtype
+) -> np.ndarray:
+    """A corelet-sized matrix embedded top-left into a full-core matrix."""
+    full = np.zeros((core.config.axons, core.config.neurons), dtype=dtype)
+    full[: corelet.axon_count, : corelet.neuron_count] = values
+    return full
+
+
+def _wire_chip(chip: TrueNorthChip, network, core_ids: List[List[int]]) -> None:
+    """Bind external I/O and program the inter-layer routes of one topology."""
     # External input: layer-0 axons receive the pixel spikes of their block.
     for corelet_index, corelet in enumerate(network.corelets[0]):
         chip.bind_input(
@@ -169,6 +194,248 @@ def program_chip(
             core_ids[-1][corelet_index],
             neuron_map=list(range(corelet.neuron_count)),
         )
+
+
+def program_chip(
+    deployed: DeployedNetwork,
+    chip: Optional[TrueNorthChip] = None,
+    neuron_config: Optional[NeuronConfig] = None,
+    router_delay: Optional[int] = None,
+    core_seed: int = 0,
+) -> Tuple[TrueNorthChip, List[List[int]]]:
+    """Program a chip with one deployed network copy.
+
+    Every corelet becomes one physical core: the sampled signed weights are
+    written into the crossbar (per-connection signed mode, the simulator's
+    functional equivalent of IBM's axon-splitting corelets — see
+    :meth:`repro.truenorth.crossbar.SynapticCrossbar.set_signed_weights`).
+    Simulated cores are trimmed to the network's largest corelet
+    (see ``_core_shape``: spike-for-spike identical, far smaller matmuls),
+    hidden-to-hidden connections are routed through the spike router,
+    first-layer axons are bound to the external input channel, and last-layer
+    neurons to the external output channel.
+
+    With a ``stochastic_synapses=True`` neuron config the crossbar is
+    instead programmed with the corelets' *potential* signed synaptic values
+    and Bernoulli ON-probabilities, so the chip re-samples every synapse per
+    tick from the core LFSR (the deployed copy's frozen connectivity sample
+    is not used).
+
+    Args:
+        deployed: a sampled network copy.
+        chip: chip to program; a fresh one (with capacity for the copy) is
+            created when omitted.
+        neuron_config: overrides the paper's history-free zero-threshold
+            neuron (e.g. a stateful LIF configuration for the equivalence
+            tests); the default reproduces the paper's deployment.
+        router_delay: overrides the router's delivery delay; must be >= 1 so
+            the synchronous tick discipline can deliver every routed spike.
+            Only valid when the chip is created here — combining it with an
+            explicit ``chip`` raises (set the delay on that chip's router
+            instead of having it silently ignored).
+        core_seed: base seed of the cores' LFSR PRNGs (core ``k`` draws from
+            ``LfsrPrng(core_seed + k + 1)``); distinct seeds give distinct
+            stochastic-synapse realizations, which is how the per-copy loop
+            and the multi-copy engine assign each copy its own stream.
+
+    Returns:
+        (chip, core_ids) where ``core_ids[layer][index]`` is the physical core
+        id assigned to each corelet.
+    """
+    network = deployed.corelet_network
+    if neuron_config is None:
+        neuron_config = _default_neuron_config(_infer_synaptic_magnitude(deployed))
+    if chip is not None and router_delay is not None:
+        raise ValueError(
+            "router_delay only applies to a freshly created chip; set the "
+            "delay on the provided chip's router instead"
+        )
+    if chip is None:
+        shape = _core_shape(network)
+        chip = _make_chip(network.core_count, neuron_config, router_delay, shape)
+    else:
+        # A caller-provided chip fixes the core geometry (its step loop
+        # assembles axon vectors of that uniform size).
+        shape = (chip.config.core_config.axons, chip.config.core_config.neurons)
+
+    def program_weights(core, corelet, layer_index: int, corelet_index: int):
+        sampled = deployed.sampled_weights[layer_index][corelet_index]
+        values = np.rint(sampled).astype(np.int64)
+        core.crossbar.set_signed_weights(
+            _full_core_matrix(core, values, corelet, np.int64)
+        )
+
+    core_ids = _program_cores(
+        chip, network, neuron_config, shape, core_seed, program_weights
+    )
+    return chip, core_ids
+
+
+def _program_cores(
+    chip: TrueNorthChip,
+    network,
+    neuron_config: NeuronConfig,
+    shape: Tuple[int, int],
+    core_seed: int,
+    program_weights,
+) -> List[List[int]]:
+    """Allocate and program one trimmed core per corelet, then wire the chip.
+
+    The stochastic branch (potential signed values + Bernoulli
+    probabilities, identical for the single- and multi-copy engines) lives
+    here so the two programming paths cannot drift apart;
+    ``program_weights(core, corelet, layer_index, corelet_index)`` supplies
+    the deterministic branch (one sampled matrix or a per-copy stack).
+    """
+    stochastic = neuron_config.stochastic_synapses
+    core_ids: List[List[int]] = []
+    for layer_index, layer_corelets in enumerate(network.corelets):
+        layer_ids: List[int] = []
+        for corelet_index, corelet in enumerate(layer_corelets):
+            core = chip.allocate_core(
+                CoreConfig(
+                    axons=shape[0],
+                    neurons=shape[1],
+                    neuron_config=neuron_config,
+                    seed=int(core_seed),
+                )
+            )
+            if stochastic:
+                values = np.rint(corelet.synaptic_values).astype(np.int64)
+                core.crossbar.set_signed_weights(
+                    _full_core_matrix(core, values, corelet, np.int64)
+                )
+                core.crossbar.set_probabilities(
+                    _full_core_matrix(core, corelet.probabilities, corelet, float)
+                )
+            else:
+                program_weights(core, corelet, layer_index, corelet_index)
+            layer_ids.append(core.core_id)
+        core_ids.append(layer_ids)
+
+    _wire_chip(chip, network, core_ids)
+    return core_ids
+
+
+def _check_shared_structure(copies: Sequence[DeployedNetwork]) -> None:
+    """All copies must share one corelet topology (routes, shapes, readout)."""
+    first = copies[0].corelet_network
+    for index, copy in enumerate(copies[1:], start=1):
+        network = copy.corelet_network
+        same = network is first or (
+            len(network.corelets) == len(first.corelets)
+            and all(
+                len(a) == len(b)
+                and all(
+                    x.input_channels == y.input_channels
+                    and x.output_channels == y.output_channels
+                    for x, y in zip(a, b)
+                )
+                for a, b in zip(network.corelets, first.corelets)
+            )
+            and np.array_equal(network.class_assignment, first.class_assignment)
+        )
+        if not same:
+            raise ValueError(
+                f"copy {index} has a different corelet topology than copy 0; "
+                "a multi-copy chip image requires identically structured "
+                "copies (only the sampled weights may differ)"
+            )
+
+
+def _check_shared_stochastic_programming(copies: Sequence[DeployedNetwork]) -> None:
+    """Stochastic multi-copy images share one crossbar programming.
+
+    Copy ``c`` differs only through its LFSR stream, so every copy's
+    corelets must carry identical Bernoulli probabilities and synaptic
+    values — silently programming copy 0's tensors for all copies would
+    diverge from the per-copy loop without an error.
+    """
+    first = copies[0].corelet_network
+    for index, copy in enumerate(copies[1:], start=1):
+        network = copy.corelet_network
+        if network is first:
+            continue
+        for layer_a, layer_b in zip(first.corelets, network.corelets):
+            for a, b in zip(layer_a, layer_b):
+                if not (
+                    np.array_equal(a.probabilities, b.probabilities)
+                    and np.array_equal(a.synaptic_values, b.synaptic_values)
+                ):
+                    raise ValueError(
+                        f"copy {index} carries different corelet "
+                        "probabilities/synaptic values than copy 0; a "
+                        "stochastic multi-copy image shares one crossbar "
+                        "programming, so per-copy stochastic parameters "
+                        "need one chip per copy"
+                    )
+
+
+def program_chip_multicopy(
+    copies: Sequence[DeployedNetwork],
+    neuron_config: Optional[NeuronConfig] = None,
+    router_delay: Optional[int] = None,
+) -> Tuple[TrueNorthChip, List[List[int]]]:
+    """Program one chip image holding ``len(copies)`` sampled copies.
+
+    The copies share one physical core per corelet: each core's crossbar is
+    programmed with the *stacked* per-copy signed weight tensor
+    (:meth:`~repro.truenorth.crossbar.SynapticCrossbar.set_copy_signed_weights`),
+    and because every copy has the same topology, the single route table and
+    the external bindings serve all copies at once — batch rows are
+    copy-major and never mix (see :mod:`repro.truenorth.chip`).  Memory is
+    therefore ~``C`` x one chip's crossbar storage, against ``C`` whole
+    chips for the per-copy loop.
+
+    With a ``stochastic_synapses=True`` neuron config the copies share the
+    corelets' potential values and probabilities (no stack is needed — all
+    copies are programmed identically) and differ only through the per-copy
+    LFSR streams chosen at :meth:`TrueNorthChip.begin_batch` time via
+    ``copy_seeds``.
+
+    Args:
+        copies: the sampled copies, identically structured (e.g.
+            ``deploy_with_copies(...).copies``).
+        neuron_config: as in :func:`program_chip`; the default infers the
+            paper's history-free neuron from the largest magnitude over all
+            copies.
+        router_delay: as in :func:`program_chip`.
+
+    Returns:
+        (chip, core_ids) exactly as :func:`program_chip`.
+    """
+    if not copies:
+        raise ValueError("at least one deployed copy is required")
+    _check_shared_structure(copies)
+    network = copies[0].corelet_network
+    if neuron_config is None:
+        neuron_config = _default_neuron_config(
+            max(_infer_synaptic_magnitude(copy) for copy in copies)
+        )
+    if neuron_config.stochastic_synapses:
+        _check_shared_stochastic_programming(copies)
+    shape = _core_shape(network)
+    chip = _make_chip(network.core_count, neuron_config, router_delay, shape)
+
+    def program_weights(core, corelet, layer_index: int, corelet_index: int):
+        stacked = np.stack(
+            [
+                _full_core_matrix(
+                    core,
+                    np.rint(
+                        copy.sampled_weights[layer_index][corelet_index]
+                    ).astype(np.int64),
+                    corelet,
+                    np.int64,
+                )
+                for copy in copies
+            ]
+        )
+        core.crossbar.set_copy_signed_weights(stacked)
+
+    core_ids = _program_cores(
+        chip, network, neuron_config, shape, 0, program_weights
+    )
     return chip, core_ids
 
 
@@ -243,49 +510,130 @@ def run_chip_inference_batch(
         per-sample, per-class accumulated spike counts
         (batch, num_classes), dtype int64.
     """
-    network = deployed.corelet_network
+    # A single-copy batch IS a one-copy multi-copy run: same tick loop,
+    # same drain model, one driver to maintain.
+    return run_chip_inference_multicopy(chip, [deployed], core_ids, spike_volumes)[0]
+
+
+def run_chip_inference_multicopy(
+    chip: TrueNorthChip,
+    copies: Sequence[DeployedNetwork],
+    core_ids: List[List[int]],
+    spike_volumes: np.ndarray,
+    copy_seeds: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Run a sample batch through ``len(copies)`` copies in one chip pass.
+
+    Every copy sees the *same* input spike realizations (on hardware a
+    splitter fans the one spike stream out to all copies) while integrating
+    through its own programmed crossbar slice.  The result is bit-identical
+    to programming one chip per copy and calling
+    :func:`run_chip_inference_batch` on each (the property tests enforce
+    it, including per-core spike counters and — in stochastic mode with
+    matching ``copy_seeds`` — the per-copy LFSR streams), but a (copies,
+    spf, batch) sweep costs one lock-step pass of ``C * batch`` rows
+    instead of C chip programs and passes.
+
+    Args:
+        chip: chip programmed by :func:`program_chip_multicopy`.
+        copies: the deployed copies the chip was programmed from.
+        core_ids: physical core ids returned by :func:`program_chip_multicopy`.
+        spike_volumes: binary array of shape (batch, ticks, input_dim),
+            shared by every copy.
+        copy_seeds: per-copy core-PRNG base seeds (stochastic mode); copy
+            ``c`` replays exactly the stream of a one-chip-per-copy run
+            whose chip was programmed with ``core_seed=copy_seeds[c]``.
+
+    Returns:
+        per-copy, per-sample class counts of shape
+        ``(len(copies), batch, num_classes)``, dtype int64;
+        ``result[c]`` equals the per-copy loop's counts for copy ``c``.
+    """
+    if not copies:
+        raise ValueError("at least one deployed copy is required")
+    network = copies[0].corelet_network
     spike_volumes = np.asarray(spike_volumes)
     if spike_volumes.ndim != 3 or spike_volumes.shape[2] != network.input_dim:
         raise ValueError(
             f"expected volumes of shape (batch, ticks, {network.input_dim}), "
             f"got {spike_volumes.shape}"
         )
+    if copy_seeds is not None and len(copy_seeds) != len(copies):
+        raise ValueError(
+            f"expected {len(copies)} copy seeds, got {len(copy_seeds)}"
+        )
     _validate_latency_model(chip, network)
+    n_copies = len(copies)
     batch, ticks = spike_volumes.shape[0], spike_volumes.shape[1]
     if batch == 0:
-        return np.zeros((0, network.num_classes), dtype=np.int64)
-    chip.begin_batch(batch)
-    class_counts = np.zeros((batch, network.num_classes), dtype=np.int64)
+        return np.zeros((n_copies, 0, network.num_classes), dtype=np.int64)
+    total = n_copies * batch
+    chip.begin_multicopy(
+        n_copies,
+        batch,
+        copy_seeds=None if copy_seeds is None else list(copy_seeds),
+    )
     # Readout: one indicator matmul per binding replaces the per-spike
-    # np.add.at scatter (integer matmuls are exact).
-    indicators = []
-    for corelet in network.corelets[-1]:
-        channels = np.asarray(corelet.output_channels, dtype=int)
-        classes = network.class_assignment[channels]
-        indicator = np.zeros((channels.size, network.num_classes), dtype=np.int64)
-        indicator[np.arange(channels.size), classes] = 1
-        indicators.append(indicator)
+    # np.add.at scatter.  Accumulation runs in float (BLAS path; exact —
+    # all operands are small integers) and casts back to int64 once.
+    class_counts = np.zeros(
+        (n_copies, batch, network.num_classes), dtype=np.float64
+    )
+    flat_counts = class_counts.reshape(total, network.num_classes)
+    indicators = _readout_indicators(network)
 
     def accumulate(outputs) -> None:
         for binding_index, spikes in outputs.get(OUTPUT_CHANNEL, {}).items():
             np.add(
-                class_counts,
-                spikes.astype(np.int64) @ indicators[binding_index],
-                out=class_counts,
+                flat_counts,
+                spikes.astype(np.float32) @ indicators[binding_index],
+                out=flat_counts,
             )
 
-    input_indices = [
-        np.asarray(corelet.input_channels, dtype=int)
-        for corelet in network.corelets[0]
-    ]
+    per_binding_volumes = _gather_input_volumes(network, spike_volumes)
     for t in range(ticks):
         per_binding = {
-            corelet_index: spike_volumes[:, t, indices]
-            for corelet_index, indices in enumerate(input_indices)
+            # One (samples, block) frame per binding, shared by every copy:
+            # the chip broadcasts it over the per-copy weight slices instead
+            # of materializing n_copies replicas (splitter semantics).
+            corelet_index: volume[:, t]
+            for corelet_index, volume in enumerate(per_binding_volumes)
         }
         accumulate(chip.step_batch({INPUT_CHANNEL: per_binding}))
     _drain_chip(chip, network, accumulate, batched=True)
-    return class_counts
+    return class_counts.astype(np.int64)
+
+
+def _gather_input_volumes(network, spike_volumes: np.ndarray) -> List[np.ndarray]:
+    """Per-binding (batch, ticks, block) volumes, gathered once up front.
+
+    One fancy-index copy per layer-0 corelet instead of one per (corelet,
+    tick); the tick loop then hands out contiguous views.
+    """
+    return [
+        np.ascontiguousarray(
+            spike_volumes[:, :, np.asarray(corelet.input_channels, dtype=int)]
+        )
+        for corelet in network.corelets[0]
+    ]
+
+
+def _readout_indicators(network) -> List[np.ndarray]:
+    """Per-binding class-indicator matrices (float32 for the BLAS path).
+
+    Entry ``[j, k]`` is 1.0 when readout neuron ``j`` of the binding's
+    corelet belongs to class ``k``.  A tick's per-class sums are at most
+    the corelet's neuron count, so the float32 matmul is exact, and the
+    running totals accumulate in a float64 buffer.
+    """
+    indicators = []
+    for corelet in network.corelets[-1]:
+        channels = np.asarray(corelet.output_channels, dtype=int)
+        classes = network.class_assignment[channels]
+        indicator = np.zeros((channels.size, network.num_classes), dtype=np.float32)
+        indicator[np.arange(channels.size), classes] = 1.0
+        indicators.append(indicator)
+    return indicators
 
 
 def _validate_latency_model(chip: TrueNorthChip, network) -> None:

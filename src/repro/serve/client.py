@@ -91,6 +91,7 @@ class ServeClient:
         max_samples: Optional[int] = None,
         collect_spike_counters: bool = False,
         router_delay: Optional[int] = None,
+        stochastic_synapses: bool = False,
     ) -> EvalResult:
         """``POST /v1/evaluate`` and decode the result tensor-exactly."""
         payload = {
@@ -105,6 +106,7 @@ class ServeClient:
             "max_samples": max_samples,
             "collect_spike_counters": collect_spike_counters,
             "router_delay": router_delay,
+            "stochastic_synapses": stochastic_synapses,
         }
         return self.evaluate_payload(payload)
 

@@ -76,6 +76,7 @@ class WireRequest:
     max_samples: Optional[int] = None
     collect_spike_counters: bool = False
     router_delay: Optional[int] = None
+    stochastic_synapses: bool = False
 
 
 _WIRE_FIELDS = tuple(spec.name for spec in fields(WireRequest))
@@ -121,6 +122,7 @@ def encode_request(
         "max_samples": request.max_samples,
         "collect_spike_counters": request.collect_spike_counters,
         "router_delay": request.router_delay,
+        "stochastic_synapses": request.stochastic_synapses,
     }
 
 
@@ -195,6 +197,12 @@ def decode_request(payload: object) -> WireRequest:
         "router_delay must be an integer or null",
         "router_delay",
     )
+    stochastic = payload.get("stochastic_synapses", False)
+    _require(
+        isinstance(stochastic, bool),
+        "stochastic_synapses must be a boolean",
+        "stochastic_synapses",
+    )
     return WireRequest(
         model=model,
         dataset=dataset,
@@ -207,6 +215,7 @@ def decode_request(payload: object) -> WireRequest:
         max_samples=None if max_samples is None else int(max_samples),
         collect_spike_counters=collect,
         router_delay=None if router_delay is None else int(router_delay),
+        stochastic_synapses=stochastic,
     )
 
 
@@ -233,6 +242,7 @@ def to_eval_request(wire: WireRequest, registry) -> EvalRequest:
             max_samples=wire.max_samples,
             collect_spike_counters=wire.collect_spike_counters,
             router_delay=wire.router_delay,
+            stochastic_synapses=wire.stochastic_synapses,
         )
     except ValueError as error:
         raise CodecError(str(error)) from error

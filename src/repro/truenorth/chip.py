@@ -18,6 +18,20 @@ The chip runs in one of two modes:
   is spike-for-spike equivalent to B independent scalar runs (including the
   per-tick LFSR stream in stochastic mode, which every scalar run replays
   identically after its reset); the test suite enforces this.
+
+Batched execution additionally supports a **copies** axis
+(``begin_batch(batch_size, copies=C, copy_seeds=...)``): the B batch rows
+are partitioned copy-major into C independently *programmed* network
+copies of S samples each (``B = C * S``).  Each core integrates copy ``c``
+through its own slice of a stacked per-copy crossbar tensor
+(:meth:`~repro.truenorth.crossbar.SynapticCrossbar.set_copy_signed_weights`)
+and, in stochastic mode, draws copy ``c``'s connectivity from a dedicated
+per-copy LFSR — so one multi-copy chip image is spike-for-spike equivalent
+to C one-chip-per-copy simulations, at one batched matmul per core per
+tick.  Because every copy is programmed with the *same* routing topology,
+the single route table already is the disjoint per-copy route table: batch
+rows never mix, so spikes of copy ``c`` can only ever land on copy ``c``'s
+axon rows.
 """
 
 from __future__ import annotations
@@ -37,11 +51,17 @@ class ExternalInputBinding:
     """Binding of an external input channel onto a core's axons.
 
     ``axon_map[i]`` is the axon index that receives the ``i``-th component of
-    the external spike vector for this binding.
+    the external spike vector for this binding.  ``identity`` marks maps
+    that are exactly ``0..len-1`` — the batched engine then adopts the spike
+    matrix directly instead of scattering it into a zeroed buffer.
     """
 
     core_id: int
     axon_map: List[int] = field(default_factory=list)
+    identity: bool = field(init=False)
+
+    def __post_init__(self):
+        self.identity = self.axon_map == list(range(len(self.axon_map)))
 
 
 @dataclass
@@ -49,11 +69,17 @@ class ExternalOutputBinding:
     """Binding of a core's neurons onto an external output channel.
 
     ``neuron_map[i]`` is the neuron index whose spikes feed the ``i``-th
-    component of the external output vector for this binding.
+    component of the external output vector for this binding.  ``identity``
+    marks maps that are exactly ``0..len-1``; the batched engine then hands
+    out the core's spike matrix itself instead of a gathered copy.
     """
 
     core_id: int
     neuron_map: List[int] = field(default_factory=list)
+    identity: bool = field(init=False)
+
+    def __post_init__(self):
+        self.identity = self.neuron_map == list(range(len(self.neuron_map)))
 
 
 class TrueNorthChip:
@@ -75,6 +101,7 @@ class TrueNorthChip:
         self._output_bindings: Dict[str, List[ExternalOutputBinding]] = {}
         self._tick = 0
         self._batch_size: Optional[int] = None
+        self._copies = 1
 
     # ------------------------------------------------------------------
     # allocation and programming
@@ -149,8 +176,13 @@ class TrueNorthChip:
     # ------------------------------------------------------------------
     @property
     def batch_size(self) -> Optional[int]:
-        """Current batch size, or ``None`` in scalar mode."""
+        """Current batch size (total rows, copies x samples), or ``None``."""
         return self._batch_size
+
+    @property
+    def copies(self) -> int:
+        """Network copies in the current batch (1 outside multi-copy mode)."""
+        return self._copies
 
     def reset(self) -> None:
         """Reset all cores, the router run state, and the tick counter.
@@ -163,15 +195,48 @@ class TrueNorthChip:
         self.router.reset_state()
         self._tick = 0
         self._batch_size = None
+        self._copies = 1
 
-    def begin_batch(self, batch_size: int) -> None:
-        """Reset the chip and switch every core to lock-step batch execution."""
+    def begin_batch(
+        self,
+        batch_size: int,
+        copies: int = 1,
+        copy_seeds: Optional[List[int]] = None,
+    ) -> None:
+        """Reset the chip and switch every core to lock-step batch execution.
+
+        Args:
+            batch_size: total batch rows.  With ``copies > 1`` the rows are
+                copy-major: row ``c * (batch_size // copies) + s`` is copy
+                ``c``'s sample ``s``, and ``copies`` must divide
+                ``batch_size``.
+            copies: independently programmed network copies sharing the
+                batch (see the module docstring; requires per-copy crossbar
+                stacks or shared single-copy programming on every core).
+            copy_seeds: per-copy core-PRNG base seeds for stochastic
+                synapses — copy ``c``'s core ``k`` draws from
+                ``LfsrPrng(copy_seeds[c] + k + 1)``, matching a
+                one-chip-per-copy simulation whose chip ``c`` was
+                programmed with ``CoreConfig(seed=copy_seeds[c])``.
+        """
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if copies <= 0:
+            raise ValueError(f"copies must be positive, got {copies}")
+        if batch_size % copies != 0:
+            raise ValueError(
+                f"batch_size {batch_size} is not divisible by copies {copies}"
+            )
         self.reset()
         for core in self.cores.values():
-            core.begin_batch(batch_size)
+            core.begin_batch(batch_size, copies=copies, copy_seeds=copy_seeds)
         self._batch_size = int(batch_size)
+        self._copies = int(copies)
+
+    def begin_multicopy(self, copies: int, samples: int,
+                        copy_seeds: Optional[List[int]] = None) -> None:
+        """Convenience: :meth:`begin_batch` for C copies x S samples."""
+        self.begin_batch(copies * samples, copies=copies, copy_seeds=copy_seeds)
 
     def step(
         self, external_inputs: Optional[Dict[str, Dict[int, np.ndarray]]] = None
@@ -247,19 +312,29 @@ class TrueNorthChip:
         Args:
             external_inputs: mapping ``channel -> {binding_index -> spike
                 matrix}`` where each matrix has shape ``(batch,
-                len(axon_map))``.
+                len(axon_map))`` — or, in multi-copy mode, ``(batch //
+                copies, len(axon_map))`` for input *shared* by every copy
+                (the hardware splitter).  Shared input is never replicated:
+                cores fed only by shared bindings integrate it through a
+                broadcast over their per-copy weight slices.
 
         Returns:
             mapping ``channel -> {binding_index -> (batch, len(neuron_map))
-            spike matrix}`` of the output spikes produced this tick.
+            spike matrix}`` of the output spikes produced this tick.  The
+            matrices are **read-only views of engine state**: a full-width
+            identity binding hands out the core's spike matrix itself (and
+            two such bindings on one core alias the same array), so callers
+            must copy before mutating.
         """
         if self._batch_size is None:
             raise RuntimeError("chip is in scalar mode; call begin_batch() first")
         batch = self._batch_size
+        samples = batch // self._copies
         axons = self.config.core_config.axons
         per_core_axons = self.router.deliver_batch(
             self._tick, axons_per_core=axons, batch_size=batch
         )
+        shared_axons: Dict[int, np.ndarray] = {}
 
         if external_inputs:
             for channel, per_binding in external_inputs.items():
@@ -269,23 +344,45 @@ class TrueNorthChip:
                 for binding_index, spikes in per_binding.items():
                     binding = bindings[binding_index]
                     spikes = np.asarray(spikes)
-                    if spikes.shape != (batch, len(binding.axon_map)):
+                    width = len(binding.axon_map)
+                    if spikes.shape == (batch, width):
+                        target, rows = per_core_axons, batch
+                    elif self._copies > 1 and spikes.shape == (samples, width):
+                        target, rows = shared_axons, samples
+                    else:
+                        expected = f"({batch}, {width})"
+                        if self._copies > 1:
+                            expected += f" or shared ({samples}, {width})"
                         raise ValueError(
-                            f"channel {channel!r} binding {binding_index} expects "
-                            f"spikes of shape ({batch}, {len(binding.axon_map)}), "
+                            f"channel {channel!r} binding {binding_index} "
+                            f"expects spikes of shape {expected}, "
                             f"got {spikes.shape}"
                         )
-                    matrix = per_core_axons.get(binding.core_id)
+                    matrix = target.get(binding.core_id)
+                    if matrix is None and binding.identity and width == axons:
+                        # Full-width identity map: the (owned) spike matrix
+                        # is the axon matrix — no zeroed buffer, no scatter.
+                        target[binding.core_id] = spikes.astype(np.int8)
+                        continue
                     if matrix is None:
-                        matrix = np.zeros((batch, axons), dtype=np.int8)
-                        per_core_axons[binding.core_id] = matrix
+                        matrix = np.zeros((rows, axons), dtype=np.int8)
+                        target[binding.core_id] = matrix
                     axon_idx = np.asarray(binding.axon_map, dtype=np.intp)
                     matrix[:, axon_idx] |= spikes.astype(np.int8)
+
+        # A core fed by both routed (per-copy) and shared external spikes
+        # needs the full matrix; replicate the shared block into it.
+        for core_id in list(shared_axons):
+            full = per_core_axons.get(core_id)
+            if full is not None:
+                full |= np.tile(shared_axons.pop(core_id), (self._copies, 1))
 
         zero_input: Optional[np.ndarray] = None
         outputs_by_core: Dict[int, np.ndarray] = {}
         for core_id, core in self.cores.items():
             axon_matrix = per_core_axons.get(core_id)
+            if axon_matrix is None:
+                axon_matrix = shared_axons.get(core_id)
             if axon_matrix is None:
                 if zero_input is None:
                     zero_input = np.zeros((batch, axons), dtype=np.int8)
@@ -303,17 +400,31 @@ class TrueNorthChip:
                 spikes = outputs_by_core.get(binding.core_id)
                 if spikes is None:
                     continue
-                per_binding[index] = spikes[
-                    :, np.asarray(binding.neuron_map, dtype=np.intp)
-                ].copy()
+                if binding.identity and spikes.shape[1] == len(binding.neuron_map):
+                    # Full-width identity map: hand out the spike matrix
+                    # itself (callers treat outputs as read-only).
+                    per_binding[index] = spikes
+                else:
+                    per_binding[index] = spikes[
+                        :, np.asarray(binding.neuron_map, dtype=np.intp)
+                    ].copy()
             external_outputs[channel] = per_binding
         self._tick += 1
         return external_outputs
 
     def occupied_core_ids(self) -> List[int]:
         """Return ids of cores that have at least one programmed synapse."""
-        return [
-            core_id
-            for core_id, core in self.cores.items()
-            if core.crossbar.connectivity.any() or core.crossbar.probabilities.any()
-        ]
+        occupied = []
+        for core_id, core in self.cores.items():
+            crossbar = core.crossbar
+            if crossbar.connectivity.any() or crossbar.probabilities.any():
+                occupied.append(core_id)
+            elif (
+                crossbar.copy_connectivity is not None
+                and crossbar.copy_connectivity.any()
+            ) or (
+                crossbar.copy_probabilities is not None
+                and crossbar.copy_probabilities.any()
+            ):
+                occupied.append(core_id)
+        return occupied

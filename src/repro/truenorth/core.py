@@ -8,10 +8,11 @@ neurons.  Cores are composed into a chip by :class:`repro.truenorth.chip.TrueNor
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.truenorth import constants
 from repro.truenorth.config import CoreConfig
 from repro.truenorth.crossbar import SynapticCrossbar
 from repro.truenorth.neuron import NeuronArray
@@ -39,9 +40,17 @@ class NeurosynapticCore:
         )
         self.neurons = NeuronArray(self.config.neurons, neuron_cfg)
         self.prng = LfsrPrng(seed=self.config.seed + core_id + 1)
+        #: per-copy PRNGs of a multi-copy batch (``None`` outside one);
+        #: copy ``c`` draws the stream the same core on copy ``c``'s own
+        #: one-chip-per-copy simulation would draw.
+        self.copy_prngs: Optional[List[LfsrPrng]] = None
         self._tick_count = 0
         self._spike_count = 0
         self._batch_spike_counts: Optional[np.ndarray] = None
+        self._copies = 1
+        #: threshold on the folded matmul result that decides a spike in
+        #: the multi-copy history-free fast path (``None`` = not eligible).
+        self._fused_spike_bound: Optional[int] = None
 
     # ------------------------------------------------------------------
     @property
@@ -75,6 +84,24 @@ class NeurosynapticCore:
             return None
         return self._batch_spike_counts.copy()
 
+    @property
+    def copies(self) -> int:
+        """Network copies in the current batch (1 outside multi-copy mode)."""
+        return self._copies
+
+    @property
+    def multicopy_spike_counts(self) -> Optional[np.ndarray]:
+        """Per-(copy, sample) output spike counts ``(copies, samples)``.
+
+        ``None`` outside batch mode.  Entry ``[c, s]`` equals the
+        :attr:`spike_count` this core would report on copy ``c``'s own
+        one-chip-per-copy run of sample ``s`` alone — the multi-copy
+        equivalence tests pin this against the per-copy loop.
+        """
+        if self._batch_spike_counts is None:
+            return None
+        return self._batch_spike_counts.reshape(self._copies, -1).copy()
+
     def reset(self) -> None:
         """Reset neuron state, PRNG, and activity counters (keeps programming).
 
@@ -82,20 +109,62 @@ class NeurosynapticCore:
         """
         self.neurons.reset()
         self.prng.reset()
+        self.copy_prngs = None
         self._tick_count = 0
         self._spike_count = 0
         self._batch_spike_counts = None
+        self._copies = 1
+        self._fused_spike_bound = None
 
-    def begin_batch(self, batch_size: int) -> None:
+    def begin_batch(
+        self,
+        batch_size: int,
+        copies: int = 1,
+        copy_seeds: Optional[Sequence[int]] = None,
+    ) -> None:
         """Reset the core and switch to lock-step batch execution.
 
         After this call :meth:`tick_batch` advances ``batch_size`` samples
         per tick on shared programming (crossbar) but independent neuron
         state; :meth:`reset` returns to scalar mode.
+
+        Args:
+            batch_size: total batch rows.  With ``copies > 1`` the rows are
+                copy-major ``(copies, batch_size // copies)`` and the
+                crossbar integrates each copy through its own programmed
+                weight slice (or the shared programming when no per-copy
+                stack exists).
+            copies: network copies the batch rows are partitioned into.
+            copy_seeds: per-copy core-PRNG seeds; copy ``c``'s stream is
+                ``LfsrPrng(copy_seeds[c] + core_id + 1)``, exactly the PRNG
+                a one-chip-per-copy simulation seeds when that chip's cores
+                use ``CoreConfig(seed=copy_seeds[c])``.  Defaults to this
+                core's own configured seed for every copy.
         """
+        programmed_copies = self.crossbar.copies
+        if programmed_copies is not None and programmed_copies != copies:
+            raise ValueError(
+                f"crossbar is programmed for {programmed_copies} copies, "
+                f"cannot begin a {copies}-copy batch"
+            )
+        if copy_seeds is not None and len(copy_seeds) != copies:
+            raise ValueError(
+                f"expected {copies} copy seeds, got {len(copy_seeds)}"
+            )
         self.reset()
-        self.neurons.begin_batch(batch_size)
+        self.neurons.begin_batch(batch_size, copies=copies)
         self._batch_spike_counts = np.zeros(batch_size, dtype=np.int64)
+        self._copies = int(copies)
+        # Per-copy PRNGs mark multi-copy execution; a one-copy batch over a
+        # programmed copy stack still integrates through the stack.
+        if copies > 1 or programmed_copies is not None or copy_seeds is not None:
+            seeds = (
+                [self.config.seed] * copies if copy_seeds is None else copy_seeds
+            )
+            self.copy_prngs = [
+                LfsrPrng(seed=int(seed) + self.core_id + 1) for seed in seeds
+            ]
+            self._fused_spike_bound = self._fused_bound(self.config.neuron_config)
 
     # ------------------------------------------------------------------
     def tick(self, axon_spikes: np.ndarray) -> np.ndarray:
@@ -143,26 +212,137 @@ class NeurosynapticCore:
         if self.neurons.batch_size is None:
             raise RuntimeError("core is in scalar mode; call begin_batch() first")
         neuron_cfg = self.config.neuron_config
-        if neuron_cfg.history_free:
-            synaptic_input, active_counts = self.crossbar.integrate_batch(
-                axon_spikes,
-                prng=self.prng,
-                stochastic=neuron_cfg.stochastic_synapses,
-                return_active_counts=True,
-            )
-            spikes = self.neurons.step_batch(
-                synaptic_input, active_synapses=active_counts
-            )
+        if self.copy_prngs is not None and self._fused_spike_bound is not None:
+            # History-free fused rule: the spike decision is read straight
+            # off the folded matmul, no membrane update needed (the
+            # history-free membrane is reset every tick regardless).
+            spikes = self._tick_multicopy_fused(axon_spikes, neuron_cfg)
         else:
-            synaptic_input = self.crossbar.integrate_batch(
-                axon_spikes, prng=self.prng, stochastic=neuron_cfg.stochastic_synapses
-            )
-            spikes = self.neurons.step_batch(synaptic_input)
+            if self.copy_prngs is not None:
+                synaptic_input, active_counts = self._integrate_multicopy(
+                    axon_spikes, neuron_cfg
+                )
+            elif neuron_cfg.history_free:
+                synaptic_input, active_counts = self.crossbar.integrate_batch(
+                    axon_spikes,
+                    prng=self.prng,
+                    stochastic=neuron_cfg.stochastic_synapses,
+                    return_active_counts=True,
+                )
+            else:
+                synaptic_input = self.crossbar.integrate_batch(
+                    axon_spikes,
+                    prng=self.prng,
+                    stochastic=neuron_cfg.stochastic_synapses,
+                )
+                active_counts = None
+            if active_counts is not None:
+                spikes = self.neurons.step_batch(
+                    synaptic_input, active_synapses=active_counts
+                )
+            else:
+                spikes = self.neurons.step_batch(synaptic_input)
         self._tick_count += 1
         per_sample = spikes.sum(axis=1, dtype=np.int64)
         self._batch_spike_counts += per_sample
         self._spike_count += int(per_sample.sum())
         return spikes
+
+    def _integrate_multicopy(self, axon_spikes: np.ndarray, neuron_cfg):
+        """Crossbar integration of one multi-copy tick.
+
+        ``axon_spikes`` is either the full copy-major ``(C*S, axons)``
+        matrix or a *shared* ``(S, axons)`` matrix every copy receives
+        (external input behind a splitter); the shared form is broadcast
+        over the per-copy weight slices without being replicated.
+
+        Returns ``(synaptic_input, active_counts)`` flattened back to
+        ``(C*S, neurons)``; ``active_counts`` is ``None`` in stateful mode
+        (the LIF update ignores the silent-crossbar gate, so the counts
+        matmul is skipped exactly as on the single-copy path).
+        """
+        volume, total = self._multicopy_volume(axon_spikes)
+        result = self.crossbar.integrate_multicopy(
+            volume,
+            prngs=self.copy_prngs,
+            stochastic=neuron_cfg.stochastic_synapses,
+            return_active_counts=neuron_cfg.history_free,
+            copies=self._copies,
+        )
+        if neuron_cfg.history_free:
+            sums, counts = result
+            return sums.reshape(total, -1), counts.reshape(total, -1)
+        return result.reshape(total, -1), None
+
+    def _multicopy_volume(self, axon_spikes: np.ndarray):
+        """Normalize a multi-copy tick input to what the crossbar expects.
+
+        Returns ``(volume, total_rows)`` where ``volume`` is either the
+        shared ``(S, axons)`` matrix untouched or the full input reshaped
+        to ``(C, S, axons)``.
+        """
+        axon_spikes = np.asarray(axon_spikes)
+        total = self.neurons.batch_size
+        samples = total // self._copies
+        if axon_spikes.shape[0] == samples and samples != total:
+            return axon_spikes, total  # shared across copies
+        if axon_spikes.shape[0] == total:
+            return (
+                axon_spikes.reshape(self._copies, samples, axon_spikes.shape[1]),
+                total,
+            )
+        raise ValueError(
+            f"expected {total} (copy-major) or {samples} (shared) input "
+            f"rows, got {axon_spikes.shape[0]}"
+        )
+
+    def _fused_bound(self, neuron_cfg) -> Optional[int]:
+        """Folded-matmul spike bound for the history-free fast path.
+
+        A history-free tick fires iff ``reset_potential + sums - leak >=
+        threshold`` with at least one active synapse, i.e. ``sums >=
+        effective`` where ``effective = threshold + leak -
+        reset_potential``.  On the folded result that is ``spike <=> mixed
+        >= effective * base + 1``: a positive effective threshold needs
+        ``sums >= effective`` (which implies an active synapse), and at
+        zero the ``+ 1`` is exactly the active-synapse gate (a silent
+        crossbar yields ``mixed == 0``).  Not applicable (returns
+        ``None``) when the membrane clamp could override the comparison
+        (threshold outside the open potential range), the effective
+        threshold is negative (a silent tick would satisfy it without any
+        active synapse), or the bound leaves float32's exact-integer
+        range.
+        """
+        if not neuron_cfg.history_free:
+            return None
+        effective = (
+            neuron_cfg.threshold + neuron_cfg.leak - neuron_cfg.reset_potential
+        )
+        if effective < 0:
+            return None
+        if not (
+            constants.POTENTIAL_MIN
+            < neuron_cfg.threshold
+            <= constants.POTENTIAL_MAX
+        ):
+            return None
+        bound = effective * self.crossbar._fold_base + 1
+        return bound if bound < 2**24 else None
+
+    def _tick_multicopy_fused(
+        self, axon_spikes: np.ndarray, neuron_cfg
+    ) -> np.ndarray:
+        """One fused history-free multi-copy tick: matmul -> spikes."""
+        volume, total = self._multicopy_volume(axon_spikes)
+        mixed, _ = self.crossbar.integrate_multicopy_raw(
+            volume,
+            prngs=self.copy_prngs,
+            stochastic=neuron_cfg.stochastic_synapses,
+            copies=self._copies,
+        )
+        spikes = np.greater_equal(mixed, self._fused_spike_bound)
+        # A bool array is one byte of 0/1 — reinterpreting as int8 is free.
+        return spikes.view(np.int8).reshape(total, -1)
 
     def run(self, spike_frames: np.ndarray) -> np.ndarray:
         """Run a sequence of ticks.

@@ -8,20 +8,29 @@ probability; at every tick each programmed connection is re-sampled by the
 core PRNG (spatially static deployments sample the connectivity once at
 programming time instead — that choice lives in ``repro.mapping.deploy``).
 
-Two integration entry points are provided: :meth:`SynapticCrossbar.integrate`
-evaluates one tick for a single spike vector (the scalar reference path), and
+Three integration entry points are provided: :meth:`SynapticCrossbar.integrate`
+evaluates one tick for a single spike vector (the scalar reference path),
 :meth:`SynapticCrossbar.integrate_batch` evaluates the same tick for a whole
 batch of samples at once — one ``(batch, axons) @ (axons, neurons)`` matmul —
-which is what the batched chip engine in :mod:`repro.truenorth.chip` uses.
+which is what the batched chip engine in :mod:`repro.truenorth.chip` uses,
+and :meth:`SynapticCrossbar.integrate_multicopy` evaluates the tick for
+``copies`` independently programmed network copies side by side: the
+per-copy signed weights are stacked into one ``(copies, axons, neurons)``
+tensor (:meth:`set_copy_signed_weights`) and a ``(copies, samples, axons)``
+spike volume advances in one batched ``(C, S, A) @ (C, A, N)`` matmul.
 In stochastic mode the batch path draws *one* connectivity sample per tick
 from the core LFSR, shared by every sample in the batch: that is exactly the
 stream each per-sample run sees after a chip reset, so batch and scalar
-execution are spike-for-spike identical.
+execution are spike-for-spike identical.  The multi-copy path instead takes
+one PRNG *per copy* and draws one connectivity sample per (copy, tick) —
+the same streams ``copies`` independent one-chip-per-copy simulations
+would consume, which is what keeps multi-copy stochastic-synapse sweeps
+bit-identical to the per-copy loop.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -74,13 +83,42 @@ class SynapticCrossbar:
         #: optional per-connection signed weight override (see
         #: :meth:`set_signed_weights`); ``None`` means axon-type weights apply
         self.signed_weights: Optional[np.ndarray] = None
+        #: stacked per-copy programming for the multi-copy engine; ``None``
+        #: means the crossbar holds a single copy (see
+        #: :meth:`set_copy_signed_weights` / :meth:`set_copy_probabilities`)
+        self.copies: Optional[int] = None
+        self.copy_signed_weights: Optional[np.ndarray] = None
+        self.copy_connectivity: Optional[np.ndarray] = None
+        self.copy_probabilities: Optional[np.ndarray] = None
         #: cached static effective-weight matrix (invalidated on programming)
         self._static_weights: Optional[np.ndarray] = None
         self._static_connectivity_f64: Optional[np.ndarray] = None
+        self._static_copy_weights: Optional[np.ndarray] = None
+        self._static_copy_folded: Optional[np.ndarray] = None
+        #: power-of-two fold base: folded = weight * base + connectivity,
+        #: decodable because active-synapse counts are < base (<= axons).
+        self._fold_base = 1 << int(np.ceil(np.log2(self.axons + 1)))
 
     def _invalidate_cache(self) -> None:
         self._static_weights = None
         self._static_connectivity_f64 = None
+        self._static_copy_weights = None
+        self._static_copy_folded = None
+
+    def _exact_dtype(self, max_abs_entry: int) -> type:
+        """Smallest float dtype whose matmuls stay exact for this crossbar.
+
+        Every operand is an integer, so a float matmul is exact as long as
+        every partial sum (at most ``axons`` addends of magnitude
+        ``max_abs_entry``) stays below the mantissa bound — 2**24 for
+        float32, 2**53 for float64.  Float32 halves the GEMM time and the
+        cast back to int64 recovers the exact integers either way.
+        """
+        return (
+            np.float32
+            if max_abs_entry * self.axons < 2**24
+            else np.float64
+        )
 
     # ------------------------------------------------------------------
     # programming interface
@@ -160,9 +198,80 @@ class SynapticCrossbar:
             raise ValueError("probabilities must lie in [0, 1]")
         self.probabilities = probabilities.copy()
 
+    def set_copy_signed_weights(self, weights: np.ndarray) -> None:
+        """Program a stack of per-copy signed weight matrices.
+
+        ``weights[c]`` is the per-connection signed weight matrix of network
+        copy ``c`` (the multi-copy analogue of :meth:`set_signed_weights`,
+        same hardware-range validation).  The stack is what lets one
+        physical crossbar simulate ``copies`` independently sampled copies
+        side by side through :meth:`integrate_multicopy`.
+        """
+        weights = np.asarray(weights, dtype=np.int64)
+        if weights.ndim != 3 or weights.shape[1:] != (self.axons, self.neurons):
+            raise ValueError(
+                f"expected weights of shape (copies, {self.axons}, "
+                f"{self.neurons}), got {weights.shape}"
+            )
+        if weights.shape[0] < 1:
+            raise ValueError("at least one copy is required")
+        if weights.size and (
+            weights.min() < constants.WEIGHT_MIN or weights.max() > constants.WEIGHT_MAX
+        ):
+            raise ValueError("signed weights outside the hardware range")
+        if self.copy_probabilities is not None and self.copy_probabilities.shape[
+            0
+        ] != weights.shape[0]:
+            raise ValueError(
+                f"copy count {weights.shape[0]} does not match the programmed "
+                f"probability stack ({self.copy_probabilities.shape[0]} copies)"
+            )
+        self.copies = int(weights.shape[0])
+        self.copy_signed_weights = weights.copy()
+        self.copy_connectivity = weights != 0
+        self._invalidate_cache()
+
+    def set_copy_probabilities(self, probabilities: np.ndarray) -> None:
+        """Program per-copy Bernoulli ON-probability stacks (stochastic mode)."""
+        probabilities = np.asarray(probabilities, dtype=float)
+        if probabilities.ndim != 3 or probabilities.shape[1:] != (
+            self.axons,
+            self.neurons,
+        ):
+            raise ValueError(
+                f"expected probabilities of shape (copies, {self.axons}, "
+                f"{self.neurons}), got {probabilities.shape}"
+            )
+        if probabilities.shape[0] < 1:
+            raise ValueError("at least one copy is required")
+        if probabilities.size and (
+            probabilities.min() < 0.0 or probabilities.max() > 1.0
+        ):
+            raise ValueError("probabilities must lie in [0, 1]")
+        if self.copy_signed_weights is not None and self.copy_signed_weights.shape[
+            0
+        ] != probabilities.shape[0]:
+            raise ValueError(
+                f"copy count {probabilities.shape[0]} does not match the "
+                f"programmed weight stack "
+                f"({self.copy_signed_weights.shape[0]} copies)"
+            )
+        self.copies = int(probabilities.shape[0])
+        self.copy_probabilities = probabilities.copy()
+
     # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
+    def _reject_multicopy_programming(self) -> None:
+        """Single-copy integration on a copy stack would silently read the
+        (empty) single-copy programming and return well-shaped zeros."""
+        if self.copies is not None:
+            raise ValueError(
+                f"crossbar carries {self.copies}-copy programming; use "
+                "integrate_multicopy (a multi-copy chip image has no "
+                "single-copy connectivity to integrate through)"
+            )
+
     def effective_weights(self, connectivity: Optional[np.ndarray] = None) -> np.ndarray:
         """Return the signed integer weight matrix implied by a connectivity.
 
@@ -208,6 +317,7 @@ class SynapticCrossbar:
             raise ValueError(
                 f"expected spikes of shape ({self.axons},), got {axon_spikes.shape}"
             )
+        self._reject_multicopy_programming()
         if stochastic:
             if prng is None:
                 raise ValueError("stochastic integration requires a PRNG")
@@ -274,6 +384,7 @@ class SynapticCrossbar:
                 f"expected spikes of shape (batch, {self.axons}), "
                 f"got {axon_spikes.shape}"
             )
+        self._reject_multicopy_programming()
         if stochastic:
             if prng is None:
                 raise ValueError("stochastic integration requires a PRNG")
@@ -290,3 +401,237 @@ class SynapticCrossbar:
             return sums
         counts = (active @ connectivity_f64).astype(np.int64)
         return sums, counts
+
+    def _copy_effective_weights(self, copy: int, connectivity: np.ndarray) -> np.ndarray:
+        """Signed weights of one programmed copy under a given connectivity."""
+        if self.copy_signed_weights is not None:
+            return np.where(connectivity, self.copy_signed_weights[copy], 0).astype(
+                np.int64
+            )
+        # No per-copy weight stack: every copy shares the single-copy
+        # programming (the stochastic-synapse deployment case, where copies
+        # differ only by their PRNG streams).
+        return self.effective_weights(connectivity)
+
+    def _static_plain_stack(self, copies: int) -> np.ndarray:
+        """Cached ``(copies, axons, neurons)`` static weight stack.
+
+        The stack's float dtype is the smallest exact one
+        (:meth:`_exact_dtype` with ``|weight| <= 255``, which always admits
+        float32).  Shared single-copy programming is broadcast, not copied.
+        """
+        if (
+            self._static_copy_weights is not None
+            and self._static_copy_weights.shape[0] != copies
+        ):
+            # Shared-programming runs may restart with a different copy
+            # count; the cache keys on it.
+            self._static_copy_weights = None
+        if self._static_copy_weights is None:
+            dtype = self._exact_dtype(constants.WEIGHT_MAX)
+            if self.copy_signed_weights is not None:
+                # The static connectivity is derived from the weight stack
+                # (weights != 0), so masking is a no-op: the stack is its
+                # own effective-weight tensor.
+                self._static_copy_weights = self.copy_signed_weights.astype(dtype)
+            else:
+                weights = self.effective_weights(self.connectivity).astype(dtype)
+                self._static_copy_weights = np.broadcast_to(
+                    weights, (copies,) + weights.shape
+                )
+        return self._static_copy_weights
+
+    def _static_folded_stack(self, copies: int) -> np.ndarray:
+        """Cached ``weights * fold_base + connectivity`` stack.
+
+        One matmul against this folded stack yields both the weighted sums
+        and the active-synapse counts (``mixed = sums * base + counts``,
+        ``counts < base``), halving the multi-copy GEMM work of the
+        history-free path.  The dtype is the smallest exact one for entries
+        up to ``255 * base + 1`` — float32 on trimmed cores whose partial
+        sums stay below 2**24, float64 otherwise.
+        """
+        if (
+            self._static_copy_folded is not None
+            and self._static_copy_folded.shape[0] != copies
+        ):
+            self._static_copy_folded = None
+        if self._static_copy_folded is None:
+            base = self._fold_base
+            dtype = self._exact_dtype(constants.WEIGHT_MAX * base + 1)
+            if self.copy_signed_weights is not None:
+                self._static_copy_folded = (
+                    self.copy_signed_weights * base + self.copy_connectivity
+                ).astype(dtype)
+            else:
+                weights = self.effective_weights(self.connectivity)
+                folded = (weights * base + self.connectivity).astype(dtype)
+                self._static_copy_folded = np.broadcast_to(
+                    folded, (copies,) + folded.shape
+                )
+        return self._static_copy_folded
+
+    def integrate_multicopy(
+        self,
+        axon_spikes: np.ndarray,
+        prngs: Optional[Sequence[LfsrPrng]] = None,
+        stochastic: bool = False,
+        return_active_counts: bool = False,
+        copies: Optional[int] = None,
+    ):
+        """One tick for ``copies`` programmed copies × ``samples`` each.
+
+        Args:
+            axon_spikes: binary array of shape ``(copies, samples, axons)``,
+                or ``(samples, axons)`` for *shared* input — the same spikes
+                fanned out to every copy (a hardware splitter), which skips
+                materializing ``copies`` replicas: the batched matmul
+                broadcasts the one input block over the per-copy weight
+                slices.  Copy ``c`` integrates through its own programmed
+                weight slice (:meth:`set_copy_signed_weights`), or through
+                the shared single-copy programming when no stack was
+                programmed.
+            prngs: one PRNG per copy, required when ``stochastic`` — copy
+                ``c`` draws its connectivity sample from ``prngs[c]`` exactly
+                as a one-chip-per-copy simulation would from that chip's core
+                PRNG, keeping the per-copy LFSR streams bit-identical.
+            stochastic: re-sample each copy's connectivity this tick.
+            return_active_counts: also return per-(copy, sample) counts of ON
+                synapses that received a spike.
+            copies: number of copies; required with shared 2-D input,
+                otherwise inferred from (and checked against) the volume.
+
+        Returns:
+            integer array of shape ``(copies, samples, neurons)`` — or a
+            ``(sums, active_counts)`` pair when ``return_active_counts``.
+        """
+        axon_spikes = np.asarray(axon_spikes)
+        shared_input, copies = self._validate_multicopy_volume(axon_spikes, copies)
+        mixed = self._multicopy_matmul(
+            axon_spikes,
+            shared_input,
+            copies,
+            prngs,
+            stochastic,
+            folded=return_active_counts,
+        )
+        mixed = mixed.astype(np.int64)
+        if not return_active_counts:
+            return mixed
+        # mixed = sums * base + counts with counts in [0, base); the
+        # arithmetic shift floors correctly for negative sums.
+        base = self._fold_base
+        shift = base.bit_length() - 1
+        return mixed >> shift, mixed & (base - 1)
+
+    def integrate_multicopy_raw(
+        self,
+        axon_spikes: np.ndarray,
+        prngs: Optional[Sequence[LfsrPrng]] = None,
+        stochastic: bool = False,
+        copies: Optional[int] = None,
+    ) -> Tuple[np.ndarray, int]:
+        """Folded multi-copy tick without the integer decode.
+
+        Returns ``(mixed, base)`` where ``mixed`` is the float
+        ``(copies, samples, neurons)`` result of the folded matmul —
+        integer-valued and exact, ``mixed = sums * base + counts`` — for
+        callers that can act on it directly (the history-free fused spike
+        rule ``spike <=> mixed >= (threshold + leak - reset_potential) *
+        base + 1`` in :meth:`NeurosynapticCore._fused_bound`, valid because
+        a silent crossbar always yields ``mixed == 0``).
+        """
+        axon_spikes = np.asarray(axon_spikes)
+        shared_input, copies = self._validate_multicopy_volume(axon_spikes, copies)
+        mixed = self._multicopy_matmul(
+            axon_spikes, shared_input, copies, prngs, stochastic, folded=True
+        )
+        return mixed, self._fold_base
+
+    def _validate_multicopy_volume(
+        self, axon_spikes: np.ndarray, copies: Optional[int]
+    ) -> Tuple[bool, int]:
+        """Check a multi-copy tick volume and return ``(shared, copies)``.
+
+        Shared ``(samples, axons)`` input needs an explicit copy count; a
+        full ``(copies, samples, axons)`` volume carries its own, which an
+        explicit ``copies`` must match.  Anything else is a typed error
+        rather than an opaque downstream matmul failure.
+        """
+        if axon_spikes.ndim == 2:
+            if copies is None:
+                raise ValueError(
+                    "shared (samples, axons) input requires an explicit "
+                    "copies count"
+                )
+            if axon_spikes.shape[1] != self.axons:
+                raise ValueError(
+                    f"expected spikes of shape (samples, {self.axons}), "
+                    f"got {axon_spikes.shape}"
+                )
+            return True, int(copies)
+        if axon_spikes.ndim == 3 and axon_spikes.shape[2] == self.axons:
+            if copies is None:
+                copies = axon_spikes.shape[0]
+            elif copies != axon_spikes.shape[0]:
+                raise ValueError(
+                    f"volume carries {axon_spikes.shape[0]} copies, "
+                    f"expected {copies}"
+                )
+            return False, int(copies)
+        raise ValueError(
+            f"expected spikes of shape (copies, samples, {self.axons}), "
+            f"got {axon_spikes.shape}"
+        )
+
+    def _multicopy_matmul(
+        self,
+        axon_spikes: np.ndarray,
+        shared_input: bool,
+        copies: int,
+        prngs: Optional[Sequence[LfsrPrng]],
+        stochastic: bool,
+        folded: bool,
+    ) -> np.ndarray:
+        """The one batched ``(C, S, A) @ (C, A, N)`` matmul of a tick.
+
+        Exact for these small-integer operands (see :meth:`_exact_dtype`).
+        Shared input is converted once and broadcast over the copy axis —
+        the identical per-copy GEMMs without C-fold input replication.
+        """
+        if self.copies is not None and self.copies != copies:
+            raise ValueError(
+                f"crossbar is programmed for {self.copies} copies, "
+                f"got a {copies}-copy spike volume"
+            )
+        base = self._fold_base
+        if stochastic:
+            if prngs is None or len(prngs) != copies:
+                raise ValueError(
+                    f"stochastic multi-copy integration requires one PRNG per "
+                    f"copy ({copies}), got "
+                    f"{None if prngs is None else len(prngs)}"
+                )
+            dtype = self._exact_dtype(
+                constants.WEIGHT_MAX * base + 1 if folded else constants.WEIGHT_MAX
+            )
+            stacked = np.empty((copies, self.axons, self.neurons), dtype=dtype)
+            for c in range(copies):
+                if self.copy_probabilities is not None:
+                    probabilities = self.copy_probabilities[c]
+                else:
+                    probabilities = self.probabilities
+                sample = prngs[c].bernoulli_array(probabilities)
+                weights_c = self._copy_effective_weights(c, sample)
+                if folded:
+                    stacked[c] = weights_c * base + sample
+                else:
+                    stacked[c] = weights_c
+        elif folded:
+            stacked = self._static_folded_stack(copies)
+        else:
+            stacked = self._static_plain_stack(copies)
+        active = axon_spikes.astype(stacked.dtype)
+        if shared_input:
+            active = active[None]
+        return np.matmul(active, stacked)

@@ -148,32 +148,56 @@ class NeuronArray:
         self.config = config or NeuronConfig()
         self._potentials = np.full(count, self.config.reset_potential, dtype=np.int64)
         self._batch_size: Optional[int] = None
+        self._copies: int = 1
 
     @property
     def potentials(self) -> np.ndarray:
         """Copy of the current membrane potentials.
 
         Shape ``(count,)`` in scalar mode, ``(batch, count)`` in batch mode.
+        In multi-copy batch mode the rows are copy-major: row ``c *
+        samples_per_copy + s`` holds copy ``c``'s sample ``s``.
         """
         return self._potentials.copy()
 
     @property
     def batch_size(self) -> Optional[int]:
-        """Current batch size, or ``None`` in scalar mode."""
+        """Current batch size (total rows, copies x samples), or ``None``."""
         return self._batch_size
+
+    @property
+    def copies(self) -> int:
+        """Network copies sharing this array's batch rows (1 in scalar mode)."""
+        return self._copies
 
     def reset(self) -> None:
         """Reset all membrane potentials and return to scalar mode."""
         self._batch_size = None
+        self._copies = 1
         self._potentials = np.full(
             self.count, self.config.reset_potential, dtype=np.int64
         )
 
-    def begin_batch(self, batch_size: int) -> None:
-        """Switch to batch mode with freshly reset ``(batch, count)`` state."""
+    def begin_batch(self, batch_size: int, copies: int = 1) -> None:
+        """Switch to batch mode with freshly reset ``(batch, count)`` state.
+
+        Args:
+            batch_size: total batch rows.  In multi-copy mode this is
+                ``copies * samples_per_copy`` with copy-major row layout.
+            copies: network copies the rows are partitioned into; must
+                divide ``batch_size`` so every copy advances the same number
+                of samples in lock-step.
+        """
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if copies <= 0:
+            raise ValueError(f"copies must be positive, got {copies}")
+        if batch_size % copies != 0:
+            raise ValueError(
+                f"batch_size {batch_size} is not divisible by copies {copies}"
+            )
         self._batch_size = int(batch_size)
+        self._copies = int(copies)
         self._potentials = np.full(
             (self._batch_size, self.count),
             self.config.reset_potential,

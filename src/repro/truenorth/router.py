@@ -18,6 +18,14 @@ spike matrix is a handful of column gathers, and delivery
 (:meth:`SpikeRouter.deliver_batch`) pops pre-scattered ``(batch, axons)``
 buffers.  Delivered/hop counters advance by the same amounts the scalar
 event path would accrue, summed over the batch.
+
+Multi-copy batches need no extra routing state: every copy of a multi-copy
+chip image is programmed with the same topology, so the one compiled route
+table *is* each copy's route table, and because the scatter only ever moves
+a batch row to the same row of a target buffer, the copy-major rows stay
+disjoint — a spike of copy ``c`` can only land on copy ``c``'s axon rows.
+The delivered/hop counters therefore equal the sum of the counters ``C``
+one-chip-per-copy routers would report, which the equivalence tests assert.
 """
 
 from __future__ import annotations

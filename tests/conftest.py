@@ -18,6 +18,24 @@ from repro.experiments.runner import ExperimentContext
 from repro.mapping.blocks import stride_blocks
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-goldens",
+        action="store_true",
+        default=False,
+        help=(
+            "regenerate the committed golden fixtures under tests/goldens/ "
+            "from the current engines instead of comparing against them"
+        ),
+    )
+
+
+@pytest.fixture
+def regen_goldens(request) -> bool:
+    """Whether this run rewrites the golden fixtures instead of diffing."""
+    return request.config.getoption("--regen-goldens")
+
+
 @pytest.fixture(scope="session")
 def tiny_context() -> ExperimentContext:
     """A very small experiment context for fast unit tests."""

@@ -9,6 +9,7 @@ from repro.api import (
     EvalRequest,
     EvaluationBackend,
     ReferenceBackend,
+    ResultShapeError,
     VectorizedBackend,
     backend_names,
     create_backend,
@@ -76,6 +77,9 @@ def test_request_cycle_accuracy_flags(trained):
     ).needs_cycle_accuracy
     assert EvalRequest(
         model=model, dataset=dataset, router_delay=2
+    ).needs_cycle_accuracy
+    assert EvalRequest(
+        model=model, dataset=dataset, stochastic_synapses=True
     ).needs_cycle_accuracy
 
 
@@ -178,6 +182,104 @@ def test_result_accessors_and_class_counts(trained):
     # Counts accumulate monotonically along the copy and spf axes.
     assert np.all(np.diff(counts, axis=1) >= 0)
     assert np.all(np.diff(counts, axis=2) >= 0)
+
+
+def test_class_counts_validates_shapes_with_typed_errors(trained):
+    """Mismatched tensors raise ResultShapeError, never broadcast silently."""
+    from dataclasses import replace
+
+    model, dataset = trained
+    result = VectorizedBackend().evaluate(
+        EvalRequest(
+            model=model, dataset=dataset, copy_levels=(1, 2), spf_levels=(1,), seed=0
+        )
+    )
+    # Class axis disagreeing with n_k: numpy would happily broadcast a
+    # same-length-1 n_k and return well-shaped wrong integers.
+    bad_nk = replace(result, class_neuron_counts=np.ones(1, dtype=np.int64))
+    with pytest.raises(ResultShapeError, match="class axis"):
+        bad_nk.class_counts()
+    bad_nk2 = replace(
+        result,
+        class_neuron_counts=np.ones(
+            result.scores.shape[-1] + 1, dtype=np.int64
+        ),
+    )
+    with pytest.raises(ResultShapeError, match="class axis"):
+        bad_nk2.class_counts()
+    # Copies axis disagreeing with the declared levels.
+    bad_copies = replace(result, copy_levels=(1, 2, 4))
+    with pytest.raises(ResultShapeError, match="grid axes"):
+        bad_copies.class_counts()
+    # Wrong rank entirely.
+    bad_rank = replace(result, scores=result.scores[0])
+    with pytest.raises(ResultShapeError, match="5-D|must be"):
+        bad_rank.class_counts()
+    # The untouched result still recovers its counts.
+    assert result.class_counts().dtype == np.int64
+
+
+def test_backend_spike_counter_plumbing_validates_copies_axis(trained):
+    """_result_from_cumulative rejects mis-shaped tensors with typed errors."""
+    from repro.api.backends import _result_from_cumulative
+
+    model, dataset = trained
+    request = EvalRequest(
+        model=model, dataset=dataset, copy_levels=(1, 2), spf_levels=(2,), seed=0
+    )
+    batch = dataset.sample_count
+    classes = model.architecture.num_classes
+    n_k = np.ones(classes, dtype=np.int64)
+    good = [np.zeros((2, 1, batch, classes))]  # (max_c, spf, batch, classes)
+
+    # Cumulative tensors covering fewer copies than requested: previously a
+    # bare IndexError from fancy indexing, now a typed error up front.
+    with pytest.raises(ResultShapeError, match="copies"):
+        _result_from_cumulative(
+            request,
+            "chip",
+            [np.zeros((1, 1, batch, classes))],
+            dataset,
+            n_k,
+            cores_per_copy=2,
+            spf_axis_levels=(2,),
+        )
+    # Spike counters whose copies axis disagrees with the request.
+    with pytest.raises(ResultShapeError, match="spike counters"):
+        _result_from_cumulative(
+            request,
+            "chip",
+            good,
+            dataset,
+            n_k,
+            cores_per_copy=2,
+            spike_counters=np.zeros((1, 3, 2, batch), dtype=np.int64),
+            spf_axis_levels=(2,),
+        )
+    # Spike counters with a wrong batch axis (silent broadcasting bait).
+    with pytest.raises(ResultShapeError, match="spike counters"):
+        _result_from_cumulative(
+            request,
+            "chip",
+            good,
+            dataset,
+            n_k,
+            cores_per_copy=2,
+            spike_counters=np.zeros((1, 2, 2, batch + 1), dtype=np.int64),
+            spf_axis_levels=(2,),
+        )
+    # The well-shaped call still goes through.
+    ok = _result_from_cumulative(
+        request,
+        "chip",
+        good,
+        dataset,
+        n_k,
+        cores_per_copy=2,
+        spike_counters=np.zeros((1, 2, 2, batch), dtype=np.int64),
+        spf_axis_levels=(2,),
+    )
+    assert ok.scores.shape == (1, 2, 1, batch, classes)
 
 
 def test_result_sweep_conversion(trained):

@@ -34,6 +34,7 @@ def random_deployed_network(
     neurons_per_core: int,
     axons_per_first_core: int,
     num_classes: int,
+    fractional_probabilities: bool = False,
 ) -> DeployedNetwork:
     """A random hand-built deployed copy (random wiring and ternary weights).
 
@@ -41,6 +42,11 @@ def random_deployed_network(
     a random permutation of the previous layer's output channels, exercising
     non-contiguous routing.  ``neurons_per_core * cores_per_layer[-1]`` is
     deliberately not forced to divide ``num_classes``.
+
+    With ``fractional_probabilities`` the corelet ON-probabilities are
+    scaled into (0.3, 0.95) instead of being exactly 0/1, so
+    stochastic-synapse deployments actually re-sample (a 0/1 Bernoulli is
+    deterministic regardless of the LFSR stream).
     """
     input_dim = cores_per_layer[0] * axons_per_first_core
     corelets, weights = [], []
@@ -63,12 +69,17 @@ def random_deployed_network(
             sampled = rng.integers(-1, 2, size=(len(ins), neurons_per_core)).astype(
                 float
             )
+            probabilities = np.abs(sampled)
+            if fractional_probabilities:
+                probabilities = probabilities * rng.uniform(
+                    0.3, 0.95, size=probabilities.shape
+                )
             layer_corelets.append(
                 Corelet(
                     layer=layer,
                     index=index,
                     input_channels=ins,
-                    probabilities=np.abs(sampled),
+                    probabilities=probabilities,
                     synaptic_values=np.sign(sampled),
                     output_channels=outs,
                 )

@@ -74,6 +74,7 @@ request_fields = st.fixed_dictionaries(
         "max_samples": st.one_of(st.none(), st.integers(min_value=1, max_value=10**6)),
         "collect_spike_counters": st.booleans(),
         "router_delay": st.one_of(st.none(), st.integers(min_value=1, max_value=8)),
+        "stochastic_synapses": st.booleans(),
     }
 )
 
@@ -92,6 +93,7 @@ def test_request_roundtrip_is_lossless(fields):
         max_samples=fields["max_samples"],
         collect_spike_counters=fields["collect_spike_counters"],
         router_delay=fields["router_delay"],
+        stochastic_synapses=fields["stochastic_synapses"],
     )
     payload = encode_request(
         request, fields["model"], fields["dataset"], backend=fields["backend"]
@@ -205,6 +207,14 @@ def test_bool_is_not_an_integer():
 def test_unknown_backend_rejected_at_decode_time():
     with pytest.raises(CodecError, match="unknown backend"):
         decode_request({"model": "tea", "backend": "warp-drive"})
+
+
+def test_stochastic_synapses_must_be_boolean():
+    with pytest.raises(CodecError, match="stochastic_synapses must be a boolean"):
+        decode_request({"model": "tea", "stochastic_synapses": 1})
+    assert decode_request({"model": "tea"}).stochastic_synapses is False
+    wire = decode_request({"model": "tea", "stochastic_synapses": True})
+    assert wire.stochastic_synapses is True
 
 
 def test_non_object_body_rejected():

@@ -106,6 +106,34 @@ def test_served_chip_request_bit_identical_including_counters(registry, client):
     assert np.array_equal(served.spike_counters, direct.spike_counters)
 
 
+def test_served_multicopy_stochastic_chip_bit_identical(registry, client):
+    """The multi-copy chip backend is directly servable, bit for bit.
+
+    ``stochastic_synapses`` is chip-only, so the service's ``auto`` session
+    must route this to the chip backend, which serves all requested copies
+    through one multi-copy chip image with per-copy LFSR streams; the
+    served tensors (scores, exact integer class counts, per-core spike
+    counters) must equal a direct ``Session.evaluate`` bit for bit.
+    """
+    kwargs = dict(
+        copy_levels=(1, 3),
+        spf_levels=(2,),
+        seed=7,
+        stochastic_synapses=True,
+        collect_spike_counters=True,
+        max_samples=16,
+    )
+    served = client.evaluate(
+        model="tea", **{**kwargs, "copy_levels": [1, 3], "spf_levels": [2]}
+    )
+    direct = Session().evaluate(_direct(registry, **kwargs))
+    assert served.backend == "chip"
+    assert np.array_equal(served.scores, direct.scores)
+    assert np.array_equal(served.class_counts(), direct.class_counts())
+    assert np.array_equal(served.spike_counters, direct.spike_counters)
+    assert served.spike_counters.shape[1] == 3  # copies axis, validated
+
+
 def test_concurrent_burst_all_bit_identical(registry, client):
     """Mixed concurrent sub-grid requests: every response stays exact."""
     grids = [((1,), (1, 2)), ((1, 2), (2,)), ((2,), (1,)), ((1, 2), (1, 2))]
