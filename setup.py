@@ -30,6 +30,7 @@ setup(
     python_requires=">=3.9",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
     install_requires=["numpy>=1.21", "scipy>=1.7"],
     extras_require={
         "dev": [
@@ -37,6 +38,7 @@ setup(
             "pytest-benchmark>=4.0",
             "hypothesis>=6.0",
             "ruff",
+            "mypy>=1.8",
         ],
     },
     entry_points={

@@ -1,0 +1,81 @@
+"""repro.analysis — AST-based invariant linting for the evaluation stack.
+
+The repo's correctness story rests on invariants that used to be enforced
+only by reviewer memory: bit-identity (``atol=0``) needs explicit dtypes
+and seeded RNG everywhere, every new :class:`~repro.api.protocol.EvalRequest`
+field must be hand-threaded through the wire codec, the client, and the
+``Session`` coalescing fingerprint, and the serve layer's admission
+counters once self-deadlocked on a lock-discipline slip.  ``replint``
+encodes those invariants as machine-checked rules — the software analogue
+of the design-rule checks hardware flows run before anything ships to
+silicon::
+
+    python -m repro.analysis src tests benchmarks
+
+Six project-specific rules ship today (see :mod:`repro.analysis.checkers`):
+
+========================  ====================================================
+rule                      invariant
+========================  ====================================================
+``REQ-SYNC``              every ``EvalRequest`` field is threaded through the
+                          wire codec (encode *and* decode), the HTTP client,
+                          and the ``Session`` coalescing key
+``RNG-SEED``              no ``np.random.*`` / stdlib ``random`` draws in
+                          ``src/repro`` outside the sanctioned generator
+                          plumbing (``repro.utils.rng``,
+                          ``repro.truenorth.prng``)
+``LOCK-GUARD``            attributes annotated ``# guarded-by: <lock>`` are
+                          only touched inside ``with self.<lock>``, and no
+                          method re-acquires a non-reentrant lock it already
+                          holds (the PR 4 deadlock shape)
+``DTYPE-EXPLICIT``        array-creating numpy calls on the
+                          ``repro.truenorth`` / ``repro.eval`` hot paths pass
+                          an explicit non-builtin dtype (``dtype=float`` is
+                          an error)
+``CAP-EXHAUSTIVE``        every chip-only ``EvalRequest`` flag is validated
+                          against a ``BackendCapabilities`` field and flows
+                          into ``Session`` auto-selection
+``FROZEN-MUT``            no ``object.__setattr__`` on frozen dataclasses
+                          outside ``__post_init__`` normalization and private
+                          memo sites
+========================  ====================================================
+
+Findings are suppressed line by line with a *justified* trailing comment
+of the form ``replint: disable=RULE-ID -- why this site is exempt``.
+
+A suppression without the ``-- justification`` text is itself a finding
+(``REPLINT-SUPPRESS``), as is a suppression that stopped matching anything.
+Results cache per file keyed on content hash (``--no-cache`` to disable),
+and ``--json`` emits the machine-readable report CI consumes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import (
+    Checker,
+    FileChecker,
+    ProjectChecker,
+    checker_names,
+    registered_checkers,
+    register_checker,
+)
+from repro.analysis.project import Project, SourceFile
+from repro.analysis.runner import AnalysisReport, run_analysis
+
+__all__ = [
+    "AnalysisReport",
+    "Checker",
+    "FileChecker",
+    "Finding",
+    "Project",
+    "ProjectChecker",
+    "SourceFile",
+    "checker_names",
+    "register_checker",
+    "registered_checkers",
+    "run_analysis",
+]
+
+# Importing the checkers package registers the six project rules.
+import repro.analysis.checkers  # noqa: E402,F401  (registration side effect)

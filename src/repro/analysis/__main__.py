@@ -1,0 +1,116 @@
+"""Command-line entry point: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 = clean, 1 = violations found, 2 = usage error.  The CI
+``static-analysis`` job runs ``python -m repro.analysis src tests
+benchmarks`` and fails the build on any violation; ``--json`` emits the
+machine-readable report for tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.framework import checker_names, registered_checkers
+from repro.analysis.report import render_rules, render_text
+from repro.analysis.runner import DEFAULT_CACHE_NAME, run_analysis
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=__doc__,
+        formatter_class=argparse.ArgumentDefaultsHelpFormatter,
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files/directories to scan (relative to --root)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root all paths and findings are relative to",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="RULE",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the machine-readable report"
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the per-file finding cache",
+    )
+    parser.add_argument(
+        "--cache-file",
+        default=None,
+        help=f"finding-cache location (default: <root>/{DEFAULT_CACHE_NAME})",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print suppressed findings with their justifications",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    root = Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"replint: root {root} is not a directory", file=sys.stderr)
+        return 2
+    if args.list_rules:
+        print(
+            render_rules(
+                {
+                    checker.rule: checker.description
+                    for checker in registered_checkers()
+                }
+            )
+        )
+        return 0
+    rules: Optional[List[str]] = args.rules
+    if rules is not None:
+        unknown = sorted(set(rules) - set(checker_names()))
+        if unknown:
+            print(
+                f"replint: unknown rule(s) {', '.join(unknown)}; "
+                f"registered: {', '.join(checker_names())}",
+                file=sys.stderr,
+            )
+            return 2
+    cache_path: Optional[Path]
+    if args.no_cache:
+        cache_path = None
+    elif args.cache_file is not None:
+        cache_path = Path(args.cache_file)
+    else:
+        cache_path = root / DEFAULT_CACHE_NAME
+    report = run_analysis(
+        root=root, paths=args.paths, cache_path=cache_path, rules=rules
+    )
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(render_text(report, verbose=args.verbose))
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

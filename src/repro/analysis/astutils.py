@@ -1,0 +1,207 @@
+"""Small shared AST helpers the checkers are built from.
+
+Nothing here knows about rules; these are the reusable questions every
+checker asks: "what dotted name does this expression spell", "which module
+does this local name alias", "which ``self.<attr>`` does this node touch",
+"what fields does this dataclass declare".
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the canonical dotted names they import.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from numpy import random
+    as nr`` maps ``nr -> numpy.random``; ``from numpy.random import
+    default_rng`` maps ``default_rng -> numpy.random.default_rng``.
+    Relative imports carry no absolute module path and are skipped — the
+    checkers only resolve third-party/stdlib roots (numpy, random).
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """The literal dotted spelling of a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def resolve_name(node: ast.expr, aliases: Dict[str, str]) -> Optional[str]:
+    """The canonical dotted name of an expression under an alias map.
+
+    ``np.random.default_rng`` with ``np -> numpy`` resolves to
+    ``numpy.random.default_rng``; unknown roots resolve to their literal
+    spelling so callers can still match on it.
+    """
+    spelled = dotted_name(node)
+    if spelled is None:
+        return None
+    root, _, rest = spelled.partition(".")
+    canonical_root = aliases.get(root, root)
+    return f"{canonical_root}.{rest}" if rest else canonical_root
+
+
+def self_attribute(node: ast.expr) -> Optional[str]:
+    """``attr`` when ``node`` is exactly ``self.<attr>``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def self_attribute_reads(node: ast.AST) -> Set[str]:
+    """Every ``self.<attr>`` touched anywhere under ``node``."""
+    reads: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Attribute):
+            attr = self_attribute(child)
+            if attr is not None:
+                reads.add(attr)
+    return reads
+
+
+def walk_with_stack(
+    tree: ast.AST,
+) -> Iterator[Tuple[ast.AST, Tuple[ast.AST, ...]]]:
+    """Depth-first walk yielding ``(node, ancestors)`` pairs.
+
+    ``ancestors`` runs from the module down to the node's direct parent —
+    the lexical context checks (is this access inside a ``with``? which
+    method/class owns it?) read it directly instead of each checker
+    re-implementing parent tracking.
+    """
+    stack: List[Tuple[ast.AST, Tuple[ast.AST, ...]]] = [(tree, ())]
+    while stack:
+        node, ancestors = stack.pop()
+        yield node, ancestors
+        child_ancestors = ancestors + (node,)
+        # Reversed so iteration order matches source order despite the stack.
+        for child in reversed(list(ast.iter_child_nodes(node))):
+            stack.append((child, child_ancestors))
+
+
+def enclosing_function(
+    ancestors: Tuple[ast.AST, ...],
+) -> Optional[ast.AST]:
+    """The innermost (async) function an ancestor chain sits in."""
+    for node in reversed(ancestors):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return node
+    return None
+
+
+def enclosing_class(ancestors: Tuple[ast.AST, ...]) -> Optional[ast.ClassDef]:
+    """The innermost class an ancestor chain sits in."""
+    for node in reversed(ancestors):
+        if isinstance(node, ast.ClassDef):
+            return node
+    return None
+
+
+def class_methods(classdef: ast.ClassDef) -> List[ast.FunctionDef]:
+    """The directly declared ``def`` methods of a class (no nesting)."""
+    return [
+        node for node in classdef.body if isinstance(node, ast.FunctionDef)
+    ]
+
+
+def find_class(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:
+    """The top-level (or nested) class called ``name``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def find_function(tree: ast.AST, name: str) -> Optional[ast.FunctionDef]:
+    """The first function called ``name`` anywhere under ``tree``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def dataclass_field_names(classdef: ast.ClassDef) -> List[str]:
+    """Declared field names of a (data)class body, in declaration order.
+
+    Annotated assignments only — exactly how ``dataclasses`` itself decides
+    what is a field — with ``ClassVar`` annotations excluded.
+    """
+    names: List[str] = []
+    for node in classdef.body:
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            annotation = ast.unparse(node.annotation)
+            if "ClassVar" in annotation:
+                continue
+            names.append(node.target.id)
+    return names
+
+
+def is_property(method: ast.FunctionDef) -> bool:
+    """Whether a method carries the ``@property`` decorator."""
+    for decorator in method.decorator_list:
+        if isinstance(decorator, ast.Name) and decorator.id == "property":
+            return True
+        if isinstance(decorator, ast.Attribute) and decorator.attr == "property":
+            return True
+    return False
+
+
+def property_reads(classdef: ast.ClassDef) -> Dict[str, Set[str]]:
+    """Map each ``@property`` of a class to the ``self.<attr>`` it reads.
+
+    This is how derived-field coverage works: a coalescing key that reads
+    ``request.max_copies`` covers ``copy_levels`` because the property's own
+    body reads it — no hand-kept alias table.
+    """
+    reads: Dict[str, Set[str]] = {}
+    for method in class_methods(classdef):
+        if is_property(method):
+            reads[method.name] = self_attribute_reads(method)
+    return reads
+
+
+def string_constants(node: ast.AST) -> Set[str]:
+    """Every string literal under ``node``."""
+    return {
+        child.value
+        for child in ast.walk(node)
+        if isinstance(child, ast.Constant) and isinstance(child.value, str)
+    }
+
+
+def dict_literal_keys(node: ast.AST) -> Set[str]:
+    """Every string key of every dict literal under ``node``."""
+    keys: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Dict):
+            for key in child.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.add(key.value)
+    return keys

@@ -1,0 +1,108 @@
+"""Per-file finding cache keyed on content hashes.
+
+Replint's checkers are pure functions of file contents, so their findings
+replay exactly: a cache entry keys ``(rule, checker version, content
+digest)`` — or, for cross-module rules, the joint digest of every file the
+rule reads — and stores the findings' JSON form.  Editing a file changes
+its digest; changing a rule bumps its version; both invalidate precisely
+the affected entries and nothing else.
+
+The cache is one JSON file (atomic rename on save) so it survives runs,
+diffs cleanly when inspected, and can simply be deleted.  A corrupt or
+unreadable cache is treated as empty — the cache may only ever make a run
+faster, never change its outcome.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.findings import Finding
+
+#: Format version of the cache file; bump on layout changes.
+CACHE_FORMAT = 1
+
+
+def joint_digest(digests: Iterable[str]) -> str:
+    """One digest for a cross-module checker's dependency files."""
+    combined = hashlib.sha256()
+    for digest in digests:
+        combined.update(digest.encode("ascii"))
+        combined.update(b"\n")
+    return combined.hexdigest()
+
+
+class AnalysisCache:
+    """JSON-backed cache of checker findings.
+
+    Args:
+        path: cache file location; ``None`` disables persistence (the
+            instance still deduplicates within one run).
+    """
+
+    def __init__(self, path: Optional[Path] = None) -> None:
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, List[Dict[str, object]]] = {}
+        self._dirty = False
+        if path is not None and path.is_file():
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                if payload.get("format") == CACHE_FORMAT:
+                    entries = payload.get("entries", {})
+                    if isinstance(entries, dict):
+                        self._entries = entries
+            except (OSError, ValueError):
+                # An unreadable cache must not change the run's outcome.
+                self._entries = {}
+
+    @staticmethod
+    def key(rule: str, version: int, digest: str) -> str:
+        return f"{rule}:v{version}:{digest}"
+
+    def get(self, key: str) -> Optional[List[Finding]]:
+        """Cached findings for ``key``, or ``None`` on a miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        try:
+            return [Finding.from_json(item) for item in entry]  # type: ignore[arg-type]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            self.hits -= 1
+            return None
+
+    def put(self, key: str, findings: List[Finding]) -> None:
+        self._entries[key] = [finding.to_json() for finding in findings]
+        self._dirty = True
+
+    def save(self) -> None:
+        """Persist (atomic rename), dropping entries no run refreshed.
+
+        Only called at the end of a successful run; an interrupted run
+        leaves the previous cache file intact.
+        """
+        if self.path is None or not self._dirty:
+            return
+        payload = {"format": CACHE_FORMAT, "entries": self._entries}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        handle, temp_name = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                json.dump(payload, stream, sort_keys=True)
+            os.replace(temp_name, self.path)
+        except OSError:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass

@@ -1,0 +1,25 @@
+"""The six project rules replint ships.
+
+Importing this package registers every checker into the
+:mod:`repro.analysis.framework` registry.  Each module owns one rule and
+documents the invariant it encodes plus the incident or review-memory gap
+that motivated it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.checkers.cap_exhaustive import CapExhaustiveChecker
+from repro.analysis.checkers.dtype_explicit import DtypeExplicitChecker
+from repro.analysis.checkers.frozen_mut import FrozenMutChecker
+from repro.analysis.checkers.lock_guard import LockGuardChecker
+from repro.analysis.checkers.req_sync import ReqSyncChecker
+from repro.analysis.checkers.rng_seed import RngSeedChecker
+
+__all__ = [
+    "CapExhaustiveChecker",
+    "DtypeExplicitChecker",
+    "FrozenMutChecker",
+    "LockGuardChecker",
+    "ReqSyncChecker",
+    "RngSeedChecker",
+]

@@ -1,0 +1,228 @@
+"""CAP-EXHAUSTIVE — chip-only request features are capability-gated.
+
+A request feature only the cycle-accurate backend can serve (a
+*chip-only* field) must be impossible to lose silently.  Chip-only
+fields are *derived*, not listed: they are exactly the ``EvalRequest``
+fields the ``needs_cycle_accuracy`` property reads.  For each one this
+rule requires, across the protocol / backends / session modules:
+
+* ``_check_capabilities`` contains a guard whose test reads the field
+  (directly or through ``needs_cycle_accuracy``) *and* consults some
+  ``caps.<capability>``, and whose body raises
+  ``UnsupportedRequestError`` — the no-silent-fallback rule, enforced;
+* every ``caps.<capability>`` such a guard consults is a declared
+  ``BackendCapabilities`` field (a typo'd capability read would be
+  ``True``-ish never, i.e. a guard that never fires);
+* ``Session.select_backend`` consults the field (directly or through the
+  property) — ``backend="auto"`` must route the request to a backend
+  that can serve it rather than letting validation reject it later.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.analysis import astutils
+from repro.analysis.checkers.req_sync import (
+    _attribute_reads_of,
+    expand_property_reads,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.framework import ProjectChecker, register_checker
+from repro.analysis.project import Project
+
+PROTOCOL = "src/repro/api/protocol.py"
+BACKENDS = "src/repro/api/backends.py"
+SESSION = "src/repro/api/session.py"
+
+#: The property whose reads define the chip-only field set.
+CHIP_ONLY_PROPERTY = "needs_cycle_accuracy"
+
+
+class _Guard:
+    """One ``if`` of ``_check_capabilities``: what it reads, what it does."""
+
+    def __init__(self, node: ast.If, raises: bool) -> None:
+        self.line = node.lineno
+        self.request_reads: Set[str] = set()
+        self.caps_reads: Set[str] = set()
+        for child in ast.walk(node.test):
+            if isinstance(child, ast.Attribute) and isinstance(
+                child.value, ast.Name
+            ):
+                if child.value.id == "request":
+                    self.request_reads.add(child.attr)
+                elif child.value.id == "caps":
+                    self.caps_reads.add(child.attr)
+        self.raises = raises
+
+
+def _raises_unsupported(node: ast.If) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Raise) and child.exc is not None:
+            spelled = astutils.dotted_name(
+                child.exc.func if isinstance(child.exc, ast.Call) else child.exc
+            )
+            if spelled is not None and spelled.endswith(
+                "UnsupportedRequestError"
+            ):
+                return True
+    return False
+
+
+class CapExhaustiveChecker(ProjectChecker):
+    rule = "CAP-EXHAUSTIVE"
+    description = (
+        "every chip-only EvalRequest field has a BackendCapabilities-"
+        "consulting guard that raises UnsupportedRequestError, and the "
+        "Session auto-selector consults it"
+    )
+    version = 1
+    dependencies = (PROTOCOL, BACKENDS, SESSION)
+
+    def check(self, project: Project) -> List[Finding]:
+        protocol = project.file(PROTOCOL)
+        if protocol is None:
+            return [self._missing(PROTOCOL, 1, "protocol module")]
+        request_class = astutils.find_class(protocol.tree, "EvalRequest")
+        caps_class = astutils.find_class(protocol.tree, "BackendCapabilities")
+        if request_class is None or caps_class is None:
+            return [
+                self._missing(
+                    PROTOCOL, 1, "EvalRequest / BackendCapabilities classes"
+                )
+            ]
+        properties = astutils.property_reads(request_class)
+        if CHIP_ONLY_PROPERTY not in properties:
+            return [
+                self._missing(
+                    PROTOCOL,
+                    request_class.lineno,
+                    f"EvalRequest.{CHIP_ONLY_PROPERTY} property (defines "
+                    "the chip-only field set)",
+                )
+            ]
+        chip_only = sorted(
+            expand_property_reads(
+                set(properties[CHIP_ONLY_PROPERTY]), properties
+            )
+            & set(astutils.dataclass_field_names(request_class))
+        )
+        caps_fields = set(astutils.dataclass_field_names(caps_class))
+
+        findings: List[Finding] = []
+        findings.extend(
+            self._check_backends(project, chip_only, caps_fields, properties)
+        )
+        findings.extend(self._check_session(project, chip_only, properties))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_backends(
+        self,
+        project: Project,
+        chip_only: List[str],
+        caps_fields: Set[str],
+        properties: Dict[str, Set[str]],
+    ) -> List[Finding]:
+        backends = project.file(BACKENDS)
+        if backends is None:
+            return [self._missing(BACKENDS, 1, "backends module")]
+        validator = astutils.find_function(
+            backends.tree, "_check_capabilities"
+        )
+        if validator is None:
+            return [self._missing(BACKENDS, 1, "_check_capabilities")]
+        guards = [
+            _Guard(node, _raises_unsupported(node))
+            for node in ast.walk(validator)
+            if isinstance(node, ast.If)
+        ]
+        findings: List[Finding] = []
+        for guard in guards:
+            for capability in sorted(guard.caps_reads - caps_fields):
+                findings.append(
+                    Finding(
+                        path=BACKENDS,
+                        line=guard.line,
+                        rule=self.rule,
+                        message=(
+                            f"guard consults caps.{capability}, which is "
+                            "not a declared BackendCapabilities field "
+                            "(the guard can never fire)"
+                        ),
+                    )
+                )
+        for field in chip_only:
+            gated = any(
+                guard.raises
+                and guard.caps_reads & caps_fields
+                and field
+                in expand_property_reads(guard.request_reads, properties)
+                for guard in guards
+            )
+            if not gated:
+                findings.append(
+                    Finding(
+                        path=BACKENDS,
+                        line=validator.lineno,
+                        rule=self.rule,
+                        message=(
+                            f"chip-only field {field!r} has no "
+                            "_check_capabilities guard consulting a "
+                            "BackendCapabilities field and raising "
+                            "UnsupportedRequestError — an incapable "
+                            "backend would serve it silently wrong"
+                        ),
+                    )
+                )
+        return findings
+
+    def _check_session(
+        self,
+        project: Project,
+        chip_only: List[str],
+        properties: Dict[str, Set[str]],
+    ) -> List[Finding]:
+        session = project.file(SESSION)
+        if session is None:
+            return [self._missing(SESSION, 1, "session module")]
+        session_class = astutils.find_class(session.tree, "Session")
+        if session_class is None:
+            return [self._missing(SESSION, 1, "class Session")]
+        selector: Optional[ast.FunctionDef] = None
+        for method in astutils.class_methods(session_class):
+            if method.name == "select_backend":
+                selector = method
+        if selector is None:
+            return [self._missing(SESSION, 1, "Session.select_backend")]
+        covered = expand_property_reads(
+            _attribute_reads_of(selector, "request"), properties
+        )
+        return [
+            Finding(
+                path=SESSION,
+                line=selector.lineno,
+                rule=self.rule,
+                message=(
+                    f"chip-only field {field!r} is invisible to "
+                    "Session.select_backend — backend='auto' would route "
+                    "the request to a backend that must reject it"
+                ),
+            )
+            for field in chip_only
+            if field not in covered
+        ]
+
+    # ------------------------------------------------------------------
+    def _missing(self, path: str, line: int, name: str) -> Finding:
+        return Finding(
+            path=path,
+            line=line,
+            rule=self.rule,
+            message=f"cannot check capability exhaustiveness: {name} not found",
+        )
+
+
+register_checker(CapExhaustiveChecker())

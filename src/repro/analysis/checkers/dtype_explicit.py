@@ -1,0 +1,156 @@
+"""DTYPE-EXPLICIT — numeric kernels spell their dtypes.
+
+The chip model and the vectorized engine promise *bit-identical* integer
+spike counts across backends and platforms.  That promise dies quietly at
+any array whose dtype is left to defaulting or to the platform:
+
+* ``dtype=float`` / ``dtype=int`` / ``dtype=bool`` hand numpy a *builtin*
+  type.  ``int`` maps to the platform C ``long`` — int32 on Windows,
+  int64 on Linux — so the same run truncates differently per platform.
+* allocator calls (``np.zeros`` / ``ones`` / ``empty`` / ``full``)
+  without any ``dtype=`` default to float64 *today*; the reader cannot
+  tell a deliberate float64 accumulator from an accidental one, and an
+  integer quantity (spike counts, core ids) allocated this way silently
+  does float arithmetic.
+* ``.astype(float)`` and friends are the same builtin ambiguity on the
+  conversion side.
+
+Inside the numeric core (``repro.truenorth``, ``repro.eval``) every one of
+these must name a numpy scalar type (``np.float64``, ``np.int64``,
+``np.bool_``) or a dtype string.  ``*_like`` calls and ``np.array``
+(which infer from an existing array/data) are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from repro.analysis import astutils
+from repro.analysis.findings import Finding
+from repro.analysis.framework import FileChecker, register_checker
+from repro.analysis.project import SourceFile
+
+#: Builtin type names that are ambiguous (platform- or default-dependent)
+#: when used as a numpy dtype.
+BUILTIN_DTYPES = ("float", "int", "bool", "complex")
+
+#: Suggested explicit spelling per builtin (the Linux/CI-bit-identical one).
+EXPLICIT_FOR = {
+    "float": "np.float64",
+    "int": "np.int64",
+    "bool": "np.bool_",
+    "complex": "np.complex128",
+}
+
+#: numpy allocators whose dtype defaults silently to float64.
+ALLOCATORS = ("numpy.zeros", "numpy.ones", "numpy.empty", "numpy.full")
+
+
+def _builtin_dtype(node: ast.expr) -> Optional[str]:
+    """The builtin type name when ``node`` spells one, else ``None``."""
+    if isinstance(node, ast.Name) and node.id in BUILTIN_DTYPES:
+        return node.id
+    return None
+
+
+class DtypeExplicitChecker(FileChecker):
+    rule = "DTYPE-EXPLICIT"
+    description = (
+        "numeric-core array creation names an explicit numpy dtype; "
+        "builtin float/int/bool dtypes and defaulted allocators are errors"
+    )
+    version = 1
+    path_prefixes = ("src/repro/truenorth/", "src/repro/eval/")
+
+    def check(self, source: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        aliases = astutils.import_aliases(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            findings.extend(self._check_call(source.path, node, aliases))
+        return findings
+
+    def _check_call(
+        self, path: str, call: ast.Call, aliases: Dict[str, str]
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        dtype_kw: Optional[ast.keyword] = None
+        for keyword in call.keywords:
+            if keyword.arg == "dtype":
+                dtype_kw = keyword
+        if dtype_kw is not None:
+            builtin = _builtin_dtype(dtype_kw.value)
+            if builtin is not None:
+                findings.append(
+                    Finding(
+                        path=path,
+                        line=call.lineno,
+                        rule=self.rule,
+                        message=(
+                            f"dtype={builtin} is the platform-dependent "
+                            f"builtin; spell {EXPLICIT_FOR[builtin]} "
+                            "(bit-identity depends on it)"
+                        ),
+                    )
+                )
+        resolved = astutils.resolve_name(call.func, aliases)
+        if resolved in ALLOCATORS:
+            positional_dtype = (
+                call.args[1] if len(call.args) >= 2 else None
+            )
+            if resolved == "numpy.full":
+                # full(shape, fill_value[, dtype]) — dtype is the 3rd slot.
+                positional_dtype = call.args[2] if len(call.args) >= 3 else None
+            if positional_dtype is not None:
+                builtin = _builtin_dtype(positional_dtype)
+                if builtin is not None:
+                    findings.append(
+                        Finding(
+                            path=path,
+                            line=call.lineno,
+                            rule=self.rule,
+                            message=(
+                                f"{resolved} with positional builtin dtype "
+                                f"{builtin}; spell {EXPLICIT_FOR[builtin]}"
+                            ),
+                        )
+                    )
+            elif dtype_kw is None:
+                short = resolved.rsplit(".", 1)[1]
+                findings.append(
+                    Finding(
+                        path=path,
+                        line=call.lineno,
+                        rule=self.rule,
+                        message=(
+                            f"np.{short}(...) without dtype= defaults "
+                            "silently to float64; name the intended dtype "
+                            "explicitly"
+                        ),
+                    )
+                )
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "astype"
+            and call.args
+        ):
+            builtin = _builtin_dtype(call.args[0])
+            if builtin is not None:
+                findings.append(
+                    Finding(
+                        path=path,
+                        line=call.lineno,
+                        rule=self.rule,
+                        message=(
+                            f".astype({builtin}) converts through the "
+                            "platform-dependent builtin; spell "
+                            f"{EXPLICIT_FOR[builtin]}"
+                        ),
+                    )
+                )
+        return findings
+
+
+register_checker(DtypeExplicitChecker())

@@ -1,0 +1,94 @@
+"""FROZEN-MUT — frozen dataclasses stay frozen.
+
+``object.__setattr__`` is the only way to mutate a frozen dataclass, and
+the repo sanctions exactly two shapes of it:
+
+* normalization inside ``__post_init__`` (the instance is not yet visible
+  to anyone else, so this is construction, not mutation), and
+* write-once private memo slots (``_``-prefixed constant attribute names),
+  like the ``_evaluation_view`` fingerprint memo on ``EvalRequest`` — an
+  idempotent cache whose value is a pure function of the frozen fields.
+
+Anything else — mutating another object, computed attribute names, public
+attributes after construction — silently breaks the protocol-layer
+assumptions that frozen requests/results can key caches and coalescing
+maps and be shared across threads without locks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+from repro.analysis import astutils
+from repro.analysis.findings import Finding
+from repro.analysis.framework import FileChecker, register_checker
+from repro.analysis.project import SourceFile
+
+
+class FrozenMutChecker(FileChecker):
+    rule = "FROZEN-MUT"
+    description = (
+        "object.__setattr__ only in __post_init__ or on _-private "
+        "write-once memo slots of self"
+    )
+    version = 1
+    path_prefixes = ("src/repro/",)
+
+    def check(self, source: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        for node, ancestors in astutils.walk_with_stack(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if astutils.dotted_name(node.func) != "object.__setattr__":
+                continue
+            problem = self._classify(node, ancestors)
+            if problem is not None:
+                findings.append(
+                    Finding(
+                        path=source.path,
+                        line=node.lineno,
+                        rule=self.rule,
+                        message=problem,
+                    )
+                )
+        return findings
+
+    def _classify(
+        self, call: ast.Call, ancestors: Tuple[ast.AST, ...]
+    ) -> Optional[str]:
+        """The violation message for one ``object.__setattr__`` call, or
+        ``None`` when the call matches a sanctioned shape."""
+        if len(call.args) < 2:
+            return (
+                "object.__setattr__ with fewer than two positional "
+                "arguments cannot be audited; spell the target and "
+                "attribute name explicitly"
+            )
+        target, name = call.args[0], call.args[1]
+        if not (isinstance(target, ast.Name) and target.id == "self"):
+            spelled = astutils.dotted_name(target) or "<expression>"
+            return (
+                f"object.__setattr__ mutates {spelled}, not self; frozen "
+                "instances may only be filled in by their own construction "
+                "or memo slots"
+            )
+        if not (isinstance(name, ast.Constant) and isinstance(name.value, str)):
+            return (
+                "object.__setattr__ with a computed attribute name cannot "
+                "be audited; use a string-literal attribute name"
+            )
+        function = astutils.enclosing_function(ancestors)
+        in_post_init = (
+            function is not None and function.name == "__post_init__"
+        )
+        if in_post_init or name.value.startswith("_"):
+            return None
+        return (
+            f"object.__setattr__(self, {name.value!r}, ...) outside "
+            "__post_init__ mutates a public field of a frozen instance; "
+            "normalize in __post_init__ or use a _-private memo slot"
+        )
+
+
+register_checker(FrozenMutChecker())

@@ -1,0 +1,291 @@
+"""LOCK-GUARD — annotated shared state is only touched under its lock.
+
+The serving layer (:mod:`repro.serve`) shares queues and counters between
+the HTTP threads and the worker pool.  Each class declares which lock
+guards which attribute with a trailing comment on the ``__init__``
+assignment::
+
+    self._jobs = deque()   # guarded-by: _lock
+
+and this rule machine-checks two things inside the declaring class:
+
+* **access discipline** — every later read or write of a guarded
+  attribute sits lexically inside ``with self.<lock>`` (a
+  ``threading.Condition`` constructed over a lock counts as that lock:
+  ``with self._nonempty`` guards what ``_lock`` guards);
+* **re-acquisition** — code already holding a non-reentrant lock neither
+  re-enters ``with`` on it nor calls a sibling method that would.  This is
+  exactly the deadlock once shipped in the admission controller, where a
+  rejection path computed its retry hint via a method that re-acquired the
+  queue lock it was already holding.
+
+``__init__`` itself is exempt (the instance is not shared yet).
+Annotations naming a lock the class never creates are themselves findings
+— a guard that cannot be enforced is documentation pretending to be an
+invariant.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis import astutils
+from repro.analysis.findings import Finding
+from repro.analysis.framework import FileChecker, register_checker
+from repro.analysis.project import SourceFile
+
+#: The annotation grammar: ``# guarded-by: _lock`` (``self._lock`` also ok).
+GUARD_MARKER = re.compile(r"#\s*guarded-by:\s*(?:self\.)?([A-Za-z_]\w*)")
+
+#: threading constructors that create an acquirable lock attribute.
+LOCK_FACTORIES = {
+    "threading.Lock": "lock",
+    "threading.RLock": "rlock",
+    "threading.Condition": "condition",
+    "threading.Semaphore": "lock",
+    "threading.BoundedSemaphore": "lock",
+}
+
+
+class _ClassLocks:
+    """The lock world of one class: guards, lock kinds, and lock groups."""
+
+    def __init__(self) -> None:
+        self.guards: Dict[str, Tuple[str, int]] = {}  # attr -> (lock, line)
+        self.kinds: Dict[str, str] = {}  # lock attr -> factory kind
+        self._parent: Dict[str, str] = {}
+
+    def _find(self, name: str) -> str:
+        while self._parent.get(name, name) != name:
+            name = self._parent[name]
+        return name
+
+    def union(self, a: str, b: str) -> None:
+        self._parent.setdefault(a, a)
+        self._parent.setdefault(b, b)
+        self._parent[self._find(a)] = self._find(b)
+
+    def group(self, name: str) -> str:
+        return self._find(name)
+
+    def reentrant(self, name: str) -> bool:
+        """Whether any lock of ``name``'s group is an RLock."""
+        target = self.group(name)
+        return any(
+            kind == "rlock" and self.group(lock) == target
+            for lock, kind in self.kinds.items()
+        )
+
+
+class LockGuardChecker(FileChecker):
+    rule = "LOCK-GUARD"
+    description = (
+        "attributes annotated '# guarded-by: <lock>' are only accessed "
+        "under 'with self.<lock>', and held locks are never re-acquired"
+    )
+    version = 1
+    path_prefixes = ("src/repro/serve/",)
+
+    def check(self, source: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(source, node))
+        return findings
+
+    # ------------------------------------------------------------------
+    # declaration gathering
+    # ------------------------------------------------------------------
+    def _gather(
+        self, source: SourceFile, classdef: ast.ClassDef
+    ) -> Tuple[_ClassLocks, List[Finding]]:
+        world = _ClassLocks()
+        findings: List[Finding] = []
+        init = next(
+            (
+                method
+                for method in astutils.class_methods(classdef)
+                if method.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            return world, findings
+        lines = source.lines()
+        aliases = astutils.import_aliases(source.tree)
+        attached: Set[int] = set()
+        for node in ast.walk(init):
+            target: Optional[ast.expr]
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            else:
+                continue
+            attr = astutils.self_attribute(target)
+            if attr is None:
+                continue
+            line_text = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+            marker = GUARD_MARKER.search(line_text)
+            if marker is not None:
+                world.guards[attr] = (marker.group(1), node.lineno)
+                attached.add(node.lineno)
+            if isinstance(value, ast.Call):
+                resolved = astutils.resolve_name(value.func, aliases)
+                kind = LOCK_FACTORIES.get(resolved or "")
+                if kind is not None:
+                    world.kinds[attr] = kind
+                    if kind == "condition":
+                        for arg in value.args:
+                            wrapped = astutils.self_attribute(arg)
+                            if wrapped is not None:
+                                world.union(attr, wrapped)
+        # Dangling annotations: a guarded-by comment inside __init__ that no
+        # self-assignment carries declares nothing and is itself an error.
+        end = init.end_lineno or init.lineno
+        for lineno in range(init.lineno, min(end, len(lines)) + 1):
+            if lineno in attached:
+                continue
+            if GUARD_MARKER.search(lines[lineno - 1]):
+                findings.append(
+                    Finding(
+                        path=source.path,
+                        line=lineno,
+                        rule=self.rule,
+                        message=(
+                            "guarded-by annotation is not attached to a "
+                            "'self.<attr> = ...' assignment and declares "
+                            "nothing"
+                        ),
+                    )
+                )
+        for attr, (lock, lineno) in world.guards.items():
+            if lock not in world.kinds:
+                findings.append(
+                    Finding(
+                        path=source.path,
+                        line=lineno,
+                        rule=self.rule,
+                        message=(
+                            f"self.{attr} is declared guarded by "
+                            f"self.{lock}, but __init__ creates no such "
+                            "threading lock"
+                        ),
+                    )
+                )
+        return world, findings
+
+    # ------------------------------------------------------------------
+    # enforcement
+    # ------------------------------------------------------------------
+    def _check_class(
+        self, source: SourceFile, classdef: ast.ClassDef
+    ) -> List[Finding]:
+        world, findings = self._gather(source, classdef)
+        if not world.guards and not findings:
+            return findings
+        # Locks each method acquires directly — the callee side of the
+        # re-acquisition rule.
+        acquires: Dict[str, Set[str]] = {}
+        for method in astutils.class_methods(classdef):
+            acquired: Set[str] = set()
+            for node in ast.walk(method):
+                if isinstance(node, (ast.With, ast.AsyncWith)):
+                    acquired.update(self._with_groups(node, world))
+            acquires[method.name] = acquired
+        for method in astutils.class_methods(classdef):
+            if method.name == "__init__":
+                continue
+            findings.extend(
+                self._check_method(source, method, world, acquires)
+            )
+        return findings
+
+    def _with_groups(
+        self, node: ast.AST, world: _ClassLocks
+    ) -> Set[str]:
+        """Lock groups a ``with`` statement acquires via ``self.<lock>``."""
+        groups: Set[str] = set()
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                attr = astutils.self_attribute(item.context_expr)
+                if attr is not None and attr in world.kinds:
+                    groups.add(world.group(attr))
+        return groups
+
+    def _check_method(
+        self,
+        source: SourceFile,
+        method: ast.FunctionDef,
+        world: _ClassLocks,
+        acquires: Dict[str, Set[str]],
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for node, ancestors in astutils.walk_with_stack(method):
+            held: Set[str] = set()
+            for ancestor in ancestors:
+                held.update(self._with_groups(ancestor, world))
+            if isinstance(node, ast.Attribute):
+                attr = astutils.self_attribute(node)
+                if attr in world.guards:
+                    lock = world.guards[attr][0]
+                    if world.group(lock) not in held:
+                        findings.append(
+                            Finding(
+                                path=source.path,
+                                line=node.lineno,
+                                rule=self.rule,
+                                message=(
+                                    f"self.{attr} is guarded by "
+                                    f"self.{lock} but accessed outside "
+                                    f"'with self.{lock}' in {method.name}()"
+                                ),
+                            )
+                        )
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    attr = astutils.self_attribute(item.context_expr)
+                    if attr is None or attr not in world.kinds:
+                        continue
+                    group = world.group(attr)
+                    if group in held and not world.reentrant(attr):
+                        findings.append(
+                            Finding(
+                                path=source.path,
+                                line=node.lineno,
+                                rule=self.rule,
+                                message=(
+                                    f"'with self.{attr}' re-acquires a "
+                                    "non-reentrant lock already held here "
+                                    "(guaranteed deadlock)"
+                                ),
+                            )
+                        )
+            elif isinstance(node, ast.Call):
+                called = astutils.self_attribute(node.func)
+                if called is None or called not in acquires:
+                    continue
+                conflict = sorted(held & acquires[called])
+                if conflict and not all(
+                    world.reentrant(group) for group in conflict
+                ):
+                    findings.append(
+                        Finding(
+                            path=source.path,
+                            line=node.lineno,
+                            rule=self.rule,
+                            message=(
+                                f"self.{called}() acquires "
+                                f"self.{conflict[0]} which is already "
+                                "held here; the lock is non-reentrant, "
+                                "so this deadlocks (compute under the "
+                                "held lock instead)"
+                            ),
+                        )
+                    )
+        return findings
+
+
+register_checker(LockGuardChecker())

@@ -1,0 +1,258 @@
+"""REQ-SYNC — every ``EvalRequest`` field is threaded through the stack.
+
+Adding a field to :class:`repro.api.protocol.EvalRequest` is a four-site
+change: the wire codec must encode *and* decode it, the HTTP client must
+expose it, and the session's coalescing key must incorporate it (or two
+requests differing only in the new field would silently share one engine
+pass and return wrong results).  Each site has historically been a
+hand-kept list — exactly the kind that drifts.
+
+This rule derives the field list from the dataclass itself and checks
+every coverage site:
+
+* ``codec.WireRequest`` declares a same-named field;
+* ``codec.encode_request`` writes the field into its payload literal;
+* ``codec.decode_request`` mentions the field name (reads it from the
+  payload and validates it);
+* ``client.ServeClient.evaluate`` takes it as a parameter;
+* ``session.Session._coalesce_key`` reads ``request.<field>`` — possibly
+  through an ``EvalRequest`` ``@property`` (``request.max_copies`` covers
+  ``copy_levels`` because the property body reads it; derived coverage is
+  computed from the property source, not a hand-kept alias table).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.analysis import astutils
+from repro.analysis.findings import Finding
+from repro.analysis.framework import ProjectChecker, register_checker
+from repro.analysis.project import Project, SourceFile
+
+PROTOCOL = "src/repro/api/protocol.py"
+SESSION = "src/repro/api/session.py"
+CODEC = "src/repro/serve/codec.py"
+CLIENT = "src/repro/serve/client.py"
+
+
+def _missing_finding(rule: str, path: str, name: str) -> Finding:
+    return Finding(
+        path=path,
+        line=1,
+        rule=rule,
+        message=f"cannot check request-field sync: {name} not found",
+    )
+
+
+def _function_params(function: ast.FunctionDef) -> Set[str]:
+    names = {arg.arg for arg in function.args.args}
+    names.update(arg.arg for arg in function.args.posonlyargs)
+    names.update(arg.arg for arg in function.args.kwonlyargs)
+    names.discard("self")
+    return names
+
+
+def _attribute_reads_of(function: ast.FunctionDef, variable: str) -> Set[str]:
+    """Every ``<variable>.<attr>`` spelled inside ``function``."""
+    reads: Set[str] = set()
+    for node in ast.walk(function):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == variable
+        ):
+            reads.add(node.attr)
+    return reads
+
+
+def expand_property_reads(
+    reads: Set[str], properties: Dict[str, Set[str]]
+) -> Set[str]:
+    """Field names covered by ``reads``, expanding ``@property`` bodies.
+
+    Expansion iterates to a fixed point so a property reading another
+    property still resolves down to the underlying fields.
+    """
+    covered = set(reads)
+    changed = True
+    while changed:
+        changed = False
+        for name in list(covered):
+            for read in properties.get(name, ()):
+                if read not in covered:
+                    covered.add(read)
+                    changed = True
+    return covered
+
+
+class ReqSyncChecker(ProjectChecker):
+    rule = "REQ-SYNC"
+    description = (
+        "every EvalRequest field reaches the wire codec (encode+decode), "
+        "the HTTP client, and the Session coalescing key"
+    )
+    version = 1
+    dependencies = (PROTOCOL, SESSION, CODEC, CLIENT)
+
+    def check(self, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        protocol = project.file(PROTOCOL)
+        if protocol is None:
+            return [_missing_finding(self.rule, PROTOCOL, "protocol module")]
+        request_class = astutils.find_class(protocol.tree, "EvalRequest")
+        if request_class is None:
+            return [
+                _missing_finding(self.rule, PROTOCOL, "class EvalRequest")
+            ]
+        fields = astutils.dataclass_field_names(request_class)
+        properties = astutils.property_reads(request_class)
+
+        findings.extend(self._check_codec(project, fields))
+        findings.extend(self._check_client(project, fields))
+        findings.extend(self._check_session(project, fields, properties))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_codec(
+        self, project: Project, fields: List[str]
+    ) -> List[Finding]:
+        codec = project.file(CODEC)
+        if codec is None:
+            return [_missing_finding(self.rule, CODEC, "codec module")]
+        findings: List[Finding] = []
+        wire = astutils.find_class(codec.tree, "WireRequest")
+        if wire is None:
+            findings.append(
+                _missing_finding(self.rule, CODEC, "class WireRequest")
+            )
+        else:
+            wire_fields = set(astutils.dataclass_field_names(wire))
+            findings.extend(
+                self._uncovered(
+                    codec,
+                    wire.lineno,
+                    fields,
+                    wire_fields,
+                    "WireRequest declares no same-named field",
+                )
+            )
+        encode = astutils.find_function(codec.tree, "encode_request")
+        if encode is None:
+            findings.append(
+                _missing_finding(self.rule, CODEC, "encode_request")
+            )
+        else:
+            findings.extend(
+                self._uncovered(
+                    codec,
+                    encode.lineno,
+                    fields,
+                    astutils.dict_literal_keys(encode),
+                    "encode_request never writes it into the wire payload",
+                )
+            )
+        decode = astutils.find_function(codec.tree, "decode_request")
+        if decode is None:
+            findings.append(
+                _missing_finding(self.rule, CODEC, "decode_request")
+            )
+        else:
+            findings.extend(
+                self._uncovered(
+                    codec,
+                    decode.lineno,
+                    fields,
+                    astutils.string_constants(decode),
+                    "decode_request never reads it from the wire payload",
+                )
+            )
+        return findings
+
+    def _check_client(
+        self, project: Project, fields: List[str]
+    ) -> List[Finding]:
+        client = project.file(CLIENT)
+        if client is None:
+            return [_missing_finding(self.rule, CLIENT, "client module")]
+        serve_client = astutils.find_class(client.tree, "ServeClient")
+        if serve_client is None:
+            return [_missing_finding(self.rule, CLIENT, "class ServeClient")]
+        evaluate: Optional[ast.FunctionDef] = None
+        for method in astutils.class_methods(serve_client):
+            if method.name == "evaluate":
+                evaluate = method
+        if evaluate is None:
+            return [
+                _missing_finding(self.rule, CLIENT, "ServeClient.evaluate")
+            ]
+        covered = _function_params(evaluate) | astutils.dict_literal_keys(
+            evaluate
+        )
+        return self._uncovered(
+            client,
+            evaluate.lineno,
+            fields,
+            covered,
+            "ServeClient.evaluate neither takes it nor sends it",
+        )
+
+    def _check_session(
+        self,
+        project: Project,
+        fields: List[str],
+        properties: Dict[str, Set[str]],
+    ) -> List[Finding]:
+        session = project.file(SESSION)
+        if session is None:
+            return [_missing_finding(self.rule, SESSION, "session module")]
+        session_class = astutils.find_class(session.tree, "Session")
+        if session_class is None:
+            return [_missing_finding(self.rule, SESSION, "class Session")]
+        key_method: Optional[ast.FunctionDef] = None
+        for method in astutils.class_methods(session_class):
+            if method.name == "_coalesce_key":
+                key_method = method
+        if key_method is None:
+            return [
+                _missing_finding(
+                    self.rule, SESSION, "Session._coalesce_key"
+                )
+            ]
+        reads = _attribute_reads_of(key_method, "request")
+        covered = expand_property_reads(reads, properties)
+        return self._uncovered(
+            session,
+            key_method.lineno,
+            fields,
+            covered,
+            "Session._coalesce_key never reads it (requests differing in "
+            "it would coalesce onto one engine pass)",
+        )
+
+    # ------------------------------------------------------------------
+    def _uncovered(
+        self,
+        source: SourceFile,
+        line: int,
+        fields: List[str],
+        covered: Set[str],
+        consequence: str,
+    ) -> List[Finding]:
+        return [
+            Finding(
+                path=source.path,
+                line=line,
+                rule=self.rule,
+                message=(
+                    f"EvalRequest field {name!r} is not synced: "
+                    f"{consequence}"
+                ),
+            )
+            for name in fields
+            if name not in covered
+        ]
+
+
+register_checker(ReqSyncChecker())

@@ -1,0 +1,140 @@
+"""RNG-SEED — all randomness flows through the injected-generator plumbing.
+
+The cross-backend ``atol=0`` equivalence invariants only hold because every
+stochastic component draws from a ``numpy.random.Generator`` that is
+threaded in explicitly (``repro.utils.rng.new_rng`` / ``spawn_rngs``) or
+from the hardware LFSR model (``repro.truenorth.prng``).  A single
+``np.random.choice(...)`` (module-level legacy API, hidden global state) or
+stdlib ``random.random()`` call silently breaks reproducibility: results
+depend on import order and on every other consumer of the global stream.
+
+The rule flags, in ``src/repro`` outside the two sanctioned plumbing
+modules:
+
+* any call through ``numpy.random.*`` (``np.random.default_rng`` included —
+  fresh generators are minted by ``repro.utils.rng``, nowhere else);
+* any import of the stdlib ``random`` module and any call through it.
+
+Type annotations (``np.random.Generator``) and ``isinstance`` checks are
+not calls and are untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Tuple
+
+from repro.analysis import astutils
+from repro.analysis.findings import Finding
+from repro.analysis.framework import FileChecker, register_checker
+from repro.analysis.project import SourceFile
+
+#: Modules allowed to mint generators: the explicit-injection helpers and
+#: the hardware LFSR model (which derives numpy streams from LFSR state).
+SANCTIONED_FILES: Tuple[str, ...] = (
+    "src/repro/utils/rng.py",
+    "src/repro/truenorth/prng.py",
+)
+
+
+class RngSeedChecker(FileChecker):
+    rule = "RNG-SEED"
+    description = (
+        "randomness in src/repro flows through repro.utils.rng / "
+        "repro.truenorth.prng, never np.random module state or stdlib random"
+    )
+    version = 1
+    path_prefixes = ("src/repro/",)
+
+    def applies_to(self, relpath: str) -> bool:
+        return (
+            super().applies_to(relpath) and relpath not in SANCTIONED_FILES
+        )
+
+    def check(self, source: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        tree = source.tree
+        aliases = astutils.import_aliases(tree)
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        findings.append(
+                            Finding(
+                                path=source.path,
+                                line=node.lineno,
+                                rule=self.rule,
+                                message=(
+                                    "stdlib random imported; draw from an "
+                                    "injected numpy Generator "
+                                    "(repro.utils.rng.new_rng) instead"
+                                ),
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "random":
+                    findings.append(
+                        Finding(
+                            path=source.path,
+                            line=node.lineno,
+                            rule=self.rule,
+                            message=(
+                                "stdlib random imported; draw from an "
+                                "injected numpy Generator "
+                                "(repro.utils.rng.new_rng) instead"
+                            ),
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                resolved = astutils.resolve_name(node.func, aliases)
+                if resolved is None:
+                    continue
+                if resolved.startswith("numpy.random."):
+                    findings.append(
+                        Finding(
+                            path=source.path,
+                            line=node.lineno,
+                            rule=self.rule,
+                            message=(
+                                f"call to {resolved} bypasses the injected-"
+                                "generator plumbing; route it through "
+                                "repro.utils.rng (or repro.truenorth.prng "
+                                "for LFSR streams)"
+                            ),
+                        )
+                    )
+                elif resolved == "random" or resolved.startswith("random."):
+                    # Only flag the stdlib module, not a local variable that
+                    # happens to be called "random": the alias map records
+                    # the import, so an unimported "random" root resolves
+                    # only when the file imported it (already flagged above)
+                    # or shadows it locally.
+                    if aliases.get(resolved.split(".", 1)[0]) in (
+                        "random",
+                    ) or _imports_stdlib_random(tree):
+                        findings.append(
+                            Finding(
+                                path=source.path,
+                                line=node.lineno,
+                                rule=self.rule,
+                                message=(
+                                    f"call to stdlib {resolved} uses hidden "
+                                    "global RNG state; draw from an injected "
+                                    "numpy Generator instead"
+                                ),
+                            )
+                        )
+        return findings
+
+
+def _imports_stdlib_random(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import) and any(
+            alias.name == "random" for alias in node.names
+        ):
+            return True
+    return False
+
+
+register_checker(RngSeedChecker())

@@ -1,0 +1,68 @@
+"""The one result type every checker produces.
+
+A :class:`Finding` pins a rule violation to a (file, line) anchor with a
+human message.  Findings are plain frozen dataclasses so they sort, compare,
+and serialize deterministically — the JSON report is a pure function of the
+tree being analyzed, which is what lets the per-file cache replay them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation (or suppression problem) at a source location.
+
+    Attributes:
+        path: repo-root-relative POSIX path of the offending file.
+        line: 1-based line the finding anchors to (0 = whole file).
+        rule: rule identifier, e.g. ``"RNG-SEED"``.
+        message: human explanation of the violation.
+        suppressed: True when a justified ``replint: disable=`` comment
+            covers the finding; suppressed findings are reported but do not
+            fail the run.
+        justification: the suppression's justification text, when suppressed.
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    suppressed: bool = False
+    justification: Optional[str] = None
+
+    def location(self) -> str:
+        """``path:line`` anchor (editor-clickable)."""
+        return f"{self.path}:{self.line}"
+
+    def to_json(self) -> Dict[str, Any]:
+        """The machine-readable form emitted by ``--json``."""
+        payload: Dict[str, Any] = {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+        if self.justification is not None:
+            payload["justification"] = self.justification
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "Finding":
+        """Rebuild a finding from its :meth:`to_json` form (cache replay)."""
+        return cls(
+            path=str(payload["path"]),
+            line=int(payload["line"]),
+            rule=str(payload["rule"]),
+            message=str(payload["message"]),
+            suppressed=bool(payload.get("suppressed", False)),
+            justification=(
+                None
+                if payload.get("justification") is None
+                else str(payload["justification"])
+            ),
+        )

@@ -1,0 +1,93 @@
+"""Checker contract and registry.
+
+Two checker shapes exist, matching the two shapes of invariant:
+
+* :class:`FileChecker` — the invariant is local to one file (RNG discipline,
+  dtype explicitness, lock guards).  Ran per file, cached per file content
+  hash.
+* :class:`ProjectChecker` — the invariant spans modules (request fields
+  threaded through codec/client/session; capability exhaustiveness).  The
+  checker declares the relative paths it reads (``dependencies``) so the
+  cache can key its findings on the joint content hash of exactly those
+  files.
+
+Checkers register into one process-global registry; registering a rule id
+twice replaces the checker (tests swap in instrumented variants).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Union
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project, SourceFile
+
+
+class FileChecker:
+    """Base class for single-file rules.
+
+    Subclasses set :attr:`rule`, :attr:`description`, optionally
+    :attr:`path_prefixes` (repo-relative POSIX prefixes the rule applies
+    to; empty = every analyzed file), and implement :meth:`check`.
+    Bump :attr:`version` whenever the rule's semantics change — it is part
+    of the cache key, so stale cached findings can never survive a rule
+    change.
+    """
+
+    rule: str = ""
+    description: str = ""
+    version: int = 1
+    path_prefixes: Tuple[str, ...] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        """Whether this rule scans ``relpath`` (prefix match)."""
+        if not self.path_prefixes:
+            return True
+        return any(relpath.startswith(prefix) for prefix in self.path_prefixes)
+
+    def check(self, source: SourceFile) -> List[Finding]:
+        """Findings for one file."""
+        raise NotImplementedError
+
+
+class ProjectChecker:
+    """Base class for cross-module rules.
+
+    Subclasses set :attr:`rule`, :attr:`description`, :attr:`dependencies`
+    (the repo-relative paths the invariant spans) and implement
+    :meth:`check`.  The runner keys the checker's cache entry on the joint
+    content hash of the dependency files, so editing any one of them re-runs
+    the rule.
+    """
+
+    rule: str = ""
+    description: str = ""
+    version: int = 1
+    dependencies: Tuple[str, ...] = ()
+
+    def check(self, project: Project) -> List[Finding]:
+        """Findings for the whole project."""
+        raise NotImplementedError
+
+
+Checker = Union[FileChecker, ProjectChecker]
+
+_REGISTRY: Dict[str, Checker] = {}
+
+
+def register_checker(checker: Checker) -> Checker:
+    """Register a checker under its rule id (replacing any previous one)."""
+    if not checker.rule:
+        raise ValueError(f"checker {type(checker).__name__} declares no rule id")
+    _REGISTRY[checker.rule] = checker
+    return checker
+
+
+def registered_checkers() -> List[Checker]:
+    """All registered checkers, ordered by rule id."""
+    return [_REGISTRY[rule] for rule in sorted(_REGISTRY)]
+
+
+def checker_names() -> Tuple[str, ...]:
+    """Registered rule ids (sorted)."""
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,122 @@
+"""The analyzed tree: lazily parsed source files addressed by relative path.
+
+Checkers never touch the filesystem directly; they see
+:class:`SourceFile` objects (text + parsed AST + content hash) handed out by
+one :class:`Project`.  Cross-module checkers address the files they need by
+*repo-root-relative path* (``src/repro/api/protocol.py``), which is what
+lets the fixture tests run the same checkers against miniature trees laid
+out under a temporary root.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+class SourceParseError(Exception):
+    """A file under analysis does not parse as Python."""
+
+    def __init__(self, path: str, error: SyntaxError) -> None:
+        super().__init__(f"{path}:{error.lineno or 0}: {error.msg}")
+        self.path = path
+        self.line = int(error.lineno or 0)
+
+
+class SourceFile:
+    """One parsed Python source file.
+
+    Attributes:
+        path: repo-root-relative POSIX path (the anchor findings carry).
+        text: full source text.
+    """
+
+    def __init__(self, path: str, text: str) -> None:
+        self.path = path
+        self.text = text
+        self._tree: Optional[ast.Module] = None
+        self._digest: Optional[str] = None
+
+    @property
+    def tree(self) -> ast.Module:
+        """The parsed module (raises :class:`SourceParseError` once, lazily)."""
+        if self._tree is None:
+            try:
+                self._tree = ast.parse(self.text, filename=self.path)
+            except SyntaxError as error:
+                raise SourceParseError(self.path, error) from error
+        return self._tree
+
+    @property
+    def digest(self) -> str:
+        """Content hash keying the per-file finding cache."""
+        if self._digest is None:
+            self._digest = hashlib.sha256(self.text.encode("utf-8")).hexdigest()
+        return self._digest
+
+    def lines(self) -> List[str]:
+        return self.text.splitlines()
+
+
+class Project:
+    """A root directory plus the set of files selected for analysis.
+
+    Args:
+        root: the repository root all relative paths are resolved against.
+        paths: files or directories (relative to ``root`` or absolute)
+            selecting which ``*.py`` files the file-scoped checkers scan.
+            Cross-module checkers are not limited by the selection — they
+            pull the specific files their invariant spans via :meth:`file`.
+    """
+
+    def __init__(self, root: Path, paths: Sequence[str] = ("src",)):
+        self.root = Path(root).resolve()
+        self.paths = tuple(paths)
+        self._files: Dict[str, Optional[SourceFile]] = {}
+        self._selected: Optional[List[str]] = None
+
+    # ------------------------------------------------------------------
+    def _relative(self, path: Path) -> str:
+        return path.resolve().relative_to(self.root).as_posix()
+
+    def selected_files(self) -> List[str]:
+        """Relative paths of every ``*.py`` file under the selected paths."""
+        if self._selected is None:
+            found: List[str] = []
+            for entry in self.paths:
+                base = Path(entry)
+                if not base.is_absolute():
+                    base = self.root / base
+                if base.is_file() and base.suffix == ".py":
+                    found.append(self._relative(base))
+                elif base.is_dir():
+                    found.extend(
+                        self._relative(candidate)
+                        for candidate in sorted(base.rglob("*.py"))
+                    )
+            self._selected = sorted(set(found))
+        return list(self._selected)
+
+    def file(self, relpath: str) -> Optional[SourceFile]:
+        """The parsed file at ``relpath``, or ``None`` when absent.
+
+        Cross-module checkers treat an absent file as "invariant target does
+        not exist here" and emit a finding for it — an analysis run must not
+        crash because a fixture tree (or a refactor) moved a module.
+        """
+        if relpath not in self._files:
+            absolute = self.root / relpath
+            if absolute.is_file():
+                self._files[relpath] = SourceFile(
+                    relpath, absolute.read_text(encoding="utf-8")
+                )
+            else:
+                self._files[relpath] = None
+        return self._files[relpath]
+
+    def files(self, relpaths: Iterable[str]) -> List[SourceFile]:
+        """The existing files among ``relpaths`` (order preserved)."""
+        found = (self.file(relpath) for relpath in relpaths)
+        return [item for item in found if item is not None]

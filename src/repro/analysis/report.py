@@ -1,0 +1,54 @@
+"""Rendering an :class:`~repro.analysis.runner.AnalysisReport` for humans.
+
+The JSON form lives on the report itself (:meth:`AnalysisReport.to_json`);
+this module owns the terminal rendering: one ``path:line: RULE message``
+line per finding (editor-clickable), grouped counts, and the cache/file
+summary line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.runner import AnalysisReport
+
+
+def render_text(report: AnalysisReport, verbose: bool = False) -> str:
+    """The human report; empty findings render a one-line all-clear."""
+    lines: List[str] = []
+    for finding in report.errors:
+        lines.append(f"{finding.location()}: {finding.rule} {finding.message}")
+    if verbose:
+        for finding in report.suppressed:
+            lines.append(
+                f"{finding.location()}: {finding.rule} suppressed "
+                f"({finding.justification}): {finding.message}"
+            )
+    by_rule: Dict[str, int] = {}
+    for finding in report.errors:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    if by_rule:
+        breakdown = ", ".join(
+            f"{rule}: {count}" for rule, count in sorted(by_rule.items())
+        )
+        lines.append(
+            f"replint: {len(report.errors)} violation"
+            f"{'s' if len(report.errors) != 1 else ''} ({breakdown})"
+        )
+    else:
+        lines.append("replint: no violations")
+    lines.append(
+        f"replint: {report.files_scanned} files scanned, "
+        f"{len(report.suppressed)} suppressed, "
+        f"cache {report.cache_hits} hits / {report.cache_misses} misses"
+    )
+    return "\n".join(lines)
+
+
+def render_rules(rules: Dict[str, str]) -> str:
+    """``--list-rules`` output: every rule id with its one-line invariant."""
+    width = max((len(rule) for rule in rules), default=0)
+    return "\n".join(
+        f"{rule.ljust(width)}  {description}"
+        for rule, description in sorted(rules.items())
+    )

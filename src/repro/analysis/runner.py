@@ -1,0 +1,194 @@
+"""The analysis run: select files, run checkers (through the cache),
+apply suppressions, and produce one :class:`AnalysisReport`.
+
+The run is deterministic: findings are sorted, cache replay is exact, and
+the report is a pure function of the analyzed tree — which is what lets CI
+fail on any nonzero error count and lets the self-run test assert the
+committed tree is clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.cache import AnalysisCache, joint_digest
+from repro.analysis.findings import Finding
+from repro.analysis.framework import (
+    Checker,
+    FileChecker,
+    ProjectChecker,
+    registered_checkers,
+)
+from repro.analysis.project import Project, SourceParseError
+from repro.analysis.suppressions import (
+    Suppression,
+    apply_suppressions,
+    parse_suppressions,
+)
+
+#: Rule id for files that do not parse (nothing else can be checked).
+PARSE_RULE = "REPLINT-PARSE"
+
+#: Default cache file, repo-root-relative (gitignored).
+DEFAULT_CACHE_NAME = ".replint-cache.json"
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analysis run produced.
+
+    Attributes:
+        findings: every finding, suppressed ones included, sorted.
+        files_scanned: count of files the file-scoped checkers saw.
+        cache_hits / cache_misses: checker runs served from / added to the
+            finding cache.
+        rules: rule id -> description for every checker that ran.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    rules: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def errors(self) -> List[Finding]:
+        """Findings that fail the run (everything not suppressed)."""
+        return [finding for finding in self.findings if not finding.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.suppressed]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+    def to_json(self) -> Dict[str, object]:
+        """The ``--json`` payload CI consumes."""
+        return {
+            "errors": [finding.to_json() for finding in self.errors],
+            "suppressed": [finding.to_json() for finding in self.suppressed],
+            "summary": {
+                "error_count": len(self.errors),
+                "suppressed_count": len(self.suppressed),
+                "files_scanned": self.files_scanned,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "rules": dict(sorted(self.rules.items())),
+            },
+        }
+
+
+def run_analysis(
+    root: Path,
+    paths: Sequence[str] = ("src",),
+    cache_path: Optional[Path] = None,
+    rules: Optional[Sequence[str]] = None,
+    checkers: Optional[Sequence[Checker]] = None,
+) -> AnalysisReport:
+    """Run replint over ``paths`` beneath ``root``.
+
+    Args:
+        root: repository root; findings carry paths relative to it.
+        paths: files/directories selecting what the file-scoped checkers
+            scan.  Cross-module checkers always check the invariant files
+            they declare, regardless of the selection.
+        cache_path: finding-cache file (``None`` = no persistent cache).
+        rules: optional rule-id filter (unknown ids are ignored).
+        checkers: explicit checker set (defaults to the registry) — the
+            fixture tests inject exactly the rule under test.
+    """
+    project = Project(root, paths)
+    cache = AnalysisCache(cache_path)
+    active: List[Checker] = list(
+        checkers if checkers is not None else registered_checkers()
+    )
+    if rules is not None:
+        wanted = set(rules)
+        active = [checker for checker in active if checker.rule in wanted]
+
+    report = AnalysisReport()
+    findings: List[Finding] = []
+    suppressions: List[Suppression] = []
+    parse_failed: Dict[str, bool] = {}
+
+    selected = project.selected_files()
+    report.files_scanned = len(selected)
+
+    # Suppressions come from every file findings can land in: the selected
+    # files plus every cross-module dependency file.
+    suppression_paths = list(selected)
+    for checker in active:
+        if isinstance(checker, ProjectChecker):
+            suppression_paths.extend(checker.dependencies)
+    for relpath in sorted(set(suppression_paths)):
+        source = project.file(relpath)
+        if source is not None:
+            suppressions.extend(parse_suppressions(relpath, source.text))
+
+    for checker in active:
+        report.rules[checker.rule] = checker.description
+        if isinstance(checker, FileChecker):
+            for relpath in selected:
+                if not checker.applies_to(relpath):
+                    continue
+                source = project.file(relpath)
+                if source is None:
+                    continue
+                key = cache.key(checker.rule, checker.version, source.digest)
+                cached = cache.get(key)
+                if cached is not None:
+                    findings.extend(cached)
+                    continue
+                try:
+                    produced = sorted(checker.check(source))
+                except SourceParseError as error:
+                    if not parse_failed.get(relpath):
+                        parse_failed[relpath] = True
+                        findings.append(
+                            Finding(
+                                path=relpath,
+                                line=error.line,
+                                rule=PARSE_RULE,
+                                message=f"file does not parse: {error}",
+                            )
+                        )
+                    continue
+                cache.put(key, produced)
+                findings.extend(produced)
+        else:
+            digests = []
+            for relpath in checker.dependencies:
+                source = project.file(relpath)
+                digests.append("absent" if source is None else source.digest)
+            key = cache.key(
+                checker.rule, checker.version, joint_digest(digests)
+            )
+            cached = cache.get(key)
+            if cached is not None:
+                findings.extend(cached)
+                continue
+            try:
+                produced = sorted(checker.check(project))
+            except SourceParseError as error:
+                findings.append(
+                    Finding(
+                        path=error.path,
+                        line=error.line,
+                        rule=PARSE_RULE,
+                        message=f"file does not parse: {error}",
+                    )
+                )
+                continue
+            cache.put(key, produced)
+            findings.extend(produced)
+
+    resolved, problems = apply_suppressions(findings, suppressions)
+    report.findings = sorted(resolved + problems)
+    report.cache_hits = cache.hits
+    report.cache_misses = cache.misses
+    cache.save()
+    return report

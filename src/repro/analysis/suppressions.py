@@ -1,0 +1,151 @@
+"""Trailing ``replint: disable=RULE -- justification`` comments.
+
+Suppressions are deliberately narrow: one line, named rules, and a
+*required* justification after ``--`` so the reviewer of a suppression sees
+why the invariant does not apply at that site.  A suppression missing its
+justification, naming no rule, or matching no finding is itself reported
+under the ``REPLINT-SUPPRESS`` rule — silence must be earned, and stale
+silence must not accumulate.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.findings import Finding
+
+#: Rule id findings about the suppression mechanism itself are filed under.
+SUPPRESS_RULE = "REPLINT-SUPPRESS"
+
+_MARKER = re.compile(r"#\s*replint:\s*disable=([^#]*)")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed suppression comment.
+
+    Attributes:
+        path: repo-root-relative path of the file carrying the comment.
+        line: 1-based line the comment sits on (findings on this line with a
+            matching rule are suppressed).
+        rules: rule ids named by the comment.
+        justification: the required ``--`` text ("" when missing — invalid).
+    """
+
+    path: str
+    line: int
+    rules: Tuple[str, ...]
+    justification: str
+
+    @property
+    def valid(self) -> bool:
+        """Whether the suppression may actually silence findings."""
+        return bool(self.rules) and bool(self.justification)
+
+
+def parse_suppressions(path: str, text: str) -> List[Suppression]:
+    """All suppression comments in one file's source text.
+
+    The scan is textual (comments are invisible to ``ast``); the marker is
+    specific enough that matches inside string literals are not a practical
+    concern for this codebase, and a false positive would only ever surface
+    as an *unused* suppression — loudly, not silently.
+    """
+    suppressions: List[Suppression] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _MARKER.search(line)
+        if match is None:
+            continue
+        body = match.group(1)
+        rules_part, separator, justification = body.partition("--")
+        rules = tuple(
+            rule.strip() for rule in rules_part.split(",") if rule.strip()
+        )
+        suppressions.append(
+            Suppression(
+                path=path,
+                line=lineno,
+                rules=rules,
+                justification=justification.strip() if separator else "",
+            )
+        )
+    return suppressions
+
+
+def apply_suppressions(
+    findings: List[Finding], suppressions: List[Suppression]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Match suppressions against findings.
+
+    Returns ``(findings, problems)``: the input findings with matching ones
+    marked ``suppressed`` (carrying their justification), plus
+    ``REPLINT-SUPPRESS`` findings for malformed and unused suppressions.
+    """
+    used = [False] * len(suppressions)
+    resolved: List[Finding] = []
+    for finding in findings:
+        suppressed_by = None
+        for index, suppression in enumerate(suppressions):
+            if (
+                suppression.valid
+                and suppression.path == finding.path
+                and suppression.line == finding.line
+                and finding.rule in suppression.rules
+            ):
+                suppressed_by = suppression
+                used[index] = True
+                break
+        if suppressed_by is None:
+            resolved.append(finding)
+        else:
+            resolved.append(
+                Finding(
+                    path=finding.path,
+                    line=finding.line,
+                    rule=finding.rule,
+                    message=finding.message,
+                    suppressed=True,
+                    justification=suppressed_by.justification,
+                )
+            )
+    problems: List[Finding] = []
+    for index, suppression in enumerate(suppressions):
+        if not suppression.rules:
+            problems.append(
+                Finding(
+                    path=suppression.path,
+                    line=suppression.line,
+                    rule=SUPPRESS_RULE,
+                    message=(
+                        "suppression names no rule; write a trailing "
+                        "comment 'replint: disable=RULE -- justification'"
+                    ),
+                )
+            )
+        elif not suppression.justification:
+            problems.append(
+                Finding(
+                    path=suppression.path,
+                    line=suppression.line,
+                    rule=SUPPRESS_RULE,
+                    message=(
+                        f"suppression of {', '.join(suppression.rules)} has no "
+                        "justification; append ' -- <why this site is exempt>'"
+                    ),
+                )
+            )
+        elif not used[index]:
+            problems.append(
+                Finding(
+                    path=suppression.path,
+                    line=suppression.line,
+                    rule=SUPPRESS_RULE,
+                    message=(
+                        f"unused suppression of {', '.join(suppression.rules)}: "
+                        "no finding matches this line; delete the comment"
+                    ),
+                )
+            )
+    return resolved, problems

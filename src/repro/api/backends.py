@@ -256,7 +256,7 @@ class ReferenceBackend:
 
     name = "reference"
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.passes = 0
 
     def capabilities(self) -> BackendCapabilities:
@@ -328,7 +328,7 @@ class ChipBackend:
 
     name = "chip"
 
-    def __init__(self, multicopy: bool = True):
+    def __init__(self, multicopy: bool = True) -> None:
         self.multicopy = bool(multicopy)
         self.passes = 0
 

@@ -36,12 +36,15 @@ bit-identical readout spike counts for the chip) testable at ``atol=0``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Protocol, Tuple, runtime_checkable
+from typing import TYPE_CHECKING, Optional, Protocol, Tuple, runtime_checkable
 
 import numpy as np
 
 from repro.core.model import TrueNorthModel
 from repro.datasets.base import Dataset
+
+if TYPE_CHECKING:
+    from repro.eval.sweep import SweepResult
 
 #: Encoders understood by the protocol.  Only the paper's Bernoulli encoder
 #: is implemented today; the field exists so new encoders extend the request
@@ -135,7 +138,7 @@ class EvalRequest:
     router_delay: Optional[int] = None
     stochastic_synapses: bool = False
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         copy_levels = tuple(sorted(set(int(c) for c in self.copy_levels)))
         spf_levels = tuple(sorted(set(int(s) for s in self.spf_levels)))
         object.__setattr__(self, "copy_levels", copy_levels)
@@ -300,7 +303,7 @@ class EvalResult:
             )
         return np.rint(scores * n_k).astype(np.int64)
 
-    def sweep(self, label: str = ""):
+    def sweep(self, label: str = "") -> "SweepResult":
         """This result as a :class:`repro.eval.sweep.SweepResult`.
 
         Keeps the comparison/matching machinery of Table 2 and Figures 8-9

@@ -32,12 +32,17 @@ with ``seed=None`` ask for fresh entropy and are therefore never coalesced
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, cast
 
 import numpy as np
 
 from repro.api.backends import backend_names, create_backend
-from repro.api.protocol import BackendCapabilities, EvalRequest, EvalResult
+from repro.api.protocol import (
+    BackendCapabilities,
+    EvalRequest,
+    EvalResult,
+    EvaluationBackend,
+)
 from repro.eval.runner import ScoreCache, dataset_fingerprint, model_fingerprint
 
 #: Sentinel for capability-based backend selection.
@@ -191,7 +196,7 @@ class Session:
     # ------------------------------------------------------------------
     # backends
     # ------------------------------------------------------------------
-    def backend(self, name: str):
+    def backend(self, name: str) -> EvaluationBackend:
         """The (lazily created, cached) backend instance for ``name``."""
         if name not in self._backends:
             if name == "vectorized":
@@ -204,7 +209,9 @@ class Session:
                 )
             else:
                 self._backends[name] = create_backend(name)
-        return self._backends[name]
+        # The registry is duck-typed (factories return object); every
+        # registered backend satisfies the runtime-checkable protocol.
+        return cast(EvaluationBackend, self._backends[name])
 
     def capabilities(self, name: str) -> BackendCapabilities:
         """Capabilities of one registered backend."""

@@ -176,8 +176,8 @@ def class_merge_weights(network: CoreletNetwork) -> np.ndarray:
     result bit-identical across evaluation strategies (summation of integers
     in float64 is exact in any order).
     """
-    assignment = np.asarray(network.class_assignment, dtype=int)
-    indicator = np.zeros((assignment.size, network.num_classes))
+    assignment = np.asarray(network.class_assignment, dtype=np.int64)
+    indicator = np.zeros((assignment.size, network.num_classes), dtype=np.float64)
     indicator[np.arange(assignment.size), assignment] = 1.0
     return indicator
 
@@ -185,9 +185,9 @@ def class_merge_weights(network: CoreletNetwork) -> np.ndarray:
 def class_counts(network: CoreletNetwork) -> np.ndarray:
     """Readout-neuron count per class (``n_k``)."""
     return np.bincount(
-        np.asarray(network.class_assignment, dtype=int),
+        np.asarray(network.class_assignment, dtype=np.int64),
         minlength=network.num_classes,
-    ).astype(float)
+    ).astype(np.float64)
 
 
 class VectorizedEvaluator:
@@ -229,8 +229,8 @@ class VectorizedEvaluator:
                         for copy in copies
                     ]
                 )  # (copies, axons, neurons)
-                rows = np.asarray(corelet.input_channels, dtype=int)
-                cols = np.asarray(corelet.output_channels, dtype=int)
+                rows = np.asarray(corelet.input_channels, dtype=np.int64)
+                cols = np.asarray(corelet.output_channels, dtype=np.int64)
                 magnitudes = np.abs(stacked[stacked != 0.0])
                 foldable = magnitudes.size == 0 or (
                     float(magnitudes.min()) == float(magnitudes.max())
@@ -262,7 +262,7 @@ class VectorizedEvaluator:
                         None,
                         None,
                         stacked,
-                        (stacked != 0.0).astype(float),
+                        (stacked != 0.0).astype(np.float64),
                     )
                 stacked_layer.append(entry)
             self._layers.append(stacked_layer)
@@ -289,7 +289,7 @@ class VectorizedEvaluator:
                 f"sampled weights of corelet {depth}/{corelet.index} have "
                 f"shape {sampled.shape}, expected {expected}"
             )
-        return np.asarray(sampled, dtype=float)
+        return np.asarray(sampled, dtype=np.float64)
 
     # ------------------------------------------------------------------
     def _scratch(self, key, shape) -> np.ndarray:
@@ -360,9 +360,9 @@ class VectorizedEvaluator:
                     # Mixed synaptic magnitudes: explicit weights + mask pair
                     # (float64 path, not produced by the paper's mapping).
                     if depth == 0:
-                        gathered = shared[:, entry.rows].astype(float)
+                        gathered = shared[:, entry.rows].astype(np.float64)
                     else:
-                        gathered = current[..., entry.rows].astype(float)
+                        gathered = current[..., entry.rows].astype(np.float64)
                     pre = np.matmul(gathered, entry.weights)
                     active = np.matmul(gathered, entry.mask)
                     spikes = (pre >= 0.0) & (active > 0.0)  # (copies, volume, n)
@@ -386,7 +386,7 @@ class VectorizedEvaluator:
         internal = self._forward_internal(spike_frames)
         if not self._copies_first:
             internal = internal.transpose(1, 0, 2)
-        return np.ascontiguousarray(internal, dtype=float)
+        return np.ascontiguousarray(internal, dtype=np.float64)
 
     def class_scores(self, spike_frames: np.ndarray) -> np.ndarray:
         """Class-mean scores for shared input spikes.
@@ -399,7 +399,7 @@ class VectorizedEvaluator:
         summed = np.matmul(spikes, self._merge_indicator32)
         if not self._copies_first:
             summed = summed.transpose(1, 0, 2)
-        return summed.astype(float) / self._class_counts
+        return summed.astype(np.float64) / self._class_counts
 
     # ------------------------------------------------------------------
     def evaluate_scores(
@@ -424,7 +424,7 @@ class VectorizedEvaluator:
         Returns:
             array of shape ``(copies, spikes_per_frame, batch, num_classes)``.
         """
-        features = np.asarray(features, dtype=float)
+        features = np.asarray(features, dtype=np.float64)
         if features.ndim != 2:
             raise ValueError(
                 f"features must be 2-D (batch, features), got {features.shape}"
@@ -432,7 +432,8 @@ class VectorizedEvaluator:
         encoder = StochasticEncoder(spikes_per_frame=spikes_per_frame)
         batch = features.shape[0]
         scores = np.empty(
-            (self.copy_count, spikes_per_frame, batch, self.network.num_classes)
+            (self.copy_count, spikes_per_frame, batch, self.network.num_classes),
+            dtype=np.float64,
         )
         for start, frames in encoder.iter_encoded(
             features, rng=rng, chunk_frames=chunk_frames
@@ -459,17 +460,17 @@ def forward_spikes_reference(
     two-term firing gate) — kept as the ground truth the vectorized engine
     must match bit for bit.
     """
-    spike_frame = np.asarray(spike_frame, dtype=float)
+    spike_frame = np.asarray(spike_frame, dtype=np.float64)
     network = copy.corelet_network
     current = spike_frame
     for depth, layer_corelets in enumerate(network.corelets):
         outputs = []
         for corelet, weights in zip(layer_corelets, copy.sampled_weights[depth]):
-            indices = np.asarray(corelet.input_channels, dtype=int)
+            indices = np.asarray(corelet.input_channels, dtype=np.int64)
             gathered = current[:, indices]
             pre = gathered @ weights
-            active = gathered @ (weights != 0.0).astype(float)
-            outputs.append(((pre >= 0.0) & (active > 0.0)).astype(float))
+            active = gathered @ (weights != 0.0).astype(np.float64)
+            outputs.append(((pre >= 0.0) & (active > 0.0)).astype(np.float64))
         current = np.concatenate(outputs, axis=1)
     return current
 
@@ -497,7 +498,10 @@ def evaluate_scores_reference(
     indicator = class_merge_weights(network)
     counts = class_counts(network)
     batch = frames.shape[1]
-    scores = np.zeros((len(copies), spikes_per_frame, batch, network.num_classes))
+    scores = np.zeros(
+        (len(copies), spikes_per_frame, batch, network.num_classes),
+        dtype=np.float64,
+    )
     for copy_index, copy in enumerate(copies):
         for frame_index in range(spikes_per_frame):
             spikes = forward_spikes_reference(copy, frames[frame_index])

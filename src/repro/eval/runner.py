@@ -554,7 +554,8 @@ class SweepRunner:
             model, dataset, rng=rng, corelet_network=corelet_network, workers=workers
         )
         accuracy_samples = np.zeros(
-            (self.repeats, len(self.copy_levels), len(self.spf_levels))
+            (self.repeats, len(self.copy_levels), len(self.spf_levels)),
+            dtype=np.float64,
         )
         for repeat_index, grid_cumulative in enumerate(tensors):
             for i, copies in enumerate(self.copy_levels):

@@ -38,7 +38,7 @@ class QueueFullError(RuntimeError):
             publishes it as the ``Retry-After`` header).
     """
 
-    def __init__(self, message: str, retry_after: float):
+    def __init__(self, message: str, retry_after: float) -> None:
         super().__init__(message)
         self.retry_after = retry_after
 
@@ -75,8 +75,8 @@ class Job:
 class LatencyWindow:
     """A bounded window of recent request latencies with percentile reads."""
 
-    def __init__(self, maxlen: int = 1024):
-        self._samples: deque = deque(maxlen=maxlen)
+    def __init__(self, maxlen: int = 1024) -> None:
+        self._samples: deque = deque(maxlen=maxlen)  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def record(self, seconds: float) -> None:
@@ -109,21 +109,21 @@ class AdmissionController:
         workers: worker-pool size, used only to scale the retry hint.
     """
 
-    def __init__(self, max_depth: int = 64, workers: int = 1):
+    def __init__(self, max_depth: int = 64, workers: int = 1) -> None:
         if max_depth <= 0:
             raise ValueError(f"max_depth must be positive, got {max_depth}")
         self.max_depth = max_depth
         self.workers = max(1, workers)
         self.latencies = LatencyWindow()
-        self._jobs: deque = deque()
+        self._jobs: deque = deque()  # guarded-by: _lock
         self._lock = threading.Lock()
         self._nonempty = threading.Condition(self._lock)
-        self._closed = False
-        self.received = 0
-        self.admitted = 0
-        self.rejected = 0
-        self.completed = 0
-        self.failed = 0
+        self._closed = False  # guarded-by: _lock
+        self.received = 0  # guarded-by: _lock
+        self.admitted = 0  # guarded-by: _lock
+        self.rejected = 0  # guarded-by: _lock
+        self.completed = 0  # guarded-by: _lock
+        self.failed = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # producer side
@@ -216,7 +216,10 @@ class AdmissionController:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        # Read under the lock: without it this is a data race with close(),
+        # and the unsynchronized read is exactly what LOCK-GUARD flags.
+        with self._lock:
+            return self._closed
 
     @property
     def queue_depth(self) -> int:

@@ -35,7 +35,7 @@ class ServeError(RuntimeError):
         error_type: the payload's ``type`` discriminator.
     """
 
-    def __init__(self, message: str, status: int = 0, error_type: str = "unknown"):
+    def __init__(self, message: str, status: int = 0, error_type: str = "unknown") -> None:
         super().__init__(message)
         self.status = status
         self.error_type = error_type
@@ -44,7 +44,7 @@ class ServeError(RuntimeError):
 class ServiceOverloadedError(ServeError):
     """429 — the admission queue shed this request; retry later."""
 
-    def __init__(self, message: str, retry_after: float):
+    def __init__(self, message: str, retry_after: float) -> None:
         super().__init__(message, status=429, error_type="overloaded")
         self.retry_after = retry_after
 

@@ -43,7 +43,7 @@ class CodecError(ValueError):
         field: name of the offending field, when one can be blamed.
     """
 
-    def __init__(self, message: str, field: Optional[str] = None):
+    def __init__(self, message: str, field: Optional[str] = None) -> None:
         super().__init__(message)
         self.field = field
 

@@ -20,9 +20,12 @@ from __future__ import annotations
 
 import json
 from http.server import BaseHTTPRequestHandler
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional, cast
 
 from repro.serve.admission import QueueFullError, ServiceClosedError
+
+if TYPE_CHECKING:
+    from repro.serve.server import EvalService
 from repro.serve.codec import (
     CodecError,
     UnknownDatasetError,
@@ -41,10 +44,12 @@ class ServeHandler(BaseHTTPRequestHandler):
     server_version = "repro-serve/1.1"
 
     @property
-    def service(self):
-        return self.server.service
+    def service(self) -> "EvalService":
+        # The ThreadingHTTPServer subclass (_ServeHTTPServer) carries the
+        # service; BaseHTTPRequestHandler types ``server`` as BaseServer.
+        return cast("EvalService", getattr(self.server, "service"))
 
-    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002 - stdlib signature
         """Silence per-request stderr logging (metrics cover it)."""
 
     # ------------------------------------------------------------------
@@ -67,8 +72,9 @@ class ServeHandler(BaseHTTPRequestHandler):
 
     def _send_error_payload(self, route: str, error: BaseException) -> None:
         status, payload = error_payload(error)
-        headers = {}
-        retry_after = payload["error"].get("retry_after")
+        headers: Dict[str, str] = {}
+        detail = cast(Dict[str, object], payload["error"])
+        retry_after = detail.get("retry_after")
         if retry_after is not None:
             headers["Retry-After"] = str(retry_after)
         self._send_json(route, status, payload, headers=headers)

@@ -75,7 +75,7 @@ class ServeConfig:
     cache_dir: Optional[str] = None
     cache_max_bytes: Optional[int] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
         if self.batch_max <= 0:
@@ -89,7 +89,7 @@ class ServeConfig:
 class ModelRegistry:
     """Named models and datasets a service instance hosts."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._models: Dict[str, Tuple[object, Dict[str, object]]] = {}
         self._datasets: Dict[str, Dataset] = {}
 
@@ -175,7 +175,7 @@ class ModelRegistry:
 class EvalService:
     """Transport-free service core: admission queue + coalescing workers."""
 
-    def __init__(self, registry: ModelRegistry, config: Optional[ServeConfig] = None):
+    def __init__(self, registry: ModelRegistry, config: Optional[ServeConfig] = None) -> None:
         self.registry = registry
         self.config = config or ServeConfig()
         self.admission = AdmissionController(
@@ -187,7 +187,7 @@ class EvalService:
         self._score_cache = ScoreCache()
         self._sessions: List[Session] = []
         self._threads: List[threading.Thread] = []
-        self._http_counts: Dict[str, int] = {}
+        self._http_counts: Dict[str, int] = {}  # guarded-by: _http_lock
         self._http_lock = threading.Lock()
         self._started = False
 
@@ -353,7 +353,7 @@ class _ServeHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address, service: EvalService):
+    def __init__(self, address: Tuple[str, int], service: EvalService) -> None:
         super().__init__(address, ServeHandler)
         self.service = service
 
@@ -369,7 +369,7 @@ class EvalServer:
             result = client.evaluate(model="tea", copy_levels=[1, 2])
     """
 
-    def __init__(self, registry: ModelRegistry, config: Optional[ServeConfig] = None):
+    def __init__(self, registry: ModelRegistry, config: Optional[ServeConfig] = None) -> None:
         self.config = config or ServeConfig()
         self.service = EvalService(registry, self.config)
         self._httpd: Optional[_ServeHTTPServer] = None

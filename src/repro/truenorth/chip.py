@@ -276,7 +276,7 @@ class TrueNorthChip:
                     vector = per_core_axons.setdefault(
                         binding.core_id, np.zeros(axons, dtype=np.int8)
                     )
-                    vector[np.asarray(binding.axon_map, dtype=int)] |= spikes.astype(
+                    vector[np.asarray(binding.axon_map, dtype=np.int64)] |= spikes.astype(
                         np.int8
                     )
 
@@ -297,7 +297,7 @@ class TrueNorthChip:
                 if spikes is None:
                     continue
                 per_binding[index] = spikes[
-                    np.asarray(binding.neuron_map, dtype=int)
+                    np.asarray(binding.neuron_map, dtype=np.int64)
                 ].copy()
             external_outputs[channel] = per_binding
 

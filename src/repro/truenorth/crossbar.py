@@ -71,9 +71,9 @@ class SynapticCrossbar:
         self.axons = axons
         self.neurons = neurons
         #: connectivity[a, n] == True when the synapse from axon a to neuron n is ON
-        self.connectivity = np.zeros((axons, neurons), dtype=bool)
+        self.connectivity = np.zeros((axons, neurons), dtype=np.bool_)
         #: Bernoulli ON-probability per synapse, used when stochastic gating is enabled
-        self.probabilities = np.zeros((axons, neurons), dtype=float)
+        self.probabilities = np.zeros((axons, neurons), dtype=np.float64)
         #: axon type per row
         self.axon_types = np.zeros(axons, dtype=np.int8)
         #: weight tables, one row per neuron (columns indexed by axon type)
@@ -150,7 +150,7 @@ class SynapticCrossbar:
 
     def set_connectivity(self, connectivity: np.ndarray) -> None:
         """Program the full binary connectivity matrix (axons x neurons)."""
-        connectivity = np.asarray(connectivity, dtype=bool)
+        connectivity = np.asarray(connectivity, dtype=np.bool_)
         if connectivity.shape != (self.axons, self.neurons):
             raise ValueError(
                 f"expected connectivity of shape {(self.axons, self.neurons)}, "
@@ -186,7 +186,7 @@ class SynapticCrossbar:
 
     def set_probabilities(self, probabilities: np.ndarray) -> None:
         """Program per-synapse Bernoulli ON probabilities (stochastic mode)."""
-        probabilities = np.asarray(probabilities, dtype=float)
+        probabilities = np.asarray(probabilities, dtype=np.float64)
         if probabilities.shape != (self.axons, self.neurons):
             raise ValueError(
                 f"expected probabilities of shape {(self.axons, self.neurons)}, "
@@ -233,7 +233,7 @@ class SynapticCrossbar:
 
     def set_copy_probabilities(self, probabilities: np.ndarray) -> None:
         """Program per-copy Bernoulli ON-probability stacks (stochastic mode)."""
-        probabilities = np.asarray(probabilities, dtype=float)
+        probabilities = np.asarray(probabilities, dtype=np.float64)
         if probabilities.ndim != 3 or probabilities.shape[1:] != (
             self.axons,
             self.neurons,

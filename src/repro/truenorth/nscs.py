@@ -84,7 +84,7 @@ class NeuroSynapticChipSimulator:
         Returns:
             a :class:`DeviationReport` with the per-synapse map and statistics.
         """
-        desired_weights = np.asarray(desired_weights, dtype=float)
+        desired_weights = np.asarray(desired_weights, dtype=np.float64)
         crossbar = core.crossbar
         expected_shape = (crossbar.axons, crossbar.neurons)
         if desired_weights.shape != expected_shape:
@@ -92,7 +92,7 @@ class NeuroSynapticChipSimulator:
                 f"desired_weights must have shape {expected_shape}, "
                 f"got {desired_weights.shape}"
             )
-        deployed = crossbar.effective_weights().astype(float)
+        deployed = crossbar.effective_weights().astype(np.float64)
         if normalization is None:
             normalization = float(np.abs(crossbar.weight_tables).max())
         if normalization <= 0:

@@ -73,7 +73,7 @@ class LfsrPrng:
         stepping the LFSR once per synapse; the result remains a pure function
         of the LFSR state.
         """
-        probabilities = np.asarray(probabilities, dtype=float)
+        probabilities = np.asarray(probabilities, dtype=np.float64)
         if probabilities.size and (
             probabilities.min() < 0.0 or probabilities.max() > 1.0
         ):

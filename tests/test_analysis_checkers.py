@@ -1,0 +1,553 @@
+"""Fixture pairs for every replint rule.
+
+Each rule gets (at least) one clean fixture that must produce no findings
+and one seeded-violation fixture that must produce findings with the right
+rule id on the right line.  File-scoped rules run directly against
+:class:`SourceFile` objects; cross-module rules run against miniature
+project trees laid out under ``tmp_path`` with the same relative paths the
+real repo uses.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.checkers.cap_exhaustive import CapExhaustiveChecker
+from repro.analysis.checkers.dtype_explicit import DtypeExplicitChecker
+from repro.analysis.checkers.frozen_mut import FrozenMutChecker
+from repro.analysis.checkers.lock_guard import LockGuardChecker
+from repro.analysis.checkers.req_sync import ReqSyncChecker
+from repro.analysis.checkers.rng_seed import RngSeedChecker
+from repro.analysis.project import Project, SourceFile
+
+
+def line_of(text: str, needle: str) -> int:
+    """1-based line number of the first line containing ``needle``."""
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if needle in line:
+            return lineno
+    raise AssertionError(f"fixture does not contain {needle!r}")
+
+
+def source(path: str, text: str) -> SourceFile:
+    return SourceFile(path, textwrap.dedent(text))
+
+
+def write_tree(root: Path, files: dict) -> Project:
+    """Lay ``{relpath: text}`` out under ``root`` and wrap it as a Project."""
+    for relpath, text in files.items():
+        target = root / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(text), encoding="utf-8")
+    return Project(root, ["src"])
+
+
+# ----------------------------------------------------------------------
+# RNG-SEED
+# ----------------------------------------------------------------------
+class TestRngSeed:
+    checker = RngSeedChecker()
+
+    def test_injected_generator_is_clean(self):
+        clean = source(
+            "src/repro/core/mod.py",
+            """\
+            import numpy as np
+
+            def draw(rng):
+                return rng.integers(0, 2, size=4, dtype=np.int64)
+            """,
+        )
+        assert self.checker.check(clean) == []
+
+    def test_module_state_and_stdlib_random_flagged(self):
+        text = """\
+        import numpy as np
+        import random
+
+        def draw():
+            a = np.random.choice([0, 1])
+            b = random.random()
+            return a + b
+        """
+        bad = source("src/repro/core/mod.py", text)
+        findings = self.checker.check(bad)
+        assert {f.rule for f in findings} == {"RNG-SEED"}
+        lines = sorted(f.line for f in findings)
+        expected = sorted(
+            [
+                line_of(bad.text, "import random"),
+                line_of(bad.text, "np.random.choice"),
+                line_of(bad.text, "random.random()"),
+            ]
+        )
+        assert lines == expected
+
+    def test_aliased_numpy_random_flagged(self):
+        bad = source(
+            "src/repro/core/mod.py",
+            """\
+            from numpy.random import default_rng
+
+            def fresh():
+                return default_rng(0)
+            """,
+        )
+        findings = self.checker.check(bad)
+        assert len(findings) == 1
+        assert "numpy.random.default_rng" in findings[0].message
+
+    def test_sanctioned_plumbing_modules_exempt(self):
+        assert not self.checker.applies_to("src/repro/utils/rng.py")
+        assert not self.checker.applies_to("src/repro/truenorth/prng.py")
+        assert self.checker.applies_to("src/repro/core/mod.py")
+        assert not self.checker.applies_to("tests/test_core_model.py")
+
+
+# ----------------------------------------------------------------------
+# DTYPE-EXPLICIT
+# ----------------------------------------------------------------------
+class TestDtypeExplicit:
+    checker = DtypeExplicitChecker()
+
+    def test_explicit_numpy_dtypes_are_clean(self):
+        clean = source(
+            "src/repro/truenorth/mod.py",
+            """\
+            import numpy as np
+
+            def alloc(n, x):
+                counts = np.zeros(n, dtype=np.int64)
+                acc = np.full((n, n), 0.0, dtype=np.float64)
+                return counts, acc, x.astype(np.float64)
+            """,
+        )
+        assert self.checker.check(clean) == []
+
+    def test_builtin_and_defaulted_dtypes_flagged(self):
+        text = """\
+        import numpy as np
+
+        def alloc(n, x):
+            a = np.zeros(n)
+            b = np.zeros(n, dtype=float)
+            c = np.full((2, 2), 0, int)
+            d = x.astype(float)
+            return a, b, c, d
+        """
+        bad = source("src/repro/eval/mod.py", text)
+        findings = self.checker.check(bad)
+        assert {f.rule for f in findings} == {"DTYPE-EXPLICIT"}
+        by_line = {f.line: f.message for f in findings}
+        assert "defaults" in by_line[line_of(bad.text, "np.zeros(n)")]
+        assert "np.float64" in by_line[line_of(bad.text, "dtype=float")]
+        assert "positional" in by_line[line_of(bad.text, "np.full")]
+        assert ".astype(float)" in by_line[line_of(bad.text, "x.astype")]
+        assert len(findings) == 4
+
+    def test_inference_calls_exempt(self):
+        clean = source(
+            "src/repro/truenorth/mod.py",
+            """\
+            import numpy as np
+
+            def mirror(x):
+                return np.zeros_like(x), np.array([1, 2])
+            """,
+        )
+        assert self.checker.check(clean) == []
+
+    def test_only_numeric_core_paths_apply(self):
+        assert self.checker.applies_to("src/repro/truenorth/chip.py")
+        assert self.checker.applies_to("src/repro/eval/engine.py")
+        assert not self.checker.applies_to("src/repro/core/model.py")
+
+
+# ----------------------------------------------------------------------
+# FROZEN-MUT
+# ----------------------------------------------------------------------
+class TestFrozenMut:
+    checker = FrozenMutChecker()
+
+    def test_post_init_and_private_memo_are_clean(self):
+        clean = source(
+            "src/repro/api/mod.py",
+            """\
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Req:
+                label: str
+
+                def __post_init__(self):
+                    object.__setattr__(self, "label", self.label.strip())
+
+                def _memoize(self, value):
+                    object.__setattr__(self, "_memo", value)
+            """,
+        )
+        assert self.checker.check(clean) == []
+
+    def test_unsanctioned_setattr_shapes_flagged(self):
+        text = """\
+        class Req:
+            def rename(self, label):
+                object.__setattr__(self, "label", label)
+
+            def poke(self, other):
+                object.__setattr__(other, "_x", 1)
+
+            def dynamic(self, name):
+                object.__setattr__(self, name, 1)
+        """
+        bad = source("src/repro/api/mod.py", text)
+        findings = self.checker.check(bad)
+        assert {f.rule for f in findings} == {"FROZEN-MUT"}
+        by_line = {f.line: f.message for f in findings}
+        assert "outside" in by_line[line_of(bad.text, '"label", label')]
+        assert "not self" in by_line[line_of(bad.text, "__setattr__(other")]
+        assert "computed" in by_line[line_of(bad.text, "__setattr__(self, name")]
+        assert len(findings) == 3
+
+
+# ----------------------------------------------------------------------
+# LOCK-GUARD
+# ----------------------------------------------------------------------
+class TestLockGuard:
+    checker = LockGuardChecker()
+
+    def test_disciplined_class_is_clean(self):
+        clean = source(
+            "src/repro/serve/mod.py",
+            """\
+            import threading
+
+            class Queue:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cond = threading.Condition(self._lock)
+                    self._items = []  # guarded-by: _lock
+
+                def put(self, item):
+                    with self._cond:
+                        self._items.append(item)
+                        self._cond.notify()
+
+                def drain(self):
+                    with self._lock:
+                        items, self._items = self._items, []
+                    return items
+            """,
+        )
+        assert self.checker.check(clean) == []
+
+    def test_unguarded_access_flagged(self):
+        text = """\
+        import threading
+
+        class Queue:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []  # guarded-by: _lock
+
+            def peek(self):
+                return list(self._items)
+        """
+        bad = source("src/repro/serve/mod.py", text)
+        findings = self.checker.check(bad)
+        assert len(findings) == 1
+        assert findings[0].rule == "LOCK-GUARD"
+        assert findings[0].line == line_of(bad.text, "list(self._items)")
+        assert "outside" in findings[0].message
+
+    def test_sibling_call_deadlock_flagged(self):
+        # The PR-4 regression shape: the admission path computed its retry
+        # hint via a method that re-acquired the queue lock it already held.
+        text = """\
+        import threading
+
+        class Controller:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._jobs = []  # guarded-by: _lock
+
+            def submit(self, job):
+                with self._lock:
+                    self._jobs.append(job)
+                    return self.retry_after()
+
+            def retry_after(self):
+                with self._lock:
+                    return len(self._jobs)
+        """
+        bad = source("src/repro/serve/mod.py", text)
+        findings = self.checker.check(bad)
+        assert len(findings) == 1
+        assert findings[0].line == line_of(bad.text, "return self.retry_after()")
+        assert "deadlock" in findings[0].message
+
+    def test_direct_reacquire_flagged_but_rlock_exempt(self):
+        bad = source(
+            "src/repro/serve/mod.py",
+            """\
+            import threading
+
+            class Plain:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0  # guarded-by: _lock
+
+                def bump(self):
+                    with self._lock:
+                        with self._lock:
+                            self._n += 1
+            """,
+        )
+        findings = self.checker.check(bad)
+        assert len(findings) == 1
+        assert "re-acquires" in findings[0].message
+
+        reentrant = source(
+            "src/repro/serve/mod.py",
+            """\
+            import threading
+
+            class Rec:
+                def __init__(self):
+                    self._lock = threading.RLock()
+                    self._n = 0  # guarded-by: _lock
+
+                def bump(self):
+                    with self._lock:
+                        with self._lock:
+                            self._n += 1
+            """,
+        )
+        assert self.checker.check(reentrant) == []
+
+    def test_broken_annotations_flagged(self):
+        text = """\
+        import threading
+
+        class Odd:
+            def __init__(self):
+                self._lock = threading.Lock()
+                # guarded-by: _lock
+                self._data = {}  # guarded-by: _missing
+        """
+        bad = source("src/repro/serve/mod.py", text)
+        findings = self.checker.check(bad)
+        messages = sorted(f.message for f in findings)
+        assert len(findings) == 2
+        assert any("declares nothing" in m for m in messages)
+        assert any("no such threading lock" in m for m in messages)
+
+
+# ----------------------------------------------------------------------
+# REQ-SYNC (cross-module, miniature tree)
+# ----------------------------------------------------------------------
+PROTOCOL_OK = """\
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class EvalRequest:
+        model: str
+        copy_levels: tuple
+
+        @property
+        def max_copies(self):
+            return max(self.copy_levels)
+"""
+
+CODEC_OK = """\
+    from dataclasses import dataclass
+
+    @dataclass
+    class WireRequest:
+        model: str
+        copy_levels: tuple
+
+    def encode_request(request):
+        return {"model": request.model, "copy_levels": list(request.copy_levels)}
+
+    def decode_request(payload):
+        model = payload["model"]
+        copies = payload["copy_levels"]
+        return WireRequest(model=model, copy_levels=tuple(copies))
+"""
+
+CLIENT_OK = """\
+    class ServeClient:
+        def evaluate(self, model, copy_levels=(1,)):
+            return {"model": model, "copy_levels": list(copy_levels)}
+"""
+
+SESSION_OK = """\
+    class Session:
+        def _coalesce_key(self, request):
+            return (request.model, request.max_copies)
+
+        def select_backend(self, request):
+            return "reference"
+"""
+
+
+class TestReqSync:
+    checker = ReqSyncChecker()
+
+    def test_fully_threaded_field_set_is_clean(self, tmp_path):
+        project = write_tree(
+            tmp_path,
+            {
+                "src/repro/api/protocol.py": PROTOCOL_OK,
+                "src/repro/api/session.py": SESSION_OK,
+                "src/repro/serve/codec.py": CODEC_OK,
+                "src/repro/serve/client.py": CLIENT_OK,
+            },
+        )
+        # The coalescing key covers copy_levels only *through* the
+        # max_copies property — derived coverage, no alias table.
+        assert self.checker.check(project) == []
+
+    def test_new_field_missing_everywhere_is_flagged_per_site(self, tmp_path):
+        protocol = PROTOCOL_OK.replace(
+            "model: str", "model: str\n        seed: int"
+        )
+        project = write_tree(
+            tmp_path,
+            {
+                "src/repro/api/protocol.py": protocol,
+                "src/repro/api/session.py": SESSION_OK,
+                "src/repro/serve/codec.py": CODEC_OK,
+                "src/repro/serve/client.py": CLIENT_OK,
+            },
+        )
+        findings = self.checker.check(project)
+        assert {f.rule for f in findings} == {"REQ-SYNC"}
+        assert all("'seed'" in f.message for f in findings)
+        # One finding per unsynced site: WireRequest, encode, decode,
+        # client signature, coalescing key.
+        assert len(findings) == 5
+        assert {f.path for f in findings} == {
+            "src/repro/api/session.py",
+            "src/repro/serve/codec.py",
+            "src/repro/serve/client.py",
+        }
+
+    def test_missing_dependency_module_is_one_finding(self, tmp_path):
+        project = write_tree(
+            tmp_path, {"src/repro/api/protocol.py": PROTOCOL_OK}
+        )
+        findings = self.checker.check(project)
+        assert findings
+        assert all("not found" in f.message for f in findings)
+
+
+# ----------------------------------------------------------------------
+# CAP-EXHAUSTIVE (cross-module, miniature tree)
+# ----------------------------------------------------------------------
+CAP_PROTOCOL_OK = """\
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class BackendCapabilities:
+        cycle_accurate: bool
+
+    @dataclass(frozen=True)
+    class EvalRequest:
+        model: str
+        router_delay: int
+
+        @property
+        def needs_cycle_accuracy(self):
+            return self.router_delay > 0
+"""
+
+CAP_BACKENDS_OK = """\
+    class UnsupportedRequestError(RuntimeError):
+        pass
+
+    def _check_capabilities(request, caps):
+        if request.needs_cycle_accuracy and not caps.cycle_accurate:
+            raise UnsupportedRequestError("request needs the chip backend")
+"""
+
+CAP_SESSION_OK = """\
+    class Session:
+        def select_backend(self, request):
+            if request.needs_cycle_accuracy:
+                return "chip"
+            return "reference"
+"""
+
+
+class TestCapExhaustive:
+    checker = CapExhaustiveChecker()
+
+    def test_gated_and_routed_field_is_clean(self, tmp_path):
+        project = write_tree(
+            tmp_path,
+            {
+                "src/repro/api/protocol.py": CAP_PROTOCOL_OK,
+                "src/repro/api/backends.py": CAP_BACKENDS_OK,
+                "src/repro/api/session.py": CAP_SESSION_OK,
+            },
+        )
+        assert self.checker.check(project) == []
+
+    def test_typod_capability_makes_guard_dead(self, tmp_path):
+        backends = CAP_BACKENDS_OK.replace(
+            "caps.cycle_accurate", "caps.cycle_acurate"
+        )
+        project = write_tree(
+            tmp_path,
+            {
+                "src/repro/api/protocol.py": CAP_PROTOCOL_OK,
+                "src/repro/api/backends.py": backends,
+                "src/repro/api/session.py": CAP_SESSION_OK,
+            },
+        )
+        findings = self.checker.check(project)
+        assert {f.rule for f in findings} == {"CAP-EXHAUSTIVE"}
+        # Both the typo itself and the consequently-ungated field.
+        assert any("cycle_acurate" in f.message for f in findings)
+        assert any("'router_delay'" in f.message for f in findings)
+
+    def test_selector_blind_to_chip_only_field_is_flagged(self, tmp_path):
+        session = """\
+            class Session:
+                def select_backend(self, request):
+                    return "reference"
+        """
+        project = write_tree(
+            tmp_path,
+            {
+                "src/repro/api/protocol.py": CAP_PROTOCOL_OK,
+                "src/repro/api/backends.py": CAP_BACKENDS_OK,
+                "src/repro/api/session.py": session,
+            },
+        )
+        findings = self.checker.check(project)
+        assert len(findings) == 1
+        assert findings[0].path == "src/repro/api/session.py"
+        assert "'router_delay'" in findings[0].message
+        assert "select_backend" in findings[0].message
+
+    def test_guard_without_raise_does_not_count(self, tmp_path):
+        backends = CAP_BACKENDS_OK.replace(
+            'raise UnsupportedRequestError("request needs the chip backend")',
+            "return False",
+        )
+        project = write_tree(
+            tmp_path,
+            {
+                "src/repro/api/protocol.py": CAP_PROTOCOL_OK,
+                "src/repro/api/backends.py": backends,
+                "src/repro/api/session.py": CAP_SESSION_OK,
+            },
+        )
+        findings = self.checker.check(project)
+        assert len(findings) == 1
+        assert "'router_delay'" in findings[0].message
+        assert "silently wrong" in findings[0].message

@@ -1,0 +1,353 @@
+"""The replint framework itself: suppressions, cache, runner, CLI, registry.
+
+The suppression marker is never spelled literally in this file — the
+scanner is textual, and a literal marker inside a fixture string would be
+parsed as a (then unused) suppression when replint scans its own tests.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import framework
+from repro.analysis.__main__ import main
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.checkers.rng_seed import RngSeedChecker
+from repro.analysis.findings import Finding
+from repro.analysis.framework import (
+    FileChecker,
+    checker_names,
+    register_checker,
+    registered_checkers,
+)
+from repro.analysis.runner import run_analysis
+from repro.analysis.suppressions import (
+    SUPPRESS_RULE,
+    apply_suppressions,
+    parse_suppressions,
+)
+
+#: The suppression marker, assembled so this file's own source never
+#: contains it (the scan is textual and covers the test tree).
+MARKER = "# " + "replint: disable="
+
+ALL_RULES = {
+    "CAP-EXHAUSTIVE",
+    "DTYPE-EXPLICIT",
+    "FROZEN-MUT",
+    "LOCK-GUARD",
+    "REQ-SYNC",
+    "RNG-SEED",
+}
+
+VIOLATION_MODULE = textwrap.dedent(
+    """\
+    import numpy as np
+
+    def draw():
+        return np.random.choice([0, 1])
+    """
+)
+
+CLEAN_MODULE = textwrap.dedent(
+    """\
+    def draw(rng):
+        return rng.integers(0, 2)
+    """
+)
+
+
+def write_module(root, text):
+    target = root / "src" / "repro" / "core" / "mod.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(text, encoding="utf-8")
+    return target
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_parse_valid_suppression(self):
+        text = f"x = draw()  {MARKER}RNG-SEED -- fixture exemption\n"
+        (suppression,) = parse_suppressions("m.py", text)
+        assert suppression.line == 1
+        assert suppression.rules == ("RNG-SEED",)
+        assert suppression.justification == "fixture exemption"
+        assert suppression.valid
+
+    def test_parse_multiple_rules(self):
+        text = f"x = 1  {MARKER}A-ONE, B-TWO -- shared site\n"
+        (suppression,) = parse_suppressions("m.py", text)
+        assert suppression.rules == ("A-ONE", "B-TWO")
+
+    def test_missing_justification_is_invalid(self):
+        (suppression,) = parse_suppressions("m.py", f"x = 1  {MARKER}RULE\n")
+        assert suppression.rules == ("RULE",)
+        assert not suppression.valid
+
+    def test_matching_suppression_silences_finding(self):
+        finding = Finding(path="m.py", line=3, rule="RULE", message="bad")
+        text = "a = 1\nb = 2\n" + f"c = 3  {MARKER}RULE -- known-safe\n"
+        resolved, problems = apply_suppressions(
+            [finding], parse_suppressions("m.py", text)
+        )
+        assert problems == []
+        (result,) = resolved
+        assert result.suppressed
+        assert result.justification == "known-safe"
+
+    def test_unused_suppression_is_reported(self):
+        text = f"x = 1  {MARKER}RULE -- stale\n"
+        resolved, problems = apply_suppressions(
+            [], parse_suppressions("m.py", text)
+        )
+        assert resolved == []
+        (problem,) = problems
+        assert problem.rule == SUPPRESS_RULE
+        assert "unused" in problem.message
+
+    def test_unjustified_suppression_does_not_silence(self):
+        finding = Finding(path="m.py", line=1, rule="RULE", message="bad")
+        text = f"x = 1  {MARKER}RULE\n"
+        resolved, problems = apply_suppressions(
+            [finding], parse_suppressions("m.py", text)
+        )
+        assert not resolved[0].suppressed
+        (problem,) = problems
+        assert problem.rule == SUPPRESS_RULE
+        assert "justification" in problem.message
+
+    def test_wrong_rule_or_line_does_not_match(self):
+        finding = Finding(path="m.py", line=2, rule="RULE", message="bad")
+        text = f"x = 1  {MARKER}OTHER -- mismatched\n"
+        resolved, problems = apply_suppressions(
+            [finding], parse_suppressions("m.py", text)
+        )
+        assert not resolved[0].suppressed
+        assert len(problems) == 1  # the suppression went unused
+
+
+# ----------------------------------------------------------------------
+# findings
+# ----------------------------------------------------------------------
+class TestFinding:
+    def test_json_roundtrip(self):
+        finding = Finding(
+            path="a.py",
+            line=7,
+            rule="R",
+            message="m",
+            suppressed=True,
+            justification="why",
+        )
+        assert Finding.from_json(finding.to_json()) == finding
+
+    def test_sorted_by_location_then_rule(self):
+        findings = [
+            Finding(path="b.py", line=1, rule="R", message="m"),
+            Finding(path="a.py", line=9, rule="R", message="m"),
+            Finding(path="a.py", line=2, rule="Z", message="m"),
+            Finding(path="a.py", line=2, rule="A", message="m"),
+        ]
+        ordered = sorted(findings)
+        assert [(f.path, f.line, f.rule) for f in ordered] == [
+            ("a.py", 2, "A"),
+            ("a.py", 2, "Z"),
+            ("a.py", 9, "R"),
+            ("b.py", 1, "R"),
+        ]
+
+
+# ----------------------------------------------------------------------
+# cache
+# ----------------------------------------------------------------------
+class TestCache:
+    def test_roundtrip_across_instances(self, tmp_path):
+        path = tmp_path / "cache.json"
+        finding = Finding(path="a.py", line=3, rule="R", message="m")
+        cache = AnalysisCache(path)
+        key = cache.key("R", 1, "digest")
+        assert cache.get(key) is None
+        cache.put(key, [finding])
+        cache.save()
+
+        fresh = AnalysisCache(path)
+        assert fresh.get(key) == [finding]
+        assert fresh.hits == 1 and fresh.misses == 0
+
+    def test_version_is_part_of_the_key(self):
+        assert AnalysisCache.key("R", 1, "d") != AnalysisCache.key("R", 2, "d")
+
+    def test_corrupt_cache_file_is_treated_as_empty(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("definitely not json", encoding="utf-8")
+        cache = AnalysisCache(path)
+        assert cache.get(cache.key("R", 1, "d")) is None
+
+    def test_runner_replays_findings_from_cache(self, tmp_path):
+        write_module(tmp_path, VIOLATION_MODULE)
+        cache_path = tmp_path / ".replint-cache.json"
+        first = run_analysis(
+            tmp_path,
+            ["src"],
+            cache_path=cache_path,
+            checkers=[RngSeedChecker()],
+        )
+        assert first.errors and first.cache_hits == 0
+        assert first.cache_misses == 1
+
+        second = run_analysis(
+            tmp_path,
+            ["src"],
+            cache_path=cache_path,
+            checkers=[RngSeedChecker()],
+        )
+        assert second.cache_hits == 1 and second.cache_misses == 0
+        assert second.errors == first.errors
+
+    def test_editing_the_file_invalidates_its_entry(self, tmp_path):
+        target = write_module(tmp_path, VIOLATION_MODULE)
+        cache_path = tmp_path / ".replint-cache.json"
+        run_analysis(
+            tmp_path,
+            ["src"],
+            cache_path=cache_path,
+            checkers=[RngSeedChecker()],
+        )
+        target.write_text(CLEAN_MODULE, encoding="utf-8")
+        report = run_analysis(
+            tmp_path,
+            ["src"],
+            cache_path=cache_path,
+            checkers=[RngSeedChecker()],
+        )
+        assert report.cache_hits == 0 and report.cache_misses == 1
+        assert report.errors == []
+
+
+# ----------------------------------------------------------------------
+# runner
+# ----------------------------------------------------------------------
+class TestRunner:
+    def test_suppressed_violation_passes_the_run(self, tmp_path):
+        text = VIOLATION_MODULE.replace(
+            "np.random.choice([0, 1])",
+            f"np.random.choice([0, 1])  {MARKER}RNG-SEED -- fixture",
+        )
+        write_module(tmp_path, text)
+        report = run_analysis(
+            tmp_path, ["src"], checkers=[RngSeedChecker()]
+        )
+        assert report.exit_code == 0
+        assert report.errors == []
+        (suppressed,) = report.suppressed
+        assert suppressed.rule == "RNG-SEED"
+        assert suppressed.justification == "fixture"
+
+    def test_unparseable_file_is_one_parse_finding(self, tmp_path):
+        write_module(tmp_path, "def broken(:\n")
+        report = run_analysis(
+            tmp_path, ["src"], checkers=[RngSeedChecker()]
+        )
+        (finding,) = report.errors
+        assert finding.rule == "REPLINT-PARSE"
+        assert report.exit_code == 1
+
+    def test_rule_filter_limits_checkers(self, tmp_path):
+        write_module(tmp_path, VIOLATION_MODULE)
+        report = run_analysis(tmp_path, ["src"], rules=["DTYPE-EXPLICIT"])
+        assert report.errors == []
+        assert set(report.rules) == {"DTYPE-EXPLICIT"}
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_all_project_rules_registered(self):
+        assert ALL_RULES <= set(checker_names())
+        rules = [checker.rule for checker in registered_checkers()]
+        assert rules == sorted(rules)
+
+    def test_registering_a_rule_twice_replaces(self):
+        class Dummy(FileChecker):
+            rule = "TEST-DUMMY"
+            description = "fixture"
+
+        class Replacement(Dummy):
+            pass
+
+        try:
+            register_checker(Dummy())
+            register_checker(Replacement())
+            active = {
+                checker.rule: checker for checker in registered_checkers()
+            }
+            assert isinstance(active["TEST-DUMMY"], Replacement)
+        finally:
+            framework._REGISTRY.pop("TEST-DUMMY", None)
+
+    def test_rule_id_is_mandatory(self):
+        with pytest.raises(ValueError):
+            register_checker(FileChecker())
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        write_module(tmp_path, CLEAN_MODULE)
+        code = main(
+            ["--root", str(tmp_path), "--rule", "RNG-SEED", "--no-cache", "src"]
+        )
+        assert code == 0
+        assert "no violations" in capsys.readouterr().out
+
+    def test_violation_exits_one_with_clickable_anchor(self, tmp_path, capsys):
+        write_module(tmp_path, VIOLATION_MODULE)
+        code = main(
+            ["--root", str(tmp_path), "--rule", "RNG-SEED", "--no-cache", "src"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "src/repro/core/mod.py:4: RNG-SEED" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        write_module(tmp_path, VIOLATION_MODULE)
+        code = main(
+            [
+                "--root",
+                str(tmp_path),
+                "--rule",
+                "RNG-SEED",
+                "--no-cache",
+                "--json",
+                "src",
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["error_count"] == 1
+        (error,) = payload["errors"]
+        assert error["rule"] == "RNG-SEED"
+        assert error["path"] == "src/repro/core/mod.py"
+
+    def test_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        code = main(["--root", str(tmp_path), "--rule", "NO-SUCH-RULE"])
+        assert code == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_root_is_usage_error(self, tmp_path, capsys):
+        code = main(["--root", str(tmp_path / "nowhere")])
+        assert code == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule in out
