@@ -17,9 +17,17 @@ one-chip-per-copy loop (C ``program_chip`` + ``run_chip_inference_batch``
 passes), again enforcing bit-identical per-copy class counts and per-core
 spike counters.  Both records land in the same JSON file.
 
+A third section (``--grid``) times a full ``(copies, spf, repeats)``
+**grid sweep**: the repeat-folded single-pass path (all repeats' copies in
+one chip image, one pass per spf level, every copy level an exact cumsum
+prefix — the engine behind :class:`repro.api.backends.ChipBackend`)
+against the per-cell loop (one ``c``-copy program + pass per (copy level,
+spf, repeat) grid cell), enforcing bit-identical class counts and spike
+counters and recording ``grid_speedup``.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_chip_engine.py --quick
+    PYTHONPATH=src python benchmarks/bench_chip_engine.py --quick --grid
     PYTHONPATH=src python benchmarks/bench_chip_engine.py \
         --samples 500 --spf 4 --copies 5 --output BENCH_chip.json
 """
@@ -68,6 +76,25 @@ def parse_args() -> argparse.Namespace:
         type=int,
         default=10,
         help="sampled copies for the multi-copy engine section (0 disables)",
+    )
+    parser.add_argument(
+        "--grid",
+        action="store_true",
+        help="also benchmark the repeat-folded grid sweep vs the cell loop",
+    )
+    parser.add_argument(
+        "--grid-repeats",
+        type=int,
+        default=8,
+        help="repeats axis of the --grid sweep (the folded pass stacks all "
+        "repeats' copies into one chip image per spf level)",
+    )
+    parser.add_argument(
+        "--grid-copies",
+        type=int,
+        default=16,
+        help="copies axis of the --grid sweep: copy levels 1..C, all served "
+        "as cumsum prefixes of the one folded pass",
     )
     parser.add_argument(
         "--quick",
@@ -132,6 +159,17 @@ def main() -> None:
             model, volumes, copies=args.copies, repeats=args.batch_repeats
         )
 
+    grid_record = None
+    if args.grid:
+        grid_record = bench_grid(
+            model,
+            dataset,
+            spf_levels=tuple(sorted({1, 2, args.spf})),
+            copies=args.grid_copies,
+            repeats=args.grid_repeats,
+            best_of=args.batch_repeats,
+        )
+
     counts_identical = bool(np.array_equal(loop_counts, batch_counts))
     spikes_identical = bool(np.array_equal(loop_spikes, batch_spikes))
     record = {
@@ -154,6 +192,7 @@ def main() -> None:
         "class_counts_bit_identical": counts_identical,
         "spike_counters_bit_identical": spikes_identical,
         "multicopy": multicopy_record,
+        "grid": grid_record,
         "python": platform.python_version(),
         "numpy": np.__version__,
     }
@@ -178,6 +217,13 @@ def main() -> None:
             )
         if multicopy_record["speedup"] < 1.0:
             raise SystemExit("multi-copy engine slower than the per-copy loop")
+    if grid_record is not None:
+        if not grid_record["class_counts_bit_identical"]:
+            raise SystemExit("grid class counts diverged from the cell loop")
+        if not grid_record["spike_counters_bit_identical"]:
+            raise SystemExit("grid spike counters diverged from the cell loop")
+        if grid_record["grid_speedup"] < 1.0:
+            raise SystemExit("single-pass grid slower than the cell loop")
 
 
 def bench_multicopy(model, volumes: np.ndarray, copies: int, repeats: int) -> dict:
@@ -236,6 +282,112 @@ def bench_multicopy(model, volumes: np.ndarray, copies: int, repeats: int) -> di
         ),
         "spike_counters_bit_identical": bool(
             np.array_equal(loop_spikes, multi_spikes)
+        ),
+    }
+
+
+def bench_grid(
+    model, dataset, spf_levels: tuple, copies: int, repeats: int, best_of: int
+) -> dict:
+    """Time a (copies, spf, repeats) sweep: single-pass grid vs cell loop.
+
+    The cell loop evaluates every cell of the grid independently — one
+    ``program_chip_multicopy`` + inference pass per (copy level, spf level,
+    repeat) cell, ``c`` copies programmed for copy level ``c`` — which is
+    what a sweep costs without the cumsum prefix reuse and repeat folding.
+    The grid side programs all repeats' copies side by side and serves the
+    whole grid from one folded pass per spf level, exactly as
+    :class:`repro.api.backends.ChipBackend` does.  Both sides start from
+    the same prepared deployments and encoded volumes (that per-(spf,
+    repeat) preparation is identical either way, drawn from the canonical
+    ``spawn_rngs`` randomness layout the backend clones per level), so the
+    timings isolate the chip engine.  Class counts of every grid cell and
+    per-copy spike counters at the max spf level are compared bit for bit.
+    """
+    from repro.mapping.corelet import build_corelets
+    from repro.utils.rng import new_rng, spawn_rngs
+
+    network = build_corelets(model)
+    prepared = []  # per level: [(deployment, (ticks, batch, input)), ...]
+    for spf in spf_levels:
+        encoder = StochasticEncoder(spikes_per_frame=spf)
+        level = []
+        for repeat_rng in spawn_rngs(new_rng(0), repeats):
+            deployment = deploy_with_copies(
+                model, copies=copies, rng=repeat_rng, corelet_network=network
+            )
+            frames = encoder.encode(dataset.features, rng=repeat_rng)
+            level.append(
+                (deployment, np.ascontiguousarray(frames.transpose(1, 0, 2)))
+            )
+        prepared.append(level)
+
+    def cell_pass():
+        counts, counters = [], None
+        for level in prepared:
+            level_cells = []
+            for deployment, volumes in level:
+                cells = []
+                for c in range(1, copies + 1):
+                    prefix = deployment.copies[:c]
+                    chip, core_ids = program_chip_multicopy(prefix)
+                    cell = run_chip_inference_multicopy(
+                        chip, prefix, core_ids, volumes
+                    )
+                    cells.append(cell.sum(axis=0))
+                    if c == copies:
+                        order = [k for layer in core_ids for k in layer]
+                        percopy = np.stack(
+                            [chip.core(k).multicopy_spike_counts for k in order],
+                            axis=1,
+                        )
+                level_cells.append((np.stack(cells), percopy))
+            counts.append(np.stack([cells for cells, _ in level_cells]))
+            counters = np.stack([percopy for _, percopy in level_cells])
+        # stack levels onto axis 2: (R, C, levels, batch, classes)
+        return np.stack(counts, axis=2), counters
+
+    def grid_pass():
+        counts, counters = [], None
+        for level in prepared:
+            flat = [copy for deployment, _ in level for copy in deployment.copies]
+            volumes = np.stack([vol for _, vol in level])
+            chip, core_ids = program_chip_multicopy(flat)
+            raw = run_chip_inference_multicopy(chip, flat, core_ids, volumes)
+            raw = raw.reshape((repeats, copies) + raw.shape[1:])
+            counts.append(np.cumsum(raw, axis=1))
+            order = [k for layer in core_ids for k in layer]
+            stacked = np.stack(
+                [chip.core(k).multicopy_spike_counts for k in order], axis=1
+            )
+            counters = stacked.reshape((repeats, copies) + stacked.shape[1:])
+        return np.stack(counts, axis=2), counters
+
+    def best(pass_fn):
+        result, times = None, []
+        for _ in range(best_of):
+            start = time.perf_counter()
+            result = pass_fn()
+            times.append(time.perf_counter() - start)
+        return result, min(times)
+
+    (cell_grid, cell_counters), cell_seconds = best(cell_pass)
+    (grid_counts, grid_counters), grid_seconds = best(grid_pass)
+
+    return {
+        "copies": int(copies),
+        "spf_levels": [int(s) for s in spf_levels],
+        "repeats": int(repeats),
+        "cell_loop_seconds": cell_seconds,
+        "grid_seconds": grid_seconds,
+        "grid_speedup": (
+            cell_seconds / grid_seconds if grid_seconds else float("inf")
+        ),
+        "class_counts_bit_identical": bool(
+            np.array_equal(grid_counts, cell_grid)
+        ),
+        "spike_counters_bit_identical": bool(
+            np.array_equal(grid_counters, cell_counters)
         ),
     }
 

@@ -106,9 +106,25 @@ def main() -> None:
                     f"multi-copy chip spike counters diverged from the "
                     f"per-copy loop ({label})"
                 )
+        # Grid path: a multi-spf request (one folded pass per level) must
+        # match the stack of single-level requests cell for cell.
+        grid_request = replace(request, spf_levels=tuple(sorted({1, args.spf})))
+        grid = session.evaluate(grid_request, backend="chip")
+        for column, spf in enumerate(grid_request.spf_levels):
+            single = session.evaluate(
+                replace(request, spf_levels=(spf,)), backend="chip"
+            )
+            if not np.array_equal(
+                grid.class_counts()[:, :, column], single.class_counts()[:, :, 0]
+            ):
+                failures.append(
+                    f"chip grid class counts at spf={spf} diverged from the "
+                    f"single-level request"
+                )
         invariant = (
             "class counts bit-identical to vectorized; multi-copy image "
-            "bit-identical to per-copy loop (incl. stochastic synapses)"
+            "bit-identical to per-copy loop (incl. stochastic synapses); "
+            "spf grid bit-identical to single-level requests"
         )
     else:
         again = session.evaluate(request, backend="reference")

@@ -15,7 +15,13 @@ rule requires, across the protocol / backends / session modules:
   ``True``-ish never, i.e. a guard that never fires);
 * ``Session.select_backend`` consults the field (directly or through the
   property) — ``backend="auto"`` must route the request to a backend
-  that can serve it rather than letting validation reject it later.
+  that can serve it rather than letting validation reject it later;
+* ``Session._coalesce_key`` reads the field — the coalescer folds
+  same-key requests onto one union engine pass, so a chip-only field
+  missing from the key would group requests that differ in it and serve
+  all but one of them a silently wrong result (version 2: this clause
+  covers the chip's grid passes, where coalescing is now the common
+  case rather than an identical-request dedup).
 """
 
 from __future__ import annotations
@@ -76,9 +82,9 @@ class CapExhaustiveChecker(ProjectChecker):
     description = (
         "every chip-only EvalRequest field has a BackendCapabilities-"
         "consulting guard that raises UnsupportedRequestError, and the "
-        "Session auto-selector consults it"
+        "Session auto-selector and request coalescer consult it"
     )
-    version = 1
+    version = 2
     dependencies = (PROTOCOL, BACKENDS, SESSION)
 
     def check(self, project: Project) -> List[Finding]:
@@ -116,6 +122,7 @@ class CapExhaustiveChecker(ProjectChecker):
             self._check_backends(project, chip_only, caps_fields, properties)
         )
         findings.extend(self._check_session(project, chip_only, properties))
+        findings.extend(self._check_coalescer(project, chip_only, properties))
         return findings
 
     # ------------------------------------------------------------------
@@ -209,6 +216,53 @@ class CapExhaustiveChecker(ProjectChecker):
                     f"chip-only field {field!r} is invisible to "
                     "Session.select_backend — backend='auto' would route "
                     "the request to a backend that must reject it"
+                ),
+            )
+            for field in chip_only
+            if field not in covered
+        ]
+
+    def _check_coalescer(
+        self,
+        project: Project,
+        chip_only: List[str],
+        properties: Dict[str, Set[str]],
+    ) -> List[Finding]:
+        """Every chip-only field must be part of the coalescing key.
+
+        ``Session.flush`` folds requests with equal ``_coalesce_key`` onto
+        one union engine pass and slices the result per member.  Two
+        requests differing in a chip-only field (say ``router_delay``)
+        produce different chip dynamics, so a key that omits the field
+        would hand one of them the other's result — the silent-wrong
+        failure this rule exists to prevent, one layer up from backend
+        validation.
+        """
+        session = project.file(SESSION)
+        if session is None:
+            return [self._missing(SESSION, 1, "session module")]
+        session_class = astutils.find_class(session.tree, "Session")
+        if session_class is None:
+            return [self._missing(SESSION, 1, "class Session")]
+        coalescer: Optional[ast.FunctionDef] = None
+        for method in astutils.class_methods(session_class):
+            if method.name == "_coalesce_key":
+                coalescer = method
+        if coalescer is None:
+            return [self._missing(SESSION, 1, "Session._coalesce_key")]
+        covered = expand_property_reads(
+            _attribute_reads_of(coalescer, "request"), properties
+        )
+        return [
+            Finding(
+                path=SESSION,
+                line=coalescer.lineno,
+                rule=self.rule,
+                message=(
+                    f"chip-only field {field!r} is missing from "
+                    "Session._coalesce_key — requests differing in it "
+                    "would coalesce onto one engine pass and all but one "
+                    "would receive a silently wrong result"
                 ),
             )
             for field in chip_only

@@ -13,11 +13,16 @@ Three backends wrap the repo's three evaluation engines behind one
   bit.
 * ``chip`` — the batched cycle-accurate TrueNorth simulator
   (:func:`repro.mapping.pipeline.run_chip_inference_multicopy`): all
-  deployed copies programmed side by side into one multi-copy chip image,
-  lock-step ticks over ``copies x batch`` rows, per-core spike counters,
+  deployed copies of **all repeats** programmed side by side into one
+  multi-copy chip image per spf level, lock-step ticks over
+  ``repeats x copies x batch`` rows, per-core spike counters,
   router-delay control, and stochastic-synapse sweeps on per-copy LFSR
-  streams.  ``ChipBackend(multicopy=False)`` keeps the bit-identical
-  one-chip-per-copy loop the property tests pin the engine against.
+  streams.  Full ``(copies, spf, repeats)`` grids are served in
+  ``len(spf_levels)`` passes (one folded pass per level, optionally
+  fanned over worker processes); copy and repeat levels fall out of one
+  pass via exact integer cumsums.  ``ChipBackend(multicopy=False)``
+  keeps the bit-identical one-chip-per-copy loop the property tests pin
+  the engine against.
 
 All three consume the canonical randomness layout documented in
 :mod:`repro.api.protocol`, so a request produces the same sampled
@@ -40,13 +45,14 @@ from repro.api.protocol import (
     ResultShapeError,
     UnsupportedRequestError,
 )
+from repro.core.model import TrueNorthModel
 from repro.datasets.base import Dataset
 from repro.encoding.stochastic import StochasticEncoder
 from repro.eval.engine import class_counts as class_neuron_counts
 from repro.eval.engine import evaluate_scores_reference
-from repro.eval.runner import ScoreCache, SweepRunner
-from repro.mapping.corelet import build_corelets
-from repro.mapping.duplication import deploy_with_copies
+from repro.eval.runner import ScoreCache, SweepRunner, parallel_map
+from repro.mapping.corelet import CoreletNetwork, build_corelets
+from repro.mapping.duplication import DuplicatedDeployment, deploy_with_copies
 from repro.mapping.pipeline import (
     program_chip,
     program_chip_multicopy,
@@ -54,8 +60,7 @@ from repro.mapping.pipeline import (
     run_chip_inference_multicopy,
     stochastic_neuron_config,
 )
-from repro.truenorth.config import NeuronConfig
-from repro.utils.rng import new_rng, spawn_rngs
+from repro.utils.rng import clone_rng, new_rng, spawn_rngs
 
 
 def _check_capabilities(request: EvalRequest, caps: BackendCapabilities) -> None:
@@ -298,178 +303,233 @@ class ReferenceBackend:
         )
 
 
-class ChipBackend:
-    """The cycle-accurate path: batched TrueNorth chip simulation.
+def _evaluate_chip_level(
+    model: TrueNorthModel,
+    features: np.ndarray,
+    spf: int,
+    repeat_rngs: List[np.random.Generator],
+    network: CoreletNetwork,
+    max_copies: int,
+    multicopy: bool,
+    stochastic: bool,
+    collect_counters: bool,
+    router_delay: Optional[int],
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """One spf level of a chip grid: all repeats folded into one pass.
 
-    By default (``multicopy=True``) all requested copies are programmed
-    side by side into **one** multi-copy chip image
-    (:func:`~repro.mapping.pipeline.program_chip_multicopy`: stacked
-    per-core crossbar tensors, shared route table, per-copy LFSR streams)
-    and the whole ``copies x batch`` volume advances in lock-step ticks
-    (:func:`~repro.mapping.pipeline.run_chip_inference_multicopy`).
-    ``multicopy=False`` keeps the one-chip-per-copy loop — bit-identical
-    results (class counts, per-core spike counters, and in stochastic mode
-    the LFSR streams; the property tests enforce it), just C chip programs
-    and C tick loops instead of one.
+    Module-level (not a method) so :func:`repro.eval.runner.parallel_map`
+    can pickle it into worker processes — the chip backend shards over spf
+    levels, whose passes are fully independent (each clones the pristine
+    per-repeat generators, see :func:`repro.utils.rng.clone_rng`).
 
-    ``stochastic_synapses`` requests deploy the corelets' Bernoulli
-    probabilities onto the crossbars and re-sample every synapse per tick;
-    each copy draws from its own seeded LFSR stream, so (copies, spf)
-    stochastic sweeps run at batch speed with hardware semantics.
-
-    The chip reports no per-tick score breakdown, so a request may carry
-    only a single spf level (``spf_grids=False``); copy levels are served
-    as nested prefixes via an exact integer cumsum over the per-copy
-    readout counts.  Scores are the class-mean convention ``counts / n_k``,
-    so :meth:`EvalResult.class_counts` recovers the chip's integer readout
-    counts exactly — the cross-backend invariant the property tests assert
-    against the vectorized backend.
+    Returns ``(counts, counters)`` with ``counts`` shaped
+    ``(repeats, max_copies, batch, classes)`` (integer readout counts) and
+    ``counters`` shaped ``(repeats, max_copies, cores_per_copy, batch)`` or
+    ``None``.  In multicopy mode the ``repeats * max_copies`` copies of all
+    repeats are programmed side by side into **one** chip image and the
+    stacked per-repeat input volumes ride the chip's grouped-input form
+    (repeat ``r``'s volume feeds exactly its block of ``max_copies``
+    copy rows); ``multicopy=False`` keeps the one-chip-per-copy loop.
     """
-
-    name = "chip"
-
-    def __init__(self, multicopy: bool = True) -> None:
-        self.multicopy = bool(multicopy)
-        self.passes = 0
-
-    def capabilities(self) -> BackendCapabilities:
-        return BackendCapabilities(
-            name=self.name,
-            description=(
-                "batched cycle-accurate TrueNorth simulation (multi-copy "
-                "chip images, spike counters, router delay, stochastic "
-                "synapses)"
-                if self.multicopy
-                else "batched cycle-accurate TrueNorth simulation (one chip "
-                "per copy, spike counters, router delay, stochastic "
-                "synapses)"
-            ),
-            spf_grids=False,
-            cycle_accurate=True,
-            cacheable=False,
-            multicopy_chips=self.multicopy,
-            stochastic_synapses=True,
+    encoder = StochasticEncoder(spikes_per_frame=spf)
+    neuron_config = stochastic_neuron_config(network) if stochastic else None
+    repeats = len(repeat_rngs)
+    deployments: List[DuplicatedDeployment] = []
+    volumes: List[np.ndarray] = []
+    copy_seeds: Optional[List[int]] = [] if stochastic else None
+    for rng in repeat_rngs:
+        level_rng = clone_rng(rng)
+        deployments.append(
+            deploy_with_copies(
+                model, copies=max_copies, rng=level_rng, corelet_network=network
+            )
         )
-
-    def _run_multicopy(
-        self,
-        deployment,
-        volumes: np.ndarray,
-        request: EvalRequest,
-        neuron_config: Optional[NeuronConfig],
-        copy_seeds: Optional[List[int]],
-    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
-        """One multi-copy chip pass -> ``(counts, counters)``.
-
-        ``counts`` is ``(copies, batch, classes)``; ``counters`` is
-        ``(copies, cores_per_copy, batch)`` or ``None``.
-        """
+        frames = encoder.encode(features, rng=level_rng)
+        volumes.append(np.ascontiguousarray(frames.transpose(1, 0, 2)))
+        if copy_seeds is not None:
+            # Drawn after deployment and encoding so deterministic requests
+            # keep their exact historical streams; identical in both chip
+            # modes, which is what keeps them bit-identical to each other.
+            # Sampled *without* replacement — the LFSR seed space is only
+            # 16 bits, and two copies sharing a seed would replay
+            # byte-identical streams, silently collapsing the
+            # copies-averaging statistic the sweep measures.  (Repeats may
+            # collide with each other — they always could, being
+            # independent draws.)
+            copy_seeds.extend(
+                int(seed)
+                for seed in level_rng.choice(
+                    np.arange(1, 2**16), size=max_copies, replace=False
+                )
+            )
+    batch = volumes[0].shape[0]
+    if multicopy:
+        flat_copies = [copy for d in deployments for copy in d.copies]
         chip, core_ids = program_chip_multicopy(
-            deployment.copies,
-            neuron_config=neuron_config,
-            router_delay=request.router_delay,
+            flat_copies, neuron_config=neuron_config, router_delay=router_delay
         )
         counts = run_chip_inference_multicopy(
-            chip, deployment.copies, core_ids, volumes, copy_seeds=copy_seeds
+            chip, flat_copies, core_ids, np.stack(volumes), copy_seeds=copy_seeds
         )
         counters = None
-        if request.collect_spike_counters:
+        if collect_counters:
             flat_ids = [cid for layer in core_ids for cid in layer]
-            counters = np.stack(
+            stacked = np.stack(
                 [chip.core(cid).multicopy_spike_counts for cid in flat_ids],
                 axis=1,
+            )  # (repeats * max_copies, cores_per_copy, batch)
+            counters = stacked.reshape(
+                (repeats, max_copies) + stacked.shape[1:]
             )
-        return counts, counters
-
-    def _run_percopy(
-        self,
-        deployment,
-        volumes: np.ndarray,
-        request: EvalRequest,
-        neuron_config: Optional[NeuronConfig],
-        copy_seeds: Optional[List[int]],
-    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
-        """The kept one-chip-per-copy loop -> ``(counts, counters)``."""
+        return counts.reshape(repeats, max_copies, batch, -1), counters
+    per_repeat_counts: List[np.ndarray] = []
+    per_repeat_counters: List[np.ndarray] = []
+    for index, deployment in enumerate(deployments):
         per_copy_counts: List[np.ndarray] = []
         per_copy_counters: List[np.ndarray] = []
-        for index, copy in enumerate(deployment.copies):
+        for offset, copy in enumerate(deployment.copies):
             chip, core_ids = program_chip(
                 copy,
                 neuron_config=neuron_config,
-                router_delay=request.router_delay,
-                core_seed=0 if copy_seeds is None else copy_seeds[index],
+                router_delay=router_delay,
+                core_seed=0
+                if copy_seeds is None
+                else copy_seeds[index * max_copies + offset],
             )
             per_copy_counts.append(
-                run_chip_inference_batch(chip, copy, core_ids, volumes)
+                run_chip_inference_batch(chip, copy, core_ids, volumes[index])
             )
-            if request.collect_spike_counters:
+            if collect_counters:
                 flat_ids = [cid for layer in core_ids for cid in layer]
                 per_copy_counters.append(
                     np.stack(
                         [chip.core(cid).batch_spike_counts for cid in flat_ids]
                     )
                 )
-        counters = (
-            np.stack(per_copy_counters) if request.collect_spike_counters else None
+        per_repeat_counts.append(np.stack(per_copy_counts))
+        if collect_counters:
+            per_repeat_counters.append(np.stack(per_copy_counters))
+    return (
+        np.stack(per_repeat_counts),
+        np.stack(per_repeat_counters) if collect_counters else None,
+    )
+
+
+class ChipBackend:
+    """The cycle-accurate path: batched TrueNorth chip simulation.
+
+    By default (``multicopy=True``) the requested copies of **all repeats**
+    are programmed side by side into **one** multi-copy chip image
+    (:func:`~repro.mapping.pipeline.program_chip_multicopy`: stacked
+    per-core crossbar tensors, shared route table, per-copy LFSR streams)
+    and the whole ``repeats x copies x batch`` volume advances in
+    lock-step ticks (:func:`~repro.mapping.pipeline.run_chip_inference_multicopy`,
+    grouped-input form: repeat ``r``'s encoded volume feeds exactly its
+    block of copy rows).  ``multicopy=False`` keeps the one-chip-per-copy
+    loop — bit-identical results (class counts, per-core spike counters,
+    and in stochastic mode the LFSR streams; the property tests enforce
+    it), just ``repeats x copies`` chip programs and tick loops instead of
+    ``len(spf_levels)``.
+
+    ``stochastic_synapses`` requests deploy the corelets' Bernoulli
+    probabilities onto the crossbars and re-sample every synapse per tick;
+    each copy of each repeat draws from its own seeded LFSR stream, so
+    (copies, spf, repeats) stochastic sweeps run at batch speed with
+    hardware semantics.
+
+    Full grids are served in ``len(spf_levels)`` passes (``spf_grids``
+    capability): spike-train realizations differ per spf level, so levels
+    cannot share one pass, but they are fully independent — each level
+    re-consumes the pristine per-repeat generators (:func:`repro.utils.rng.clone_rng`),
+    and ``workers=N`` fans the levels over worker processes
+    (:func:`repro.eval.runner.parallel_map`), bit-identical at any worker
+    count.  Copy and repeat levels fall out of one pass: copy levels are
+    nested prefixes via an exact integer cumsum over the per-copy readout
+    counts, repeats are independent rows of the folded image.  Scores are
+    the class-mean convention ``counts / n_k``, so
+    :meth:`EvalResult.class_counts` recovers the chip's integer readout
+    counts exactly — the cross-backend invariant the property tests assert
+    against the vectorized backend.
+
+    Args:
+        multicopy: fold copies (and repeats) into one chip image per spf
+            level; ``False`` keeps the one-chip-per-copy loop.
+        workers: fan the independent spf-level passes over N processes
+            (``None`` = in-process, sequential).
+    """
+
+    name = "chip"
+
+    def __init__(
+        self, multicopy: bool = True, workers: Optional[int] = None
+    ) -> None:
+        self.multicopy = bool(multicopy)
+        self.workers = workers
+        self.passes = 0
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name=self.name,
+            description=(
+                "batched cycle-accurate TrueNorth simulation (repeat-folded "
+                "multi-copy chip images, one pass per spf level, spike "
+                "counters, router delay, stochastic synapses)"
+                if self.multicopy
+                else "batched cycle-accurate TrueNorth simulation (one chip "
+                "per copy, one pass per spf level, spike counters, router "
+                "delay, stochastic synapses)"
+            ),
+            spf_grids=True,
+            cycle_accurate=True,
+            cacheable=False,
+            multicopy_chips=self.multicopy,
+            stochastic_synapses=True,
         )
-        return np.stack(per_copy_counts), counters
 
     def evaluate(self, request: EvalRequest) -> EvalResult:
         _check_capabilities(request, self.capabilities())
         evaluation = request.evaluation_dataset()
         network = build_corelets(request.model)
         n_k = class_neuron_counts(network)
-        spf = request.max_spf
-        encoder = StochasticEncoder(spikes_per_frame=spf)
-        neuron_config = (
-            stochastic_neuron_config(network)
-            if request.stochastic_synapses
-            else None
+        self.passes += 1
+        repeat_rngs = spawn_rngs(new_rng(request.seed), request.repeats)
+        level_results = parallel_map(
+            _evaluate_chip_level,
+            [
+                (
+                    request.model,
+                    evaluation.features,
+                    spf,
+                    repeat_rngs,
+                    network,
+                    request.max_copies,
+                    self.multicopy,
+                    request.stochastic_synapses,
+                    request.collect_spike_counters,
+                    request.router_delay,
+                )
+                for spf in request.spf_levels
+            ],
+            self.workers,
         )
         tensors: List[np.ndarray] = []
-        counter_repeats: List[np.ndarray] = []
-        self.passes += 1
-        run = self._run_multicopy if self.multicopy else self._run_percopy
-        for repeat_rng in spawn_rngs(new_rng(request.seed), request.repeats):
-            deployment = deploy_with_copies(
-                request.model,
-                copies=request.max_copies,
-                rng=repeat_rng,
-                corelet_network=network,
+        for repeat in range(request.repeats):
+            stacked = np.stack(
+                [
+                    np.cumsum(counts[repeat], axis=0)
+                    for counts, _ in level_results
+                ],
+                axis=1,
             )
-            frames = encoder.encode(evaluation.features, rng=repeat_rng)
-            volumes = np.ascontiguousarray(frames.transpose(1, 0, 2))
-            copy_seeds = None
-            if request.stochastic_synapses:
-                # Drawn after deployment and encoding so deterministic
-                # requests keep their exact historical streams; identical
-                # in both chip modes, which is what keeps them
-                # bit-identical to each other.  Sampled *without*
-                # replacement — the LFSR seed space is only 16 bits, and
-                # two copies sharing a seed would replay byte-identical
-                # streams, silently collapsing the copies-averaging
-                # statistic the sweep measures.
-                copy_seeds = [
-                    int(seed)
-                    for seed in repeat_rng.choice(
-                        np.arange(1, 2**16),
-                        size=request.max_copies,
-                        replace=False,
-                    )
-                ]
-            counts, counters = run(
-                deployment, volumes, request, neuron_config, copy_seeds
-            )
-            cumulative = np.cumsum(counts, axis=0)
-            # (max_copies, batch, classes) ints -> class-mean score tensor
-            # with a singleton spf axis; the integer counts stay exactly
-            # recoverable through EvalResult.class_counts().
-            tensors.append(cumulative[:, None].astype(float) / n_k)
-            if request.collect_spike_counters:
-                counter_repeats.append(counters)
-        spike_counters = (
-            np.stack(counter_repeats) if request.collect_spike_counters else None
-        )
+            # (max_copies, n_levels, batch, classes) ints -> class-mean
+            # score tensor; the integer counts stay exactly recoverable
+            # through EvalResult.class_counts().
+            tensors.append(stacked.astype(float) / n_k)
+        spike_counters = None
+        if request.collect_spike_counters:
+            # spf_levels is sorted ascending; the counters of the largest
+            # level are the ones a single-level request at max_spf reports.
+            spike_counters = level_results[-1][1]
         return _result_from_cumulative(
             request,
             self.name,
@@ -478,7 +538,7 @@ class ChipBackend:
             n_k,
             network.core_count,
             spike_counters=spike_counters,
-            spf_axis_levels=(spf,),
+            spf_axis_levels=request.spf_levels,
         )
 
 

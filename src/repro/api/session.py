@@ -140,7 +140,8 @@ class Session:
         cache_dir: persistent on-disk score cache directory shared across
             sessions, processes, and restarts.
         cache_max_bytes: size bound for ``cache_dir`` (mtime-LRU eviction).
-        workers: fan vectorized per-repeat passes over N processes.
+        workers: fan independent passes over N processes (vectorized:
+            per-repeat passes; chip: per-spf-level grid passes).
     """
 
     def __init__(
@@ -207,6 +208,8 @@ class Session:
                     cache_max_bytes=self.cache_max_bytes,
                     workers=self.workers,
                 )
+            elif name == "chip":
+                self._backends[name] = create_backend(name, workers=self.workers)
             else:
                 self._backends[name] = create_backend(name)
         # The registry is duck-typed (factories return object); every
@@ -345,9 +348,16 @@ class Session:
         request = pending.request
         if request.seed is None:
             return None
-        # A backend that cannot derive spf sub-grids (the chip) must only
-        # group requests with identical spf levels, or the union request
-        # could become multi-spf and fail where each member alone would not.
+        # Every built-in backend now serves multi-spf grids (the chip runs
+        # one folded pass per level), so grid-capable backends group on the
+        # spf *maximum*: the chip's levels are mutually independent passes
+        # and the union's extra levels cannot perturb a member's slice.
+        # Keying on max_spf (not the union) also keeps spike counters
+        # consistent — the chip reports them at the largest level, which is
+        # then the same level for every member of the group.  A non-grid
+        # out-of-tree backend still must only group identical spf tuples,
+        # or the union request could become multi-spf and fail where each
+        # member alone would not.
         if self.capabilities(pending.backend_name).spf_grids:
             spf_key = request.max_spf
         else:

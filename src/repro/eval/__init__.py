@@ -36,14 +36,23 @@ and the session's caches (:class:`~repro.eval.runner.ScoreCache` in
 memory, :class:`~repro.eval.runner.DiskScoreCache` on disk) for repeated
 evaluations of the same configuration.
 
-The chip backend defaults to **multi-copy chip images**: all requested
-copies are programmed side by side (stacked per-core crossbar tensors,
-per-copy LFSR streams) and advance as one ``copies x batch`` lock-step
-pass — use it for any cycle-accurate request with ``copies > 1``,
-including ``stochastic_synapses`` sweeps; it is bit-identical to the
-one-chip-per-copy loop at ~``C x`` one chip's crossbar memory (one image
-instead of C whole chips).  ``ChipBackend(multicopy=False)`` keeps the
-per-copy reference loop the property tests pin the image against.
+The chip backend defaults to **repeat-folded multi-copy chip images**:
+the requested copies of *all repeats* are programmed side by side
+(stacked per-core crossbar tensors, per-copy LFSR streams; each repeat
+block carries its own deployment and input volume through the chip's
+grouped-input form) and advance as one ``repeats x copies x batch``
+lock-step pass per spf level — so a full ``(copies, spf, repeats)`` grid
+costs ``len(spf_levels)`` chip passes, not
+``len(spf_levels) x repeats x copies`` programs.  Use it for any
+cycle-accurate request, including multi-spf grids and
+``stochastic_synapses`` sweeps; copy and repeat levels are exact integer
+cumsum prefixes of the one pass, bit-identical to the per-(spf, repeat)
+loop.  ``Session(workers=N)`` additionally fans the independent
+spf-level passes over worker processes (vectorized requests shard over
+repeats instead; both are bit-identical at any worker count — see
+:func:`repro.eval.runner.parallel_map`).  ``ChipBackend(multicopy=False)``
+keeps the per-copy reference loop the property tests pin the image
+against.
 """
 
 from repro.eval.accuracy import DeployedAccuracy, evaluate_deployed_accuracy

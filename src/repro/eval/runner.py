@@ -339,6 +339,36 @@ class DiskScoreCache:
         )
 
 
+def parallel_map(
+    fn: Callable[..., object],
+    argument_tuples: Sequence[Tuple],
+    workers: Optional[int],
+) -> List:
+    """Map a picklable function over argument tuples, optionally in processes.
+
+    The shared fan-out primitive of the evaluation layer: with ``workers=N``
+    (N > 1) and more than one work item, the calls run on a
+    ``ProcessPoolExecutor`` capped at ``min(workers, len(items))``;
+    otherwise they run serially in-process.  Results come back in submission
+    order either way, so callers are bit-identical under any worker count —
+    all randomness must enter through the argument tuples (generators
+    spawned in the parent), never be drawn in the children.
+
+    Which axis to shard over is the caller's choice of work unit:
+    :class:`SweepRunner` fans out *repeats* (each repeat is one independent
+    deployment + vectorized pass; every (copies, spf) cell is a nested
+    prefix of its repeat's tensor), while the chip backend — whose single
+    pass already folds all repeats into the stacked copy axis — fans out
+    *spf levels*, the only remaining per-pass axis.
+    """
+    items = list(argument_tuples)
+    if workers is not None and workers > 1 and len(items) > 1:
+        with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+            futures = [pool.submit(fn, *args) for args in items]
+            return [future.result() for future in futures]
+    return [fn(*args) for args in items]
+
+
 def _evaluate_repeat(
     model: TrueNorthModel,
     features: np.ndarray,
@@ -496,25 +526,10 @@ class SweepRunner:
                     return persisted
         network = corelet_network or build_corelets(model)
         repeat_rngs = spawn_rngs(new_rng(rng), self.repeats)
-        if workers is not None and workers > 1 and self.repeats > 1:
-            with ProcessPoolExecutor(max_workers=min(workers, self.repeats)) as pool:
-                futures = [
-                    pool.submit(
-                        _evaluate_repeat,
-                        model,
-                        evaluation.features,
-                        max_copies,
-                        max_spf,
-                        self.chunk_frames,
-                        repeat_rng,
-                        network,
-                    )
-                    for repeat_rng in repeat_rngs
-                ]
-                tensors = [future.result() for future in futures]
-        else:
-            tensors = [
-                _evaluate_repeat(
+        tensors = parallel_map(
+            _evaluate_repeat,
+            [
+                (
                     model,
                     evaluation.features,
                     max_copies,
@@ -524,7 +539,9 @@ class SweepRunner:
                     network,
                 )
                 for repeat_rng in repeat_rngs
-            ]
+            ],
+            workers,
+        )
         if key is not None:
             if self.disk_cache is not None:
                 self.disk_cache.put(key, tensors)

@@ -107,7 +107,7 @@ def stochastic_neuron_config(network) -> NeuronConfig:
 
 
 def _core_shape(network) -> Tuple[int, int]:
-    """(axons, neurons) every allocated core is trimmed to.
+    """(axons, neurons) of the network's largest corelet.
 
     A physical core is 256 x 256, but simulating the unused rows and columns
     only multiplies zeros: unused axons never receive a spike (bindings and
@@ -115,11 +115,18 @@ def _core_shape(network) -> Tuple[int, int]:
     history-free neurons are gated by their silent crossbar, and the
     stateful configurations the inference drivers accept (``leak >= 0``,
     ``reset < threshold``, enforced by ``_validate_latency_model``) keep a
-    never-stimulated membrane below threshold forever.  Trimming to the
-    network's largest corelet is therefore spike-for-spike identical while
-    cutting every crossbar matmul to the occupied block.  The router wants
-    one uniform axon count per chip, so the maximum over all corelets is
-    used rather than a per-core fit.
+    never-stimulated membrane below threshold forever.  Trimming is
+    therefore spike-for-spike identical while cutting every crossbar matmul
+    to the occupied block.
+
+    Deterministic programming trims each core to *its own* corelet
+    (per-core fit — the router and chip handle heterogeneous geometries),
+    so one large corelet no longer un-trims every other core's GEMM.
+    Stochastic programming keeps this network-uniform maximum: the core
+    LFSR's per-tick connectivity sample is laid out row-major over the full
+    crossbar shape, so the sampled bits at the occupied block — and with
+    them the committed stochastic goldens — are a function of the crossbar
+    geometry and must not change.
     """
     axons = max(c.axon_count for layer in network.corelets for c in layer)
     neurons = max(c.neuron_count for layer in network.corelets for c in layer)
@@ -251,11 +258,16 @@ def program_chip(
             "delay on the provided chip's router instead"
         )
     if chip is None:
-        shape = _core_shape(network)
-        chip = _make_chip(network.core_count, neuron_config, router_delay, shape)
+        uniform = _core_shape(network)
+        chip = _make_chip(network.core_count, neuron_config, router_delay, uniform)
+        # Deterministic programming fits each core to its own corelet;
+        # stochastic programming keeps the uniform shape (see _core_shape).
+        shape: Optional[Tuple[int, int]] = (
+            uniform if neuron_config.stochastic_synapses else None
+        )
     else:
-        # A caller-provided chip fixes the core geometry (its step loop
-        # assembles axon vectors of that uniform size).
+        # A caller-provided chip fixes the core geometry (every core is
+        # allocated with its default uniform CoreConfig shape).
         shape = (chip.config.core_config.axons, chip.config.core_config.neurons)
 
     def program_weights(core, corelet, layer_index: int, corelet_index: int):
@@ -275,11 +287,15 @@ def _program_cores(
     chip: TrueNorthChip,
     network,
     neuron_config: NeuronConfig,
-    shape: Tuple[int, int],
+    shape: Optional[Tuple[int, int]],
     core_seed: int,
     program_weights,
 ) -> List[List[int]]:
     """Allocate and program one trimmed core per corelet, then wire the chip.
+
+    ``shape`` fixes one uniform (axons, neurons) geometry for every core;
+    ``None`` fits each core to its own corelet (per-core-fit trimming —
+    valid for deterministic programming only, see ``_core_shape``).
 
     The stochastic branch (potential signed values + Bernoulli
     probabilities, identical for the single- and multi-copy engines) lives
@@ -288,14 +304,25 @@ def _program_cores(
     the deterministic branch (one sampled matrix or a per-copy stack).
     """
     stochastic = neuron_config.stochastic_synapses
+    if stochastic and shape is None:
+        raise ValueError(
+            "stochastic programming requires a uniform core shape (the "
+            "LFSR connectivity sample layout depends on the crossbar "
+            "geometry); pass _core_shape(network)"
+        )
     core_ids: List[List[int]] = []
     for layer_index, layer_corelets in enumerate(network.corelets):
         layer_ids: List[int] = []
         for corelet_index, corelet in enumerate(layer_corelets):
+            fit = (
+                shape
+                if shape is not None
+                else (corelet.axon_count, corelet.neuron_count)
+            )
             core = chip.allocate_core(
                 CoreConfig(
-                    axons=shape[0],
-                    neurons=shape[1],
+                    axons=fit[0],
+                    neurons=fit[1],
                     neuron_config=neuron_config,
                     seed=int(core_seed),
                 )
@@ -409,28 +436,41 @@ def program_chip_multicopy(
     _check_shared_structure(copies)
     network = copies[0].corelet_network
     if neuron_config is None:
-        neuron_config = _default_neuron_config(
-            max(_infer_synaptic_magnitude(copy) for copy in copies)
-        )
+        neuron_config = _default_neuron_config(_infer_multicopy_magnitude(copies))
     if neuron_config.stochastic_synapses:
         _check_shared_stochastic_programming(copies)
-    shape = _core_shape(network)
-    chip = _make_chip(network.core_count, neuron_config, router_delay, shape)
+    uniform = _core_shape(network)
+    chip = _make_chip(network.core_count, neuron_config, router_delay, uniform)
+    # Per-core-fit trimming for deterministic stacks; stochastic images keep
+    # the uniform shape (see _core_shape).
+    shape: Optional[Tuple[int, int]] = (
+        uniform if neuron_config.stochastic_synapses else None
+    )
 
     def program_weights(core, corelet, layer_index: int, corelet_index: int):
-        stacked = np.stack(
-            [
-                _full_core_matrix(
-                    core,
-                    np.rint(
-                        copy.sampled_weights[layer_index][corelet_index]
-                    ).astype(np.int64),
-                    corelet,
-                    np.int64,
-                )
-                for copy in copies
-            ]
+        # One rounding/embedding pass over the whole copy stack: per-copy
+        # rint/astype/zeros calls dominate programming once repeats are
+        # folded onto the copy axis (repeats * copies matrices per core).
+        gathered = np.stack(
+            [copy.sampled_weights[layer_index][corelet_index] for copy in copies]
         )
+        if gathered.dtype.kind == "f":
+            corelet_stack = np.rint(gathered, out=gathered).astype(np.int64)
+        else:
+            corelet_stack = np.rint(gathered).astype(np.int64)
+        if (core.config.axons, core.config.neurons) == (
+            corelet.axon_count,
+            corelet.neuron_count,
+        ):
+            # Per-core-fit trimming usually makes the core exactly
+            # corelet-sized — no zero matrix to embed into.
+            stacked = corelet_stack
+        else:
+            stacked = np.zeros(
+                (len(copies), core.config.axons, core.config.neurons),
+                dtype=np.int64,
+            )
+            stacked[:, : corelet.axon_count, : corelet.neuron_count] = corelet_stack
         core.crossbar.set_copy_signed_weights(stacked)
 
     core_ids = _program_cores(
@@ -539,7 +579,13 @@ def run_chip_inference_multicopy(
         copies: the deployed copies the chip was programmed from.
         core_ids: physical core ids returned by :func:`program_chip_multicopy`.
         spike_volumes: binary array of shape (batch, ticks, input_dim),
-            shared by every copy.
+            shared by every copy — or a *grouped* array of shape
+            (groups, batch, ticks, input_dim) with ``groups`` dividing
+            ``len(copies)``: block ``g`` is fanned out to the consecutive
+            copies ``[g * C/groups, (g+1) * C/groups)``.  The grouped form
+            is how the repeat-folded sweep engine runs R repeats' copies in
+            one pass: repeat ``r`` owns one block of copies and contributes
+            its own encoded volume as block ``r``.
         copy_seeds: per-copy core-PRNG base seeds (stochastic mode); copy
             ``c`` replays exactly the stream of a one-chip-per-copy run
             whose chip was programmed with ``core_seed=copy_seeds[c]``.
@@ -553,18 +599,29 @@ def run_chip_inference_multicopy(
         raise ValueError("at least one deployed copy is required")
     network = copies[0].corelet_network
     spike_volumes = np.asarray(spike_volumes)
-    if spike_volumes.ndim != 3 or spike_volumes.shape[2] != network.input_dim:
+    n_copies = len(copies)
+    if (
+        spike_volumes.ndim not in (3, 4)
+        or spike_volumes.shape[-1] != network.input_dim
+    ):
         raise ValueError(
-            f"expected volumes of shape (batch, ticks, {network.input_dim}), "
+            f"expected volumes of shape (batch, ticks, {network.input_dim}) "
+            f"or (groups, batch, ticks, {network.input_dim}), "
             f"got {spike_volumes.shape}"
+        )
+    if spike_volumes.ndim == 4 and (
+        spike_volumes.shape[0] < 1 or n_copies % spike_volumes.shape[0] != 0
+    ):
+        raise ValueError(
+            f"volume carries {spike_volumes.shape[0]} input groups, which "
+            f"does not divide the copy count {n_copies}"
         )
     if copy_seeds is not None and len(copy_seeds) != len(copies):
         raise ValueError(
             f"expected {len(copies)} copy seeds, got {len(copy_seeds)}"
         )
     _validate_latency_model(chip, network)
-    n_copies = len(copies)
-    batch, ticks = spike_volumes.shape[0], spike_volumes.shape[1]
+    batch, ticks = spike_volumes.shape[-3], spike_volumes.shape[-2]
     if batch == 0:
         return np.zeros((n_copies, 0, network.num_classes), dtype=np.int64)
     total = n_copies * batch
@@ -593,10 +650,11 @@ def run_chip_inference_multicopy(
     per_binding_volumes = _gather_input_volumes(network, spike_volumes)
     for t in range(ticks):
         per_binding = {
-            # One (samples, block) frame per binding, shared by every copy:
-            # the chip broadcasts it over the per-copy weight slices instead
-            # of materializing n_copies replicas (splitter semantics).
-            corelet_index: volume[:, t]
+            # One (samples, block) — or grouped (groups, samples, block) —
+            # frame per binding: the chip broadcasts it over the per-copy
+            # weight slices instead of materializing n_copies replicas
+            # (splitter semantics).
+            corelet_index: volume[..., t, :]
             for corelet_index, volume in enumerate(per_binding_volumes)
         }
         accumulate(chip.step_batch({INPUT_CHANNEL: per_binding}))
@@ -605,14 +663,15 @@ def run_chip_inference_multicopy(
 
 
 def _gather_input_volumes(network, spike_volumes: np.ndarray) -> List[np.ndarray]:
-    """Per-binding (batch, ticks, block) volumes, gathered once up front.
+    """Per-binding (..., batch, ticks, block) volumes, gathered once up front.
 
     One fancy-index copy per layer-0 corelet instead of one per (corelet,
-    tick); the tick loop then hands out contiguous views.
+    tick); the tick loop then hands out contiguous views.  A leading
+    ``groups`` axis (grouped shared input) passes straight through.
     """
     return [
         np.ascontiguousarray(
-            spike_volumes[:, :, np.asarray(corelet.input_channels, dtype=int)]
+            spike_volumes[..., np.asarray(corelet.input_channels, dtype=int)]
         )
         for corelet in network.corelets[0]
     ]
@@ -705,5 +764,10 @@ def _infer_synaptic_magnitude(deployed: DeployedNetwork) -> float:
             if weights.size:
                 best = max(best, float(np.abs(weights).max()))
     return best if best > 0 else 1.0
+
+
+def _infer_multicopy_magnitude(copies: Sequence[DeployedNetwork]) -> float:
+    """``max`` of :func:`_infer_synaptic_magnitude` over a copy stack."""
+    return max(_infer_synaptic_magnitude(copy) for copy in copies)
 
 

@@ -102,6 +102,9 @@ class TrueNorthChip:
         self._tick = 0
         self._batch_size: Optional[int] = None
         self._copies = 1
+        #: cached ``core_id -> axons`` map (per-core-fit trimmed chips have
+        #: heterogeneous crossbar geometries); invalidated on allocation.
+        self._core_axon_counts: Optional[Dict[int, int]] = None
 
     # ------------------------------------------------------------------
     # allocation and programming
@@ -134,7 +137,21 @@ class TrueNorthChip:
         self.cores[core_id] = core
         self._positions[core_id] = position
         self.router.set_core_position(core_id, *position)
+        self._core_axon_counts = None
         return core
+
+    def _axon_counts(self) -> Dict[int, int]:
+        """Axon count of every allocated core, keyed by core id.
+
+        The router sizes its delivery buffers from this map, so cores
+        trimmed to different crossbar geometries (per-core-fit trimming in
+        the deployment pipeline) each pay only for their own axon count.
+        """
+        if self._core_axon_counts is None:
+            self._core_axon_counts = {
+                core_id: core.config.axons for core_id, core in self.cores.items()
+            }
+        return self._core_axon_counts
 
     def core(self, core_id: int) -> NeurosynapticCore:
         """Return an allocated core by id."""
@@ -254,8 +271,8 @@ class TrueNorthChip:
         """
         if self._batch_size is not None:
             raise RuntimeError("chip is in batch mode; use step_batch() or reset()")
-        axons = self.config.core_config.axons
-        routed = self.router.deliver(self._tick, axons_per_core=axons)
+        axon_counts = self._axon_counts()
+        routed = self.router.deliver(self._tick, axons_per_core=axon_counts)
         per_core_axons: Dict[int, np.ndarray] = {
             core_id: vector for core_id, vector in routed.items()
         }
@@ -274,7 +291,8 @@ class TrueNorthChip:
                             f"{len(binding.axon_map)} spikes, got {spikes.shape}"
                         )
                     vector = per_core_axons.setdefault(
-                        binding.core_id, np.zeros(axons, dtype=np.int8)
+                        binding.core_id,
+                        np.zeros(axon_counts[binding.core_id], dtype=np.int8),
                     )
                     vector[np.asarray(binding.axon_map, dtype=np.int64)] |= spikes.astype(
                         np.int8
@@ -283,7 +301,7 @@ class TrueNorthChip:
         outputs_by_core: Dict[int, np.ndarray] = {}
         for core_id, core in self.cores.items():
             axon_vector = per_core_axons.get(
-                core_id, np.zeros(axons, dtype=np.int8)
+                core_id, np.zeros(axon_counts[core_id], dtype=np.int8)
             )
             spikes = core.tick(axon_vector)
             outputs_by_core[core_id] = spikes
@@ -314,9 +332,14 @@ class TrueNorthChip:
                 matrix}`` where each matrix has shape ``(batch,
                 len(axon_map))`` — or, in multi-copy mode, ``(batch //
                 copies, len(axon_map))`` for input *shared* by every copy
-                (the hardware splitter).  Shared input is never replicated:
-                cores fed only by shared bindings integrate it through a
-                broadcast over their per-copy weight slices.
+                (the hardware splitter), or ``(groups, batch // copies,
+                len(axon_map))`` for *grouped* shared input where block
+                ``g`` feeds the consecutive copies ``[g * copies/groups,
+                (g+1) * copies/groups)`` — the layout the repeat-folded
+                sweep engine uses, one block per folded repeat.  Shared and
+                grouped input are never replicated: cores fed only by such
+                bindings integrate them through a broadcast over their
+                per-copy weight slices.
 
         Returns:
             mapping ``channel -> {binding_index -> (batch, len(neuron_map))
@@ -330,11 +353,12 @@ class TrueNorthChip:
             raise RuntimeError("chip is in scalar mode; call begin_batch() first")
         batch = self._batch_size
         samples = batch // self._copies
-        axons = self.config.core_config.axons
+        axon_counts = self._axon_counts()
         per_core_axons = self.router.deliver_batch(
-            self._tick, axons_per_core=axons, batch_size=batch
+            self._tick, axons_per_core=axon_counts, batch_size=batch
         )
         shared_axons: Dict[int, np.ndarray] = {}
+        grouped_axons: Dict[int, np.ndarray] = {}
 
         if external_inputs:
             for channel, per_binding in external_inputs.items():
@@ -345,52 +369,96 @@ class TrueNorthChip:
                     binding = bindings[binding_index]
                     spikes = np.asarray(spikes)
                     width = len(binding.axon_map)
-                    if spikes.shape == (batch, width):
-                        target, rows = per_core_axons, batch
+                    axons = axon_counts[binding.core_id]
+                    if (
+                        spikes.ndim == 3
+                        and spikes.shape[1:] == (samples, width)
+                        and spikes.shape[0] >= 1
+                        and self._copies % spikes.shape[0] == 0
+                    ):
+                        if spikes.shape[0] == self._copies:
+                            # One block per copy is just full copy-major
+                            # input in disguise (covers copies == 1 too).
+                            spikes = spikes.reshape(batch, width)
+                            target: Dict[int, np.ndarray] = per_core_axons
+                            shape: Tuple[int, ...] = (batch, axons)
+                        else:
+                            target = grouped_axons
+                            shape = (spikes.shape[0], samples, axons)
+                    elif spikes.shape == (batch, width):
+                        target, shape = per_core_axons, (batch, axons)
                     elif self._copies > 1 and spikes.shape == (samples, width):
-                        target, rows = shared_axons, samples
+                        target, shape = shared_axons, (samples, axons)
                     else:
                         expected = f"({batch}, {width})"
                         if self._copies > 1:
-                            expected += f" or shared ({samples}, {width})"
+                            expected += (
+                                f" or shared ({samples}, {width})"
+                                f" or grouped (groups, {samples}, {width})"
+                            )
                         raise ValueError(
                             f"channel {channel!r} binding {binding_index} "
                             f"expects spikes of shape {expected}, "
                             f"got {spikes.shape}"
                         )
                     matrix = target.get(binding.core_id)
+                    if matrix is not None and matrix.shape[:-1] != shape[:-1]:
+                        raise ValueError(
+                            f"channel {channel!r} binding {binding_index} "
+                            f"mixes group counts on core {binding.core_id}: "
+                            f"buffer rows {matrix.shape[:-1]}, got "
+                            f"{shape[:-1]}"
+                        )
                     if matrix is None and binding.identity and width == axons:
                         # Full-width identity map: the (owned) spike matrix
                         # is the axon matrix — no zeroed buffer, no scatter.
                         target[binding.core_id] = spikes.astype(np.int8)
                         continue
                     if matrix is None:
-                        matrix = np.zeros((rows, axons), dtype=np.int8)
+                        matrix = np.zeros(shape, dtype=np.int8)
                         target[binding.core_id] = matrix
                     axon_idx = np.asarray(binding.axon_map, dtype=np.intp)
-                    matrix[:, axon_idx] |= spikes.astype(np.int8)
+                    matrix[..., axon_idx] |= spikes.astype(np.int8)
 
         # A core fed by both routed (per-copy) and shared external spikes
         # needs the full matrix; replicate the shared block into it.
         for core_id in list(shared_axons):
+            if core_id in grouped_axons:
+                raise ValueError(
+                    f"core {core_id} receives both shared and grouped "
+                    "external input in one tick; use one layout per core"
+                )
             full = per_core_axons.get(core_id)
             if full is not None:
                 full |= np.tile(shared_axons.pop(core_id), (self._copies, 1))
+        for core_id in list(grouped_axons):
+            full = per_core_axons.get(core_id)
+            if full is not None:
+                grouped = grouped_axons.pop(core_id)
+                per_group = self._copies // grouped.shape[0]
+                full |= np.broadcast_to(
+                    grouped[:, None],
+                    (grouped.shape[0], per_group) + grouped.shape[1:],
+                ).reshape(batch, -1)
 
-        zero_input: Optional[np.ndarray] = None
+        zero_inputs: Dict[int, np.ndarray] = {}
         outputs_by_core: Dict[int, np.ndarray] = {}
         for core_id, core in self.cores.items():
             axon_matrix = per_core_axons.get(core_id)
             if axon_matrix is None:
                 axon_matrix = shared_axons.get(core_id)
             if axon_matrix is None:
-                if zero_input is None:
-                    zero_input = np.zeros((batch, axons), dtype=np.int8)
-                axon_matrix = zero_input
+                axon_matrix = grouped_axons.get(core_id)
+            if axon_matrix is None:
+                axons = axon_counts[core_id]
+                axon_matrix = zero_inputs.get(axons)
+                if axon_matrix is None:
+                    axon_matrix = np.zeros((batch, axons), dtype=np.int8)
+                    zero_inputs[axons] = axon_matrix
             spikes = core.tick_batch(axon_matrix)
             outputs_by_core[core_id] = spikes
             self.router.submit_batch(
-                core_id, spikes, tick=self._tick, axons_per_core=axons
+                core_id, spikes, tick=self._tick, axons_per_core=axon_counts
             )
 
         external_outputs: Dict[str, Dict[int, np.ndarray]] = {}

@@ -278,12 +278,27 @@ class NeurosynapticCore:
         """Normalize a multi-copy tick input to what the crossbar expects.
 
         Returns ``(volume, total_rows)`` where ``volume`` is either the
-        shared ``(S, axons)`` matrix untouched or the full input reshaped
-        to ``(C, S, axons)``.
+        shared ``(S, axons)`` matrix untouched, a *grouped*
+        ``(G, S, axons)`` volume untouched (block ``g`` feeds the
+        consecutive copies ``[g*C/G, (g+1)*C/G)`` — the repeat-folded
+        layout), or the full input reshaped to ``(C, S, axons)``.
         """
         axon_spikes = np.asarray(axon_spikes)
         total = self.neurons.batch_size
         samples = total // self._copies
+        if axon_spikes.ndim == 3:
+            groups = axon_spikes.shape[0]
+            if (
+                axon_spikes.shape[1] != samples
+                or groups < 1
+                or self._copies % groups != 0
+            ):
+                raise ValueError(
+                    f"expected a grouped volume of shape (groups, {samples}, "
+                    f"axons) with groups dividing {self._copies}, got "
+                    f"{axon_spikes.shape}"
+                )
+            return axon_spikes, total
         if axon_spikes.shape[0] == samples and samples != total:
             return axon_spikes, total  # shared across copies
         if axon_spikes.shape[0] == total:

@@ -30,7 +30,7 @@ bit-identical to the per-copy loop.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -90,11 +90,17 @@ class SynapticCrossbar:
         self.copy_signed_weights: Optional[np.ndarray] = None
         self.copy_connectivity: Optional[np.ndarray] = None
         self.copy_probabilities: Optional[np.ndarray] = None
+        #: largest |weight| of the copy stack, recorded at programming time
+        #: (a by-product of the hardware-range check)
+        self._copy_magnitude: Optional[int] = None
         #: cached static effective-weight matrix (invalidated on programming)
         self._static_weights: Optional[np.ndarray] = None
         self._static_connectivity_f64: Optional[np.ndarray] = None
         self._static_copy_weights: Optional[np.ndarray] = None
         self._static_copy_folded: Optional[np.ndarray] = None
+        #: grouped-input GEMM layouts derived from the static stacks, keyed
+        #: by (folded, groups, copies) — see :meth:`_grouped_layout`
+        self._static_grouped: Dict[Tuple[bool, int, int], np.ndarray] = {}
         #: power-of-two fold base: folded = weight * base + connectivity,
         #: decodable because active-synapse counts are < base (<= axons).
         self._fold_base = 1 << int(np.ceil(np.log2(self.axons + 1)))
@@ -104,6 +110,7 @@ class SynapticCrossbar:
         self._static_connectivity_f64 = None
         self._static_copy_weights = None
         self._static_copy_folded = None
+        self._static_grouped = {}
 
     def _exact_dtype(self, max_abs_entry: int) -> type:
         """Smallest float dtype whose matmuls stay exact for this crossbar.
@@ -119,6 +126,22 @@ class SynapticCrossbar:
             if max_abs_entry * self.axons < 2**24
             else np.float64
         )
+
+    def _max_magnitude(self) -> int:
+        """Largest |weight| the programmed synapses can produce.
+
+        Tightens the :meth:`_exact_dtype` bound from the hardware ceiling
+        (``WEIGHT_MAX``) to what this crossbar actually holds, which is what
+        keeps the *folded* stacks (entries up to ``magnitude * base + 1``)
+        on the float32 GEMM path for realistically quantized weights.
+        """
+        if self.copy_signed_weights is not None:
+            if self._copy_magnitude is not None:
+                return self._copy_magnitude
+            return int(np.abs(self.copy_signed_weights).max(initial=0))
+        if self.signed_weights is not None:
+            return int(np.abs(self.signed_weights).max(initial=0))
+        return int(np.abs(self.weight_tables).max(initial=0))
 
     # ------------------------------------------------------------------
     # programming interface
@@ -206,6 +229,11 @@ class SynapticCrossbar:
         same hardware-range validation).  The stack is what lets one
         physical crossbar simulate ``copies`` independently sampled copies
         side by side through :meth:`integrate_multicopy`.
+
+        The stack is adopted, not defensively copied — a repeat-folded image
+        programs ``repeats * copies`` matrices per core and the extra pass
+        over the stack is pure programming traffic — so the caller must not
+        mutate it afterwards.
         """
         weights = np.asarray(weights, dtype=np.int64)
         if weights.ndim != 3 or weights.shape[1:] != (self.axons, self.neurons):
@@ -215,10 +243,12 @@ class SynapticCrossbar:
             )
         if weights.shape[0] < 1:
             raise ValueError("at least one copy is required")
-        if weights.size and (
-            weights.min() < constants.WEIGHT_MIN or weights.max() > constants.WEIGHT_MAX
-        ):
-            raise ValueError("signed weights outside the hardware range")
+        magnitude = 0
+        if weights.size:
+            low, high = int(weights.min()), int(weights.max())
+            if low < constants.WEIGHT_MIN or high > constants.WEIGHT_MAX:
+                raise ValueError("signed weights outside the hardware range")
+            magnitude = max(-low, high, 0)
         if self.copy_probabilities is not None and self.copy_probabilities.shape[
             0
         ] != weights.shape[0]:
@@ -227,8 +257,11 @@ class SynapticCrossbar:
                 f"probability stack ({self.copy_probabilities.shape[0]} copies)"
             )
         self.copies = int(weights.shape[0])
-        self.copy_signed_weights = weights.copy()
+        self.copy_signed_weights = weights
         self.copy_connectivity = weights != 0
+        # The range check above already visited every entry, so the stack's
+        # magnitude (which picks the GEMM dtype) is free here.
+        self._copy_magnitude = magnitude
         self._invalidate_cache()
 
     def set_copy_probabilities(self, probabilities: np.ndarray) -> None:
@@ -448,8 +481,9 @@ class SynapticCrossbar:
         and the active-synapse counts (``mixed = sums * base + counts``,
         ``counts < base``), halving the multi-copy GEMM work of the
         history-free path.  The dtype is the smallest exact one for entries
-        up to ``255 * base + 1`` — float32 on trimmed cores whose partial
-        sums stay below 2**24, float64 otherwise.
+        up to ``magnitude * base + 1`` (the *programmed* magnitude, see
+        :meth:`_max_magnitude`) — float32 whenever the partial sums stay
+        below 2**24, float64 otherwise.
         """
         if (
             self._static_copy_folded is not None
@@ -458,11 +492,15 @@ class SynapticCrossbar:
             self._static_copy_folded = None
         if self._static_copy_folded is None:
             base = self._fold_base
-            dtype = self._exact_dtype(constants.WEIGHT_MAX * base + 1)
+            dtype = self._exact_dtype(self._max_magnitude() * base + 1)
             if self.copy_signed_weights is not None:
-                self._static_copy_folded = (
-                    self.copy_signed_weights * base + self.copy_connectivity
-                ).astype(dtype)
+                # Build in the target float dtype (exact: every intermediate
+                # is an integer below the mantissa bound) rather than via an
+                # int64 temporary twice the stack's size.
+                folded = self.copy_signed_weights.astype(dtype)
+                folded *= base
+                folded += self.copy_connectivity
+                self._static_copy_folded = folded
             else:
                 weights = self.effective_weights(self.connectivity)
                 folded = (weights * base + self.connectivity).astype(dtype)
@@ -487,10 +525,15 @@ class SynapticCrossbar:
                 fanned out to every copy (a hardware splitter), which skips
                 materializing ``copies`` replicas: the batched matmul
                 broadcasts the one input block over the per-copy weight
-                slices.  Copy ``c`` integrates through its own programmed
-                weight slice (:meth:`set_copy_signed_weights`), or through
-                the shared single-copy programming when no stack was
-                programmed.
+                slices.  A ``(groups, samples, axons)`` volume with
+                ``copies % groups == 0`` is *grouped* shared input: block
+                ``g`` is fanned out to the consecutive copies
+                ``[g * copies/groups, (g+1) * copies/groups)`` — the layout
+                the repeat-folded sweep engine uses, one input block per
+                folded repeat.  Copy ``c`` integrates through its own
+                programmed weight slice (:meth:`set_copy_signed_weights`),
+                or through the shared single-copy programming when no stack
+                was programmed.
             prngs: one PRNG per copy, required when ``stochastic`` — copy
                 ``c`` draws its connectivity sample from ``prngs[c]`` exactly
                 as a one-chip-per-copy simulation would from that chip's core
@@ -506,10 +549,10 @@ class SynapticCrossbar:
             ``(sums, active_counts)`` pair when ``return_active_counts``.
         """
         axon_spikes = np.asarray(axon_spikes)
-        shared_input, copies = self._validate_multicopy_volume(axon_spikes, copies)
+        groups, copies = self._validate_multicopy_volume(axon_spikes, copies)
         mixed = self._multicopy_matmul(
             axon_spikes,
-            shared_input,
+            groups,
             copies,
             prngs,
             stochastic,
@@ -542,21 +585,28 @@ class SynapticCrossbar:
         a silent crossbar always yields ``mixed == 0``).
         """
         axon_spikes = np.asarray(axon_spikes)
-        shared_input, copies = self._validate_multicopy_volume(axon_spikes, copies)
+        groups, copies = self._validate_multicopy_volume(axon_spikes, copies)
         mixed = self._multicopy_matmul(
-            axon_spikes, shared_input, copies, prngs, stochastic, folded=True
+            axon_spikes, groups, copies, prngs, stochastic, folded=True
         )
         return mixed, self._fold_base
 
     def _validate_multicopy_volume(
         self, axon_spikes: np.ndarray, copies: Optional[int]
-    ) -> Tuple[bool, int]:
-        """Check a multi-copy tick volume and return ``(shared, copies)``.
+    ) -> Tuple[Optional[int], int]:
+        """Check a multi-copy tick volume and return ``(groups, copies)``.
 
-        Shared ``(samples, axons)`` input needs an explicit copy count; a
-        full ``(copies, samples, axons)`` volume carries its own, which an
-        explicit ``copies`` must match.  Anything else is a typed error
-        rather than an opaque downstream matmul failure.
+        ``groups`` encodes how the volume maps onto the copy axis: ``None``
+        for a full per-copy ``(copies, samples, axons)`` volume, ``1`` for
+        shared ``(samples, axons)`` input fanned out to every copy, and
+        ``G`` for *grouped* shared input ``(G, samples, axons)`` where each
+        of the ``G`` blocks is fanned out to a consecutive run of
+        ``copies // G`` copies (the layout the repeat-folded sweep engine
+        uses: repeat ``r`` owns copies ``[r*C, (r+1)*C)`` and contributes
+        input block ``r``).  Shared and grouped input need an explicit copy
+        count; a full volume carries its own, which an explicit ``copies``
+        must match.  Anything else is a typed error rather than an opaque
+        downstream matmul failure.
         """
         if axon_spikes.ndim == 2:
             if copies is None:
@@ -569,16 +619,19 @@ class SynapticCrossbar:
                     f"expected spikes of shape (samples, {self.axons}), "
                     f"got {axon_spikes.shape}"
                 )
-            return True, int(copies)
+            return 1, int(copies)
         if axon_spikes.ndim == 3 and axon_spikes.shape[2] == self.axons:
             if copies is None:
                 copies = axon_spikes.shape[0]
-            elif copies != axon_spikes.shape[0]:
-                raise ValueError(
-                    f"volume carries {axon_spikes.shape[0]} copies, "
-                    f"expected {copies}"
-                )
-            return False, int(copies)
+            groups = int(axon_spikes.shape[0])
+            if groups == copies:
+                return None, int(copies)
+            if groups >= 1 and copies % groups == 0:
+                return groups, int(copies)
+            raise ValueError(
+                f"volume carries {groups} input groups, which neither "
+                f"matches nor divides the copy count {copies}"
+            )
         raise ValueError(
             f"expected spikes of shape (copies, samples, {self.axons}), "
             f"got {axon_spikes.shape}"
@@ -587,7 +640,7 @@ class SynapticCrossbar:
     def _multicopy_matmul(
         self,
         axon_spikes: np.ndarray,
-        shared_input: bool,
+        groups: Optional[int],
         copies: int,
         prngs: Optional[Sequence[LfsrPrng]],
         stochastic: bool,
@@ -596,8 +649,12 @@ class SynapticCrossbar:
         """The one batched ``(C, S, A) @ (C, A, N)`` matmul of a tick.
 
         Exact for these small-integer operands (see :meth:`_exact_dtype`).
-        Shared input is converted once and broadcast over the copy axis —
-        the identical per-copy GEMMs without C-fold input replication.
+        Shared input (``groups == 1``) is converted once and broadcast over
+        the copy axis; grouped input (``1 < groups < copies``) broadcasts
+        each block over its run of ``copies // groups`` weight slices.
+        Every layout decomposes into the identical per-copy
+        ``(S, A) @ (A, N)`` GEMMs, so all three are bit-identical — grouped
+        and shared input merely skip materializing input replicas.
         """
         if self.copies is not None and self.copies != copies:
             raise ValueError(
@@ -612,8 +669,9 @@ class SynapticCrossbar:
                     f"copy ({copies}), got "
                     f"{None if prngs is None else len(prngs)}"
                 )
+            magnitude = self._max_magnitude()
             dtype = self._exact_dtype(
-                constants.WEIGHT_MAX * base + 1 if folded else constants.WEIGHT_MAX
+                magnitude * base + 1 if folded else magnitude
             )
             stacked = np.empty((copies, self.axons, self.neurons), dtype=dtype)
             for c in range(copies):
@@ -632,6 +690,57 @@ class SynapticCrossbar:
         else:
             stacked = self._static_plain_stack(copies)
         active = axon_spikes.astype(stacked.dtype)
-        if shared_input:
-            active = active[None]
-        return np.matmul(active, stacked)
+        if groups is None:
+            return np.matmul(active, stacked)
+        if groups == 1:
+            if active.ndim == 2:
+                active = active[None]
+            return np.matmul(active, stacked)
+        # Grouped shared input: block g feeds the consecutive copies
+        # [g * per_group, (g + 1) * per_group).
+        per_group = copies // groups
+        samples = active.shape[1]
+        neurons = stacked.shape[-1]
+        if stacked.ndim == 3 and stacked.strides[0] == 0:
+            # Broadcast static stack (shared single-copy programming):
+            # reshaping it would materialize `copies` weight replicas, so
+            # matmul one slice per group and broadcast the small output.
+            out = np.matmul(active[:, None], stacked[:1])  # (G, 1, S, N)
+            out = np.broadcast_to(out, (groups, per_group) + out.shape[2:])
+            return out.reshape(copies, samples, neurons)
+        # Fold each group's run of copies into the GEMM's output axis:
+        # one (S, A) @ (A, K * N) slice per group instead of K tiny
+        # (S, A) @ (A, N) slices per group, which is what keeps BLAS fed
+        # when repeats are stacked onto the copy axis (G = repeats).
+        layout = self._grouped_layout(
+            stacked, groups, cache_key=None if stochastic else folded
+        )
+        out = np.matmul(active, layout)  # (G, S, K * N)
+        out = out.reshape(groups, samples, per_group, neurons)
+        return out.transpose(0, 2, 1, 3).reshape(copies, samples, neurons)
+
+    def _grouped_layout(
+        self, stacked: np.ndarray, groups: int, cache_key: Optional[bool]
+    ) -> np.ndarray:
+        """``(G, A, K * N)`` GEMM layout of a ``(G * K, A, N)`` stack.
+
+        ``layout[g, a, k * N + n] == stacked[g * K + k, a, n]`` — the same
+        per-copy dot products, so grouped results stay bit-identical — with
+        each group's ``K`` weight slices side by side so the grouped matmul
+        runs ``G`` well-shaped GEMMs.  Static stacks cache their layout
+        under ``cache_key`` (their folded flag; dropped on reprogramming);
+        stochastic per-tick stacks pass ``None`` and rebuild each call.
+        """
+        copies, axons, neurons = stacked.shape
+        per_group = copies // groups
+        if cache_key is not None:
+            key = (cache_key, groups, copies)
+            cached = self._static_grouped.get(key)
+            if cached is not None:
+                return cached
+        layout = stacked.reshape(groups, per_group, axons, neurons).transpose(
+            0, 2, 1, 3
+        ).reshape(groups, axons, per_group * neurons)
+        if cache_key is not None:
+            self._static_grouped[key] = layout
+        return layout

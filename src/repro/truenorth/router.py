@@ -32,9 +32,21 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
+
+#: Axon count of the receiving cores: one uniform count for homogeneous
+#: chips, or a ``core_id -> axons`` mapping when per-core-fit trimming
+#: gives every core its own crossbar geometry.
+AxonCounts = Union[int, Mapping[int, int]]
+
+
+def _axons_of(axons_per_core: AxonCounts, core_id: int) -> int:
+    """Resolve the axon count of one target core from either form."""
+    if isinstance(axons_per_core, int):
+        return axons_per_core
+    return axons_per_core[core_id]
 
 
 @dataclass(frozen=True)
@@ -151,17 +163,22 @@ class SpikeRouter:
             enqueued += 1
         return enqueued
 
-    def deliver(self, tick: int, axons_per_core: int) -> Dict[int, np.ndarray]:
-        """Pop all events due at ``tick`` and return per-core axon spike vectors."""
+    def deliver(self, tick: int, axons_per_core: AxonCounts) -> Dict[int, np.ndarray]:
+        """Pop all events due at ``tick`` and return per-core axon spike vectors.
+
+        ``axons_per_core`` is a uniform count or a ``core_id -> axons``
+        mapping (per-core-fit trimmed chips).
+        """
         events = self._pending.pop(tick, [])
         delivery: Dict[int, np.ndarray] = {}
         for event in events:
+            axons = _axons_of(axons_per_core, event.target_core)
             vector = delivery.setdefault(
-                event.target_core, np.zeros(axons_per_core, dtype=np.int8)
+                event.target_core, np.zeros(axons, dtype=np.int8)
             )
-            if not (0 <= event.target_axon < axons_per_core):
+            if not (0 <= event.target_axon < axons):
                 raise IndexError(
-                    f"target axon {event.target_axon} outside [0, {axons_per_core})"
+                    f"target axon {event.target_axon} outside [0, {axons})"
                 )
             vector[event.target_axon] = 1
             self.delivered_count += 1
@@ -208,14 +225,16 @@ class SpikeRouter:
         return self._route_arrays
 
     def submit_batch(
-        self, core_id: int, spikes: np.ndarray, tick: int, axons_per_core: int
+        self, core_id: int, spikes: np.ndarray, tick: int, axons_per_core: AxonCounts
     ) -> int:
         """Enqueue a ``(batch, neurons)`` spike matrix produced at ``tick``.
 
         Spikes are scattered into per-target ``(batch, axons)`` buffers
         immediately (index-array writes, no per-spike Python work); delivery
-        at ``tick + delay`` just pops the buffers.  Returns the number of
-        routed (sample, spike) pairs enqueued.
+        at ``tick + delay`` just pops the buffers.  ``axons_per_core`` is a
+        uniform count or a ``core_id -> axons`` mapping (per-core-fit
+        trimmed chips); each target buffer is sized for *its* core.
+        Returns the number of routed (sample, spike) pairs enqueued.
         """
         spikes = np.asarray(spikes)
         entries = self._compiled_routes().get(core_id)
@@ -231,16 +250,17 @@ class SpikeRouter:
             routed = int(np.count_nonzero(columns))
             if routed == 0:
                 continue
+            axons = _axons_of(axons_per_core, target_core)
             buffer = buffers.get(target_core)
             if buffer is None:
-                buffer = np.zeros((batch, axons_per_core), dtype=np.int8)
+                buffer = np.zeros((batch, axons), dtype=np.int8)
                 buffers[target_core] = buffer
             if axon_idx.size and (
-                axon_idx.min() < 0 or axon_idx.max() >= axons_per_core
+                axon_idx.min() < 0 or axon_idx.max() >= axons
             ):
                 bad = axon_idx.min() if axon_idx.min() < 0 else axon_idx.max()
                 raise IndexError(
-                    f"target axon {int(bad)} outside [0, {axons_per_core})"
+                    f"target axon {int(bad)} outside [0, {axons})"
                 )
             columns = (columns != 0).astype(np.int8)
             if unique_axons:
@@ -255,18 +275,19 @@ class SpikeRouter:
         return enqueued
 
     def deliver_batch(
-        self, tick: int, axons_per_core: int, batch_size: int
+        self, tick: int, axons_per_core: AxonCounts, batch_size: int
     ) -> Dict[int, np.ndarray]:
         """Pop the pre-scattered ``(batch, axons)`` buffers due at ``tick``."""
         buffers = self._pending_batch.pop(tick, {})
         delivered, hops = self._pending_batch_stats.pop(tick, (0, 0))
         self.delivered_count += delivered
         self.hop_count += hops
-        for buffer in buffers.values():
-            if buffer.shape != (batch_size, axons_per_core):
+        for target_core, buffer in buffers.items():
+            expected = (batch_size, _axons_of(axons_per_core, target_core))
+            if buffer.shape != expected:
                 raise ValueError(
                     f"pending buffer of shape {buffer.shape} does not match "
-                    f"({batch_size}, {axons_per_core})"
+                    f"{expected}"
                 )
         return buffers
 

@@ -28,6 +28,21 @@ def new_rng(seed: RngLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def clone_rng(rng: np.random.Generator) -> np.random.Generator:
+    """Independent generator replaying ``rng``'s stream from its current state.
+
+    The clone gets its own bit-generator instance carrying a copy of
+    ``rng``'s state, so consuming the clone never advances the original.
+    Used when the same stream must be re-consumed from a known point — e.g.
+    each spf level of a chip grid pass replays every repeat's generator from
+    its pristine spawned state, so deployments are identical across levels
+    and each level draws exactly what a standalone request would have drawn.
+    """
+    clone = np.random.Generator(type(rng.bit_generator)())
+    clone.bit_generator.state = rng.bit_generator.state
+    return clone
+
+
 def spawn_rngs(seed: RngLike, count: int) -> List[np.random.Generator]:
     """Derive ``count`` statistically independent generators from ``seed``.
 

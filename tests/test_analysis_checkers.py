@@ -479,6 +479,9 @@ CAP_SESSION_OK = """\
             if request.needs_cycle_accuracy:
                 return "chip"
             return "reference"
+
+        def _coalesce_key(self, request):
+            return (request.model, request.router_delay)
 """
 
 
@@ -519,6 +522,9 @@ class TestCapExhaustive:
             class Session:
                 def select_backend(self, request):
                     return "reference"
+
+                def _coalesce_key(self, request):
+                    return (request.model, request.router_delay)
         """
         project = write_tree(
             tmp_path,
@@ -533,6 +539,25 @@ class TestCapExhaustive:
         assert findings[0].path == "src/repro/api/session.py"
         assert "'router_delay'" in findings[0].message
         assert "select_backend" in findings[0].message
+
+    def test_coalescer_blind_to_chip_only_field_is_flagged(self, tmp_path):
+        session = CAP_SESSION_OK.replace(
+            "return (request.model, request.router_delay)",
+            "return (request.model,)",
+        )
+        project = write_tree(
+            tmp_path,
+            {
+                "src/repro/api/protocol.py": CAP_PROTOCOL_OK,
+                "src/repro/api/backends.py": CAP_BACKENDS_OK,
+                "src/repro/api/session.py": session,
+            },
+        )
+        findings = self.checker.check(project)
+        assert len(findings) == 1
+        assert findings[0].path == "src/repro/api/session.py"
+        assert "'router_delay'" in findings[0].message
+        assert "_coalesce_key" in findings[0].message
 
     def test_guard_without_raise_does_not_count(self, tmp_path):
         backends = CAP_BACKENDS_OK.replace(

@@ -115,7 +115,10 @@ def test_capability_flags_match_design():
     assert VectorizedBackend().capabilities().cacheable
     assert not VectorizedBackend().capabilities().cycle_accurate
     assert ChipBackend().capabilities().cycle_accurate
-    assert not ChipBackend().capabilities().spf_grids
+    # The chip serves (copies, spf, repeats) grids in one pass per spf
+    # level (repeat-folded multi-copy images) — grid-capable since PR 7.
+    assert ChipBackend().capabilities().spf_grids
+    assert ChipBackend(multicopy=False).capabilities().spf_grids
     assert not ReferenceBackend().capabilities().cacheable
 
 

@@ -84,10 +84,22 @@ def test_router_delay_on_reference_backend_raises(trained):
         )
 
 
-def test_spf_grid_on_chip_backend_raises(trained):
+def test_spf_grid_on_chip_backend_matches_per_level_requests(trained):
+    """Multi-spf chip grids (one folded pass per level) match the levels
+    evaluated one request at a time, bit for bit."""
     session = _session()
-    with pytest.raises(UnsupportedRequestError, match="multi-spf"):
-        session.evaluate(_request(trained, spf_levels=(1, 2)), backend="chip")
+    grid = session.evaluate(_request(trained, spf_levels=(1, 2)), backend="chip")
+    assert grid.backend == "chip"
+    for column, spf in enumerate(grid.spf_levels):
+        single = session.evaluate(
+            _request(trained, spf_levels=(spf,)), backend="chip"
+        )
+        np.testing.assert_array_equal(
+            grid.class_counts()[:, :, column], single.class_counts()[:, :, 0]
+        )
+        np.testing.assert_array_equal(
+            grid.scores[:, :, column], single.scores[:, :, 0]
+        )
 
 
 def test_capability_error_does_not_run_another_backend(trained):

@@ -1,0 +1,398 @@
+"""Single-pass (copies, spf, repeats) chip grids: bit-identical to the loops.
+
+PR 7 folds the *repeats* axis into the stacked-copy axis: the chip backend
+programs ``repeats * max_copies`` copies side by side (each repeat block
+with its own deployment and per-copy LFSR streams) and feeds each repeat
+its own encoded volume through the chip's grouped-input form.  These
+property tests pin the folded pass against the per-(spf, repeat) loops it
+replaced, at ``atol=0``:
+
+* pipeline level — one repeat-folded multi-copy image vs one multi-copy
+  pass per repeat: per-copy class counts, per-core spike counters, summed
+  router delivered/hop counters, and (stochastic mode) the final per-copy
+  LFSR register states, over LIF neurons, router delays > 1, and a
+  mid-run ``reset()``;
+* backend level — ``ChipBackend`` multi-spf grids vs single-level
+  requests and vs the ``multicopy=False`` loop, including ``workers=2``
+  process fan-out over spf levels;
+* programming level — per-core-fit trimming gives heterogeneous corelets
+  their own crossbar geometry in deterministic mode while stochastic
+  images keep the network-uniform shape (the LFSR sample layout is a
+  function of crossbar geometry, so trimming there would silently change
+  every committed stochastic golden).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import EvalRequest
+from repro.api.backends import ChipBackend
+from repro.mapping.pipeline import (
+    program_chip,
+    program_chip_multicopy,
+    run_chip_inference_multicopy,
+)
+from repro.truenorth.config import NeuronConfig
+
+from test_chip_batch_equivalence import random_deployed_network
+from test_chip_multicopy_equivalence import _STOCHASTIC, random_deployed_copies
+
+_MODEL = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _trained(tiny_context):
+    """Module-scoped trained model shared with the hypothesis tests."""
+    _MODEL["model"] = tiny_context.result("tea").model
+    _MODEL["dataset"] = tiny_context.evaluation_dataset().take(16)
+    yield
+    _MODEL.clear()
+
+
+def _request(**kwargs):
+    kwargs.setdefault("copy_levels", (1, 2))
+    kwargs.setdefault("spf_levels", (1, 2))
+    kwargs.setdefault("repeats", 2)
+    kwargs.setdefault("seed", 0)
+    return EvalRequest(model=_MODEL["model"], dataset=_MODEL["dataset"], **kwargs)
+
+
+# ----------------------------------------------------------------------
+# pipeline level: repeat-folded image vs one multi-copy pass per repeat
+# ----------------------------------------------------------------------
+def run_per_repeat_loop(groups, volumes, neuron_config, delay, seed_groups):
+    """The reference: one multi-copy chip image and one pass per repeat."""
+    counts, spikes, states = [], [], []
+    delivered = hops = 0
+    for index, group in enumerate(groups):
+        chip, core_ids = program_chip_multicopy(
+            group, neuron_config=neuron_config, router_delay=delay
+        )
+        counts.append(
+            run_chip_inference_multicopy(
+                chip,
+                group,
+                core_ids,
+                volumes[index],
+                copy_seeds=None if seed_groups is None else seed_groups[index],
+            )
+        )
+        order = [cid for layer in core_ids for cid in layer]
+        spikes.append(
+            np.stack([chip.core(k).multicopy_spike_counts for k in order], axis=1)
+        )
+        if chip.core(order[0]).copy_prngs is not None:
+            states.append(
+                [
+                    [chip.core(k).copy_prngs[c].state for k in order]
+                    for c in range(len(group))
+                ]
+            )
+        delivered += chip.router.delivered_count
+        hops += chip.router.hop_count
+    return np.stack(counts), np.stack(spikes), states, (delivered, hops)
+
+
+def assert_folded_matches_per_repeat(
+    groups, volumes, neuron_config=None, delay=1, seed_groups=None
+):
+    """Fold all repeats into one image, run once, compare at atol=0.
+
+    ``groups`` is a list of R copy lists (the repeats), ``volumes`` the R
+    per-repeat input volumes; the folded pass stacks them into the 4-D
+    grouped form so repeat r's volume feeds exactly its block of copies.
+    """
+    counts, spikes, states, router = run_per_repeat_loop(
+        groups, volumes, neuron_config, delay, seed_groups
+    )
+    repeats, per_repeat = len(groups), len(groups[0])
+    flat = [copy for group in groups for copy in group]
+    chip, core_ids = program_chip_multicopy(
+        flat, neuron_config=neuron_config, router_delay=delay
+    )
+    flat_seeds = (
+        None
+        if seed_groups is None
+        else [seed for group in seed_groups for seed in group]
+    )
+    folded = run_chip_inference_multicopy(
+        chip, flat, core_ids, np.stack(volumes), copy_seeds=flat_seeds
+    )
+    order = [cid for layer in core_ids for cid in layer]
+    folded_spikes = np.stack(
+        [chip.core(k).multicopy_spike_counts for k in order], axis=1
+    )
+    assert np.array_equal(counts, folded.reshape(counts.shape))
+    assert np.array_equal(spikes, folded_spikes.reshape(spikes.shape))
+    assert (chip.router.delivered_count, chip.router.hop_count) == router
+    if chip.core(order[0]).copy_prngs is not None:
+        folded_states = [
+            [
+                [
+                    chip.core(k).copy_prngs[r * per_repeat + c].state
+                    for k in order
+                ]
+                for c in range(per_repeat)
+            ]
+            for r in range(repeats)
+        ]
+        assert folded_states == states
+    assert not chip.router.has_pending()
+    return chip, folded
+
+
+def _repeat_groups(rng, repeats, per_repeat, depth, fractional=False):
+    """R 'repeats' of C copies each, all sharing one random topology."""
+    flat = random_deployed_copies(
+        rng, repeats * per_repeat, depth, fractional_probabilities=fractional
+    )
+    return [
+        flat[r * per_repeat : (r + 1) * per_repeat] for r in range(repeats)
+    ]
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    repeats=st.sampled_from([1, 2, 3]),
+    per_repeat=st.sampled_from([1, 2]),
+    depth=st.sampled_from([1, 2]),
+    delay=st.sampled_from([1, 2]),
+    lif=st.booleans(),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_repeat_folding_bit_identical(repeats, per_repeat, depth, delay, lif, seed):
+    rng = np.random.default_rng(seed)
+    groups = _repeat_groups(rng, repeats, per_repeat, depth)
+    neuron_config = (
+        NeuronConfig(threshold=int(rng.integers(1, 3)), history_free=False)
+        if lif
+        else None
+    )
+    input_dim = groups[0][0].corelet_network.input_dim
+    volumes = [
+        (rng.random((4, 3, input_dim)) < 0.45).astype(np.int8)
+        for _ in range(repeats)
+    ]
+    assert_folded_matches_per_repeat(
+        groups, volumes, neuron_config=neuron_config, delay=delay
+    )
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    repeats=st.sampled_from([2, 3]),
+    per_repeat=st.sampled_from([1, 2]),
+    delay=st.sampled_from([1, 2]),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_repeat_folding_stochastic_lfsr_streams_bit_identical(
+    repeats, per_repeat, delay, seed
+):
+    """Every (repeat, copy) keeps its own LFSR stream in the folded image."""
+    rng = np.random.default_rng(seed)
+    groups = _repeat_groups(rng, repeats, per_repeat, 2, fractional=True)
+    seed_groups = [
+        [int(s) for s in rng.integers(1, 2**16, size=per_repeat)]
+        for _ in range(repeats)
+    ]
+    input_dim = groups[0][0].corelet_network.input_dim
+    volumes = [
+        (rng.random((3, 3, input_dim)) < 0.5).astype(np.int8)
+        for _ in range(repeats)
+    ]
+    assert_folded_matches_per_repeat(
+        groups,
+        volumes,
+        neuron_config=_STOCHASTIC,
+        delay=delay,
+        seed_groups=seed_groups,
+    )
+
+
+def test_midrun_reset_replays_folded_grid():
+    """chip.reset() between folded runs keeps programming and replays."""
+    rng = np.random.default_rng(23)
+    groups = _repeat_groups(rng, 2, 2, 2, fractional=True)
+    flat = [copy for group in groups for copy in group]
+    input_dim = flat[0].corelet_network.input_dim
+    volumes = np.stack(
+        [(rng.random((4, 4, input_dim)) < 0.5).astype(np.int8) for _ in range(2)]
+    )
+    chip, core_ids = program_chip_multicopy(flat, neuron_config=_STOCHASTIC)
+    seeds = [3, 999, 31337, 77]
+    first = run_chip_inference_multicopy(
+        chip, flat, core_ids, volumes, copy_seeds=seeds
+    )
+    assert first.sum() > 0
+    chip.begin_batch(4 * volumes.shape[1], copies=4, copy_seeds=seeds)
+    chip.step_batch()
+    chip.reset()
+    again = run_chip_inference_multicopy(
+        chip, flat, core_ids, volumes, copy_seeds=seeds
+    )
+    assert np.array_equal(first, again)
+
+
+def test_grouped_volume_guards():
+    rng = np.random.default_rng(5)
+    groups = _repeat_groups(rng, 2, 2, 1)
+    flat = [copy for group in groups for copy in group]
+    chip, core_ids = program_chip_multicopy(flat)
+    input_dim = flat[0].corelet_network.input_dim
+    with pytest.raises(ValueError, match="does not divide the copy count"):
+        run_chip_inference_multicopy(
+            chip, flat, core_ids, np.zeros((3, 2, 2, input_dim), dtype=np.int8)
+        )
+    with pytest.raises(ValueError, match="expected volumes"):
+        run_chip_inference_multicopy(
+            chip, flat, core_ids, np.zeros((2, 2, input_dim - 1), dtype=np.int8)
+        )
+
+
+# ----------------------------------------------------------------------
+# programming level: per-core-fit trimming
+# ----------------------------------------------------------------------
+def test_percore_fit_trims_heterogeneous_corelets():
+    """Deterministic cores get their own geometry; stochastic stay uniform.
+
+    The golden net is heterogeneous (a 10-axon first layer feeding 7-neuron
+    cores), so deterministic programming must size each core to its own
+    corelet instead of the network-wide maximum — trimmed entries are
+    structural zeros, so results are unchanged (the equivalence suites and
+    goldens pin that).  Stochastic programming keeps the uniform shape:
+    LFSR connectivity samples are laid out over the crossbar geometry, and
+    trimming would silently re-seed every committed stochastic golden.
+    """
+    rng = np.random.default_rng(11)
+    deployed = random_deployed_network(
+        rng,
+        depth=2,
+        cores_per_layer=(2, 2),
+        neurons_per_core=7,
+        axons_per_first_core=10,
+        num_classes=4,
+        fractional_probabilities=True,
+    )
+    chip, core_ids = program_chip(deployed)
+    shapes = set()
+    for layer_ids, layer in zip(core_ids, deployed.corelet_network.corelets):
+        for core_id, corelet in zip(layer_ids, layer):
+            config = chip.core(core_id).config
+            assert (config.axons, config.neurons) == (
+                corelet.axon_count,
+                corelet.neuron_count,
+            )
+            shapes.add((config.axons, config.neurons))
+    assert len(shapes) > 1  # the network is actually heterogeneous
+    uniform_axons = max(
+        c.axon_count for layer in deployed.corelet_network.corelets for c in layer
+    )
+    uniform_neurons = max(
+        c.neuron_count
+        for layer in deployed.corelet_network.corelets
+        for c in layer
+    )
+    stochastic_chip, stochastic_ids = program_chip(
+        deployed, neuron_config=_STOCHASTIC
+    )
+    for layer_ids in stochastic_ids:
+        for core_id in layer_ids:
+            config = stochastic_chip.core(core_id).config
+            assert (config.axons, config.neurons) == (
+                uniform_axons,
+                uniform_neurons,
+            )
+
+
+# ----------------------------------------------------------------------
+# backend level: grids, modes, and worker fan-out
+# ----------------------------------------------------------------------
+def _grid_fingerprint(result):
+    parts = [result.class_counts()]
+    if result.spike_counters is not None:
+        parts.append(result.spike_counters)
+    return parts
+
+
+def _assert_results_equal(a, b):
+    for left, right in zip(_grid_fingerprint(a), _grid_fingerprint(b)):
+        np.testing.assert_array_equal(left, right)
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    repeats=st.sampled_from([1, 2]),
+    stochastic=st.booleans(),
+    counters=st.booleans(),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_backend_grid_matches_single_level_requests(
+    repeats, stochastic, counters, seed
+):
+    """A multi-spf grid equals its levels evaluated one request at a time."""
+    request = _request(
+        repeats=repeats,
+        seed=seed,
+        stochastic_synapses=stochastic,
+        collect_spike_counters=counters,
+    )
+    grid = ChipBackend().evaluate(request)
+    for column, spf in enumerate(request.spf_levels):
+        single = ChipBackend().evaluate(
+            _request(
+                repeats=repeats,
+                seed=seed,
+                spf_levels=(spf,),
+                stochastic_synapses=stochastic,
+                collect_spike_counters=counters,
+            )
+        )
+        np.testing.assert_array_equal(
+            grid.class_counts()[:, :, column], single.class_counts()[:, :, 0]
+        )
+        if counters and spf == request.max_spf:
+            np.testing.assert_array_equal(
+                grid.spike_counters, single.spike_counters
+            )
+
+
+@settings(max_examples=4, deadline=None)
+@given(
+    stochastic=st.booleans(),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_backend_grid_multicopy_matches_percopy_loop(stochastic, seed):
+    """The folded grid equals the one-chip-per-(repeat, copy) loop."""
+    request = _request(
+        repeats=2,
+        seed=seed,
+        stochastic_synapses=stochastic,
+        collect_spike_counters=True,
+    )
+    _assert_results_equal(
+        ChipBackend(multicopy=True).evaluate(request),
+        ChipBackend(multicopy=False).evaluate(request),
+    )
+
+
+def test_backend_grid_bit_identical_with_worker_fanout():
+    """workers=2 shards spf levels over processes without changing a bit."""
+    request = _request(
+        spf_levels=(1, 2, 3), repeats=2, seed=7, collect_spike_counters=True
+    )
+    _assert_results_equal(
+        ChipBackend(workers=None).evaluate(request),
+        ChipBackend(workers=2).evaluate(request),
+    )
