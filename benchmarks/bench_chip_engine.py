@@ -25,9 +25,17 @@ against the per-cell loop (one ``c``-copy program + pass per (copy level,
 spf, repeat) grid cell), enforcing bit-identical class counts and spike
 counters and recording ``grid_speedup``.
 
+A fourth section (``--board``) times the **multi-chip board** engine at a
+fixed copy count while the board grows: the same copies packed onto one
+chip, spread one per chip over a mesh, and split two-chips-per-copy with
+inter-chip link handoff (:func:`repro.mapping.pipeline.
+run_board_inference_multicopy`), each verified bit-identical to the
+single-chip multi-copy pass — the per-chip-count scaling record behind
+the ``board`` backend.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_chip_engine.py --quick --grid
+    PYTHONPATH=src python benchmarks/bench_chip_engine.py --quick --grid --board
     PYTHONPATH=src python benchmarks/bench_chip_engine.py \
         --samples 500 --spf 4 --copies 5 --output BENCH_chip.json
 """
@@ -97,6 +105,19 @@ def parse_args() -> argparse.Namespace:
         "as cumsum prefixes of the one folded pass",
     )
     parser.add_argument(
+        "--board",
+        action="store_true",
+        help="also benchmark the multi-chip board engine per chip count "
+        "at fixed copies",
+    )
+    parser.add_argument(
+        "--board-copies",
+        type=int,
+        default=4,
+        help="fixed copies of the --board section (the board grows, the "
+        "workload does not)",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help="smoke settings: fewer samples so CI finishes in seconds",
@@ -159,6 +180,12 @@ def main() -> None:
             model, volumes, copies=args.copies, repeats=args.batch_repeats
         )
 
+    board_record = None
+    if args.board:
+        board_record = bench_board(
+            model, volumes, copies=args.board_copies, repeats=args.batch_repeats
+        )
+
     grid_record = None
     if args.grid:
         grid_record = bench_grid(
@@ -193,6 +220,7 @@ def main() -> None:
         "spike_counters_bit_identical": spikes_identical,
         "multicopy": multicopy_record,
         "grid": grid_record,
+        "board": board_record,
         "python": platform.python_version(),
         "numpy": np.__version__,
     }
@@ -224,6 +252,13 @@ def main() -> None:
             raise SystemExit("grid spike counters diverged from the cell loop")
         if grid_record["grid_speedup"] < 1.0:
             raise SystemExit("single-pass grid slower than the cell loop")
+    if board_record is not None:
+        for point in board_record["points"]:
+            if not point["class_counts_bit_identical"]:
+                raise SystemExit(
+                    f"board counts at {point['chips']} chips diverged from "
+                    "the single-chip multi-copy pass"
+                )
 
 
 def bench_multicopy(model, volumes: np.ndarray, copies: int, repeats: int) -> dict:
@@ -283,6 +318,95 @@ def bench_multicopy(model, volumes: np.ndarray, copies: int, repeats: int) -> di
         "spike_counters_bit_identical": bool(
             np.array_equal(loop_spikes, multi_spikes)
         ),
+    }
+
+
+def bench_board(model, volumes: np.ndarray, copies: int, repeats: int) -> dict:
+    """Time the board engine per chip count at a fixed copy workload.
+
+    The workload (``copies`` sampled copies, the full encoded volume) stays
+    fixed while the board grows: all copies packed onto one chip (the 1x1
+    identity configuration), one copy per chip across a mesh, and every
+    copy split over two chips with link handoff at the layer boundary.
+    Every configuration's per-copy class counts are compared bit for bit
+    against the single-chip multi-copy pass, so the record tracks pure
+    board-engine overhead, not drift.
+    """
+    from repro.board import BoardConfig, board_shape_for
+    from repro.mapping.pipeline import (
+        program_board_multicopy,
+        run_board_inference_multicopy,
+    )
+    from repro.truenorth.config import ChipConfig
+
+    deployment = deploy_with_copies(model, copies=copies, rng=0)
+    cores = deployment.corelet_network.core_count
+
+    chip, core_ids = program_chip_multicopy(deployment.copies)
+    start = time.perf_counter()
+    reference = run_chip_inference_multicopy(
+        chip, deployment.copies, core_ids, volumes
+    )
+    single_chip_seconds = time.perf_counter() - start
+
+    rows = int(np.ceil(np.sqrt(cores))) or 1
+    cols = max(int(np.ceil(cores / rows)), 1)
+    packed = ChipConfig(grid_shape=(int(np.ceil(copies * cores / cols)), cols))
+    configurations = [
+        ("packed", BoardConfig(grid_shape=(1, 1), chip_config=packed)),
+        (
+            "copy-per-chip",
+            BoardConfig(
+                grid_shape=board_shape_for(
+                    cores, copies, ChipConfig(grid_shape=(1, cores))
+                ),
+                chip_config=ChipConfig(grid_shape=(1, cores)),
+            ),
+        ),
+        (
+            "split",
+            BoardConfig(
+                grid_shape=board_shape_for(
+                    cores, copies, ChipConfig(grid_shape=(1, (cores + 1) // 2))
+                ),
+                chip_config=ChipConfig(grid_shape=(1, (cores + 1) // 2)),
+                link_delay=1,
+            ),
+        ),
+    ]
+
+    points = []
+    for label, config in configurations:
+        board, program = program_board_multicopy(deployment.copies, config)
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            counts = run_board_inference_multicopy(
+                board, deployment.copies, program, volumes
+            )
+            times.append(time.perf_counter() - start)
+        stats = program.placement.mesh_statistics()
+        points.append(
+            {
+                "placement": label,
+                "board_shape": list(config.grid_shape),
+                "chips": program.placement.occupied_chips(),
+                "chip_capacity": config.chip_config.capacity,
+                "link_delay": config.link_delay,
+                "split_copies": stats["split_copies"],
+                "link_spikes": int(board.fabric.spikes_carried),
+                "seconds": min(times),
+                "class_counts_bit_identical": bool(
+                    np.array_equal(reference, counts)
+                ),
+            }
+        )
+
+    return {
+        "copies": int(copies),
+        "cores_per_copy": int(cores),
+        "single_chip_seconds": single_chip_seconds,
+        "points": points,
     }
 
 

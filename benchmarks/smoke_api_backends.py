@@ -9,6 +9,10 @@ equivalence invariant:
   and the default multi-copy chip image bit-identical (counts and per-core
   spike counters, deterministic and stochastic-synapse mode) to the
   one-chip-per-copy loop (``ChipBackend(multicopy=False)``);
+* ``board`` — counts, spike counters, and accuracy bit-identical to the
+  ``chip`` backend on the same request (deterministic and
+  stochastic-synapse mode), and still identical on chips small enough to
+  split every copy across the mesh;
 * ``reference`` — deterministic: two evaluations of the same request are
   bit-identical, and accuracy lies in [0, 1].
 
@@ -31,8 +35,9 @@ import numpy as np
 
 from dataclasses import replace
 
-from repro.api import ChipBackend, EvalRequest, Session, backend_names
+from repro.api import BoardBackend, ChipBackend, EvalRequest, Session, backend_names
 from repro.experiments.runner import ExperimentContext
+from repro.truenorth.config import ChipConfig
 
 
 def parse_args() -> argparse.Namespace:
@@ -125,6 +130,38 @@ def main() -> None:
             "class counts bit-identical to vectorized; multi-copy image "
             "bit-identical to per-copy loop (incl. stochastic synapses); "
             "spf grid bit-identical to single-level requests"
+        )
+    elif args.backend == "board":
+        counters = replace(request, collect_spike_counters=True)
+        for variant in (counters, replace(counters, stochastic_synapses=True)):
+            label = "stochastic" if variant.stochastic_synapses else "deterministic"
+            chip = session.evaluate(variant, backend="chip")
+            board = session.evaluate(variant, backend="board")
+            if not np.array_equal(board.class_counts(), chip.class_counts()):
+                failures.append(
+                    f"board class counts diverged from the chip backend ({label})"
+                )
+            if not np.array_equal(board.spike_counters, chip.spike_counters):
+                failures.append(
+                    f"board spike counters diverged from the chip backend ({label})"
+                )
+        # Split path: chips too small for one copy force every copy across
+        # chip boundaries; link handoff must not change a single count.
+        cores = request.model.architecture.cores_per_network
+        small_chip = ChipConfig(grid_shape=(1, max(1, (cores + 1) // 2)))
+        split = BoardBackend(chip_config=small_chip, link_delay=1).evaluate(counters)
+        chip_ref = session.evaluate(counters, backend="chip")
+        if not np.array_equal(split.class_counts(), chip_ref.class_counts()):
+            failures.append(
+                "split-copy board class counts diverged from the chip backend"
+            )
+        if not np.array_equal(split.spike_counters, chip_ref.spike_counters):
+            failures.append(
+                "split-copy board spike counters diverged from the chip backend"
+            )
+        invariant = (
+            "counts and spike counters bit-identical to the chip backend "
+            "(incl. stochastic synapses and split copies under link delay)"
         )
     else:
         again = session.evaluate(request, backend="reference")

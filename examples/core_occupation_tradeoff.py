@@ -11,9 +11,13 @@ Run with:  python examples/core_occupation_tradeoff.py
 
 from __future__ import annotations
 
-from repro.api import EvalRequest, Session
+from repro.api import BoardBackend, EvalRequest, Session
+from repro.board import BoardConfig, board_shape_for
 from repro.eval.comparison import core_occupation_comparison, label_points
 from repro.experiments.runner import ExperimentContext
+from repro.mapping.corelet import build_corelets
+from repro.mapping.placement import place_on_board
+from repro.truenorth.config import ChipConfig
 from repro.utils.tables import format_table
 
 
@@ -84,6 +88,70 @@ def main() -> None:
     print(
         f"\nAverage core saving over matched rows: {100 * average_saving:.1f}% "
         f"(paper: 49.5%); best case: {100 * max_saving:.1f}% (paper: 68.8%)."
+    )
+
+    board_extension(tea, dataset, repeats=context.repeats, seed=context.seed)
+
+
+def board_extension(tea, dataset, repeats: int, seed: int) -> None:
+    """Continue the duplication sweep past one chip's core budget.
+
+    The sweep above treats core occupation as unbounded, but a physical
+    TrueNorth chip caps it: once ``copies x cores_per_network`` exceeds the
+    chip's core grid, duplication has to spill onto neighbouring chips.
+    The ``board`` backend carries the sweep across that budget — copies
+    spread over a mesh of chips (splitting any copy larger than one chip),
+    with the exact latency model extended board-wide — so the accuracy
+    curve keeps going where the single-chip engine would refuse.
+
+    A study-sized chip (budget: four copies) stands in for the 4096-core
+    part so the overflow is visible without thousands of copies.
+    """
+    cores = tea.model.architecture.cores_per_network
+    chip = ChipConfig(grid_shape=(2, 2 * cores))
+    budget = chip.capacity // cores
+    levels = tuple(range(budget - 1, 2 * budget + 1, 1))
+    print(
+        f"\nSingle-chip budget at {cores} cores/copy on a "
+        f"{chip.capacity}-core chip: {budget} copies.  Continuing the "
+        "duplication sweep on the board backend..."
+    )
+    sweep = (
+        BoardBackend(chip_config=chip)
+        .evaluate(
+            EvalRequest(
+                model=tea.model, dataset=dataset, copy_levels=levels,
+                spf_levels=(1,), repeats=repeats, seed=seed, max_samples=120,
+            )
+        )
+        .sweep(label="tea/board")
+    )
+
+    network = build_corelets(tea.model)
+    table_rows = []
+    for copies in levels:
+        shape = board_shape_for(cores, copies, chip)
+        placement = place_on_board(
+            network, copies, BoardConfig(grid_shape=shape, chip_config=chip)
+        )
+        stats = placement.mesh_statistics()
+        table_rows.append(
+            (
+                copies,
+                copies * cores,
+                f"{shape[0]}x{shape[1]}",
+                placement.occupied_chips(),
+                stats["split_copies"],
+                stats["max_chip_distance"],
+                f"{sweep.accuracy_at(copies, 1):.4f}",
+            )
+        )
+    print(
+        format_table(
+            ["copies", "cores", "board", "chips", "split", "max hop", "accuracy"],
+            table_rows,
+            title="Duplication past the single-chip budget (board backend)",
+        )
     )
 
 

@@ -1,23 +1,28 @@
-"""CAP-EXHAUSTIVE — chip-only request features are capability-gated.
+"""CAP-EXHAUSTIVE — backend-gated request features are capability-gated.
 
-A request feature only the cycle-accurate backend can serve (a
-*chip-only* field) must be impossible to lose silently.  Chip-only
-fields are *derived*, not listed: they are exactly the ``EvalRequest``
-fields the ``needs_cycle_accuracy`` property reads.  For each one this
-rule requires, across the protocol / backends / session modules:
+A request feature only some backends can serve (a *backend-gated*
+field: chip-only like ``router_delay``, board-only like ``link_delay``)
+must be impossible to lose silently.  Gated fields are *derived*, not
+listed: they are exactly the ``EvalRequest`` fields read by the gating
+properties in :data:`GATING_PROPERTIES` (``needs_cycle_accuracy`` for
+the cycle-accurate backends, ``needs_board_mesh`` for the multi-chip
+board — version 3 extends the derivation to board-only fields).  For
+each one this rule requires, across the protocol / backends / session
+modules:
 
 * ``_check_capabilities`` contains a guard whose test reads the field
-  (directly or through ``needs_cycle_accuracy``) *and* consults some
+  (directly or through a gating property) *and* consults some
   ``caps.<capability>``, and whose body raises
   ``UnsupportedRequestError`` — the no-silent-fallback rule, enforced;
 * every ``caps.<capability>`` such a guard consults is a declared
   ``BackendCapabilities`` field (a typo'd capability read would be
   ``True``-ish never, i.e. a guard that never fires);
-* ``Session.select_backend`` consults the field (directly or through the
-  property) — ``backend="auto"`` must route the request to a backend
-  that can serve it rather than letting validation reject it later;
+* ``Session.select_backend`` consults the field (directly or through a
+  gating property) — ``backend="auto"`` must route the request to a
+  backend that can serve it rather than letting validation reject it
+  later;
 * ``Session._coalesce_key`` reads the field — the coalescer folds
-  same-key requests onto one union engine pass, so a chip-only field
+  same-key requests onto one union engine pass, so a gated field
   missing from the key would group requests that differ in it and serve
   all but one of them a silently wrong result (version 2: this clause
   covers the chip's grid passes, where coalescing is now the common
@@ -42,8 +47,8 @@ PROTOCOL = "src/repro/api/protocol.py"
 BACKENDS = "src/repro/api/backends.py"
 SESSION = "src/repro/api/session.py"
 
-#: The property whose reads define the chip-only field set.
-CHIP_ONLY_PROPERTY = "needs_cycle_accuracy"
+#: The properties whose reads define the backend-gated field set.
+GATING_PROPERTIES = ("needs_cycle_accuracy", "needs_board_mesh")
 
 
 class _Guard:
@@ -80,11 +85,11 @@ def _raises_unsupported(node: ast.If) -> bool:
 class CapExhaustiveChecker(ProjectChecker):
     rule = "CAP-EXHAUSTIVE"
     description = (
-        "every chip-only EvalRequest field has a BackendCapabilities-"
+        "every backend-gated EvalRequest field has a BackendCapabilities-"
         "consulting guard that raises UnsupportedRequestError, and the "
         "Session auto-selector and request coalescer consult it"
     )
-    version = 2
+    version = 3
     dependencies = (PROTOCOL, BACKENDS, SESSION)
 
     def check(self, project: Project) -> List[Finding]:
@@ -100,20 +105,26 @@ class CapExhaustiveChecker(ProjectChecker):
                 )
             ]
         properties = astutils.property_reads(request_class)
-        if CHIP_ONLY_PROPERTY not in properties:
+        absent = [
+            name for name in GATING_PROPERTIES if name not in properties
+        ]
+        if absent:
             return [
                 self._missing(
                     PROTOCOL,
                     request_class.lineno,
-                    f"EvalRequest.{CHIP_ONLY_PROPERTY} property (defines "
-                    "the chip-only field set)",
+                    f"EvalRequest.{name} property (defines part of the "
+                    "backend-gated field set)",
                 )
+                for name in absent
             ]
-        chip_only = sorted(
-            expand_property_reads(
-                set(properties[CHIP_ONLY_PROPERTY]), properties
+        gated_reads: Set[str] = set()
+        for name in GATING_PROPERTIES:
+            gated_reads |= expand_property_reads(
+                set(properties[name]), properties
             )
-            & set(astutils.dataclass_field_names(request_class))
+        chip_only = sorted(
+            gated_reads & set(astutils.dataclass_field_names(request_class))
         )
         caps_fields = set(astutils.dataclass_field_names(caps_class))
 
@@ -176,7 +187,7 @@ class CapExhaustiveChecker(ProjectChecker):
                         line=validator.lineno,
                         rule=self.rule,
                         message=(
-                            f"chip-only field {field!r} has no "
+                            f"backend-gated field {field!r} has no "
                             "_check_capabilities guard consulting a "
                             "BackendCapabilities field and raising "
                             "UnsupportedRequestError — an incapable "
@@ -213,7 +224,7 @@ class CapExhaustiveChecker(ProjectChecker):
                 line=selector.lineno,
                 rule=self.rule,
                 message=(
-                    f"chip-only field {field!r} is invisible to "
+                    f"backend-gated field {field!r} is invisible to "
                     "Session.select_backend — backend='auto' would route "
                     "the request to a backend that must reject it"
                 ),
@@ -232,7 +243,7 @@ class CapExhaustiveChecker(ProjectChecker):
 
         ``Session.flush`` folds requests with equal ``_coalesce_key`` onto
         one union engine pass and slices the result per member.  Two
-        requests differing in a chip-only field (say ``router_delay``)
+        requests differing in a gated field (say ``router_delay``)
         produce different chip dynamics, so a key that omits the field
         would hand one of them the other's result — the silent-wrong
         failure this rule exists to prevent, one layer up from backend
@@ -259,7 +270,7 @@ class CapExhaustiveChecker(ProjectChecker):
                 line=coalescer.lineno,
                 rule=self.rule,
                 message=(
-                    f"chip-only field {field!r} is missing from "
+                    f"backend-gated field {field!r} is missing from "
                     "Session._coalesce_key — requests differing in it "
                     "would coalesce onto one engine pass and all but one "
                     "would receive a silently wrong result"

@@ -1,6 +1,6 @@
 """repro.api — unified evaluation-backend protocol and serving facade.
 
-One stable API in front of the repo's three evaluation engines:
+One stable API in front of the repo's evaluation engines:
 
 * :class:`EvalRequest` / :class:`EvalResult` — normalized request and
   result shapes (grids, seeds, encoder choice, score/accuracy tensors)
@@ -8,8 +8,9 @@ One stable API in front of the repo's three evaluation engines:
 * :class:`EvaluationBackend` + the registry (:func:`register_backend`,
   :func:`create_backend`, :func:`backend_names`) — pluggable engines:
   ``vectorized`` (SweepRunner / VectorizedEvaluator), ``chip`` (batched
-  cycle-accurate TrueNorth simulation), ``reference`` (the per-corelet
-  ground-truth loop).
+  cycle-accurate TrueNorth simulation), ``board`` (multi-chip board mesh
+  with link delays for duplication levels past one chip's core budget),
+  ``reference`` (the per-corelet ground-truth loop).
 * :class:`Session` — the serving facade: backend selection (explicit or
   capability-based ``auto``), the persistent score caches, and request
   batching that coalesces queued requests onto shared engine passes.
@@ -42,6 +43,7 @@ top-level README for the full backend-choice guide.
 """
 
 from repro.api.backends import (
+    BoardBackend,
     ChipBackend,
     ReferenceBackend,
     VectorizedBackend,
@@ -63,6 +65,7 @@ from repro.api.session import AUTO, PendingEvaluation, Session, SessionStats
 __all__ = [
     "AUTO",
     "BackendCapabilities",
+    "BoardBackend",
     "ChipBackend",
     "EvalRequest",
     "EvalResult",

@@ -1,6 +1,6 @@
 """Registered evaluation backends serving the :mod:`repro.api` protocol.
 
-Three backends wrap the repo's three evaluation engines behind one
+Four backends wrap the repo's evaluation engines behind one
 :class:`~repro.api.protocol.EvaluationBackend` contract:
 
 * ``vectorized`` — :class:`repro.eval.runner.SweepRunner` over
@@ -23,8 +23,15 @@ Three backends wrap the repo's three evaluation engines behind one
   pass via exact integer cumsums.  ``ChipBackend(multicopy=False)``
   keeps the bit-identical one-chip-per-copy loop the property tests pin
   the engine against.
+* ``board`` — the multi-chip board mesh
+  (:func:`repro.mapping.pipeline.run_board_inference_multicopy`):
+  duplication sweeps whose core footprint overflows one chip spill onto a
+  mesh of chips, boundary-crossing spikes pay a configurable per-hop link
+  delay, and ``workers=N`` shards each pass over its placement segments
+  (one worker per simulated chip group).  On a 1x1 board with ideal
+  links it is bit-identical to ``chip``.
 
-All three consume the canonical randomness layout documented in
+All four consume the canonical randomness layout documented in
 :mod:`repro.api.protocol`, so a request produces the same sampled
 connectivities and the same input spike realizations on every backend.
 Each backend's ``evaluate`` returns per-repeat *cumulative* score tensors
@@ -45,6 +52,7 @@ from repro.api.protocol import (
     ResultShapeError,
     UnsupportedRequestError,
 )
+from repro.board.topology import BoardConfig, board_shape_for
 from repro.core.model import TrueNorthModel
 from repro.datasets.base import Dataset
 from repro.encoding.stochastic import StochasticEncoder
@@ -53,13 +61,18 @@ from repro.eval.engine import evaluate_scores_reference
 from repro.eval.runner import ScoreCache, SweepRunner, parallel_map
 from repro.mapping.corelet import CoreletNetwork, build_corelets
 from repro.mapping.duplication import DuplicatedDeployment, deploy_with_copies
+from repro.mapping.placement import place_on_board
 from repro.mapping.pipeline import (
+    board_spike_counters,
+    program_board_multicopy,
     program_chip,
     program_chip_multicopy,
+    run_board_inference_multicopy,
     run_chip_inference_batch,
     run_chip_inference_multicopy,
     stochastic_neuron_config,
 )
+from repro.truenorth.config import ChipConfig
 from repro.utils.rng import clone_rng, new_rng, spawn_rngs
 
 
@@ -69,6 +82,12 @@ def _check_capabilities(request: EvalRequest, caps: BackendCapabilities) -> None
     Raising here (instead of ignoring the feature or quietly delegating to
     another backend) is the protocol's no-silent-fallback rule.
     """
+    if request.needs_board_mesh and not caps.board_mesh:
+        raise UnsupportedRequestError(
+            f"backend {caps.name!r} cannot simulate inter-chip mesh links "
+            f"(link_delay={request.link_delay}); use the 'board' backend "
+            "(or backend='auto')"
+        )
     if request.needs_cycle_accuracy and not caps.cycle_accurate:
         features = []
         if request.collect_spike_counters:
@@ -77,9 +96,25 @@ def _check_capabilities(request: EvalRequest, caps: BackendCapabilities) -> None
             features.append(f"router_delay={request.router_delay}")
         if request.stochastic_synapses:
             features.append("stochastic_synapses")
+        if request.link_delay is not None:
+            features.append(f"link_delay={request.link_delay}")
         raise UnsupportedRequestError(
             f"backend {caps.name!r} is not cycle-accurate and cannot serve "
             f"{', '.join(features)}; use the 'chip' backend (or backend='auto')"
+        )
+    if (
+        caps.cycle_accurate
+        and not caps.multi_chip_copies
+        and caps.cores_per_chip is not None
+        and request.max_copies * request.model.architecture.cores_per_network
+        > caps.cores_per_chip
+    ):
+        raise UnsupportedRequestError(
+            f"request needs {request.max_copies} copies x "
+            f"{request.model.architecture.cores_per_network} cores, which "
+            f"overflows backend {caps.name!r}'s single "
+            f"{caps.cores_per_chip}-core chip; use the 'board' backend "
+            "(or backend='auto')"
         )
     if request.stochastic_synapses and not caps.stochastic_synapses:
         raise UnsupportedRequestError(
@@ -456,15 +491,29 @@ class ChipBackend:
             level; ``False`` keeps the one-chip-per-copy loop.
         workers: fan the independent spf-level passes over N processes
             (``None`` = in-process, sequential).
+        cores_per_chip: advertised core budget of the one simulated chip
+            (default: a stock TrueNorth chip's 64x64 grid).  Requests whose
+            ``max_copies x cores_per_network`` footprint overflows it are
+            rejected with a pointer at the ``board`` backend — the budget
+            is what makes ``backend='auto'`` route chip-overflowing
+            duplication sweeps to the board.
     """
 
     name = "chip"
 
     def __init__(
-        self, multicopy: bool = True, workers: Optional[int] = None
+        self,
+        multicopy: bool = True,
+        workers: Optional[int] = None,
+        cores_per_chip: Optional[int] = None,
     ) -> None:
         self.multicopy = bool(multicopy)
         self.workers = workers
+        self.cores_per_chip = (
+            int(cores_per_chip)
+            if cores_per_chip is not None
+            else ChipConfig().capacity
+        )
         self.passes = 0
 
     def capabilities(self) -> BackendCapabilities:
@@ -484,6 +533,7 @@ class ChipBackend:
             cacheable=False,
             multicopy_chips=self.multicopy,
             stochastic_synapses=True,
+            cores_per_chip=self.cores_per_chip,
         )
 
     def evaluate(self, request: EvalRequest) -> EvalResult:
@@ -542,6 +592,248 @@ class ChipBackend:
         )
 
 
+def _evaluate_board_pass(
+    model: TrueNorthModel,
+    features: np.ndarray,
+    spf: int,
+    repeat_rng: np.random.Generator,
+    network: CoreletNetwork,
+    max_copies: int,
+    stochastic: bool,
+    collect_counters: bool,
+    router_delay: Optional[int],
+    board_config: BoardConfig,
+    segment_indices: Optional[Tuple[int, ...]] = None,
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """One (spf, repeat[, placement segment]) pass over a board.
+
+    Module-level so :func:`repro.eval.runner.parallel_map` can pickle it
+    into worker processes.  The per-repeat randomness discipline is exactly
+    :func:`_evaluate_chip_level`'s — clone the pristine repeat generator,
+    deploy ``max_copies`` copies, encode the spike volume, then (stochastic
+    mode) draw the per-copy LFSR seeds — so a 1x1 board with ideal links
+    reproduces the chip backend bit for bit, and every worker of a sharded
+    pass replays identical streams.
+
+    ``segment_indices`` restricts programming (and hence simulation) to a
+    subset of the deterministic placement's segments at their original
+    board chip indices; the returned counts/counters are zero outside the
+    segment's copies, so a fan-out over all segments merges by summation.
+
+    Returns ``(counts, counters)``: ``(max_copies, batch, classes)`` integer
+    readout counts and ``(max_copies, cores_per_copy, batch)`` spike
+    counters (or ``None``).
+    """
+    encoder = StochasticEncoder(spikes_per_frame=spf)
+    neuron_config = stochastic_neuron_config(network) if stochastic else None
+    level_rng = clone_rng(repeat_rng)
+    deployment = deploy_with_copies(
+        model, copies=max_copies, rng=level_rng, corelet_network=network
+    )
+    frames = encoder.encode(features, rng=level_rng)
+    volume = np.ascontiguousarray(frames.transpose(1, 0, 2))
+    copy_seeds: Optional[List[int]] = None
+    if stochastic:
+        # Same post-deploy/encode draw (and no-replacement rule) as the
+        # chip backend — see _evaluate_chip_level.
+        copy_seeds = [
+            int(seed)
+            for seed in level_rng.choice(
+                np.arange(1, 2**16), size=max_copies, replace=False
+            )
+        ]
+    board, program = program_board_multicopy(
+        deployment.copies,
+        board_config,
+        neuron_config=neuron_config,
+        router_delay=router_delay,
+        segment_indices=segment_indices,
+    )
+    counts = run_board_inference_multicopy(
+        board, deployment.copies, program, volume, copy_seeds=copy_seeds
+    )
+    counters = (
+        board_spike_counters(board, deployment.copies, program)
+        if collect_counters
+        else None
+    )
+    return counts, counters
+
+
+class BoardBackend:
+    """Cycle-accurate multi-chip board simulation with mesh link delays.
+
+    The board-scale sibling of :class:`ChipBackend`: each requested copy
+    level places onto a mesh of TrueNorth chips
+    (:func:`~repro.mapping.placement.place_on_board`), so duplication
+    sweeps extend past one chip's core budget — whole copies stack onto
+    shared chips as multi-copy images, copies larger than a chip shard
+    over consecutive chips, and every boundary-crossing spike pays
+    ``link_delay`` ticks per mesh hop on top of the router delay
+    (:class:`repro.board.board.Board`, exact latency model asserted).
+
+    Unlike the chip backend, repeats are *not* folded into one image:
+    every ``(spf level, repeat)`` is one board pass (placement depends
+    only on the copy count, so all passes share one deterministic
+    placement).  On a 1x1 board with ideal links each pass is
+    bit-identical to the single-chip engine, which transfers the chip
+    backend's equivalence guarantees to the board (the property tests pin
+    it).
+
+    ``workers=N`` shards every pass over its placement segments — one
+    worker process per segment (per simulated chip group), each
+    re-deploying the pass's copies from the same cloned generator and
+    programming only its own segment at the original board indices; the
+    per-copy results merge by summation at the readout, bit-identically
+    at any worker count.
+
+    Args:
+        chip_config: configuration of every chip on the board (default: a
+            stock 64x64-core TrueNorth chip).
+        board_shape: fixed mesh shape ``(rows, cols)``; by default each
+            request gets the smallest square-ish board that fits its
+            largest copy level (:func:`repro.board.topology.board_shape_for`).
+        link_delay: default mesh link delay (ticks per chip hop) when the
+            request does not carry one; ``EvalRequest.link_delay``
+            overrides it per request.
+        workers: fan each pass's placement segments over N processes
+            (``None`` = in-process, sequential).
+    """
+
+    name = "board"
+
+    def __init__(
+        self,
+        chip_config: Optional[ChipConfig] = None,
+        board_shape: Optional[Tuple[int, int]] = None,
+        link_delay: int = 0,
+        workers: Optional[int] = None,
+    ) -> None:
+        if link_delay < 0:
+            raise ValueError(f"link_delay must be >= 0, got {link_delay}")
+        self.chip_config = chip_config or ChipConfig()
+        self.board_shape = board_shape
+        self.link_delay = int(link_delay)
+        self.workers = workers
+        self.passes = 0
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name=self.name,
+            description=(
+                "cycle-accurate multi-chip board mesh (copies spill across "
+                "chips, split copies hand off at chip edges, mesh link "
+                "delays, spike counters, stochastic synapses)"
+            ),
+            spf_grids=True,
+            cycle_accurate=True,
+            cacheable=False,
+            multicopy_chips=True,
+            stochastic_synapses=True,
+            board_mesh=True,
+            multi_chip_copies=True,
+            cores_per_chip=self.chip_config.capacity,
+        )
+
+    def _board_config(self, network: CoreletNetwork, copies: int) -> BoardConfig:
+        shape = self.board_shape
+        if shape is None:
+            shape = board_shape_for(network.core_count, copies, self.chip_config)
+        return BoardConfig(
+            grid_shape=shape,
+            chip_config=self.chip_config,
+            link_delay=self.link_delay,
+        )
+
+    def evaluate(self, request: EvalRequest) -> EvalResult:
+        _check_capabilities(request, self.capabilities())
+        evaluation = request.evaluation_dataset()
+        network = build_corelets(request.model)
+        n_k = class_neuron_counts(network)
+        self.passes += 1
+        repeat_rngs = spawn_rngs(new_rng(request.seed), request.repeats)
+        board_config = self._board_config(network, request.max_copies)
+        if request.link_delay is not None:
+            board_config = BoardConfig(
+                grid_shape=board_config.grid_shape,
+                chip_config=board_config.chip_config,
+                link_delay=int(request.link_delay),
+            )
+        segment_lists: List[Optional[Tuple[int, ...]]]
+        if self.workers is None:
+            segment_lists = [None]
+        else:
+            # The placement is a pure function of (network, copies, board),
+            # so the parent and every worker compute the same segments.
+            placement = place_on_board(
+                network, request.max_copies, board_config
+            )
+            segment_lists = [
+                (index,) for index in range(len(placement.segments))
+            ]
+        tasks = [
+            (
+                request.model,
+                evaluation.features,
+                spf,
+                repeat_rng,
+                network,
+                request.max_copies,
+                request.stochastic_synapses,
+                request.collect_spike_counters,
+                request.router_delay,
+                board_config,
+                segments,
+            )
+            for spf in request.spf_levels
+            for repeat_rng in repeat_rngs
+            for segments in segment_lists
+        ]
+        shards = parallel_map(_evaluate_board_pass, tasks, self.workers)
+        # Regroup the flat (spf, repeat, segment) results; segments of one
+        # pass merge by summation (each is zero outside its own copies).
+        per_pass = len(segment_lists)
+        tensors: List[List[np.ndarray]] = [[] for _ in range(request.repeats)]
+        counters_by_repeat: List[Optional[np.ndarray]] = [None] * request.repeats
+        for spf_index in range(len(request.spf_levels)):
+            for repeat in range(request.repeats):
+                base = (spf_index * request.repeats + repeat) * per_pass
+                counts = shards[base][0].copy()
+                counters = shards[base][1]
+                for offset in range(1, per_pass):
+                    counts += shards[base + offset][0]
+                    if counters is not None:
+                        counters = counters + shards[base + offset][1]
+                tensors[repeat].append(counts)
+                if request.collect_spike_counters:
+                    # spf_levels ascends; keep the largest level's counters,
+                    # matching the chip backend's convention.
+                    counters_by_repeat[repeat] = counters
+        cumulative = [
+            np.stack(
+                [np.cumsum(level_counts, axis=0) for level_counts in levels],
+                axis=1,
+            ).astype(float)
+            / n_k
+            for levels in tensors
+        ]
+        spike_counters = None
+        if request.collect_spike_counters:
+            spike_counters = np.stack(
+                [np.asarray(c) for c in counters_by_repeat]
+            )
+        return _result_from_cumulative(
+            request,
+            self.name,
+            cumulative,
+            evaluation,
+            n_k,
+            network.core_count,
+            spike_counters=spike_counters,
+            spf_axis_levels=request.spf_levels,
+        )
+
+
 # ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
@@ -582,3 +874,4 @@ def create_backend(name: str, **config) -> object:
 register_backend("vectorized", VectorizedBackend)
 register_backend("reference", ReferenceBackend)
 register_backend("chip", ChipBackend)
+register_backend("board", BoardBackend)

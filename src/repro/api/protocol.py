@@ -91,6 +91,17 @@ class BackendCapabilities:
         stochastic_synapses: can serve ``stochastic_synapses`` requests
             (per-tick Bernoulli re-sampling of every synapse from per-copy
             hardware LFSR streams).
+        board_mesh: simulates a multi-chip board mesh — supports
+            ``link_delay`` requests (spikes crossing a chip boundary pay a
+            per-hop link delay on top of the router delay).
+        multi_chip_copies: a cycle-accurate backend whose copy budget is
+            not bounded by one chip's core capacity (copies spill onto
+            further chips of the board).
+        cores_per_chip: core capacity of one simulated chip, or ``None``
+            when the backend has no per-chip budget (functional backends).
+            The session's auto-selector compares the requested duplication
+            footprint against this to route chip-overflowing requests to a
+            board-capable backend.
     """
 
     name: str
@@ -100,6 +111,9 @@ class BackendCapabilities:
     cacheable: bool
     multicopy_chips: bool = False
     stochastic_synapses: bool = False
+    board_mesh: bool = False
+    multi_chip_copies: bool = False
+    cores_per_chip: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -124,6 +138,10 @@ class EvalRequest:
             synapse re-sampling from per-copy LFSR streams instead of one
             frozen connectivity sample per copy (the paper's temporal
             averaging alternative to spatial duplication).
+        link_delay: board-only — simulate a multi-chip board whose mesh
+            links add ``link_delay`` ticks per chip hop to every spike that
+            crosses a chip boundary (``0`` = ideal links, still a board).
+            ``None`` (the default) requests no board mesh at all.
     """
 
     model: TrueNorthModel
@@ -137,6 +155,7 @@ class EvalRequest:
     collect_spike_counters: bool = False
     router_delay: Optional[int] = None
     stochastic_synapses: bool = False
+    link_delay: Optional[int] = None
 
     def __post_init__(self) -> None:
         copy_levels = tuple(sorted(set(int(c) for c in self.copy_levels)))
@@ -166,6 +185,8 @@ class EvalRequest:
             raise ValueError(f"max_samples must be positive, got {self.max_samples}")
         if self.router_delay is not None and self.router_delay < 1:
             raise ValueError(f"router_delay must be >= 1, got {self.router_delay}")
+        if self.link_delay is not None and self.link_delay < 0:
+            raise ValueError(f"link_delay must be >= 0, got {self.link_delay}")
 
     # ------------------------------------------------------------------
     @property
@@ -185,7 +206,13 @@ class EvalRequest:
             self.collect_spike_counters
             or self.router_delay is not None
             or self.stochastic_synapses
+            or self.link_delay is not None
         )
+
+    @property
+    def needs_board_mesh(self) -> bool:
+        """Whether the request uses a board-only feature (mesh link delay)."""
+        return self.link_delay is not None
 
     def evaluation_dataset(self) -> Dataset:
         """The (possibly capped) dataset the request evaluates.

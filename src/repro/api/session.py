@@ -208,7 +208,7 @@ class Session:
                     cache_max_bytes=self.cache_max_bytes,
                     workers=self.workers,
                 )
-            elif name == "chip":
+            elif name in ("chip", "board"):
                 self._backends[name] = create_backend(name, workers=self.workers)
             else:
                 self._backends[name] = create_backend(name)
@@ -225,13 +225,27 @@ class Session:
 
         With an explicit default backend this simply returns it (the
         backend itself rejects requests it cannot serve); in ``auto`` mode
-        the request's capability needs pick the backend: chip-only features
-        route to the cycle-accurate backend, everything else to the
-        vectorized engine.
+        the request's capability needs pick the backend: board-only
+        features (mesh link delay) or a duplication footprint overflowing
+        the chip backend's single-chip core budget route to the board,
+        other chip-only features to the cycle-accurate chip backend,
+        everything else to the vectorized engine.
         """
         if self.default_backend != AUTO:
             return self.default_backend
+        if request.needs_board_mesh:
+            return "board"
         if request.needs_cycle_accuracy:
+            chip_caps = self.capabilities("chip")
+            footprint = (
+                request.max_copies
+                * request.model.architecture.cores_per_network
+            )
+            if (
+                chip_caps.cores_per_chip is not None
+                and footprint > chip_caps.cores_per_chip
+            ):
+                return "board"
             return "chip"
         return "vectorized"
 
@@ -378,6 +392,7 @@ class Session:
             request.collect_spike_counters,
             request.router_delay,
             request.stochastic_synapses,
+            request.link_delay,
         )
 
 

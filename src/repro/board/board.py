@@ -1,0 +1,175 @@
+"""A board of TrueNorth chips advanced in lock-step with mesh links.
+
+:class:`Board` owns one :class:`~repro.truenorth.chip.TrueNorthChip` per
+grid position and a :class:`LinkFabric` that carries spikes between them.
+Every board tick advances every *active* chip (one that is in batch mode)
+by one chip tick, then pops each chip router's egress — the spikes whose
+routes point off-chip (:meth:`~repro.truenorth.router.SpikeRouter.connect_remote`)
+— and injects them into the target chip's router at
+
+    ``due = emission tick + target router delay + link_delay * distance``
+
+where ``distance`` is the Manhattan chip distance on the board grid.  The
+receiving router's pending buffers double as the link queues: a spike in
+flight over a link is a pre-scattered buffer entry at a future tick, so
+the exact drain model ("step while any router holds pending spikes, assert
+the worst-path bound") extends board-wide without heuristics.
+
+Injection at emission time is safe because the router delay is at least 1:
+an egress record produced at board tick ``t`` is always due at ``t + 1``
+or later, so no chip — whether it steps before or after the emitter within
+the same board tick — can have popped its deliveries for the due tick yet
+(the board asserts this).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.board.topology import BoardConfig
+from repro.truenorth.chip import TrueNorthChip
+
+
+class LinkFabric:
+    """Counters of the inter-chip mesh links.
+
+    On-chip routers keep their on-chip delivered/hop semantics; everything
+    a spike does *between* chips is accounted here, so conservation checks
+    can split traffic into on-chip and link shares exactly.
+
+    Attributes:
+        spikes_carried: routed (sample, spike) pairs that crossed a link.
+        hop_count: the same pairs weighted by their chip Manhattan distance.
+        pair_counts: pairs carried per ``(source_chip, target_chip)``.
+    """
+
+    def __init__(self) -> None:
+        self.spikes_carried = 0
+        self.hop_count = 0
+        self.pair_counts: Dict[Tuple[int, int], int] = {}
+
+    def record(self, source_chip: int, target_chip: int, routed: int, distance: int) -> None:
+        """Account ``routed`` spikes travelling ``distance`` mesh hops."""
+        self.spikes_carried += routed
+        self.hop_count += routed * distance
+        key = (source_chip, target_chip)
+        self.pair_counts[key] = self.pair_counts.get(key, 0) + routed
+
+    def reset_counters(self) -> None:
+        """Clear all counters (run state, not programming)."""
+        self.spikes_carried = 0
+        self.hop_count = 0
+        self.pair_counts = {}
+
+
+class Board:
+    """A ``(rows, cols)`` mesh of TrueNorth chips sharing one tick clock."""
+
+    def __init__(self, config: Optional[BoardConfig] = None):
+        self.config = config or BoardConfig()
+        self.chips: List[TrueNorthChip] = [
+            TrueNorthChip(self.config.chip_config)
+            for _ in range(self.config.chip_count)
+        ]
+        self.fabric = LinkFabric()
+
+    # ------------------------------------------------------------------
+    @property
+    def chip_count(self) -> int:
+        """Number of chips on the board."""
+        return len(self.chips)
+
+    def chip(self, index: int) -> TrueNorthChip:
+        """Return the chip at a board index (row-major)."""
+        return self.chips[index]
+
+    def active_chips(self) -> List[int]:
+        """Indices of chips currently in batch mode."""
+        return [i for i, chip in enumerate(self.chips) if chip.batch_size is not None]
+
+    @property
+    def tick(self) -> int:
+        """The shared tick counter of the active chips (asserted lock-step)."""
+        ticks = {self.chips[i].tick for i in self.active_chips()}
+        if not ticks:
+            return 0
+        if len(ticks) != 1:
+            raise RuntimeError(f"chips have diverging tick counters: {sorted(ticks)}")
+        return ticks.pop()
+
+    def reset(self) -> None:
+        """Reset every chip's run state and the link counters.
+
+        Like :meth:`TrueNorthChip.reset`, programming (crossbars, routes,
+        remote routes, bindings) survives — only in-flight spikes, batch
+        mode, tick counters, and statistics are dropped.
+        """
+        for chip in self.chips:
+            chip.reset()
+        self.fabric.reset_counters()
+
+    def has_pending(self) -> bool:
+        """True while any spike is in flight anywhere on the board."""
+        return any(chip.router.has_pending() for chip in self.chips)
+
+    # ------------------------------------------------------------------
+    def step_batch(
+        self,
+        external_inputs: Optional[Dict[int, Dict[str, Dict[int, np.ndarray]]]] = None,
+    ) -> Dict[int, Dict[str, Dict[int, np.ndarray]]]:
+        """Advance every active chip one tick and carry the link traffic.
+
+        Args:
+            external_inputs: per-chip external inputs, keyed by board chip
+                index; each value has the shape
+                :meth:`TrueNorthChip.step_batch` expects.
+
+        Returns:
+            per-chip external outputs, keyed by board chip index (inactive
+            chips are absent).
+        """
+        tick = self.tick
+        outputs: Dict[int, Dict[str, Dict[int, np.ndarray]]] = {}
+        for index, chip in enumerate(self.chips):
+            if chip.batch_size is None:
+                continue
+            per_chip = None if external_inputs is None else external_inputs.get(index)
+            outputs[index] = chip.step_batch(per_chip)
+            for egress in chip.router.pop_egress():
+                self._carry(index, egress, tick)
+        return outputs
+
+    def _carry(self, source_chip: int, egress, tick: int) -> None:
+        """Inject one egress record into its target chip's router."""
+        target_index = egress.target_chip
+        if not (0 <= target_index < len(self.chips)):
+            raise IndexError(
+                f"remote route targets chip {target_index} outside "
+                f"[0, {len(self.chips)})"
+            )
+        distance = self.config.chip_distance(source_chip, target_index)
+        if distance == 0:
+            raise ValueError(
+                f"chip {source_chip} holds a remote route to itself; "
+                "same-chip targets must use SpikeRouter.connect"
+            )
+        target = self.chips[target_index]
+        due = egress.tick + target.router.delay + self.config.link_delay * distance
+        if due < target.tick:
+            raise RuntimeError(
+                f"link spike due at tick {due} but chip {target_index} is "
+                f"already at tick {target.tick}; the latency model was "
+                "violated (router delay < 1?)"
+            )
+        target.router.external_deliver_batch(
+            due_tick=due,
+            target_core=egress.target_core,
+            axon_idx=egress.axon_idx,
+            columns=egress.columns,
+            axons=target.core(egress.target_core).config.axons,
+            unique_axons=egress.unique_axons,
+            routed=egress.routed,
+        )
+        self.fabric.record(source_chip, target_index, egress.routed, distance)

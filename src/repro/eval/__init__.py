@@ -26,14 +26,19 @@ Which evaluator do I use?
 -------------------------
 
 Callers should not pick an engine here directly: :mod:`repro.api` wraps
-all of them — the vectorized engine, the batched chip simulator, and the
-reference loop — behind one ``EvalRequest``/``Session`` facade with
-backend selection, caching, and request coalescing.  The full
-backend-choice guide lives in the top-level ``README.md`` ("Which backend
-do I use?"); in short: ``vectorized`` for functional grid sweeps,
-``chip`` for cycle-accurate validation, ``reference`` for ground truth,
-and the session's caches (:class:`~repro.eval.runner.ScoreCache` in
-memory, :class:`~repro.eval.runner.DiskScoreCache` on disk) for repeated
+all of them — the vectorized engine, the batched chip simulator, the
+multi-chip board simulator, and the reference loop — behind one
+``EvalRequest``/``Session`` facade with backend selection, caching, and
+request coalescing.  The full backend-choice guide lives in the top-level
+``README.md`` ("Which backend do I use?"); in short: ``vectorized`` for
+functional grid sweeps, ``chip`` for cycle-accurate validation, ``board``
+for cycle-accurate sweeps whose copy budget overflows one chip (copies
+spread over a chip mesh, splitting oversized copies, with inter-chip
+``link_delay`` folded into the exact latency model — auto-selected when a
+request sets ``link_delay`` or exceeds the chip core budget),
+``reference`` for ground truth, and the session's caches
+(:class:`~repro.eval.runner.ScoreCache` in memory,
+:class:`~repro.eval.runner.DiskScoreCache` on disk) for repeated
 evaluations of the same configuration.
 
 The chip backend defaults to **repeat-folded multi-copy chip images**:

@@ -14,10 +14,20 @@ from repro.mapping.blocks import BlockPartition, stride_blocks
 from repro.mapping.corelet import Corelet, CoreletNetwork, build_corelets
 from repro.mapping.deploy import DeployedNetwork, sample_connectivity, deploy_model
 from repro.mapping.duplication import DuplicatedDeployment, deploy_with_copies
-from repro.mapping.placement import ChipPlacement, place_on_chip
+from repro.mapping.placement import (
+    BoardPlacement,
+    BoardSegment,
+    ChipPlacement,
+    place_on_board,
+    place_on_chip,
+)
 from repro.mapping.pipeline import (
+    BoardProgram,
+    board_spike_counters,
+    program_board_multicopy,
     program_chip,
     program_chip_multicopy,
+    run_board_inference_multicopy,
     run_chip_inference,
     run_chip_inference_batch,
     run_chip_inference_multicopy,
@@ -36,8 +46,15 @@ __all__ = [
     "deploy_with_copies",
     "ChipPlacement",
     "place_on_chip",
+    "BoardPlacement",
+    "BoardSegment",
+    "place_on_board",
+    "BoardProgram",
+    "board_spike_counters",
+    "program_board_multicopy",
     "program_chip",
     "program_chip_multicopy",
+    "run_board_inference_multicopy",
     "run_chip_inference",
     "run_chip_inference_batch",
     "run_chip_inference_multicopy",

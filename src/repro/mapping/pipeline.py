@@ -53,11 +53,15 @@ front by the inference drivers.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.board.board import Board
+from repro.board.topology import BoardConfig, board_shape_for
 from repro.mapping.deploy import DeployedNetwork
+from repro.mapping.placement import BoardPlacement, place_on_board
 from repro.truenorth.chip import TrueNorthChip
 from repro.truenorth.config import ChipConfig, CoreConfig, NeuronConfig
 
@@ -441,6 +445,23 @@ def program_chip_multicopy(
         _check_shared_stochastic_programming(copies)
     uniform = _core_shape(network)
     chip = _make_chip(network.core_count, neuron_config, router_delay, uniform)
+    core_ids = _program_multicopy_image(chip, copies, neuron_config, uniform)
+    return chip, core_ids
+
+
+def _program_multicopy_image(
+    chip: TrueNorthChip,
+    copies: Sequence[DeployedNetwork],
+    neuron_config: NeuronConfig,
+    uniform: Tuple[int, int],
+) -> List[List[int]]:
+    """Program and wire a stacked multi-copy image onto an existing chip.
+
+    The shared body of :func:`program_chip_multicopy` and the board
+    programmer (whole-copy chips of a board run exactly this image, which
+    is what makes the 1x1-board equivalence hold by construction).
+    """
+    network = copies[0].corelet_network
     # Per-core-fit trimming for deterministic stacks; stochastic images keep
     # the uniform shape (see _core_shape).
     shape: Optional[Tuple[int, int]] = (
@@ -473,10 +494,9 @@ def program_chip_multicopy(
             stacked[:, : corelet.axon_count, : corelet.neuron_count] = corelet_stack
         core.crossbar.set_copy_signed_weights(stacked)
 
-    core_ids = _program_cores(
+    return _program_cores(
         chip, network, neuron_config, shape, 0, program_weights
     )
-    return chip, core_ids
 
 
 def run_chip_inference(
@@ -769,5 +789,549 @@ def _infer_synaptic_magnitude(deployed: DeployedNetwork) -> float:
 def _infer_multicopy_magnitude(copies: Sequence[DeployedNetwork]) -> float:
     """``max`` of :func:`_infer_synaptic_magnitude` over a copy stack."""
     return max(_infer_synaptic_magnitude(copy) for copy in copies)
+
+
+# ----------------------------------------------------------------------
+# board-scale programming and inference
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class BoardProgram:
+    """Everything the board inference driver needs about a programmed board.
+
+    Produced by :func:`program_board_multicopy`.  Chips fall into two
+    disjoint roles, mirroring the placement segments:
+
+    * **image chips** host a stacked multi-copy image of whole copies —
+      programmed by the exact machinery of :func:`program_chip_multicopy`,
+      so their bindings and core ids follow the single-chip convention
+      (binding index == corelet index);
+    * **shard chips** host one single-copy shard of a copy split across
+      consecutive chips; their inter-layer routes may leave the chip
+      (``SpikeRouter.connect_remote``) and their binding order follows the
+      shard's layer-major corelet order.
+
+    Attributes:
+        placement: the board placement the program realizes.
+        segment_indices: indices into ``placement.segments`` that were
+            programmed (a serve worker programs only its segment).
+        image_chips: ``chip -> (global copy indices, core_ids)`` with
+            ``core_ids[layer][corelet]`` as in :func:`program_chip`.
+        shard_chips: ``chip -> (copy, lo, hi)`` — the flat layer-major
+            corelet range hosted by the shard.
+        shard_cores: ``(copy, layer, corelet) -> (chip, core_id)`` for
+            every split-copy corelet.
+        shard_inputs: ``chip -> [corelet index]`` in input-binding order.
+        shard_outputs: ``chip -> [corelet index]`` in output-binding order.
+    """
+
+    placement: BoardPlacement
+    segment_indices: Tuple[int, ...]
+    image_chips: Dict[int, Tuple[Tuple[int, ...], List[List[int]]]] = field(
+        default_factory=dict
+    )
+    shard_chips: Dict[int, Tuple[int, int, int]] = field(default_factory=dict)
+    shard_cores: Dict[Tuple[int, int, int], Tuple[int, int]] = field(
+        default_factory=dict
+    )
+    shard_inputs: Dict[int, List[int]] = field(default_factory=dict)
+    shard_outputs: Dict[int, List[int]] = field(default_factory=dict)
+
+    def programmed_copies(self) -> Tuple[int, ...]:
+        """Global copy indices the programmed segments host, ascending."""
+        held: List[int] = []
+        for index in self.segment_indices:
+            held.extend(self.placement.segments[index].copies)
+        return tuple(sorted(held))
+
+
+def program_board_multicopy(
+    copies: Sequence[DeployedNetwork],
+    board_config: Optional[BoardConfig] = None,
+    neuron_config: Optional[NeuronConfig] = None,
+    router_delay: Optional[int] = None,
+    placement: Optional[BoardPlacement] = None,
+    segment_indices: Optional[Sequence[int]] = None,
+) -> Tuple[Board, BoardProgram]:
+    """Program a multi-chip board holding ``len(copies)`` sampled copies.
+
+    Copies are placed by :func:`~repro.mapping.placement.place_on_board`:
+    whole copies stack onto shared chips as multi-copy images (the exact
+    programming of :func:`program_chip_multicopy`, which is why a 1x1
+    board is bit-identical to the single-chip engine), while a copy larger
+    than one chip is sharded over consecutive chips with its inter-layer
+    routes crossing chip boundaries through the mesh links.
+
+    Shard cores are programmed with ``CoreConfig(seed=lo)`` where ``lo``
+    is the shard's flat corelet offset: the chip-local core ``p`` then
+    seeds ``LfsrPrng(seed + p + 1) = LfsrPrng(lo + p + 1)``, exactly the
+    stream of global core ``lo + p`` on an unsplit chip — so stochastic
+    synapses sample identically whether or not the copy was split, in
+    every seeding mode.
+
+    Args:
+        copies: the sampled copies, identically structured.
+        board_config: mesh shape, chip configuration, and link delay; a
+            square-ish board just large enough for the copies (see
+            :func:`repro.board.topology.board_shape_for`) when omitted.
+        neuron_config: as in :func:`program_chip`.
+        router_delay: on-chip delivery delay applied to *every* chip's
+            router; must be >= 1.
+        placement: a precomputed placement (defaults to
+            ``place_on_board(network, len(copies), board_config)``).
+        segment_indices: placement segments to program (default: all).  A
+            serve worker programs only its segment's chips — at their
+            original board indices, so link distances and delays are
+            identical to the monolithic board.
+
+    Returns:
+        ``(board, program)``.
+    """
+    if not copies:
+        raise ValueError("at least one deployed copy is required")
+    _check_shared_structure(copies)
+    network = copies[0].corelet_network
+    if neuron_config is None:
+        neuron_config = _default_neuron_config(_infer_multicopy_magnitude(copies))
+    if neuron_config.stochastic_synapses:
+        _check_shared_stochastic_programming(copies)
+    if board_config is None:
+        board_config = BoardConfig(
+            grid_shape=board_shape_for(network.core_count, len(copies))
+        )
+    if placement is None:
+        placement = place_on_board(network, len(copies), board_config)
+    if segment_indices is None:
+        segment_indices = tuple(range(len(placement.segments)))
+    board = Board(board_config)
+    if router_delay is not None:
+        if router_delay < 1:
+            raise ValueError(f"router_delay must be >= 1, got {router_delay}")
+        for chip in board.chips:
+            chip.router.delay = int(router_delay)
+
+    uniform = _core_shape(network)
+    stochastic = neuron_config.stochastic_synapses
+    flat_corelets = [
+        (layer, corelet_index)
+        for layer, layer_corelets in enumerate(network.corelets)
+        for corelet_index in range(len(layer_corelets))
+    ]
+    program = BoardProgram(
+        placement=placement, segment_indices=tuple(int(i) for i in segment_indices)
+    )
+
+    for segment_index in program.segment_indices:
+        segment = placement.segments[segment_index]
+        if not segment.split:
+            chip_index = segment.chips[0]
+            seg_copies = [copies[c] for c in segment.copies]
+            core_ids = _program_multicopy_image(
+                board.chips[chip_index], seg_copies, neuron_config, uniform
+            )
+            program.image_chips[chip_index] = (segment.copies, core_ids)
+            continue
+        copy_index = segment.copies[0]
+        deployed = copies[copy_index]
+        for shard, chip_index in enumerate(segment.chips):
+            chip = board.chips[chip_index]
+            lo = segment.shard_bounds[shard]
+            hi = segment.shard_bounds[shard + 1]
+            for layer_index, corelet_index in flat_corelets[lo:hi]:
+                corelet = network.corelets[layer_index][corelet_index]
+                fit = (
+                    uniform
+                    if stochastic
+                    else (corelet.axon_count, corelet.neuron_count)
+                )
+                core = chip.allocate_core(
+                    CoreConfig(
+                        axons=fit[0],
+                        neurons=fit[1],
+                        neuron_config=neuron_config,
+                        seed=int(lo),
+                    )
+                )
+                if stochastic:
+                    values = np.rint(corelet.synaptic_values).astype(np.int64)
+                    core.crossbar.set_signed_weights(
+                        _full_core_matrix(core, values, corelet, np.int64)
+                    )
+                    core.crossbar.set_probabilities(
+                        _full_core_matrix(core, corelet.probabilities, corelet, float)
+                    )
+                else:
+                    sampled = deployed.sampled_weights[layer_index][corelet_index]
+                    values = np.rint(sampled).astype(np.int64)
+                    core.crossbar.set_signed_weights(
+                        _full_core_matrix(core, values, corelet, np.int64)
+                    )
+                program.shard_cores[(copy_index, layer_index, corelet_index)] = (
+                    chip_index,
+                    core.core_id,
+                )
+            program.shard_chips[chip_index] = (copy_index, lo, hi)
+        _wire_split_copy(board, network, copy_index, program)
+    return board, program
+
+
+def _wire_split_copy(board: Board, network, copy_index: int, program: BoardProgram) -> None:
+    """Bind I/O and route the inter-layer spikes of one split copy.
+
+    Same-chip consecutive layers route through the chip's own router;
+    cross-chip transitions route through
+    :meth:`~repro.truenorth.router.SpikeRouter.connect_remote` and travel
+    the mesh links at run time.  Binding order within a chip follows the
+    shard's layer-major corelet order and is recorded in the program.
+    """
+    shard_chip_indices = sorted(
+        chip
+        for chip, (copy, _, _) in program.shard_chips.items()
+        if copy == copy_index
+    )
+    # External input: layer-0 axons, per hosting chip in corelet order.
+    for chip_index in shard_chip_indices:
+        for corelet_index, corelet in enumerate(network.corelets[0]):
+            placed = program.shard_cores.get((copy_index, 0, corelet_index))
+            if placed is None or placed[0] != chip_index:
+                continue
+            board.chips[chip_index].bind_input(
+                INPUT_CHANNEL,
+                placed[1],
+                axon_map=list(range(corelet.axon_count)),
+            )
+            program.shard_inputs.setdefault(chip_index, []).append(corelet_index)
+
+    # Inter-layer routing, same channel-matching rule as _wire_chip but with
+    # (chip, core) targets.
+    for layer_index in range(len(network.corelets) - 1):
+        channel_to_target: Dict[int, Tuple[int, int, int]] = {}
+        for next_index, next_corelet in enumerate(network.corelets[layer_index + 1]):
+            target_chip, target_core = program.shard_cores[
+                (copy_index, layer_index + 1, next_index)
+            ]
+            for axon, channel in enumerate(next_corelet.input_channels):
+                channel_to_target[channel] = (target_chip, target_core, axon)
+        for corelet_index, corelet in enumerate(network.corelets[layer_index]):
+            source_chip, source_core = program.shard_cores[
+                (copy_index, layer_index, corelet_index)
+            ]
+            router = board.chips[source_chip].router
+            for neuron, channel in enumerate(corelet.output_channels):
+                target = channel_to_target.get(channel)
+                if target is None:
+                    continue
+                if target[0] == source_chip:
+                    router.connect(source_core, neuron, target[1], target[2])
+                else:
+                    router.connect_remote(
+                        source_core, neuron, target[0], target[1], target[2]
+                    )
+
+    # External output: last-layer neurons, per hosting chip in corelet order.
+    last_layer = len(network.corelets) - 1
+    for chip_index in shard_chip_indices:
+        for corelet_index, corelet in enumerate(network.corelets[-1]):
+            placed = program.shard_cores.get((copy_index, last_layer, corelet_index))
+            if placed is None or placed[0] != chip_index:
+                continue
+            board.chips[chip_index].bind_output(
+                OUTPUT_CHANNEL,
+                placed[1],
+                neuron_map=list(range(corelet.neuron_count)),
+            )
+            program.shard_outputs.setdefault(chip_index, []).append(corelet_index)
+
+
+def _board_flush_bound(board: Board, program: BoardProgram, network) -> int:
+    """Exact worst-path drain bound of a programmed board.
+
+    Per copy, a spike injected at the last input tick takes at most
+    ``sum over layer transitions of (router_delay + link_delay *
+    worst_chip_distance(transition))`` further ticks to reach the output
+    binding; whole copies contribute the single-chip bound
+    ``(depth - 1) * delay``.  The board drains until no router holds a
+    pending spike and asserts this bound, exactly like the single-chip
+    :func:`_drain_chip`.
+    """
+    delay = max(
+        (board.chips[i].router.delay for i in board.active_chips()),
+        default=1,
+    )
+    link_delay = board.config.link_delay
+    depth = len(network.corelets)
+    bound = 0
+    for copy in program.programmed_copies():
+        distances = program.placement.transition_chip_distances(copy)
+        if len(distances) != depth - 1:
+            distances = [0] * (depth - 1)
+        bound = max(
+            bound,
+            sum(delay + link_delay * d for d in distances),
+        )
+    return bound
+
+
+def run_board_inference_multicopy(
+    board: Board,
+    copies: Sequence[DeployedNetwork],
+    program: BoardProgram,
+    spike_volumes: np.ndarray,
+    copy_seeds: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Run a sample batch through ``len(copies)`` copies on a board.
+
+    The board-scale sibling of :func:`run_chip_inference_multicopy`: every
+    copy sees the same input spike realizations (or its group's block, in
+    the grouped form) while integrating through its own programmed
+    crossbars, which may span several chips.  On a 1x1 board with zero
+    link delay the result — class counts, per-core spike counters, and
+    per-copy LFSR streams — is bit-identical to the single-chip engine
+    (the equivalence tests pin it); larger boards change only *where*
+    cores live and *when* boundary-crossing spikes arrive.
+
+    Args:
+        board: board programmed by :func:`program_board_multicopy`.
+        copies: the deployed copies the board was programmed from.
+        program: the programming record returned with the board.
+        spike_volumes: ``(batch, ticks, input_dim)`` shared by every copy,
+            or grouped ``(groups, batch, ticks, input_dim)`` with
+            ``groups`` dividing ``len(copies)`` (block ``g`` feeds the
+            consecutive copies of group ``g``), exactly as in
+            :func:`run_chip_inference_multicopy`.
+        copy_seeds: per-copy core-PRNG base seeds (stochastic mode), as in
+            :func:`run_chip_inference_multicopy`; shard chips derive their
+            chip-local seed from the shard offset so split copies replay
+            the unsplit streams.
+
+    Returns:
+        per-copy, per-sample class counts ``(len(copies), batch,
+        num_classes)``, dtype int64.  When the program covers only some
+        segments (serve sharding), rows of copies outside the programmed
+        segments are zero.
+    """
+    if not copies:
+        raise ValueError("at least one deployed copy is required")
+    network = copies[0].corelet_network
+    spike_volumes = np.asarray(spike_volumes)
+    n_copies = len(copies)
+    if (
+        spike_volumes.ndim not in (3, 4)
+        or spike_volumes.shape[-1] != network.input_dim
+    ):
+        raise ValueError(
+            f"expected volumes of shape (batch, ticks, {network.input_dim}) "
+            f"or (groups, batch, ticks, {network.input_dim}), "
+            f"got {spike_volumes.shape}"
+        )
+    if spike_volumes.ndim == 4 and (
+        spike_volumes.shape[0] < 1 or n_copies % spike_volumes.shape[0] != 0
+    ):
+        raise ValueError(
+            f"volume carries {spike_volumes.shape[0]} input groups, which "
+            f"does not divide the copy count {n_copies}"
+        )
+    if copy_seeds is not None and len(copy_seeds) != n_copies:
+        raise ValueError(
+            f"expected {n_copies} copy seeds, got {len(copy_seeds)}"
+        )
+    batch, ticks = spike_volumes.shape[-3], spike_volumes.shape[-2]
+    if batch == 0:
+        return np.zeros((n_copies, 0, network.num_classes), dtype=np.int64)
+
+    grouped = spike_volumes.ndim == 4
+    groups = spike_volumes.shape[0] if grouped else 1
+    per_group = n_copies // groups
+
+    # Begin every programmed chip and validate the latency model on it.
+    for chip_index, (seg_copies, _) in program.image_chips.items():
+        chip = board.chips[chip_index]
+        _validate_latency_model(chip, network)
+        seeds = (
+            None
+            if copy_seeds is None
+            else [int(copy_seeds[c]) for c in seg_copies]
+        )
+        chip.begin_multicopy(len(seg_copies), batch, copy_seeds=seeds)
+    for chip_index, (copy_index, lo, _) in program.shard_chips.items():
+        chip = board.chips[chip_index]
+        _validate_latency_model(chip, network)
+        seeds = (
+            None
+            if copy_seeds is None
+            else [int(copy_seeds[copy_index]) + int(lo)]
+        )
+        chip.begin_batch(batch, copies=1, copy_seeds=seeds)
+
+    # Per-binding input volumes, gathered once; a leading groups axis (if
+    # any) passes through, so entries are (batch, ticks, block) or
+    # (groups, batch, ticks, block).
+    per_binding_volumes = _gather_input_volumes(network, spike_volumes)
+
+    # Input plan: chip -> binding -> sliceable volume whose [..., t, :]
+    # frame has the layout TrueNorthChip.step_batch expects.  Image chips
+    # receive the shared (batch, block) frame — or their aligned grouped
+    # block — exactly as the single-chip driver feeds them, which keeps
+    # the 1x1 board's input arrays literally identical.
+    plans: Dict[int, Dict[int, np.ndarray]] = {}
+    for chip_index, (seg_copies, _) in program.image_chips.items():
+        chip_plan: Dict[int, np.ndarray] = {}
+        for corelet_index in range(len(network.corelets[0])):
+            volume = per_binding_volumes[corelet_index]
+            if not grouped:
+                chip_plan[corelet_index] = volume
+                continue
+            seg_groups = sorted({c // per_group for c in seg_copies})
+            aligned = (
+                seg_copies[0] % per_group == 0
+                and len(seg_copies) % per_group == 0
+                and tuple(seg_copies)
+                == tuple(range(seg_copies[0], seg_copies[0] + len(seg_copies)))
+            )
+            if len(seg_groups) == 1:
+                chip_plan[corelet_index] = volume[seg_groups[0]]
+            elif aligned:
+                chip_plan[corelet_index] = volume[
+                    seg_groups[0] : seg_groups[-1] + 1
+                ]
+            else:
+                # Copies straddling group boundaries: materialize one
+                # block per copy; the chip collapses copies-many blocks
+                # to full copy-major input.
+                chip_plan[corelet_index] = volume[
+                    np.asarray([c // per_group for c in seg_copies], dtype=int)
+                ]
+        plans[chip_index] = chip_plan
+    for chip_index, (copy_index, _, _) in program.shard_chips.items():
+        chip_plan = {}
+        for binding_index, corelet_index in enumerate(
+            program.shard_inputs.get(chip_index, [])
+        ):
+            volume = per_binding_volumes[corelet_index]
+            chip_plan[binding_index] = (
+                volume[copy_index // per_group] if grouped else volume
+            )
+        if chip_plan:
+            plans[chip_index] = chip_plan
+
+    # Readout sinks: chip -> [(binding, indicator, flat-row view or index)].
+    class_counts = np.zeros(
+        (n_copies, batch, network.num_classes), dtype=np.float64
+    )
+    flat_counts = class_counts.reshape(n_copies * batch, network.num_classes)
+    indicators = _readout_indicators(network)
+    sinks: Dict[int, List[Tuple[int, np.ndarray, object]]] = {}
+    for chip_index, (seg_copies, _) in program.image_chips.items():
+        contiguous = tuple(seg_copies) == tuple(
+            range(seg_copies[0], seg_copies[0] + len(seg_copies))
+        )
+        rows: object
+        if contiguous:
+            rows = slice(seg_copies[0] * batch, (seg_copies[0] + len(seg_copies)) * batch)
+        else:
+            rows = np.concatenate(
+                [np.arange(c * batch, (c + 1) * batch) for c in seg_copies]
+            )
+        sinks[chip_index] = [
+            (corelet_index, indicators[corelet_index], rows)
+            for corelet_index in range(len(network.corelets[-1]))
+        ]
+    for chip_index, (copy_index, _, _) in program.shard_chips.items():
+        entries = []
+        for binding_index, corelet_index in enumerate(
+            program.shard_outputs.get(chip_index, [])
+        ):
+            rows = slice(copy_index * batch, (copy_index + 1) * batch)
+            entries.append((binding_index, indicators[corelet_index], rows))
+        if entries:
+            sinks[chip_index] = entries
+
+    def accumulate(per_chip_outputs) -> None:
+        for chip_index, outputs in per_chip_outputs.items():
+            entries = sinks.get(chip_index)
+            if entries is None:
+                continue
+            per_binding = outputs.get(OUTPUT_CHANNEL, {})
+            for binding_index, indicator, rows in entries:
+                spikes = per_binding.get(binding_index)
+                if spikes is None:
+                    continue
+                contribution = spikes.astype(np.float32) @ indicator
+                if isinstance(rows, slice):
+                    view = flat_counts[rows]
+                    np.add(view, contribution, out=view)
+                else:
+                    flat_counts[rows] += contribution
+
+    for t in range(ticks):
+        inputs = {
+            chip_index: {
+                INPUT_CHANNEL: {
+                    binding_index: volume[..., t, :]
+                    for binding_index, volume in chip_plan.items()
+                }
+            }
+            for chip_index, chip_plan in plans.items()
+        }
+        accumulate(board.step_batch(inputs))
+
+    flush_bound = _board_flush_bound(board, program, network)
+    extra = 0
+    while board.has_pending():
+        extra += 1
+        if extra > flush_bound:
+            raise RuntimeError(
+                f"spikes still in flight after {flush_bound} drain ticks; "
+                "the board latency model was violated (unexpected routing "
+                "topology, e.g. a cycle?)"
+            )
+        accumulate(board.step_batch(None))
+    return class_counts.astype(np.int64)
+
+
+def board_spike_counters(
+    board: Board, copies: Sequence[DeployedNetwork], program: BoardProgram
+) -> np.ndarray:
+    """Per-copy, per-core spike counters of the last board run.
+
+    Returns ``(len(copies), cores_per_copy, batch)`` int64 with cores in
+    flat layer-major corelet order — the same layout the chip backend
+    reads from :attr:`NeurosynapticCore.multicopy_spike_counts`, so the
+    1x1-board counters compare bit-for-bit.  Rows of copies outside the
+    programmed segments are zero.
+    """
+    network = copies[0].corelet_network
+    flat_corelets = [
+        (layer, corelet_index)
+        for layer, layer_corelets in enumerate(network.corelets)
+        for corelet_index in range(len(layer_corelets))
+    ]
+    batches = [
+        board.chips[i].batch_size // board.chips[i].copies
+        for i in list(program.image_chips) + list(program.shard_chips)
+        if board.chips[i].batch_size is not None
+    ]
+    if not batches or len(set(batches)) != 1:
+        raise RuntimeError("board chips are not in a consistent batch run")
+    samples = batches[0]
+    counters = np.zeros(
+        (len(copies), len(flat_corelets), samples), dtype=np.int64
+    )
+    for chip_index, (seg_copies, core_ids) in program.image_chips.items():
+        chip = board.chips[chip_index]
+        flat_ids = [core_id for layer in core_ids for core_id in layer]
+        for local, copy_index in enumerate(seg_copies):
+            for flat_index, core_id in enumerate(flat_ids):
+                counts = chip.core(core_id).multicopy_spike_counts
+                counters[copy_index, flat_index] = counts[local]
+    for chip_index, (copy_index, lo, hi) in program.shard_chips.items():
+        chip = board.chips[chip_index]
+        for flat_index in range(lo, hi):
+            layer, corelet_index = flat_corelets[flat_index]
+            _, core_id = program.shard_cores[(copy_index, layer, corelet_index)]
+            counts = chip.core(core_id).batch_spike_counts
+            counters[copy_index, flat_index] = counts
+    return counters
 
 

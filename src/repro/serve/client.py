@@ -92,6 +92,7 @@ class ServeClient:
         collect_spike_counters: bool = False,
         router_delay: Optional[int] = None,
         stochastic_synapses: bool = False,
+        link_delay: Optional[int] = None,
     ) -> EvalResult:
         """``POST /v1/evaluate`` and decode the result tensor-exactly."""
         payload = {
@@ -107,6 +108,7 @@ class ServeClient:
             "collect_spike_counters": collect_spike_counters,
             "router_delay": router_delay,
             "stochastic_synapses": stochastic_synapses,
+            "link_delay": link_delay,
         }
         return self.evaluate_payload(payload)
 

@@ -77,6 +77,7 @@ class WireRequest:
     collect_spike_counters: bool = False
     router_delay: Optional[int] = None
     stochastic_synapses: bool = False
+    link_delay: Optional[int] = None
 
 
 _WIRE_FIELDS = tuple(spec.name for spec in fields(WireRequest))
@@ -123,6 +124,7 @@ def encode_request(
         "collect_spike_counters": request.collect_spike_counters,
         "router_delay": request.router_delay,
         "stochastic_synapses": request.stochastic_synapses,
+        "link_delay": request.link_delay,
     }
 
 
@@ -203,6 +205,12 @@ def decode_request(payload: object) -> WireRequest:
         "stochastic_synapses must be a boolean",
         "stochastic_synapses",
     )
+    link_delay = payload.get("link_delay")
+    _require(
+        link_delay is None or _is_int(link_delay),
+        "link_delay must be an integer or null",
+        "link_delay",
+    )
     return WireRequest(
         model=model,
         dataset=dataset,
@@ -216,6 +224,7 @@ def decode_request(payload: object) -> WireRequest:
         collect_spike_counters=collect,
         router_delay=None if router_delay is None else int(router_delay),
         stochastic_synapses=stochastic,
+        link_delay=None if link_delay is None else int(link_delay),
     )
 
 
@@ -243,6 +252,7 @@ def to_eval_request(wire: WireRequest, registry) -> EvalRequest:
             collect_spike_counters=wire.collect_spike_counters,
             router_delay=wire.router_delay,
             stochastic_synapses=wire.stochastic_synapses,
+            link_delay=wire.link_delay,
         )
     except ValueError as error:
         raise CodecError(str(error)) from error

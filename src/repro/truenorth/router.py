@@ -26,6 +26,21 @@ a batch row to the same row of a target buffer, the copy-major rows stay
 disjoint — a spike of copy ``c`` can only land on copy ``c``'s axon rows.
 The delivered/hop counters therefore equal the sum of the counters ``C``
 one-chip-per-copy routers would report, which the equivalence tests assert.
+
+Board-scale simulation adds *remote* routes: a neuron whose target core
+lives on another chip of a multi-chip board (:mod:`repro.board`) is
+programmed with :meth:`SpikeRouter.connect_remote` instead of
+:meth:`SpikeRouter.connect`.  Spikes taking a remote route are not
+scattered into this router's pending buffers — they are collected as
+:class:`EgressBatch` records (one per compiled remote route group per
+tick) that the board pops via :meth:`SpikeRouter.pop_egress` and injects
+into the *target* chip's router through
+:meth:`SpikeRouter.external_deliver_batch` at a due tick that adds the
+mesh link delay on top of the router delay.  The pending buffers of the
+receiving router therefore double as the inter-chip link queues: a spike
+in flight over a link is exactly a pre-scattered buffer entry at a future
+tick, and :meth:`has_pending` accounts for not-yet-popped egress so the
+board's exact drain model sees every in-flight spike.
 """
 
 from __future__ import annotations
@@ -76,6 +91,39 @@ class NeuronTarget:
     target_axon: int
 
 
+@dataclass(frozen=True)
+class RemoteTarget:
+    """Routing entry for a spike that leaves the chip over a mesh link."""
+
+    target_chip: int
+    target_core: int
+    target_axon: int
+
+
+@dataclass(frozen=True)
+class EgressBatch:
+    """Spikes of one remote route group leaving the chip at one tick.
+
+    Attributes:
+        target_chip: board index of the receiving chip.
+        target_core: core id on the receiving chip.
+        axon_idx: target axon per column of ``columns``.
+        unique_axons: whether ``axon_idx`` entries are distinct (plain
+            scatter vs. ``np.maximum.at`` on injection).
+        columns: ``(batch, len(axon_idx))`` 0/1 spike matrix.
+        tick: emission tick (the board adds router + link delay on top).
+        routed: number of nonzero (sample, spike) pairs in ``columns``.
+    """
+
+    target_chip: int
+    target_core: int
+    axon_idx: np.ndarray
+    unique_axons: bool
+    columns: np.ndarray
+    tick: int
+    routed: int
+
+
 class SpikeRouter:
     """Mesh spike router with a single-tick delivery delay.
 
@@ -100,6 +148,11 @@ class SpikeRouter:
         self._route_arrays: Optional[Dict[int, List[Tuple]]] = None
         self._pending_batch: Dict[int, Dict[int, np.ndarray]] = {}
         self._pending_batch_stats: Dict[int, List[int]] = {}
+        # Board state: off-chip routes, their compiled form, and the spikes
+        # waiting for the board to carry them over a link (see module doc).
+        self._remote_routes: Dict[Tuple[int, int], RemoteTarget] = {}
+        self._remote_arrays: Optional[Dict[int, List[Tuple]]] = None
+        self._egress: List[EgressBatch] = []
 
     # ------------------------------------------------------------------
     def set_core_position(self, core_id: int, row: int, col: int) -> None:
@@ -111,10 +164,41 @@ class SpikeRouter:
         self, source_core: int, source_neuron: int, target_core: int, target_axon: int
     ) -> None:
         """Route spikes of (source_core, source_neuron) to (target_core, target_axon)."""
+        if (source_core, source_neuron) in self._remote_routes:
+            raise ValueError(
+                f"neuron ({source_core}, {source_neuron}) already has a "
+                "remote route; a neuron holds exactly one target address"
+            )
         self._routes[(source_core, source_neuron)] = NeuronTarget(
             target_core=target_core, target_axon=target_axon
         )
         self._route_arrays = None
+
+    def connect_remote(
+        self,
+        source_core: int,
+        source_neuron: int,
+        target_chip: int,
+        target_core: int,
+        target_axon: int,
+    ) -> None:
+        """Route spikes of one neuron to an axon on another chip of a board.
+
+        The spikes are collected as egress (:meth:`pop_egress`) instead of
+        entering this router's pending buffers; the board injects them into
+        the target chip's router with the link delay added.
+        """
+        if (source_core, source_neuron) in self._routes:
+            raise ValueError(
+                f"neuron ({source_core}, {source_neuron}) already has an "
+                "on-chip route; a neuron holds exactly one target address"
+            )
+        self._remote_routes[(source_core, source_neuron)] = RemoteTarget(
+            target_chip=target_chip,
+            target_core=target_core,
+            target_axon=target_axon,
+        )
+        self._remote_arrays = None
 
     def reset_state(self) -> None:
         """Drop all in-flight spikes and statistics, keeping the programming.
@@ -128,6 +212,7 @@ class SpikeRouter:
         self._pending = defaultdict(list)
         self._pending_batch = {}
         self._pending_batch_stats = {}
+        self._egress = []
         self.delivered_count = 0
         self.hop_count = 0
 
@@ -135,10 +220,21 @@ class SpikeRouter:
         """Return the routing entry of a neuron, or None if unrouted."""
         return self._routes.get((source_core, source_neuron))
 
+    def remote_route_of(
+        self, source_core: int, source_neuron: int
+    ) -> Optional[RemoteTarget]:
+        """Return the off-chip routing entry of a neuron, or None."""
+        return self._remote_routes.get((source_core, source_neuron))
+
     @property
     def route_count(self) -> int:
         """Number of programmed neuron routes."""
         return len(self._routes)
+
+    @property
+    def remote_route_count(self) -> int:
+        """Number of programmed off-chip neuron routes."""
+        return len(self._remote_routes)
 
     # ------------------------------------------------------------------
     def submit(self, core_id: int, spikes: np.ndarray, tick: int) -> int:
@@ -149,6 +245,23 @@ class SpikeRouter:
         spikes = np.asarray(spikes)
         enqueued = 0
         for neuron in np.nonzero(spikes)[0]:
+            remote = self._remote_routes.get((core_id, int(neuron)))
+            if remote is not None:
+                # Scalar spikes leave the chip as single-row egress batches;
+                # the board injects them with the link delay added.
+                self._egress.append(
+                    EgressBatch(
+                        target_chip=remote.target_chip,
+                        target_core=remote.target_core,
+                        axon_idx=np.array([remote.target_axon], dtype=np.intp),
+                        unique_axons=True,
+                        columns=np.ones((1, 1), dtype=np.int8),
+                        tick=tick,
+                        routed=1,
+                    )
+                )
+                enqueued += 1
+                continue
             route = self._routes.get((core_id, int(neuron)))
             if route is None:
                 continue
@@ -224,6 +337,30 @@ class SpikeRouter:
             self._route_arrays = compiled
         return self._route_arrays
 
+    def _compiled_remote_routes(self) -> Dict[int, List[Tuple]]:
+        """Remote routes grouped as index arrays: ``source -> [(target_chip,
+        target_core, neuron_idx, axon_idx, unique_axons), ...]``."""
+        if self._remote_arrays is None:
+            grouped: Dict[int, Dict[Tuple[int, int], List[Tuple[int, int]]]] = {}
+            for (source_core, neuron), target in self._remote_routes.items():
+                grouped.setdefault(source_core, {}).setdefault(
+                    (target.target_chip, target.target_core), []
+                ).append((neuron, target.target_axon))
+            compiled: Dict[int, List[Tuple]] = {}
+            for source_core, by_target in grouped.items():
+                entries = []
+                for (target_chip, target_core), pairs in sorted(by_target.items()):
+                    pairs.sort()
+                    neuron_idx = np.array([p[0] for p in pairs], dtype=np.intp)
+                    axon_idx = np.array([p[1] for p in pairs], dtype=np.intp)
+                    unique_axons = np.unique(axon_idx).size == axon_idx.size
+                    entries.append(
+                        (target_chip, target_core, neuron_idx, axon_idx, unique_axons)
+                    )
+                compiled[source_core] = entries
+            self._remote_arrays = compiled
+        return self._remote_arrays
+
     def submit_batch(
         self, core_id: int, spikes: np.ndarray, tick: int, axons_per_core: AxonCounts
     ) -> int:
@@ -238,13 +375,34 @@ class SpikeRouter:
         """
         spikes = np.asarray(spikes)
         entries = self._compiled_routes().get(core_id)
-        if entries is None or not spikes.any():
+        if not spikes.any():
             return 0
+        enqueued = 0
+        for target_chip, target_core, neuron_idx, axon_idx, unique in (
+            self._compiled_remote_routes().get(core_id, ())
+        ):
+            columns = (spikes[:, neuron_idx] != 0).astype(np.int8)
+            routed = int(np.count_nonzero(columns))
+            if routed == 0:
+                continue
+            self._egress.append(
+                EgressBatch(
+                    target_chip=target_chip,
+                    target_core=target_core,
+                    axon_idx=axon_idx,
+                    unique_axons=unique,
+                    columns=columns,
+                    tick=tick,
+                    routed=routed,
+                )
+            )
+            enqueued += routed
+        if entries is None:
+            return enqueued
         due = tick + self.delay
         batch = spikes.shape[0]
         buffers = self._pending_batch.setdefault(due, {})
         stats = self._pending_batch_stats.setdefault(due, [0, 0])
-        enqueued = 0
         for target_core, neuron_idx, axon_idx, unique_axons, hops in entries:
             columns = spikes[:, neuron_idx]
             routed = int(np.count_nonzero(columns))
@@ -291,9 +449,63 @@ class SpikeRouter:
                 )
         return buffers
 
+    def pop_egress(self) -> List[EgressBatch]:
+        """Return and clear the spikes waiting to leave the chip.
+
+        The board calls this after every chip tick and injects each record
+        into its target chip's router via :meth:`external_deliver_batch`.
+        """
+        egress = self._egress
+        self._egress = []
+        return egress
+
+    def external_deliver_batch(
+        self,
+        due_tick: int,
+        target_core: int,
+        axon_idx: np.ndarray,
+        columns: np.ndarray,
+        axons: int,
+        unique_axons: bool,
+        routed: int,
+    ) -> None:
+        """Scatter spikes arriving over a mesh link into the pending buffers.
+
+        The board computes ``due_tick`` (emission tick + this router's delay
+        + link delay x chip distance) and resolves ``axons`` from the target
+        core's geometry.  Injected spikes advance the delivered counter on
+        delivery exactly like locally routed ones; link hops are accounted
+        by the board's :class:`~repro.board.board.LinkFabric`, not here —
+        the on-chip hop counter keeps its on-chip meaning.
+        """
+        columns = np.asarray(columns)
+        if axon_idx.size and (axon_idx.min() < 0 or axon_idx.max() >= axons):
+            bad = axon_idx.min() if axon_idx.min() < 0 else axon_idx.max()
+            raise IndexError(f"target axon {int(bad)} outside [0, {axons})")
+        batch = columns.shape[0]
+        buffers = self._pending_batch.setdefault(due_tick, {})
+        stats = self._pending_batch_stats.setdefault(due_tick, [0, 0])
+        buffer = buffers.get(target_core)
+        if buffer is None:
+            buffer = np.zeros((batch, axons), dtype=np.int8)
+            buffers[target_core] = buffer
+        elif buffer.shape[0] != batch:
+            raise ValueError(
+                f"link spikes carry {batch} batch rows but core "
+                f"{target_core}'s pending buffer has {buffer.shape[0]}"
+            )
+        if unique_axons:
+            buffer[:, axon_idx] = np.maximum(buffer[:, axon_idx], columns)
+        else:
+            np.maximum.at(buffer, (slice(None), axon_idx), columns)
+        stats[0] += routed
+
     def has_pending(self) -> bool:
-        """True when any spike (scalar event or batch buffer) is in flight."""
+        """True when any spike (scalar event, batch buffer, or not-yet-popped
+        egress) is in flight."""
         if any(events for events in self._pending.values()):
+            return True
+        if self._egress:
             return True
         return any(self._pending_batch.values())
 

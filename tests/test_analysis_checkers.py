@@ -453,15 +453,21 @@ CAP_PROTOCOL_OK = """\
     @dataclass(frozen=True)
     class BackendCapabilities:
         cycle_accurate: bool
+        board_mesh: bool
 
     @dataclass(frozen=True)
     class EvalRequest:
         model: str
         router_delay: int
+        link_delay: int
 
         @property
         def needs_cycle_accuracy(self):
             return self.router_delay > 0
+
+        @property
+        def needs_board_mesh(self):
+            return self.link_delay > 0
 """
 
 CAP_BACKENDS_OK = """\
@@ -471,17 +477,21 @@ CAP_BACKENDS_OK = """\
     def _check_capabilities(request, caps):
         if request.needs_cycle_accuracy and not caps.cycle_accurate:
             raise UnsupportedRequestError("request needs the chip backend")
+        if request.needs_board_mesh and not caps.board_mesh:
+            raise UnsupportedRequestError("request needs the board backend")
 """
 
 CAP_SESSION_OK = """\
     class Session:
         def select_backend(self, request):
+            if request.needs_board_mesh:
+                return "board"
             if request.needs_cycle_accuracy:
                 return "chip"
             return "reference"
 
         def _coalesce_key(self, request):
-            return (request.model, request.router_delay)
+            return (request.model, request.router_delay, request.link_delay)
 """
 
 
@@ -498,6 +508,20 @@ class TestCapExhaustive:
             },
         )
         assert self.checker.check(project) == []
+
+    def test_missing_gating_property_is_flagged(self, tmp_path):
+        protocol = CAP_PROTOCOL_OK.replace("needs_board_mesh", "renamed_away")
+        project = write_tree(
+            tmp_path,
+            {
+                "src/repro/api/protocol.py": protocol,
+                "src/repro/api/backends.py": CAP_BACKENDS_OK,
+                "src/repro/api/session.py": CAP_SESSION_OK,
+            },
+        )
+        findings = self.checker.check(project)
+        assert len(findings) == 1
+        assert "needs_board_mesh" in findings[0].message
 
     def test_typod_capability_makes_guard_dead(self, tmp_path):
         backends = CAP_BACKENDS_OK.replace(
@@ -517,14 +541,16 @@ class TestCapExhaustive:
         assert any("cycle_acurate" in f.message for f in findings)
         assert any("'router_delay'" in f.message for f in findings)
 
-    def test_selector_blind_to_chip_only_field_is_flagged(self, tmp_path):
+    def test_selector_blind_to_gated_field_is_flagged(self, tmp_path):
         session = """\
             class Session:
                 def select_backend(self, request):
+                    if request.needs_board_mesh:
+                        return "board"
                     return "reference"
 
                 def _coalesce_key(self, request):
-                    return (request.model, request.router_delay)
+                    return (request.model, request.router_delay, request.link_delay)
         """
         project = write_tree(
             tmp_path,
@@ -540,10 +566,10 @@ class TestCapExhaustive:
         assert "'router_delay'" in findings[0].message
         assert "select_backend" in findings[0].message
 
-    def test_coalescer_blind_to_chip_only_field_is_flagged(self, tmp_path):
+    def test_coalescer_blind_to_gated_field_is_flagged(self, tmp_path):
         session = CAP_SESSION_OK.replace(
-            "return (request.model, request.router_delay)",
-            "return (request.model,)",
+            "return (request.model, request.router_delay, request.link_delay)",
+            "return (request.model, request.link_delay)",
         )
         project = write_tree(
             tmp_path,

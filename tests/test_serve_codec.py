@@ -75,6 +75,7 @@ request_fields = st.fixed_dictionaries(
         "collect_spike_counters": st.booleans(),
         "router_delay": st.one_of(st.none(), st.integers(min_value=1, max_value=8)),
         "stochastic_synapses": st.booleans(),
+        "link_delay": st.one_of(st.none(), st.integers(min_value=0, max_value=8)),
     }
 )
 
@@ -94,6 +95,7 @@ def test_request_roundtrip_is_lossless(fields):
         collect_spike_counters=fields["collect_spike_counters"],
         router_delay=fields["router_delay"],
         stochastic_synapses=fields["stochastic_synapses"],
+        link_delay=fields["link_delay"],
     )
     payload = encode_request(
         request, fields["model"], fields["dataset"], backend=fields["backend"]
@@ -226,6 +228,18 @@ def test_value_range_violations_become_codec_errors():
     wire = decode_request({"model": "tea", "repeats": 0})
     with pytest.raises(CodecError, match="repeats must be positive"):
         to_eval_request(wire, REGISTRY)
+
+
+def test_link_delay_must_be_a_non_negative_integer():
+    with pytest.raises(CodecError, match="link_delay must be an integer"):
+        decode_request({"model": "tea", "link_delay": 1.5})
+    with pytest.raises(CodecError, match="link_delay must be an integer"):
+        decode_request({"model": "tea", "link_delay": True})
+    wire = decode_request({"model": "tea", "link_delay": -1})
+    with pytest.raises(CodecError, match="link_delay"):
+        to_eval_request(wire, REGISTRY)
+    assert decode_request({"model": "tea"}).link_delay is None
+    assert decode_request({"model": "tea", "link_delay": 0}).link_delay == 0
 
 
 def test_unknown_model_and_dataset_are_typed():

@@ -134,6 +134,28 @@ def test_served_multicopy_stochastic_chip_bit_identical(registry, client):
     assert served.spike_counters.shape[1] == 3  # copies axis, validated
 
 
+def test_served_board_request_bit_identical(registry, client):
+    """``link_delay`` is board-only, so the service's ``auto`` session must
+    route it to the board backend and the served tensors must equal a
+    direct evaluation bit for bit."""
+    kwargs = dict(
+        copy_levels=(1, 2),
+        spf_levels=(1,),
+        seed=3,
+        link_delay=1,
+        collect_spike_counters=True,
+        max_samples=12,
+    )
+    served = client.evaluate(
+        model="tea", **{**kwargs, "copy_levels": [1, 2], "spf_levels": [1]}
+    )
+    direct = Session().evaluate(_direct(registry, **kwargs))
+    assert served.backend == "board"
+    assert np.array_equal(served.scores, direct.scores)
+    assert np.array_equal(served.class_counts(), direct.class_counts())
+    assert np.array_equal(served.spike_counters, direct.spike_counters)
+
+
 def test_concurrent_burst_all_bit_identical(registry, client):
     """Mixed concurrent sub-grid requests: every response stays exact."""
     grids = [((1,), (1, 2)), ((1, 2), (2,)), ((2,), (1,)), ((1, 2), (1, 2))]
