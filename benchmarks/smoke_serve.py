@@ -15,16 +15,28 @@ service promises breaks:
   ``received == admitted + rejected`` and
   ``admitted == completed + failed + in_flight``.
 
+``--soak`` switches to the durability harness instead: a sustained mixed
+burst (with client-side ``Retry-After`` back-off) driven through overload
+against an adaptive-admission server with a request journal, followed by a
+mid-run server restart that must warm from the journal and answer the
+repeated burst without a single fresh engine pass — all while the
+``/metrics`` conservation invariants hold and the observed p95 stays
+within the controller target.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/smoke_serve.py --output SMOKE_serve.json
+    PYTHONPATH=src python benchmarks/smoke_serve.py --soak \
+        --worker-mode process --output SMOKE_serve_soak.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
+import tempfile
 import threading
 import time
 
@@ -36,6 +48,7 @@ from repro.experiments.runner import ExperimentContext
 from repro.serve import (
     EvalServer,
     ModelRegistry,
+    RequestJournal,
     ServeClient,
     ServeConfig,
     ServiceOverloadedError,
@@ -57,6 +70,30 @@ def parse_args() -> argparse.Namespace:
     )
     parser.add_argument(
         "--output", default=None, help="optional path for the JSON record"
+    )
+    parser.add_argument(
+        "--soak",
+        action="store_true",
+        help="run the soak harness (overload + restart + journal warm) "
+        "instead of the plain smoke",
+    )
+    parser.add_argument(
+        "--soak-waves",
+        type=int,
+        default=3,
+        help="sustained burst waves before the mid-run restart",
+    )
+    parser.add_argument(
+        "--worker-mode",
+        choices=("thread", "process"),
+        default="thread",
+        help="soak worker mode (process exercises the spawn pool)",
+    )
+    parser.add_argument(
+        "--target-p95",
+        type=float,
+        default=20.0,
+        help="soak controller p95 target in seconds",
     )
     return parser.parse_args()
 
@@ -144,12 +181,17 @@ def run_burst(server, registry, payloads, failures):
     if any(thread.is_alive() for thread in threads):
         failures.append("burst: a request thread is still alive (hang)")
         return seconds
+    verify_bit_identical(responses, registry, payloads, failures, "burst")
+    return seconds
 
+
+def verify_bit_identical(responses, registry, payloads, failures, where):
+    """Compare each served response against a direct Session.evaluate."""
     direct_session = Session(cache=ScoreCache())
     for index, payload in enumerate(payloads):
         served = responses.get(index)
         if isinstance(served, Exception):
-            failures.append(f"burst request {index} failed: {served!r}")
+            failures.append(f"{where} request {index} failed: {served!r}")
             continue
         request = EvalRequest(
             model=registry.model(payload["model"]),
@@ -164,24 +206,23 @@ def run_burst(server, registry, payloads, failures):
         direct = direct_session.evaluate(request, backend=payload.get("backend"))
         if served.backend != direct.backend:
             failures.append(
-                f"burst request {index}: backend {served.backend!r} != "
+                f"{where} request {index}: backend {served.backend!r} != "
                 f"{direct.backend!r}"
             )
         for name in ("scores", "accuracy", "labels"):
             if not np.array_equal(getattr(served, name), getattr(direct, name)):
                 failures.append(
-                    f"burst request {index}: served {name} diverged from "
+                    f"{where} request {index}: served {name} diverged from "
                     "direct Session.evaluate"
                 )
         if not np.array_equal(served.class_counts(), direct.class_counts()):
-            failures.append(f"burst request {index}: class counts diverged")
+            failures.append(f"{where} request {index}: class counts diverged")
         if (served.spike_counters is None) != (direct.spike_counters is None):
-            failures.append(f"burst request {index}: spike counter presence differs")
+            failures.append(f"{where} request {index}: spike counter presence differs")
         elif served.spike_counters is not None and not np.array_equal(
             served.spike_counters, direct.spike_counters
         ):
-            failures.append(f"burst request {index}: spike counters diverged")
-    return seconds
+            failures.append(f"{where} request {index}: spike counters diverged")
 
 
 def run_overload(registry, failures):
@@ -250,6 +291,178 @@ def run_overload(registry, failures):
             )
 
 
+def soak_payloads(samples: int):
+    """The smoke burst plus extra distinct-seed work, for sustained load."""
+    payloads = burst_payloads(samples)
+    for seed in (3, 4, 5, 6):
+        payloads.append(
+            {
+                "model": "tea",
+                "backend": "vectorized",
+                "copy_levels": [1, 2],
+                "spf_levels": [1, 2],
+                "repeats": 1,
+                "seed": seed,
+                "max_samples": samples,
+            }
+        )
+    return payloads
+
+
+def run_soak_wave(server, payloads, failures, wave: str):
+    """Fire every payload concurrently with Retry-After back-off.
+
+    Returns the number of back-off naps the wave took (a lower bound on
+    client-visible 429s — the server-side count is on ``/metrics``).
+    """
+    client = ServeClient(port=server.port, timeout=600.0)
+    naps = []
+    outcomes = {}
+
+    def fire(index, payload):
+        try:
+            outcomes[index] = client.evaluate_with_retry(
+                payload, retries=20, sleep=lambda s: (naps.append(s), time.sleep(s))
+            )
+        except Exception as error:
+            outcomes[index] = error
+
+    threads = [
+        threading.Thread(target=fire, args=(index, payload))
+        for index, payload in enumerate(payloads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=600)
+    if any(thread.is_alive() for thread in threads):
+        failures.append(f"{wave}: a request thread is still alive (hang)")
+    for index in range(len(payloads)):
+        if isinstance(outcomes.get(index), Exception):
+            failures.append(
+                f"{wave}: request {index} failed after retries: "
+                f"{outcomes[index]!r}"
+            )
+    return len(naps)
+
+
+def run_soak(registry, args, failures):
+    """Overload -> sustained waves -> mid-run restart -> journal-warm replay."""
+    payloads = soak_payloads(args.samples)
+    record = {
+        "waves": args.soak_waves,
+        "burst": len(payloads),
+        "worker_mode": args.worker_mode,
+        "target_p95": args.target_p95,
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-serve-soak-") as workdir:
+        journal_path = os.path.join(workdir, "journal.jsonl")
+        cache_dir = os.path.join(workdir, "score-cache")
+
+        def make_config():
+            return ServeConfig(
+                port=0,
+                workers=args.workers,
+                worker_mode=args.worker_mode,
+                queue_depth=4,  # small starting bound: wave 1 must overload
+                target_p95=args.target_p95,
+                journal_path=journal_path,
+                cache_dir=cache_dir,
+            )
+
+        # --- phase 1: sustained waves through overload -----------------
+        # Each wave fires every payload three times concurrently: enough
+        # arrivals to overflow the depth-4 queue even when process-mode
+        # dispatchers are claiming full batches off it.
+        wave_payloads = payloads * 3
+        record["wave_concurrency"] = len(wave_payloads)
+        start = time.perf_counter()
+        server = EvalServer(registry, make_config()).start()
+        try:
+            naps = 0
+            for wave in range(args.soak_waves):
+                naps += run_soak_wave(server, wave_payloads, failures, f"wave {wave}")
+            client = ServeClient(port=server.port, timeout=60.0)
+            metrics = client.metrics()
+            check_metrics_invariants(metrics, failures, "soak")
+            requests = metrics["requests"]
+            controller = metrics["controller"]
+            if requests["rejected"] == 0:
+                failures.append(
+                    "soak: the burst never overloaded the starting depth-4 "
+                    f"queue ({requests})"
+                )
+            if requests["in_flight"] != 0:
+                failures.append("soak: in_flight != 0 after the waves drained")
+            p95 = requests["latency_p95_seconds"]
+            if p95 is None or p95 > args.target_p95:
+                failures.append(
+                    f"soak: observed p95 {p95} outside the controller "
+                    f"target {args.target_p95}s"
+                )
+            if controller["ticks"] == 0:
+                failures.append("soak: the admission controller never ticked")
+            if not (
+                controller["min_depth"]
+                <= controller["effective_depth"]
+                <= controller["max_depth"]
+            ):
+                failures.append(
+                    f"soak: effective depth {controller['effective_depth']} "
+                    "escaped the configured bounds"
+                )
+            record["soak_requests"] = requests
+            record["controller"] = controller
+            record["client_backoff_naps"] = naps
+        finally:
+            server.close()
+        record["soak_seconds"] = time.perf_counter() - start
+
+        # --- phase 2: restart, warm from the journal, replay the burst -
+        journaled = len(RequestJournal(journal_path).replay())
+        server = EvalServer(registry, make_config()).start()
+        try:
+            client = ServeClient(port=server.port, timeout=60.0)
+            boot = client.metrics()
+            warmed = (boot["journal"] or {}).get("warmed_at_boot")
+            if warmed != journaled:
+                failures.append(
+                    f"restart: warmed {warmed} of {journaled} journaled "
+                    "fingerprints"
+                )
+            passes_before = boot["sessions"]["engine_passes"]
+            memo_hits_before = boot["memo"]["hits"]
+            replay_client = ServeClient(port=server.port, timeout=600.0)
+            responses = {}
+            replay_start = time.perf_counter()
+            for index, payload in enumerate(payloads):
+                try:
+                    responses[index] = replay_client.evaluate_with_retry(
+                        payload, retries=20
+                    )
+                except Exception as error:
+                    responses[index] = error
+            record["replay_seconds"] = time.perf_counter() - replay_start
+            verify_bit_identical(responses, registry, payloads, failures, "restart")
+            after = client.metrics()
+            check_metrics_invariants(after, failures, "restart")
+            fresh_passes = after["sessions"]["engine_passes"] - passes_before
+            if fresh_passes != 0:
+                failures.append(
+                    f"restart: repeated burst cost {fresh_passes} fresh "
+                    "engine passes (journal warm-up must cover it)"
+                )
+            if after["memo"]["hits"] <= memo_hits_before:
+                failures.append("restart: the result memo never hit")
+            record["journal"] = after["journal"]
+            record["memo"] = after["memo"]
+            record["warmed_at_boot"] = warmed
+            record["replay_engine_passes"] = fresh_passes
+        finally:
+            server.close()
+    return record
+
+
 def main() -> None:
     args = parse_args()
     context = ExperimentContext(
@@ -262,6 +475,31 @@ def main() -> None:
     )
     registry = ModelRegistry.from_context(context, methods=("tea",))
     failures = []
+
+    if args.soak:
+        soak = run_soak(registry, args, failures)
+        record = {
+            "benchmark": "serve-soak",
+            "config": {
+                "workers": args.workers,
+                "samples": args.samples,
+                "train_size": args.train_size,
+            },
+            **soak,
+            "ok": not failures,
+            "failures": failures,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        }
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, indent=2)
+                handle.write("\n")
+        print(json.dumps(record, indent=2))
+        if failures:
+            raise SystemExit("; ".join(failures))
+        return
+
     payloads = burst_payloads(args.samples)
 
     config = ServeConfig(

@@ -60,7 +60,13 @@ from repro.api.protocol import (
     ResultShapeError,
     UnsupportedRequestError,
 )
-from repro.api.session import AUTO, PendingEvaluation, Session, SessionStats
+from repro.api.session import (
+    AUTO,
+    PendingEvaluation,
+    ResultMemo,
+    Session,
+    SessionStats,
+)
 
 __all__ = [
     "AUTO",
@@ -73,6 +79,7 @@ __all__ = [
     "KNOWN_ENCODERS",
     "PendingEvaluation",
     "ReferenceBackend",
+    "ResultMemo",
     "ResultShapeError",
     "Session",
     "SessionStats",

@@ -27,10 +27,22 @@ identical maxima share a pass, and the sliced results are bit-identical to
 evaluating each request alone (the property tests assert it).  Requests
 with ``seed=None`` ask for fresh entropy and are therefore never coalesced
 (each must be an independent random sample) and never cached.
+
+:class:`ResultMemo` extends the same determinism argument one level up:
+it memoizes whole :class:`EvalResult` objects under the coalescing key.
+Where the score caches only cover backends that declare ``cacheable``
+(the vectorized engine), the memo covers *every* backend — a repeated
+deterministic chip or board request is a memo hit even though the
+cycle-accurate runners never touch a score cache.  The serving layer
+shares one memo across its worker sessions (and, with process workers,
+consults it in the dispatching parent), which is what lets a
+journal-warmed server answer a repeated burst without recomputation.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, cast
 
@@ -128,6 +140,86 @@ class SessionStats:
         return snapshot
 
 
+class ResultMemo:
+    """Thread-safe LRU memo of :class:`EvalResult` by coalescing key.
+
+    One entry per coalescing key, holding the *widest* union result seen
+    for that key.  A lookup hits when the memoized result's level grids
+    cover every level the request asks for — the slice served off it is
+    then bit-identical to a fresh evaluation, by the same nested-prefix
+    argument that makes coalescing exact (the key pins the grid maxima,
+    the seed, and every behavioural flag).
+
+    Requests with ``seed=None`` have no coalescing key and therefore can
+    never be memoized — fresh entropy stays fresh.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple, EvalResult]" = (
+            OrderedDict()
+        )  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+
+    @staticmethod
+    def _covers(result: EvalResult, request: EvalRequest) -> bool:
+        return set(request.copy_levels) <= set(result.copy_levels) and set(
+            request.spf_levels
+        ) <= set(result.spf_levels)
+
+    def lookup(self, key: Tuple, request: EvalRequest) -> Optional[EvalResult]:
+        """The memoized result covering ``request``'s levels, or ``None``.
+
+        Returns the stored union result (covering at least the requested
+        levels) — the caller slices the request's sub-grid out of it with
+        :func:`_slice_result`.
+        """
+        with self._lock:
+            stored = self._entries.get(key)
+            if stored is not None and self._covers(stored, request):
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return stored
+            self.misses += 1
+            return None
+
+    def store(self, key: Tuple, result: EvalResult) -> None:
+        """Memoize ``result`` under ``key`` (keeping a wider stored one)."""
+        with self._lock:
+            stored = self._entries.get(key)
+            keep_stored = (
+                stored is not None
+                and set(result.copy_levels) <= set(stored.copy_levels)
+                and set(result.spf_levels) <= set(stored.spf_levels)
+            )
+            if not keep_stored:
+                self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def snapshot(self) -> Dict[str, object]:
+        """The ``/metrics`` view of the memo."""
+        with self._lock:
+            hits, misses = self.hits, self.misses
+            entries = len(self._entries)
+        return {
+            "entries": entries,
+            "max_entries": self.max_entries,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / (hits + misses) if (hits + misses) else None,
+        }
+
+
 class Session:
     """Unified front end over the registered evaluation backends.
 
@@ -142,6 +234,12 @@ class Session:
         cache_max_bytes: size bound for ``cache_dir`` (mtime-LRU eviction).
         workers: fan independent passes over N processes (vectorized:
             per-repeat passes; chip: per-spf-level grid passes).
+        result_memo: result-level memo consulted (and filled) by
+            :meth:`flush` for deterministic requests on *every* backend;
+            share one :class:`ResultMemo` across sessions to share served
+            results (the serving layer does).  ``None`` disables
+            result memoization (the default — a bare session re-evaluates
+            except where the score caches apply).
     """
 
     def __init__(
@@ -151,6 +249,7 @@ class Session:
         cache_dir: Optional[str] = None,
         cache_max_bytes: Optional[int] = None,
         workers: Optional[int] = None,
+        result_memo: Optional[ResultMemo] = None,
     ):
         if backend != AUTO and backend not in backend_names():
             raise KeyError(
@@ -162,6 +261,7 @@ class Session:
         self.cache_dir = cache_dir
         self.cache_max_bytes = cache_max_bytes
         self.workers = workers
+        self.result_memo = result_memo
         self.stats = SessionStats(_session=self)
         self._backends: Dict[str, object] = {}
         self._queue: List[PendingEvaluation] = []
@@ -294,7 +394,7 @@ class Session:
             # cannot be constructed) resolves that handle alone — it must
             # not abort the already-detached queue.
             try:
-                key = self._coalesce_key(pending)
+                key = self._coalesce_key(pending.backend_name, pending.request)
             except Exception as error:
                 pending._error = error
                 continue
@@ -314,8 +414,8 @@ class Session:
                 pending._error = error
                 continue
             self._count_engine_passes(backend, passes_before)
-        for members in groups.values():
-            self._serve_group(members)
+        for key, members in groups.items():
+            self._serve_group(key, members)
 
     def _count_engine_passes(self, backend, passes_before) -> None:
         """Add a backend's actually-computed passes to the session stats.
@@ -329,14 +429,26 @@ class Session:
         else:
             self.stats.engine_passes += backend.passes - passes_before
 
-    def _serve_group(self, members: List[PendingEvaluation]) -> None:
-        """One engine pass over the union grid, sliced per member request."""
+    def _serve_group(self, key: Tuple, members: List[PendingEvaluation]) -> None:
+        """One engine pass over the union grid, sliced per member request.
+
+        With a :class:`ResultMemo` attached, a memoized union result that
+        covers every member's levels serves the whole group without an
+        engine pass (and a freshly computed union result is memoized for
+        the next flush — on this session or any session sharing the memo).
+        """
         copy_union = tuple(
             sorted({c for m in members for c in m.request.copy_levels})
         )
         spf_union = tuple(sorted({s for m in members for s in m.request.spf_levels}))
+        union_request = members[0].request.with_levels(copy_union, spf_union)
+        if self.result_memo is not None:
+            memoized = self.result_memo.lookup(key, union_request)
+            if memoized is not None:
+                for member in members:
+                    member._result = _slice_result(memoized, member.request)
+                return
         try:
-            union_request = members[0].request.with_levels(copy_union, spf_union)
             backend = self.backend(members[0].backend_name)
             passes_before = getattr(backend, "passes", None)
             union_result = backend.evaluate(union_request)
@@ -346,11 +458,61 @@ class Session:
             return
         self._count_engine_passes(backend, passes_before)
         self.stats.coalesced_requests += len(members) - 1
+        if self.result_memo is not None:
+            self.result_memo.store(key, union_result)
         for member in members:
             member._result = _slice_result(union_result, member.request)
 
     # ------------------------------------------------------------------
-    def _coalesce_key(self, pending: PendingEvaluation) -> Optional[Tuple]:
+    # result memoization (see ResultMemo)
+    # ------------------------------------------------------------------
+    def cached_result(
+        self, request: EvalRequest, backend: Optional[str] = None
+    ) -> Optional[EvalResult]:
+        """A memoized result for ``request``, without evaluating anything.
+
+        ``None`` when the session has no :class:`ResultMemo`, the request
+        is non-deterministic (``seed=None``), or the memo holds nothing
+        covering the request's levels.  The serving layer's process-worker
+        dispatcher uses this to answer repeated requests in the parent
+        without shipping them to a worker.
+        """
+        if self.result_memo is None:
+            return None
+        name = backend if backend is not None else self.select_backend(request)
+        key = self._coalesce_key(name, request)
+        if key is None:
+            return None
+        memoized = self.result_memo.lookup(key, request)
+        if memoized is None:
+            return None
+        return _slice_result(memoized, request)
+
+    def memoize_result(
+        self,
+        request: EvalRequest,
+        result: EvalResult,
+        backend: Optional[str] = None,
+    ) -> None:
+        """Feed an externally computed result into the session's memo.
+
+        No-op for sessions without a memo or for ``seed=None`` requests.
+        The process-worker dispatcher calls this with results computed in
+        worker processes, so the parent-side memo warms exactly as a
+        threaded worker's flush would warm it.
+        """
+        if self.result_memo is None:
+            return
+        name = backend if backend is not None else self.select_backend(request)
+        key = self._coalesce_key(name, request)
+        if key is None:
+            return
+        self.result_memo.store(key, result)
+
+    # ------------------------------------------------------------------
+    def _coalesce_key(
+        self, backend_name: str, request: EvalRequest
+    ) -> Optional[Tuple]:
         """Key under which queued requests may share one engine pass.
 
         ``None`` marks an uncoalescible request (fresh entropy).  The grid
@@ -359,7 +521,6 @@ class Session:
         reported levels below the maxima are free to differ (that is the
         coalescing win: many sub-grid reads off one tensor).
         """
-        request = pending.request
         if request.seed is None:
             return None
         # Every built-in backend now serves multi-spf grids (the chip runs
@@ -372,7 +533,7 @@ class Session:
         # out-of-tree backend still must only group identical spf tuples,
         # or the union request could become multi-spf and fail where each
         # member alone would not.
-        if self.capabilities(pending.backend_name).spf_grids:
+        if self.capabilities(backend_name).spf_grids:
             spf_key = request.max_spf
         else:
             spf_key = request.spf_levels
@@ -380,7 +541,7 @@ class Session:
         # (equivalent to fingerprinting the taken view, without building and
         # re-hashing a fresh view per request).
         return (
-            pending.backend_name,
+            backend_name,
             model_fingerprint(request.model),
             dataset_fingerprint(request.dataset),
             request.max_samples,

@@ -9,7 +9,11 @@ front of the :mod:`repro.api` serving facade.
   admission-controlled bounded queue, worker pool whose per-batch
   ``Session.submit``/``flush`` drain coalesces same-fingerprint requests
   onto shared engine passes, explicit 429 + ``Retry-After`` overload
-  shedding, ``/healthz`` + ``/metrics`` introspection.
+  shedding, ``/healthz`` + ``/metrics`` introspection.  Opt-in upgrades:
+  adaptive admission toward a p95 target
+  (:mod:`repro.serve.controller`), process workers around the GIL
+  (``worker_mode="process"``), and a durable request journal with
+  boot-time cache warming (:mod:`repro.serve.journal`).
 * :class:`ServeClient` — the stdlib client (:mod:`repro.serve.client`)
   returning bit-identical :class:`~repro.api.EvalResult` objects and typed
   errors.
@@ -54,7 +58,10 @@ from repro.serve.codec import (
     decode_result,
     encode_request,
     encode_result,
+    wire_payload,
 )
+from repro.serve.controller import ControllerConfig, LatencyController
+from repro.serve.journal import RequestJournal, request_fingerprint
 from repro.serve.server import (
     EvalServer,
     EvalService,
@@ -65,11 +72,14 @@ from repro.serve.server import (
 __all__ = [
     "AdmissionController",
     "CodecError",
+    "ControllerConfig",
     "EvalServer",
     "EvalService",
     "Job",
+    "LatencyController",
     "ModelRegistry",
     "QueueFullError",
+    "RequestJournal",
     "RequestRejectedError",
     "ServeClient",
     "ServeConfig",
@@ -84,4 +94,6 @@ __all__ = [
     "decode_result",
     "encode_request",
     "encode_result",
+    "request_fingerprint",
+    "wire_payload",
 ]

@@ -35,13 +35,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="default backend for requests that do not name one",
     )
     service.add_argument(
-        "--workers", type=int, default=2, help="worker threads draining the queue"
+        "--workers", type=int, default=2, help="workers draining the queue"
+    )
+    service.add_argument(
+        "--worker-mode",
+        choices=("thread", "process"),
+        default="thread",
+        help="thread workers share the GIL; process workers evaluate around it",
     )
     service.add_argument(
         "--queue-depth",
         type=int,
         default=64,
-        help="bounded queue depth; arrivals beyond it get 429",
+        help="starting queue depth; arrivals beyond the effective depth get 429",
+    )
+    service.add_argument(
+        "--target-p95",
+        type=float,
+        default=None,
+        help=(
+            "p95 latency target in seconds for adaptive admission "
+            "(default: static queue depth)"
+        ),
+    )
+    service.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append-only request journal; a restarted server replays it "
+            "to warm the caches"
+        ),
     )
     service.add_argument(
         "--batch-max",
@@ -112,11 +136,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         port=args.port,
         backend=args.backend,
         workers=args.workers,
+        worker_mode=args.worker_mode,
         queue_depth=args.queue_depth,
+        target_p95=args.target_p95,
         batch_max=args.batch_max,
         request_timeout=args.request_timeout,
         cache_dir=args.cache_dir,
         cache_max_bytes=args.cache_max_bytes,
+        journal_path=args.journal,
     )
     server = EvalServer(registry, config).start()
     print(

@@ -15,8 +15,23 @@ degrade every in-flight request.  The controller therefore owns
       admitted == completed + failed + in_flight
 
   where ``in_flight`` counts admitted jobs that are still queued or
-  executing, and
-* the latency window behind the published p50/p95.
+  executing,
+* the latency window behind the published p50/p95, and
+* the :class:`~repro.serve.controller.LatencyController` that adapts the
+  *effective* queue depth toward a configurable p95 target and turns the
+  measured drain rate into the 429 ``Retry-After`` hint (``max_depth``
+  remains the configured starting point; the controller moves the
+  admissible depth around it as the measured latency demands).
+
+Clock discipline: :class:`Job` carries **two** timestamps on purpose.
+``created`` is ``time.monotonic()`` and is the only clock latency math
+ever touches — the monotonic clock never jumps, so queue-residence and
+service latencies are exact even across a wall-clock step (NTP, DST).
+``created_wall`` is ``time.time()`` and exists *only* for externally
+meaningful records (the request journal's ``recorded_at``); it must never
+be differenced against ``created`` or against any monotonic reading — the
+two clocks share no epoch, and mixing them silently produces latencies
+that are off by the machine's uptime.  A unit test pins both properties.
 """
 
 from __future__ import annotations
@@ -25,9 +40,10 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.api.protocol import EvalRequest
+from repro.serve.controller import ControllerConfig, LatencyController
 
 
 class QueueFullError(RuntimeError):
@@ -49,11 +65,24 @@ class ServiceClosedError(RuntimeError):
 
 @dataclass
 class Job:
-    """One admitted evaluation request moving through the worker pool."""
+    """One admitted evaluation request moving through the worker pool.
+
+    Attributes:
+        created: admission time on the **monotonic** clock — the only
+            timestamp latency math may use (see the module docstring).
+        created_wall: admission time on the wall clock, for externally
+            meaningful records only (the request journal); never mixed
+            with ``created`` or any other monotonic reading.
+        wire: the normalized wire payload the request arrived as, when it
+            arrived over the wire — what the journal records and what the
+            process worker pool ships to a worker (names, not objects).
+    """
 
     request: EvalRequest
     backend: Optional[str] = None
     created: float = field(default_factory=time.monotonic)
+    created_wall: float = field(default_factory=time.time)
+    wire: Optional[Dict[str, object]] = field(default=None, repr=False)
     done: threading.Event = field(default_factory=threading.Event, repr=False)
     result: Optional[object] = field(default=None, repr=False)
     error: Optional[BaseException] = field(default=None, repr=False)
@@ -104,17 +133,38 @@ class AdmissionController:
     """Bounded admission queue plus the request accounting behind /metrics.
 
     Args:
-        max_depth: largest number of *queued* (admitted, not yet claimed)
-            jobs; an arrival beyond it is shed with :class:`QueueFullError`.
-        workers: worker-pool size, used only to scale the retry hint.
+        max_depth: *starting* bound on queued (admitted, not yet claimed)
+            jobs; an arrival beyond the current effective bound is shed
+            with :class:`QueueFullError`.  With a ``controller_config``
+            that sets ``target_p95`` the effective bound adapts around
+            this value each control tick; without one it stays fixed (the
+            pre-controller behaviour).
+        workers: worker-pool size, used only to scale the retry hint
+            before the controller has measured a drain rate.
+        controller_config: tunables of the adaptive
+            :class:`~repro.serve.controller.LatencyController`.
+        clock: monotonic clock for the controller's tick schedule —
+            injectable so tests drive control decisions deterministically.
     """
 
-    def __init__(self, max_depth: int = 64, workers: int = 1) -> None:
+    def __init__(
+        self,
+        max_depth: int = 64,
+        workers: int = 1,
+        controller_config: Optional[ControllerConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         if max_depth <= 0:
             raise ValueError(f"max_depth must be positive, got {max_depth}")
         self.max_depth = max_depth
         self.workers = max(1, workers)
         self.latencies = LatencyWindow()
+        self.controller = LatencyController(
+            initial_depth=max_depth,
+            config=controller_config,
+            workers=self.workers,
+            clock=clock,
+        )
         self._jobs: deque = deque()  # guarded-by: _lock
         self._lock = threading.Lock()
         self._nonempty = threading.Condition(self._lock)
@@ -132,22 +182,35 @@ class AdmissionController:
         """Admit a job into the bounded queue or shed it.
 
         Raises:
-            QueueFullError: the queue is at ``max_depth``.
+            QueueFullError: the queue is at the controller's current
+                effective depth.
             ServiceClosedError: the controller was closed.
         """
+        # Run a due control tick before deciding on this arrival.  The p95
+        # read (a sort of the latency window) happens outside the queue
+        # lock; the controller and the window carry their own locks, and
+        # the lock order is always admission -> controller, never back.
+        if self.controller.tick_due():
+            self.controller.maybe_tick(self.latencies.percentile(0.95))
+        effective_depth = self.controller.effective_depth
         with self._nonempty:
             if self._closed:
                 raise ServiceClosedError("service is shutting down")
             self.received += 1
-            if len(self._jobs) >= self.max_depth:
+            depth = len(self._jobs)
+            self.controller.observe_queue_depth(depth)
+            if depth >= effective_depth:
                 self.rejected += 1
+                self.controller.observe_rejection()
                 # Computed with the already-held lock's depth: retry_after()
                 # re-acquires the (non-reentrant) lock and must not be
                 # called from here.
                 raise QueueFullError(
-                    f"admission queue is full ({self.max_depth} queued); "
-                    "retry later",
-                    retry_after=self._retry_hint(len(self._jobs)),
+                    f"admission queue is full ({depth} queued, effective "
+                    f"depth {effective_depth}); retry later",
+                    retry_after=self.controller.retry_after(
+                        depth, self.latencies.mean()
+                    ),
                 )
             self.admitted += 1
             self._jobs.append(job)
@@ -155,21 +218,15 @@ class AdmissionController:
             return job
 
     def retry_after(self) -> float:
-        """Suggested back-off: the time the current backlog needs to drain."""
+        """Suggested back-off: the time the current backlog needs to drain.
+
+        Delegates to the controller: ``queue depth / measured drain rate``
+        once a drain rate exists, the ``depth x mean latency / workers``
+        heuristic before that (both clamped to [1, 60] seconds).
+        """
         with self._lock:
             depth = len(self._jobs)
-        return self._retry_hint(depth)
-
-    def _retry_hint(self, depth: int) -> float:
-        """``depth × recent mean latency / workers``, clamped to [1, 60].
-
-        A coarse hint, not a promise (the data-center serving surveys in
-        PAPERS.md motivate hinting from queue state rather than a constant).
-        Takes ``depth`` as an argument so :meth:`submit` can call it while
-        holding the queue lock (:class:`LatencyWindow` has its own lock).
-        """
-        mean = self.latencies.mean() or 1.0
-        return float(min(60.0, max(1.0, depth * mean / self.workers)))
+        return self.controller.retry_after(depth, self.latencies.mean())
 
     # ------------------------------------------------------------------
     # worker side
@@ -199,6 +256,9 @@ class AdmissionController:
             else:
                 self.failed += 1
         self.latencies.record(job.latency)
+        self.controller.observe_completion()
+        if self.controller.tick_due():
+            self.controller.maybe_tick(self.latencies.percentile(0.95))
 
     # ------------------------------------------------------------------
     def close(self) -> List[Job]:
@@ -246,6 +306,7 @@ class AdmissionController:
                 "queue_depth": len(self._jobs),
                 "max_depth": self.max_depth,
             }
+        counters["effective_depth"] = self.controller.effective_depth
         counters["latency_p50_seconds"] = self.latencies.percentile(0.50)
         counters["latency_p95_seconds"] = self.latencies.percentile(0.95)
         counters["latency_mean_seconds"] = self.latencies.mean()

@@ -21,7 +21,8 @@ from __future__ import annotations
 import http.client
 import json
 import socket
-from typing import Dict, Optional, Sequence, Tuple
+import time
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.api import EvalResult, UnsupportedRequestError
 from repro.serve.codec import CodecError, decode_result
@@ -35,7 +36,9 @@ class ServeError(RuntimeError):
         error_type: the payload's ``type`` discriminator.
     """
 
-    def __init__(self, message: str, status: int = 0, error_type: str = "unknown") -> None:
+    def __init__(
+        self, message: str, status: int = 0, error_type: str = "unknown"
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.error_type = error_type
@@ -121,6 +124,34 @@ class ServeClient:
             return decode_result(body["result"])
         except CodecError as error:
             raise ServeError(f"undecodable result payload: {error}") from error
+
+    def evaluate_with_retry(
+        self,
+        payload: Dict[str, object],
+        retries: int = 5,
+        max_backoff: float = 60.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> EvalResult:
+        """``evaluate_payload`` that honours 429 ``Retry-After`` back-off.
+
+        A shed request sleeps the server's own drain estimate (clamped to
+        ``max_backoff``) before retrying, up to ``retries`` retries; the
+        final :class:`ServiceOverloadedError` propagates when the service
+        stays saturated.  Other failures propagate immediately — only
+        overload is retryable by construction.  ``sleep`` is injectable so
+        tests drive the back-off without real waiting.
+        """
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        attempt = 0
+        while True:
+            try:
+                return self.evaluate_payload(payload)
+            except ServiceOverloadedError as error:
+                attempt += 1
+                if attempt > retries:
+                    raise
+                sleep(min(max_backoff, max(0.0, error.retry_after)))
 
     def models(self) -> Dict[str, object]:
         """``GET /v1/models``."""

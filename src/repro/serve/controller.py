@@ -1,0 +1,260 @@
+"""Adaptive admission control: a latency-target controller for the queue.
+
+The static queue bound of PR 4 shed load at a depth chosen by hand, which
+is wrong in both directions: too deep and every admitted request waits out
+a long backlog (p95 blows past any latency target), too shallow and a fast
+worker pool sheds traffic it could have served.  This module replaces the
+hand-chosen constant with a measurement-driven controller in the spirit of
+the call-admission-control and control-theoretic 802.11 contention papers
+in PAPERS.md: the *measured* service behaviour — drain rate and the p95 of
+the existing latency window — drives the admissible queue depth.
+
+Control law (one decision per *tick*, ticks spaced ``tick_interval``
+seconds on the injected monotonic clock):
+
+* **measure** — completions since the last tick give the drain rate; the
+  admission layer hands in the current latency-window p95.
+* **decrease (multiplicative)** — p95 above ``target_p95`` means the
+  backlog admitted so far is too deep for the latency target: the
+  effective depth is scaled by ``decrease_factor`` (never below
+  ``min_depth``).  Shedding earlier is the only lever that shortens queue
+  residence without touching the workers.
+* **increase (additive, pressure-gated)** — p95 at or below
+  ``band * target_p95`` *and* observed admission pressure since the last
+  tick (a shed arrival, or the queue touching the current bound) means the
+  bound is costing throughput the latency budget could absorb: the depth
+  grows by ``increase_step`` (never above ``max_depth``).  Without
+  pressure the depth **holds** — a steady in-band load must not make the
+  controller wander (the no-oscillation property the unit tests pin).
+* **hold** — anything else (including "no latency data yet").
+
+The controller also owns the 429 ``Retry-After`` hint: with a measured
+drain rate the backlog of ``d`` queued jobs clears in ``d / drain_rate``
+seconds, which is the hint; before any drain measurement it falls back to
+the PR-4 heuristic (``depth x mean latency / workers``).  Both are clamped
+to ``[1, 60]`` seconds.
+
+Everything here runs on an injectable monotonic ``clock`` so the unit
+tests drive ticks deterministically with a fake clock; nothing in this
+module ever reads the wall clock (see ``Job`` in
+:mod:`repro.serve.admission` for the monotonic/wall-clock discipline).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Tunables of the adaptive admission controller.
+
+    Attributes:
+        target_p95: latency target in seconds the controller steers the
+            queue toward; ``None`` freezes the effective depth at its
+            initial value (the PR-4 static behaviour) while still
+            measuring drain rate for the ``Retry-After`` hint and
+            ``/metrics``.
+        tick_interval: seconds between control decisions (measured on the
+            injected monotonic clock).
+        min_depth / max_depth: bounds the effective depth may adapt
+            within.
+        increase_step: additive depth increase per under-target tick with
+            admission pressure.
+        decrease_factor: multiplicative depth decrease per over-target
+            tick.
+        band: increase only when ``p95 <= band * target_p95`` — the
+            deadband between ``band * target`` and ``target`` prevents
+            increase/decrease oscillation around the target.
+    """
+
+    target_p95: Optional[float] = None
+    tick_interval: float = 0.5
+    min_depth: int = 2
+    max_depth: int = 1024
+    increase_step: int = 8
+    decrease_factor: float = 0.5
+    band: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.target_p95 is not None and self.target_p95 <= 0:
+            raise ValueError(f"target_p95 must be positive, got {self.target_p95}")
+        if self.tick_interval <= 0:
+            raise ValueError(
+                f"tick_interval must be positive, got {self.tick_interval}"
+            )
+        if self.min_depth <= 0:
+            raise ValueError(f"min_depth must be positive, got {self.min_depth}")
+        if self.max_depth < self.min_depth:
+            raise ValueError(
+                f"max_depth {self.max_depth} < min_depth {self.min_depth}"
+            )
+        if self.increase_step <= 0:
+            raise ValueError(
+                f"increase_step must be positive, got {self.increase_step}"
+            )
+        if not 0.0 < self.decrease_factor < 1.0:
+            raise ValueError(
+                f"decrease_factor must be in (0, 1), got {self.decrease_factor}"
+            )
+        if not 0.0 < self.band <= 1.0:
+            raise ValueError(f"band must be in (0, 1], got {self.band}")
+
+
+class LatencyController:
+    """Adapts the effective queue depth toward a p95 latency target.
+
+    The admission controller calls :meth:`observe_completion` /
+    :meth:`observe_rejection` / :meth:`observe_queue_depth` as traffic
+    flows and :meth:`maybe_tick` on arrivals; one control decision fires
+    per ``tick_interval`` of the injected clock.  All state is guarded by
+    an internal lock, so the admission layer may call in from any thread
+    (it holds its own queue lock while doing so; the lock order is always
+    admission -> controller and nothing here calls back out).
+    """
+
+    def __init__(
+        self,
+        initial_depth: int,
+        config: Optional[ControllerConfig] = None,
+        workers: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if initial_depth <= 0:
+            raise ValueError(f"initial_depth must be positive, got {initial_depth}")
+        self.config = config or ControllerConfig()
+        self.initial_depth = initial_depth
+        self.workers = max(1, workers)
+        self._clock = clock
+        self._lock = threading.Lock()
+        bounded = max(self.config.min_depth, min(self.config.max_depth, initial_depth))
+        if self.config.target_p95 is None:
+            bounded = initial_depth
+        self._effective_depth = bounded  # guarded-by: _lock
+        self._last_tick = clock()  # guarded-by: _lock
+        self._completions_since_tick = 0  # guarded-by: _lock
+        self._rejections_since_tick = 0  # guarded-by: _lock
+        self._queue_touched_bound = False  # guarded-by: _lock
+        self._drain_rate: Optional[float] = None  # guarded-by: _lock
+        self._observed_p95: Optional[float] = None  # guarded-by: _lock
+        self._ticks = 0  # guarded-by: _lock
+        self._increases = 0  # guarded-by: _lock
+        self._decreases = 0  # guarded-by: _lock
+        self._holds = 0  # guarded-by: _lock
+        self._last_decision = "none"  # guarded-by: _lock
+
+    # ------------------------------------------------------------------
+    # observations (called by the admission layer as traffic flows)
+    # ------------------------------------------------------------------
+    def observe_completion(self) -> None:
+        """Account one resolved job (its latency feeds the shared window)."""
+        with self._lock:
+            self._completions_since_tick += 1
+
+    def observe_rejection(self) -> None:
+        """Account one shed arrival — admission pressure for the next tick."""
+        with self._lock:
+            self._rejections_since_tick += 1
+
+    def observe_queue_depth(self, depth: int) -> None:
+        """Account the queue depth seen at an arrival (pressure signal)."""
+        with self._lock:
+            if depth >= self._effective_depth:
+                self._queue_touched_bound = True
+
+    # ------------------------------------------------------------------
+    # the control tick
+    # ------------------------------------------------------------------
+    def tick_due(self) -> bool:
+        """Whether a control decision is due on the injected clock."""
+        with self._lock:
+            return self._clock() - self._last_tick >= self.config.tick_interval
+
+    def maybe_tick(self, p95: Optional[float]) -> None:
+        """Run one control decision if ``tick_interval`` has elapsed.
+
+        Args:
+            p95: current latency-window p95 in seconds (``None`` = no data
+                yet); the caller reads it from its
+                :class:`~repro.serve.admission.LatencyWindow` *outside*
+                any admission lock it is free to not hold — the window has
+                its own lock.
+        """
+        with self._lock:
+            now = self._clock()
+            elapsed = now - self._last_tick
+            if elapsed < self.config.tick_interval:
+                return
+            self._ticks += 1
+            self._drain_rate = self._completions_since_tick / elapsed
+            self._observed_p95 = p95
+            pressure = self._rejections_since_tick > 0 or self._queue_touched_bound
+            self._completions_since_tick = 0
+            self._rejections_since_tick = 0
+            self._queue_touched_bound = False
+            self._last_tick = now
+            target = self.config.target_p95
+            if target is None or p95 is None:
+                self._holds += 1
+                self._last_decision = "hold"
+                return
+            if p95 > target:
+                shrunk = int(self._effective_depth * self.config.decrease_factor)
+                self._effective_depth = max(self.config.min_depth, shrunk)
+                self._decreases += 1
+                self._last_decision = "decrease"
+            elif p95 <= self.config.band * target and pressure:
+                grown = self._effective_depth + self.config.increase_step
+                self._effective_depth = min(self.config.max_depth, grown)
+                self._increases += 1
+                self._last_decision = "increase"
+            else:
+                self._holds += 1
+                self._last_decision = "hold"
+
+    # ------------------------------------------------------------------
+    # what the admission layer reads
+    # ------------------------------------------------------------------
+    @property
+    def effective_depth(self) -> int:
+        """Queue depth arrivals are currently admitted up to."""
+        with self._lock:
+            return self._effective_depth
+
+    def retry_after(self, queue_depth: int, mean_latency: Optional[float]) -> float:
+        """Suggested client back-off for one shed arrival, in seconds.
+
+        With a measured drain rate the hint is the time the current
+        backlog needs to clear (``queue_depth / drain_rate``); before any
+        drain measurement it falls back to the static heuristic
+        (``queue_depth x mean latency / workers``).  Clamped to [1, 60].
+        """
+        with self._lock:
+            drain_rate = self._drain_rate
+        if drain_rate is not None and drain_rate > 0:
+            hint = queue_depth / drain_rate
+        else:
+            hint = queue_depth * (mean_latency or 1.0) / self.workers
+        return float(min(60.0, max(1.0, hint)))
+
+    def snapshot(self) -> Dict[str, object]:
+        """The ``/metrics`` view of the controller state."""
+        with self._lock:
+            return {
+                "target_p95_seconds": self.config.target_p95,
+                "effective_depth": self._effective_depth,
+                "initial_depth": self.initial_depth,
+                "min_depth": self.config.min_depth,
+                "max_depth": self.config.max_depth,
+                "tick_interval_seconds": self.config.tick_interval,
+                "drain_rate_per_second": self._drain_rate,
+                "observed_p95_seconds": self._observed_p95,
+                "ticks": self._ticks,
+                "increases": self._increases,
+                "decreases": self._decreases,
+                "holds": self._holds,
+                "last_decision": self._last_decision,
+            }

@@ -6,8 +6,8 @@ One :class:`ServeHandler` instance serves one connection of the
 * ``POST /v1/evaluate`` — admit one wire request, block until the worker
   pool resolves it, answer ``200 {"result": ...}``.  Failures answer the
   typed error payloads of :func:`repro.serve.codec.error_payload`; overload
-  answers ``429`` with a ``Retry-After`` header (the admission controller's
-  drain estimate) instead of queuing without bound.
+  answers ``429`` with a ``Retry-After`` header (the adaptive admission
+  controller's measured-drain estimate) instead of queuing without bound.
 * ``GET /v1/models`` — the hosted models/datasets/backends.
 * ``GET /healthz`` — liveness plus queue occupancy.
 * ``GET /metrics`` — request counters (with the conservation invariants),
@@ -41,7 +41,7 @@ MAX_BODY_BYTES = 1 << 20
 class ServeHandler(BaseHTTPRequestHandler):
     """Routes one HTTP connection onto the owning server's EvalService."""
 
-    server_version = "repro-serve/1.1"
+    server_version = "repro-serve/1.2"
 
     @property
     def service(self) -> "EvalService":

@@ -1,0 +1,148 @@
+"""Append-only on-disk journal of admitted request fingerprints.
+
+The serve tier's durability spine: every *admitted* wire request whose
+seed is an integer (i.e. every request that is deterministic and therefore
+cache-servable) is appended to a journal file as one JSON line::
+
+    {"fingerprint": "<sha256 of the canonical wire payload>",
+     "recorded_at": <wall-clock seconds>,
+     "request": {<normalized wire payload>}}
+
+A restarted server replays the journal at boot: each unique fingerprint is
+re-evaluated through a warming session, which loads persisted score-cache
+entries into memory and recomputes anything the killed server admitted but
+never finished — so a repeated burst after the restart is answered from
+cache instead of recomputed (the kill-and-restart soak asserts it).
+
+Crash consistency is line-granular: every record is written and flushed as
+one line, so the journal a killed process leaves behind is readable up to
+(at worst) one torn final line, which :meth:`RequestJournal.replay`
+silently skips — a torn record means the request was mid-admission, and
+re-serving it after restart is exactly a fresh request.
+
+Clock discipline: ``recorded_at`` is **wall-clock** (``time.time``) —
+journal records are externally meaningful and must survive process
+restarts, which monotonic readings do not.  It is never differenced
+against any monotonic timestamp (see :mod:`repro.serve.admission`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+
+def request_fingerprint(payload: Dict[str, object]) -> str:
+    """SHA-256 of the canonical (sorted-key) JSON form of a wire payload.
+
+    Two payloads that normalize to the same wire request — regardless of
+    key order or which defaulted fields were spelled out by the client —
+    produce the same fingerprint, so journal replay deduplicates repeated
+    bursts down to unique evaluations.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class RequestJournal:
+    """One append-only journal file of admitted request fingerprints.
+
+    Safe to share across the HTTP threads of one service instance (appends
+    are serialized by a lock and flushed per record); *not* meant to be
+    shared by several live server processes — each serves its own journal,
+    as each owns its admission queue.
+    """
+
+    def __init__(
+        self, path: str, wall_clock: Callable[[], float] = time.time
+    ) -> None:
+        self.path = str(path)
+        self._wall_clock = wall_clock
+        self._lock = threading.Lock()
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self.recorded = 0  # guarded-by: _lock
+
+    # ------------------------------------------------------------------
+    # producer side (the admission path)
+    # ------------------------------------------------------------------
+    def record(self, payload: Dict[str, object]) -> str:
+        """Append one admitted wire payload; returns its fingerprint.
+
+        The record is flushed to the OS before returning, so a server
+        killed right after admitting a request still leaves its
+        fingerprint behind for the restart to warm from.
+        """
+        fingerprint = request_fingerprint(payload)
+        line = json.dumps(
+            {
+                "fingerprint": fingerprint,
+                "recorded_at": self._wall_clock(),
+                "request": payload,
+            },
+            sort_keys=True,
+        )
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+            self.recorded += 1
+        return fingerprint
+
+    # ------------------------------------------------------------------
+    # consumer side (boot-time replay)
+    # ------------------------------------------------------------------
+    def replay(self) -> List[Dict[str, object]]:
+        """Unique journaled wire payloads, oldest first.
+
+        Deduplicates by fingerprint (a repeated burst journals many lines
+        but warms one evaluation) and skips unreadable lines — at worst
+        the torn final line of a killed writer, but any corrupt record
+        degrades to "not warmed", never to a boot failure.
+        """
+        entries: Dict[str, Dict[str, object]] = {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if not isinstance(record, dict):
+                        continue
+                    fingerprint = record.get("fingerprint")
+                    request = record.get("request")
+                    if not isinstance(fingerprint, str) or not isinstance(
+                        request, dict
+                    ):
+                        continue
+                    entries.setdefault(fingerprint, request)
+        except FileNotFoundError:
+            return []
+        return list(entries.values())
+
+    def __len__(self) -> int:
+        """Number of unique fingerprints currently replayable."""
+        return len(self.replay())
+
+    def snapshot(self) -> Dict[str, object]:
+        """The ``/metrics`` view of this journal."""
+        with self._lock:
+            recorded = self.recorded
+        try:
+            size_bytes: Optional[int] = os.stat(self.path).st_size
+        except OSError:
+            size_bytes = None
+        return {
+            "path": self.path,
+            "recorded": recorded,
+            "size_bytes": size_bytes,
+        }

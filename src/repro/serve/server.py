@@ -19,16 +19,38 @@ Three layers, separable for testing:
   (:class:`~http.server.ThreadingHTTPServer` + the handler in
   :mod:`repro.serve.handlers`) exposing ``POST /v1/evaluate``,
   ``GET /v1/models``, ``GET /healthz``, and ``GET /metrics``.
+
+Two durability/throughput upgrades sit behind :class:`ServeConfig` flags:
+
+* ``worker_mode="process"`` moves evaluation out of the GIL: the worker
+  pool becomes ``workers`` *dispatcher threads* feeding a spawn-context
+  :class:`~concurrent.futures.ProcessPoolExecutor` whose children each own
+  a :class:`~repro.api.Session` built from a pickled copy of the registry.
+  Batches ship as normalized wire payloads (names, not objects), results
+  come back as :class:`~repro.api.EvalResult` objects (numpy pickling is
+  exact, so bit-identity survives the process hop).  The parent keeps a
+  shared :class:`~repro.api.ResultMemo` and answers repeated deterministic
+  requests directly from it, without touching a worker.
+* ``journal_path`` enables the append-only request journal
+  (:mod:`repro.serve.journal`): every admitted deterministic request is
+  fingerprinted to disk, and a restarted service replays the journal at
+  boot through a warm session — filling the result memo (every backend)
+  and the score caches (vectorized) so a repeated burst after a restart is
+  served from cache, not recomputed.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import pickle
 import threading
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from http.server import ThreadingHTTPServer
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.api import Session, backend_names
+from repro.api import ResultMemo, Session, backend_names
 from repro.api.protocol import EvalRequest
 from repro.datasets.base import Dataset
 from repro.eval.runner import ScoreCache
@@ -42,8 +64,14 @@ from repro.serve.codec import (
     UnknownModelError,
     decode_request,
     to_eval_request,
+    wire_payload,
 )
+from repro.serve.controller import ControllerConfig
 from repro.serve.handlers import ServeHandler
+from repro.serve.journal import RequestJournal
+
+#: Worker-pool implementations a service may run.
+WORKER_MODES = ("thread", "process")
 
 
 @dataclass
@@ -55,35 +83,75 @@ class ServeConfig:
             port (the bound port is on :attr:`EvalServer.port`).
         backend: default backend for requests that do not name one
             (``"auto"`` selects by request capability, as in ``Session``).
-        workers: worker threads draining the admission queue.
-        queue_depth: bound on *queued* jobs; arrivals beyond it get 429.
+        workers: worker threads (``worker_mode="thread"``) or worker
+            processes (``worker_mode="process"``) draining the admission
+            queue.
+        worker_mode: ``"thread"`` drains batches on in-process sessions;
+            ``"process"`` dispatches batches to a spawn-context process
+            pool around the GIL (see the module docstring).
+        queue_depth: *starting* bound on queued jobs; arrivals beyond the
+            effective bound get 429.  With ``target_p95`` set the bound
+            adapts each control tick.
+        target_p95: p95 latency target in seconds for the adaptive
+            admission controller; ``None`` keeps the static bound.
+        controller_config: full controller tunables; overrides
+            ``target_p95`` when given.
         batch_max: most jobs one worker claims per drain — the coalescing
             window.
         request_timeout: seconds an HTTP handler waits for its job before
             answering 504 (the job itself is not cancelled).
         cache_dir / cache_max_bytes: persistent score cache, as in
             :class:`repro.api.Session`.
+        journal_path: append-only request-journal file; ``None`` disables
+            journaling (and boot-time warm replay).
+        memo_entries: capacity of the shared result memo.
     """
 
     host: str = "127.0.0.1"
     port: int = 8000
     backend: str = "auto"
     workers: int = 2
+    worker_mode: str = "thread"
     queue_depth: int = 64
+    target_p95: Optional[float] = None
+    controller_config: Optional[ControllerConfig] = None
     batch_max: int = 8
     request_timeout: float = 300.0
     cache_dir: Optional[str] = None
     cache_max_bytes: Optional[int] = None
+    journal_path: Optional[str] = None
+    memo_entries: int = 256
 
     def __post_init__(self) -> None:
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.worker_mode not in WORKER_MODES:
+            raise ValueError(
+                f"worker_mode must be one of {WORKER_MODES}, "
+                f"got {self.worker_mode!r}"
+            )
         if self.batch_max <= 0:
             raise ValueError(f"batch_max must be positive, got {self.batch_max}")
         if self.request_timeout <= 0:
             raise ValueError(
                 f"request_timeout must be positive, got {self.request_timeout}"
             )
+        if self.target_p95 is not None and self.target_p95 <= 0:
+            raise ValueError(
+                f"target_p95 must be positive, got {self.target_p95}"
+            )
+        if self.memo_entries <= 0:
+            raise ValueError(
+                f"memo_entries must be positive, got {self.memo_entries}"
+            )
+
+    def resolved_controller_config(self) -> Optional[ControllerConfig]:
+        """The controller tunables this config asks for (``None`` = static)."""
+        if self.controller_config is not None:
+            return self.controller_config
+        if self.target_p95 is not None:
+            return ControllerConfig(target_p95=self.target_p95)
+        return None
 
 
 class ModelRegistry:
@@ -172,21 +240,125 @@ class ModelRegistry:
         return registry
 
 
+# ----------------------------------------------------------------------
+# process-worker plumbing (module level: spawn children must import it)
+# ----------------------------------------------------------------------
+#: per-child session + registry, built once by the pool initializer.
+_WORKER_SESSION: Optional[Session] = None
+_WORKER_REGISTRY: Optional[ModelRegistry] = None
+
+
+def _process_worker_init(
+    registry: ModelRegistry,
+    backend: str,
+    cache_dir: Optional[str],
+    cache_max_bytes: Optional[int],
+) -> None:
+    """Build one worker child's session from a pickled registry copy.
+
+    Each child owns its session (and in-memory caches); the on-disk score
+    cache under ``cache_dir`` is the cross-process shared tier — its file
+    writes are atomic, so children and restarts share it safely.
+    """
+    global _WORKER_SESSION, _WORKER_REGISTRY
+    _WORKER_REGISTRY = registry
+    _WORKER_SESSION = Session(
+        backend=backend,
+        cache_dir=cache_dir,
+        cache_max_bytes=cache_max_bytes,
+        result_memo=ResultMemo(),
+    )
+
+
+def _picklable_error(error: BaseException) -> BaseException:
+    """``error`` itself when it pickles, else a ``RuntimeError`` stand-in.
+
+    Typed protocol errors (``UnsupportedRequestError``, ``CodecError``,
+    ...) pickle fine and keep their HTTP status mapping across the process
+    hop; anything carrying unpicklable baggage degrades to a string-only
+    ``RuntimeError`` (a 500) instead of poisoning the whole batch.
+    """
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:
+        return RuntimeError(f"{type(error).__name__}: {error}")
+
+
+def _process_worker_run(
+    items: List[Tuple[object, ...]],
+) -> Tuple[List[Tuple[str, object]], int, Dict[str, object]]:
+    """Serve one claimed batch inside a worker child.
+
+    ``items`` entries are ``("wire", payload)`` — a normalized wire dict
+    resolved against the child's registry — or ``("request", request,
+    backend)`` for in-process jobs that never had a wire form.  Returns
+    per-item ``("ok", result)`` / ``("error", exception)`` outcomes in
+    order, plus the child's pid and cumulative session stats so the parent
+    can aggregate ``/metrics`` without another round-trip.
+    """
+    session = _WORKER_SESSION
+    registry = _WORKER_REGISTRY
+    assert session is not None and registry is not None
+    handles: List[object] = []
+    for item in items:
+        try:
+            if item[0] == "wire":
+                wire = decode_request(item[1])
+                request = to_eval_request(wire, registry)
+                handles.append(session.submit(request, backend=wire.backend))
+            else:
+                handles.append(session.submit(item[1], backend=item[2]))
+        except Exception as error:
+            handles.append(_picklable_error(error))
+    try:
+        session.flush()
+    except Exception:
+        pass
+    outcomes: List[Tuple[str, object]] = []
+    for handle in handles:
+        if isinstance(handle, BaseException):
+            outcomes.append(("error", handle))
+            continue
+        try:
+            outcomes.append(("ok", handle.result()))
+        except Exception as error:
+            outcomes.append(("error", _picklable_error(error)))
+    return outcomes, os.getpid(), session.stats()
+
+
 class EvalService:
     """Transport-free service core: admission queue + coalescing workers."""
 
-    def __init__(self, registry: ModelRegistry, config: Optional[ServeConfig] = None) -> None:
+    def __init__(
+        self, registry: ModelRegistry, config: Optional[ServeConfig] = None
+    ) -> None:
         self.registry = registry
         self.config = config or ServeConfig()
         self.admission = AdmissionController(
             max_depth=self.config.queue_depth,
             workers=self.config.workers,
+            controller_config=self.config.resolved_controller_config(),
         )
         #: one score cache shared by every worker session, so cache hits do
         #: not depend on which worker a request lands on.
         self._score_cache = ScoreCache()
+        #: one result memo shared by the local sessions (thread workers and
+        #: the warm/dispatch session) — the all-backend repeated-request tier.
+        self.result_memo = ResultMemo(max_entries=self.config.memo_entries)
+        self.journal = (
+            RequestJournal(self.config.journal_path)
+            if self.config.journal_path is not None
+            else None
+        )
         self._sessions: List[Session] = []
         self._threads: List[threading.Thread] = []
+        self._executor: Optional[ProcessPoolExecutor] = None
+        #: warm-replay + process-mode dispatch session (set by start()).
+        self._local_session: Optional[Session] = None
+        self._journal_warmed = 0
+        self._worker_stats: Dict[int, Dict[str, object]] = {}  # guarded-by: _stats_lock
+        self._stats_lock = threading.Lock()
         self._http_counts: Dict[str, int] = {}  # guarded-by: _http_lock
         self._http_lock = threading.Lock()
         self._started = False
@@ -195,19 +367,41 @@ class EvalService:
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "EvalService":
-        """Start the worker pool (idempotent)."""
+        """Warm from the journal, then start the worker pool (idempotent)."""
         if self._started:
             return self
         self._started = True
-        for index in range(self.config.workers):
-            session = self._make_session()
-            self._sessions.append(session)
-            thread = threading.Thread(
-                target=self._worker_loop,
-                args=(session,),
-                name=f"repro-serve-worker-{index}",
-                daemon=True,
+        self._local_session = self._make_session()
+        self._sessions.append(self._local_session)
+        self._journal_warmed = self._warm_from_journal()
+        if self.config.worker_mode == "process" and self.config.workers > 0:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.config.workers,
+                mp_context=multiprocessing.get_context("spawn"),
+                initializer=_process_worker_init,
+                initargs=(
+                    self.registry,
+                    self.config.backend,
+                    self.config.cache_dir,
+                    self.config.cache_max_bytes,
+                ),
             )
+        for index in range(self.config.workers):
+            if self.config.worker_mode == "process":
+                thread = threading.Thread(
+                    target=self._dispatch_loop,
+                    name=f"repro-serve-dispatch-{index}",
+                    daemon=True,
+                )
+            else:
+                session = self._make_session()
+                self._sessions.append(session)
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    args=(session,),
+                    name=f"repro-serve-worker-{index}",
+                    daemon=True,
+                )
             self._threads.append(thread)
             thread.start()
         return self
@@ -218,7 +412,42 @@ class EvalService:
             cache=self._score_cache,
             cache_dir=self.config.cache_dir,
             cache_max_bytes=self.config.cache_max_bytes,
+            result_memo=self.result_memo,
         )
+
+    def _warm_from_journal(self) -> int:
+        """Replay journaled requests through the local session at boot.
+
+        Fills the shared result memo (every backend) and the score caches
+        (vectorized) so a restarted server answers a repeated burst from
+        cache.  Best-effort by design: a record naming a model this boot
+        does not host, or failing evaluation, is skipped — warming must
+        never keep a server from starting.
+        """
+        if self.journal is None:
+            return 0
+        session = self._local_session
+        assert session is not None
+        handles = []
+        for payload in self.journal.replay():
+            try:
+                wire = decode_request(payload)
+                request = to_eval_request(wire, self.registry)
+                handles.append(session.submit(request, backend=wire.backend))
+            except Exception:
+                continue
+        try:
+            session.flush()
+        except Exception:
+            pass
+        warmed = 0
+        for handle in handles:
+            try:
+                handle.result()
+                warmed += 1
+            except Exception:
+                continue
+        return warmed
 
     def close(self) -> None:
         """Stop admitting, fail still-queued jobs, join the workers."""
@@ -228,6 +457,9 @@ class EvalService:
         for thread in self._threads:
             thread.join(timeout=30.0)
         self._threads = []
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
 
     # ------------------------------------------------------------------
     # request path
@@ -242,7 +474,17 @@ class EvalService:
         """
         wire = decode_request(payload)
         request = to_eval_request(wire, self.registry)
-        return self.admission.submit(Job(request=request, backend=wire.backend))
+        normalized = wire_payload(wire)
+        job = self.admission.submit(
+            Job(request=request, backend=wire.backend, wire=normalized)
+        )
+        # Journal *admitted* deterministic requests only: shed arrivals are
+        # not service state, and seed=None requests are fresh entropy that
+        # no cache may ever serve, so replaying them would only burn boot
+        # time recomputing results nobody can be answered with.
+        if self.journal is not None and wire.seed is not None:
+            self.journal.record(normalized)
+        return job
 
     def evaluate_request(self, request: EvalRequest, backend: Optional[str] = None):
         """Admit an in-process :class:`EvalRequest` and wait for its result.
@@ -290,6 +532,77 @@ class EvalService:
                     job.fail(error)
                     admission.job_done(job, ok=False)
 
+    def _dispatch_loop(self) -> None:
+        """Process-mode worker: claim batches, ship them to the pool.
+
+        Repeated deterministic requests are answered from the parent-side
+        result memo without a process hop; everything else ships to a
+        worker child as normalized wire payloads (or the request object
+        itself for in-process jobs), and the results warm the memo on the
+        way back.  Runs until the admission queue closes and drains.
+        """
+        admission = self.admission
+        session = self._local_session
+        executor = self._executor
+        assert session is not None and executor is not None
+        while True:
+            batch = admission.next_batch(self.config.batch_max, timeout=0.2)
+            if not batch:
+                if admission.closed:
+                    return
+                continue
+            remaining: List[Job] = []
+            for job in batch:
+                try:
+                    memoized = session.cached_result(
+                        job.request, backend=job.backend
+                    )
+                except Exception:
+                    memoized = None
+                if memoized is not None:
+                    job.resolve(memoized)
+                    admission.job_done(job, ok=True)
+                else:
+                    remaining.append(job)
+            if not remaining:
+                continue
+            items: List[Tuple[object, ...]] = [
+                ("wire", job.wire)
+                if job.wire is not None
+                else ("request", job.request, job.backend)
+                for job in remaining
+            ]
+            try:
+                outcomes, pid, stats = executor.submit(
+                    _process_worker_run, items
+                ).result()
+            except Exception as error:
+                for job in remaining:
+                    job.fail(error)
+                    admission.job_done(job, ok=False)
+                continue
+            with self._stats_lock:
+                self._worker_stats[pid] = stats
+            for job, outcome in zip(remaining, outcomes):
+                if outcome[0] == "ok":
+                    result = outcome[1]
+                    try:
+                        session.memoize_result(
+                            job.request, result, backend=job.backend
+                        )
+                    except Exception:
+                        pass
+                    job.resolve(result)
+                    admission.job_done(job, ok=True)
+                else:
+                    error = outcome[1]
+                    job.fail(
+                        error
+                        if isinstance(error, BaseException)
+                        else RuntimeError(str(error))
+                    )
+                    admission.job_done(job, ok=False)
+
     # ------------------------------------------------------------------
     # introspection endpoints
     # ------------------------------------------------------------------
@@ -333,16 +646,34 @@ class EvalService:
                 caches[id(cache)] = cache
         hits = sum(cache.hits for cache in caches.values())
         misses = sum(cache.misses for cache in caches.values())
+        # Process workers report their cumulative session stats with every
+        # served batch; fold the latest snapshot per child in (their caches
+        # live in other processes, so the counters arrive by value).
+        with self._stats_lock:
+            worker_stats = list(self._worker_stats.values())
+        for snapshot in worker_stats:
+            for key in session_totals:
+                session_totals[key] += int(snapshot.get(key, 0))
+            hits += int(snapshot.get("cache_hits", 0))
+            misses += int(snapshot.get("cache_misses", 0))
         with self._http_lock:
             http_counts = dict(sorted(self._http_counts.items()))
+        journal_view: Optional[Dict[str, object]] = None
+        if self.journal is not None:
+            journal_view = self.journal.snapshot()
+            journal_view["warmed_at_boot"] = self._journal_warmed
         return {
             "requests": self.admission.snapshot(),
+            "controller": self.admission.controller.snapshot(),
             "sessions": session_totals,
             "cache": {
                 "hits": hits,
                 "misses": misses,
                 "hit_rate": hits / (hits + misses) if (hits + misses) else None,
             },
+            "memo": self.result_memo.snapshot(),
+            "journal": journal_view,
+            "worker_mode": self.config.worker_mode,
             "http": http_counts,
         }
 
@@ -352,6 +683,9 @@ class _ServeHTTPServer(ThreadingHTTPServer):
 
     daemon_threads = True
     allow_reuse_address = True
+    # The stdlib default listen backlog of 5 RSTs connections under a
+    # concurrent burst; admission control, not the kernel, sheds load here.
+    request_queue_size = 128
 
     def __init__(self, address: Tuple[str, int], service: EvalService) -> None:
         super().__init__(address, ServeHandler)
@@ -369,7 +703,9 @@ class EvalServer:
             result = client.evaluate(model="tea", copy_levels=[1, 2])
     """
 
-    def __init__(self, registry: ModelRegistry, config: Optional[ServeConfig] = None) -> None:
+    def __init__(
+        self, registry: ModelRegistry, config: Optional[ServeConfig] = None
+    ) -> None:
         self.config = config or ServeConfig()
         self.service = EvalService(registry, self.config)
         self._httpd: Optional[_ServeHTTPServer] = None

@@ -9,7 +9,8 @@ are bit-identical to individually evaluated ones.
 import numpy as np
 import pytest
 
-from repro.api import EvalRequest, Session, UnsupportedRequestError
+from repro.api import EvalRequest, ResultMemo, Session, UnsupportedRequestError
+from repro.api.session import _slice_result
 from repro.eval.runner import ScoreCache
 
 
@@ -259,3 +260,129 @@ def test_session_cache_max_bytes_reaches_runner(trained, tmp_path):
     session.evaluate(_request(trained, seed=123))
     entries = [n for n in tmp_path.iterdir() if n.name.startswith("scores-")]
     assert len(entries) == 1
+
+
+# ----------------------------------------------------------------------
+# result memoization
+# ----------------------------------------------------------------------
+def test_result_memo_serves_repeat_without_engine_pass(trained):
+    memo = ResultMemo()
+    session = _session(backend="vectorized", result_memo=memo)
+    first = session.evaluate(_request(trained, seed=31))
+    passes = session.stats.engine_passes
+    second = session.evaluate(_request(trained, seed=31))
+    assert session.stats.engine_passes == passes
+    assert memo.hits == 1
+    assert np.array_equal(first.scores, second.scores)
+    assert np.array_equal(first.accuracy, second.accuracy)
+
+
+def test_result_memo_covers_chip_backend(trained):
+    # The chip backend has no score cache (cacheable=False); the memo is
+    # the only tier that can serve its repeats, and must do so exactly.
+    memo = ResultMemo()
+    session = _session(backend="chip", result_memo=memo)
+    request = _request(
+        trained,
+        copy_levels=(1,),
+        spf_levels=(2,),
+        seed=5,
+        collect_spike_counters=True,
+        max_samples=12,
+    )
+    first = session.evaluate(request)
+    passes = session.stats.engine_passes
+    second = session.evaluate(request)
+    assert session.stats.engine_passes == passes
+    assert np.array_equal(first.class_counts(), second.class_counts())
+    assert np.array_equal(first.spike_counters, second.spike_counters)
+
+
+def test_result_memo_slices_subgrid_out_of_wider_entry(trained):
+    # Same grid *maxima* (the coalescing key), fewer reported levels: the
+    # memoized union entry serves the sub-grid read without recomputation.
+    memo = ResultMemo()
+    session = _session(backend="vectorized", result_memo=memo)
+    wide = session.evaluate(
+        _request(trained, copy_levels=(1, 2), spf_levels=(1, 2), seed=8)
+    )
+    passes = session.stats.engine_passes
+    narrow = session.evaluate(
+        _request(trained, copy_levels=(2,), spf_levels=(2,), seed=8)
+    )
+    assert session.stats.engine_passes == passes  # sliced, not recomputed
+    assert np.array_equal(narrow.scores, wide.scores[:, 1:2][:, :, 1:2])
+
+
+def test_result_memo_is_shared_across_sessions(trained):
+    memo = ResultMemo()
+    cache = ScoreCache()
+    one = Session(backend="vectorized", cache=cache, result_memo=memo)
+    two = Session(backend="vectorized", cache=cache, result_memo=memo)
+    first = one.evaluate(_request(trained, seed=12))
+    second = two.evaluate(_request(trained, seed=12))
+    assert two.stats.engine_passes == 0
+    assert np.array_equal(first.scores, second.scores)
+
+
+def test_seed_none_is_never_memoized(trained):
+    memo = ResultMemo()
+    session = _session(backend="vectorized", result_memo=memo)
+    session.evaluate(_request(trained, seed=None))
+    assert len(memo) == 0
+    assert memo.hits == 0
+
+
+def test_cached_result_and_memoize_result_round_trip(trained):
+    donor = _session(backend="vectorized", result_memo=ResultMemo())
+    request = _request(trained, seed=14)
+    result = donor.evaluate(request)
+
+    memo = ResultMemo()
+    receiver = Session(backend="vectorized", cache=ScoreCache(), result_memo=memo)
+    assert receiver.cached_result(request) is None
+    receiver.memoize_result(request, result)
+    served = receiver.cached_result(request)
+    assert served is not None
+    assert receiver.stats.engine_passes == 0
+    assert np.array_equal(served.scores, result.scores)
+    # Sub-grid reads (same maxima, fewer levels) come off the entry too.
+    narrow = receiver.cached_result(
+        _request(trained, copy_levels=(2,), spf_levels=(1, 2), seed=14)
+    )
+    assert narrow is not None
+    assert np.array_equal(narrow.scores, result.scores[:, 1:2])
+
+
+def test_memo_lru_eviction_keeps_capacity(trained):
+    memo = ResultMemo(max_entries=2)
+    session = _session(backend="vectorized", result_memo=memo)
+    for seed in (41, 42, 43):
+        session.evaluate(_request(trained, copy_levels=(1,), spf_levels=(1,), seed=seed))
+    assert len(memo) == 2
+    # The oldest entry (seed=41) was evicted; serving it again recomputes.
+    passes = session.stats.engine_passes
+    session.evaluate(_request(trained, copy_levels=(1,), spf_levels=(1,), seed=41))
+    assert session.stats.engine_passes >= passes  # engine or score cache
+    assert memo.snapshot()["entries"] == 2
+
+
+def test_memo_store_keeps_wider_entry(trained):
+    memo = ResultMemo()
+    session = _session(backend="vectorized", result_memo=memo)
+    wide_request = _request(trained, copy_levels=(1, 2), spf_levels=(1, 2), seed=9)
+    wide = session.evaluate(wide_request)
+    # Re-storing a narrower result under the same key must not shrink
+    # what the memo can serve.
+    session.memoize_result(
+        _request(trained, copy_levels=(2,), spf_levels=(1, 2), seed=9),
+        _slice_result(wide, _request(trained, copy_levels=(2,), spf_levels=(1, 2), seed=9)),
+    )
+    still_wide = session.cached_result(wide_request)
+    assert still_wide is not None
+    assert np.array_equal(still_wide.scores, wide.scores)
+
+
+def test_memo_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        ResultMemo(max_entries=0)

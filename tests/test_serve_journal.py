@@ -1,0 +1,145 @@
+"""Request journal: fingerprints, replay, crash consistency."""
+
+import json
+import os
+
+import pytest
+
+from repro.serve.codec import decode_request, wire_payload
+from repro.serve.journal import RequestJournal, request_fingerprint
+
+
+def payload(**overrides):
+    base = {"model": "tea", "copy_levels": [1, 2], "seed": 7}
+    base.update(overrides)
+    return wire_payload(decode_request(base))
+
+
+# ----------------------------------------------------------------------
+# fingerprints
+# ----------------------------------------------------------------------
+def test_fingerprint_is_key_order_independent():
+    one = {"model": "tea", "seed": 7}
+    other = {"seed": 7, "model": "tea"}
+    assert request_fingerprint(one) == request_fingerprint(other)
+
+
+def test_normalized_payloads_fingerprint_identically():
+    # A client that spells out every default and one that omits them all
+    # journal to the same fingerprint after wire normalization.
+    sparse = wire_payload(decode_request({"model": "tea", "seed": 7}))
+    spelled = wire_payload(
+        decode_request(
+            {
+                "model": "tea",
+                "dataset": "test",
+                "seed": 7,
+                "repeats": 1,
+                "copy_levels": [1],
+                "spf_levels": [1],
+                "encoder": "stochastic",
+            }
+        )
+    )
+    assert request_fingerprint(sparse) == request_fingerprint(spelled)
+
+
+def test_different_requests_fingerprint_differently():
+    assert request_fingerprint(payload(seed=7)) != request_fingerprint(
+        payload(seed=8)
+    )
+
+
+# ----------------------------------------------------------------------
+# record + replay
+# ----------------------------------------------------------------------
+def test_record_and_replay_round_trip(tmp_path):
+    journal = RequestJournal(str(tmp_path / "requests.jsonl"))
+    first = payload(seed=1)
+    second = payload(seed=2)
+    journal.record(first)
+    journal.record(second)
+    replayed = journal.replay()
+    assert replayed == [first, second]
+    # Replayed payloads decode to the same wire requests that were served.
+    assert decode_request(replayed[0]) == decode_request(first)
+
+
+def test_replay_deduplicates_a_repeated_burst(tmp_path):
+    journal = RequestJournal(str(tmp_path / "requests.jsonl"))
+    burst = payload(seed=3)
+    for _ in range(25):
+        journal.record(burst)
+    journal.record(payload(seed=4))
+    assert len(journal.replay()) == 2
+    assert len(journal) == 2
+    assert journal.snapshot()["recorded"] == 26
+
+
+def test_replay_of_never_written_journal_is_empty(tmp_path):
+    # Constructing a journal does not create the file; replay is empty.
+    journal = RequestJournal(str(tmp_path / "never-written.jsonl"))
+    assert journal.replay() == []
+    assert journal.snapshot()["size_bytes"] is None
+
+
+def test_replay_survives_a_torn_final_line(tmp_path):
+    path = tmp_path / "requests.jsonl"
+    journal = RequestJournal(str(path))
+    journal.record(payload(seed=5))
+    journal.record(payload(seed=6))
+    # Simulate a writer killed mid-append: truncate the last line in half.
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) - len(raw.splitlines(True)[-1]) // 2 - 1])
+    replayed = RequestJournal(str(path)).replay()
+    assert replayed == [payload(seed=5)]
+
+
+def test_replay_skips_garbage_lines_without_failing(tmp_path):
+    path = tmp_path / "requests.jsonl"
+    journal = RequestJournal(str(path))
+    journal.record(payload(seed=9))
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("not json at all\n")
+        handle.write(json.dumps(["wrong", "shape"]) + "\n")
+        handle.write(json.dumps({"fingerprint": 42, "request": {}}) + "\n")
+    assert RequestJournal(str(path)).replay() == [payload(seed=9)]
+
+
+def test_records_survive_without_any_close_call(tmp_path):
+    # Crash consistency: every record is flushed line-at-a-time, so a
+    # journal abandoned without shutdown is fully readable by a new
+    # instance (the kill-and-restart soak relies on exactly this).
+    path = str(tmp_path / "requests.jsonl")
+    writer = RequestJournal(path)
+    writer.record(payload(seed=10))
+    writer.record(payload(seed=11))
+    del writer
+    assert len(RequestJournal(path).replay()) == 2
+
+
+def test_journal_creates_parent_directories(tmp_path):
+    path = tmp_path / "nested" / "deeper" / "requests.jsonl"
+    journal = RequestJournal(str(path))
+    journal.record(payload(seed=12))
+    assert os.path.exists(path)
+
+
+def test_snapshot_reports_path_and_size(tmp_path):
+    path = str(tmp_path / "requests.jsonl")
+    journal = RequestJournal(path)
+    journal.record(payload(seed=13))
+    snapshot = journal.snapshot()
+    assert snapshot["path"] == path
+    assert snapshot["recorded"] == 1
+    assert snapshot["size_bytes"] > 0
+
+
+def test_wall_clock_is_injectable_and_recorded(tmp_path):
+    journal = RequestJournal(
+        str(tmp_path / "requests.jsonl"), wall_clock=lambda: 1234.5
+    )
+    journal.record(payload(seed=14))
+    with open(journal.path, encoding="utf-8") as handle:
+        record = json.loads(handle.readline())
+    assert record["recorded_at"] == pytest.approx(1234.5)

@@ -223,12 +223,16 @@ def test_metrics_invariants_after_traffic(client):
 
 
 def test_repeated_request_is_a_cache_hit(client):
+    # The repeat is served without recomputation by one of the two cache
+    # tiers: the result memo (any backend) or the score cache (vectorized).
     before = client.metrics()
     client.evaluate(model="tea", copy_levels=[1, 2], spf_levels=[1], seed=11)
     client.evaluate(model="tea", copy_levels=[1, 2], spf_levels=[1], seed=11)
     after = client.metrics()
-    assert after["cache"]["hits"] >= before["cache"]["hits"] + 1
-    assert after["cache"]["hit_rate"] > 0
+    served_before = before["cache"]["hits"] + before["memo"]["hits"]
+    served_after = after["cache"]["hits"] + after["memo"]["hits"]
+    assert served_after >= served_before + 1
+    assert after["memo"]["hit_rate"] > 0 or after["cache"]["hit_rate"] > 0
 
 
 # ----------------------------------------------------------------------
@@ -361,3 +365,178 @@ def test_request_timeout_answers_504(registry):
             client.evaluate(model="tea", seed=0)
         assert excinfo.value.status == 504
         assert excinfo.value.error_type == "timeout"
+
+
+# ----------------------------------------------------------------------
+# durable tier: process workers, result memo, journal warm restart
+# ----------------------------------------------------------------------
+def test_process_worker_mode_bit_identical(registry):
+    """Process workers serve around the GIL with bit-identical responses.
+
+    Covers both a vectorized and a chip request (the chip result crosses
+    the process boundary as pickled numpy tensors — exact by construction)
+    and checks that a typed error raised inside a worker child keeps its
+    exception type across the hop.
+    """
+    config = ServeConfig(port=0, workers=1, worker_mode="process", queue_depth=8)
+    with EvalServer(registry, config) as running:
+        client = ServeClient(port=running.port, timeout=120.0)
+        served = client.evaluate(
+            model="tea", copy_levels=[1, 2], spf_levels=[1], repeats=1, seed=0
+        )
+        chip = client.evaluate(
+            model="tea",
+            copy_levels=[1],
+            spf_levels=[2],
+            seed=0,
+            collect_spike_counters=True,
+            max_samples=16,
+        )
+        with pytest.raises(UnsupportedRequestError, match="cycle-accurate"):
+            client.evaluate(
+                model="tea",
+                backend="vectorized",
+                collect_spike_counters=True,
+            )
+        metrics = client.metrics()
+        assert metrics["worker_mode"] == "process"
+        assert_metrics_invariants(metrics)
+    session = Session(cache=ScoreCache())
+    direct = session.evaluate(
+        _direct(registry, copy_levels=(1, 2), spf_levels=(1,), seed=0)
+    )
+    direct_chip = session.evaluate(
+        _direct(
+            registry,
+            copy_levels=(1,),
+            spf_levels=(2,),
+            seed=0,
+            collect_spike_counters=True,
+            max_samples=16,
+        )
+    )
+    assert np.array_equal(served.scores, direct.scores)
+    assert np.array_equal(served.accuracy, direct.accuracy)
+    assert chip.backend == "chip"
+    assert np.array_equal(chip.class_counts(), direct_chip.class_counts())
+    assert np.array_equal(chip.spike_counters, direct_chip.spike_counters)
+
+
+def test_repeated_chip_request_served_from_memo(registry):
+    """The result memo covers backends the score cache never touches."""
+    config = ServeConfig(port=0, workers=1, queue_depth=8)
+    with EvalServer(registry, config) as running:
+        client = ServeClient(port=running.port, timeout=120.0)
+        kwargs = dict(
+            model="tea",
+            copy_levels=[1],
+            spf_levels=[2],
+            seed=4,
+            collect_spike_counters=True,
+            max_samples=12,
+        )
+        first = client.evaluate(**kwargs)
+        passes_before = client.metrics()["sessions"]["engine_passes"]
+        second = client.evaluate(**kwargs)
+        metrics = client.metrics()
+        assert first.backend == "chip"
+        assert np.array_equal(first.scores, second.scores)
+        assert np.array_equal(first.class_counts(), second.class_counts())
+        assert metrics["sessions"]["engine_passes"] == passes_before
+        assert metrics["memo"]["hits"] >= 1
+
+
+def test_journal_warm_restart_answers_burst_from_cache(registry, tmp_path):
+    """Kill-and-restart durability: the journal warms the next boot.
+
+    A server journals its admitted burst (vectorized + chip), is torn down,
+    and a fresh server on the same journal + cache directory must answer
+    the repeated burst bit-identically *without recomputation* (zero new
+    engine passes after the boot-time warm replay).
+    """
+    journal_path = str(tmp_path / "journal.jsonl")
+    config = ServeConfig(
+        port=0,
+        workers=2,
+        queue_depth=16,
+        journal_path=journal_path,
+        cache_dir=str(tmp_path / "scores"),
+    )
+    burst = [
+        dict(model="tea", copy_levels=[1, 2], spf_levels=[1], seed=21),
+        dict(
+            model="tea",
+            copy_levels=[1],
+            spf_levels=[2],
+            seed=21,
+            collect_spike_counters=True,
+            max_samples=12,
+        ),
+    ]
+    with EvalServer(registry, config) as running:
+        client = ServeClient(port=running.port, timeout=120.0)
+        first_results = [client.evaluate(**kwargs) for kwargs in burst]
+        recorded = client.metrics()["journal"]["recorded"]
+        assert recorded == len(burst)
+
+    # "Restart": a brand-new server process state on the same durable
+    # paths.  The journal must have survived without any shutdown help.
+    with EvalServer(registry, config) as revived:
+        client = ServeClient(port=revived.port, timeout=120.0)
+        metrics = client.metrics()
+        assert metrics["journal"]["warmed_at_boot"] == len(burst)
+        passes_after_warm = metrics["sessions"]["engine_passes"]
+        second_results = [client.evaluate(**kwargs) for kwargs in burst]
+        metrics = client.metrics()
+        assert metrics["sessions"]["engine_passes"] == passes_after_warm
+        assert metrics["memo"]["hits"] >= len(burst)
+        assert_metrics_invariants(metrics)
+    for first, second in zip(first_results, second_results):
+        assert first.backend == second.backend
+        assert np.array_equal(first.scores, second.scores)
+        assert np.array_equal(first.accuracy, second.accuracy)
+
+
+def test_seed_none_requests_are_never_journaled(registry, tmp_path):
+    journal_path = str(tmp_path / "journal.jsonl")
+    config = ServeConfig(
+        port=0, workers=1, queue_depth=8, journal_path=journal_path
+    )
+    with EvalServer(registry, config) as running:
+        client = ServeClient(port=running.port, timeout=120.0)
+        client.evaluate(model="tea", seed=None)
+        client.evaluate(model="tea", seed=17)
+        metrics = client.metrics()
+        assert metrics["journal"]["recorded"] == 1
+
+
+def test_client_retry_honours_retry_after_hint(registry):
+    """evaluate_with_retry sleeps the server's drain estimate, then wins."""
+    config = ServeConfig(port=0, workers=2, queue_depth=2)
+    with EvalServer(registry, config) as running:
+        client = ServeClient(port=running.port, timeout=120.0)
+        naps = []
+
+        # Saturate the queue briefly with a slow-ish burst, then retry in
+        # the middle of it; the retry client must eventually succeed and
+        # every nap must be a positive, clamped Retry-After hint.
+        def fire(seed):
+            try:
+                client.evaluate(model="tea", seed=seed, repeats=2)
+            except ServiceOverloadedError:
+                pass
+
+        threads = [
+            threading.Thread(target=fire, args=(seed,)) for seed in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        result = client.evaluate_with_retry(
+            {"model": "tea", "seed": 99},
+            retries=50,
+            sleep=lambda seconds: naps.append(seconds) or None,
+        )
+        for thread in threads:
+            thread.join(timeout=120)
+        assert result.seed == 99
+        assert all(1.0 <= nap <= 60.0 for nap in naps)
