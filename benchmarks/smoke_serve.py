@@ -23,11 +23,24 @@ repeated burst without a single fresh engine pass — all while the
 ``/metrics`` conservation invariants hold and the observed p95 stays
 within the controller target.
 
+``--soak --fleet N`` runs the *fleet* drill instead: N journaled replicas
+behind one front router (:mod:`repro.serve.front`).  A warm wave routes
+through the front (bit-identical to direct ``Session.evaluate``), then the
+hosted model's home replica is killed in the middle of a concurrent burst
+— which must be absorbed by deterministic failover with **zero**
+client-visible 5xx — then the victim restarts on its old port, rejoins the
+ring, warms from its journal, and the repeated burst must cost zero fresh
+engine passes fleet-wide.  Throughout, the front's aggregated ``/metrics``
+must conserve: ``received == admitted + rejected`` fleet-wide, and the
+front's own ``received == routed + shed + unavailable``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/smoke_serve.py --output SMOKE_serve.json
     PYTHONPATH=src python benchmarks/smoke_serve.py --soak \
         --worker-mode process --output SMOKE_serve_soak.json
+    PYTHONPATH=src python benchmarks/smoke_serve.py --soak --fleet 3 \
+        --output SMOKE_serve_fleet.json
 """
 
 from __future__ import annotations
@@ -47,6 +60,8 @@ from repro.eval.runner import ScoreCache
 from repro.experiments.runner import ExperimentContext
 from repro.serve import (
     EvalServer,
+    FrontConfig,
+    FrontServer,
     ModelRegistry,
     RequestJournal,
     ServeClient,
@@ -94,6 +109,13 @@ def parse_args() -> argparse.Namespace:
         type=float,
         default=20.0,
         help="soak controller p95 target in seconds",
+    )
+    parser.add_argument(
+        "--fleet",
+        type=int,
+        default=0,
+        help="with --soak: boot N replicas behind a front router and run "
+        "the kill/restart fleet drill (0 = single-server soak)",
     )
     return parser.parse_args()
 
@@ -463,6 +485,231 @@ def run_soak(registry, args, failures):
     return record
 
 
+def check_fleet_invariants(metrics, failures, where: str) -> None:
+    """The aggregated conservation laws of the front's /metrics view."""
+    fleet_requests = metrics["fleet"]["requests"]
+    if fleet_requests["received"] != (
+        fleet_requests["admitted"] + fleet_requests["rejected"]
+    ):
+        failures.append(
+            f"{where}: fleet received != admitted + rejected ({fleet_requests})"
+        )
+    if fleet_requests["admitted"] != (
+        fleet_requests["completed"]
+        + fleet_requests["failed"]
+        + fleet_requests["in_flight"]
+    ):
+        failures.append(
+            f"{where}: fleet admitted != completed + failed + in_flight "
+            f"({fleet_requests})"
+        )
+    front = metrics["front"]
+    if front["received"] != front["routed"] + front["shed"] + front["unavailable"]:
+        failures.append(
+            f"{where}: front received != routed + shed + unavailable ({front})"
+        )
+
+
+def run_fleet_soak(registry, args, failures):
+    """Warm wave -> mid-burst replica kill -> rejoin -> journal-warm repeat."""
+    payloads = soak_payloads(args.samples)
+    record = {
+        "fleet": args.fleet,
+        "burst": len(payloads),
+        "worker_mode": args.worker_mode,
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-serve-fleet-") as workdir:
+        cache_dir = os.path.join(workdir, "score-cache")
+
+        def make_config(index: int, port: int = 0) -> ServeConfig:
+            # Per-replica journal (each replica owns its admissions), one
+            # shared on-disk score cache (its writes are atomic by design).
+            return ServeConfig(
+                port=port,
+                workers=args.workers,
+                worker_mode=args.worker_mode,
+                queue_depth=16,
+                target_p95=args.target_p95,
+                journal_path=os.path.join(workdir, f"journal-{index}.jsonl"),
+                cache_dir=cache_dir,
+            )
+
+        replicas = [
+            EvalServer(registry, make_config(index)).start()
+            for index in range(args.fleet)
+        ]
+        ports = [replica.port for replica in replicas]
+        front = FrontServer(
+            FrontConfig(
+                port=0,
+                replicas=tuple(f"127.0.0.1:{port}" for port in ports),
+                poll_interval=0.1,
+                request_timeout=600.0,
+            )
+        ).start()
+        client = ServeClient(port=front.port, timeout=600.0)
+        burst = payloads * 2
+        threads = []
+        try:
+            # --- warm wave: every payload journals at its home replica --
+            start = time.perf_counter()
+            responses = {}
+            for index, payload in enumerate(payloads):
+                try:
+                    responses[index] = client.evaluate_with_retry(
+                        payload, retries=20
+                    )
+                except Exception as error:
+                    responses[index] = error
+            record["warm_seconds"] = time.perf_counter() - start
+            verify_bit_identical(
+                responses, registry, payloads, failures, "fleet warm"
+            )
+
+            primary = client.fleet()["assignments"]["tea"]
+            victim = ports.index(int(primary.rsplit(":", 1)[1]))
+            record["primary"] = primary
+
+            # --- kill the home replica in the middle of a live burst ----
+            outcomes = {}
+
+            def fire(index, payload):
+                try:
+                    outcomes[index] = ServeClient(
+                        port=front.port, timeout=600.0
+                    ).evaluate_with_retry(payload, retries=20)
+                except Exception as error:
+                    outcomes[index] = error
+
+            threads = [
+                threading.Thread(target=fire, args=(index, payload))
+                for index, payload in enumerate(burst)
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            time.sleep(0.05)
+            replicas[victim].close()  # mid-burst kill
+            for thread in threads:
+                thread.join(timeout=600)
+            record["kill_burst_seconds"] = time.perf_counter() - start
+            if any(thread.is_alive() for thread in threads):
+                failures.append("fleet kill: a request thread is still alive")
+            # Zero client-visible 5xx: every burst request must have been
+            # absorbed by failover (429-with-retry is allowed; errors not).
+            for index in range(len(burst)):
+                if isinstance(outcomes.get(index), Exception):
+                    failures.append(
+                        f"fleet kill: request {index} surfaced "
+                        f"{outcomes[index]!r} to the client"
+                    )
+            verify_bit_identical(outcomes, registry, burst, failures, "fleet kill")
+            # The burst may drain from the memo before the kill lands; the
+            # poller still has to notice the dead replica and eject it
+            # within a few poll intervals.
+            for _ in range(100):
+                if client.health()["healthy"] == args.fleet - 1:
+                    break
+                time.sleep(0.1)
+            health = client.health()
+            if health["healthy"] != args.fleet - 1:
+                failures.append(
+                    f"fleet kill: front reports {health['healthy']} healthy "
+                    f"replicas, expected {args.fleet - 1}"
+                )
+
+            # --- restart the victim on its old port: rejoin + warm ------
+            start = time.perf_counter()
+            replicas[victim] = EvalServer(
+                registry, make_config(victim, port=ports[victim])
+            ).start()
+            for _ in range(100):
+                if client.health()["healthy"] == args.fleet:
+                    break
+                time.sleep(0.1)
+            record["rejoin_seconds"] = time.perf_counter() - start
+            if client.health()["healthy"] != args.fleet:
+                failures.append("fleet rejoin: the restarted replica never rejoined")
+            if client.fleet()["assignments"].get("tea") != primary:
+                failures.append(
+                    "fleet rejoin: rendezvous hashing did not restore the "
+                    "original assignment"
+                )
+            victim_client = ServeClient(port=ports[victim], timeout=60.0)
+            boot = victim_client.metrics()
+            warmed = (boot["journal"] or {}).get("warmed_at_boot", 0)
+            record["warmed_at_boot"] = warmed
+            if not warmed:
+                failures.append(
+                    "fleet rejoin: the restarted home replica warmed nothing "
+                    "from its journal"
+                )
+
+            # --- repeated burst: zero fresh engine passes fleet-wide ----
+            def fleet_passes() -> int:
+                total = 0
+                for replica in replicas:
+                    metrics = ServeClient(
+                        port=replica.port, timeout=60.0
+                    ).metrics()
+                    total += metrics["sessions"]["engine_passes"]
+                return total
+
+            passes_before = fleet_passes()
+            start = time.perf_counter()
+            repeat_responses = {}
+            for index, payload in enumerate(payloads):
+                try:
+                    repeat_responses[index] = client.evaluate_with_retry(
+                        payload, retries=20
+                    )
+                except Exception as error:
+                    repeat_responses[index] = error
+            record["repeat_seconds"] = time.perf_counter() - start
+            verify_bit_identical(
+                repeat_responses, registry, payloads, failures, "fleet repeat"
+            )
+            fresh = fleet_passes() - passes_before
+            record["repeat_engine_passes"] = fresh
+            if fresh != 0:
+                failures.append(
+                    f"fleet repeat: repeated burst cost {fresh} fresh engine "
+                    "passes (journal warm-up must cover the takeover)"
+                )
+
+            # --- aggregated metrics: conservation + fleet bookkeeping ---
+            metrics = client.metrics()
+            check_fleet_invariants(metrics, failures, "fleet")
+            replica_received = 0
+            for replica in replicas:
+                replica_received += ServeClient(
+                    port=replica.port, timeout=60.0
+                ).metrics()["requests"]["received"]
+            if metrics["fleet"]["requests"]["received"] != replica_received:
+                failures.append(
+                    "fleet: aggregated received "
+                    f"{metrics['fleet']['requests']['received']} != sum of "
+                    f"replica counters {replica_received}"
+                )
+            if metrics["front"]["unavailable"] != 0:
+                failures.append(
+                    f"fleet: {metrics['front']['unavailable']} requests "
+                    "answered 503 at the front"
+                )
+            record["front"] = metrics["front"]
+            record["fleet_requests"] = metrics["fleet"]["requests"]
+            record["ejections"] = sum(
+                entry["ejections"] for entry in client.fleet()["replicas"]
+            )
+        finally:
+            front.close()
+            for replica in replicas:
+                replica.close()
+            for thread in threads:
+                thread.join(timeout=30)
+    return record
+
+
 def main() -> None:
     args = parse_args()
     context = ExperimentContext(
@@ -475,6 +722,30 @@ def main() -> None:
     )
     registry = ModelRegistry.from_context(context, methods=("tea",))
     failures = []
+
+    if args.soak and args.fleet:
+        fleet = run_fleet_soak(registry, args, failures)
+        record = {
+            "benchmark": "serve-fleet-soak",
+            "config": {
+                "workers": args.workers,
+                "samples": args.samples,
+                "train_size": args.train_size,
+            },
+            **fleet,
+            "ok": not failures,
+            "failures": failures,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        }
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, indent=2)
+                handle.write("\n")
+        print(json.dumps(record, indent=2))
+        if failures:
+            raise SystemExit("; ".join(failures))
+        return
 
     if args.soak:
         soak = run_soak(registry, args, failures)

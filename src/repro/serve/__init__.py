@@ -14,9 +14,15 @@ front of the :mod:`repro.api` serving facade.
   (:mod:`repro.serve.controller`), process workers around the GIL
   (``worker_mode="process"``), and a durable request journal with
   boot-time cache warming (:mod:`repro.serve.journal`).
+* :class:`FrontServer` / :class:`FrontService` / :class:`FrontConfig` —
+  the fleet router (:mod:`repro.serve.front`): consistent model→replica
+  routing over a rendezvous ring (:mod:`repro.serve.ring`), fleet-wide
+  admission from aggregated drain snapshots, health-based ejection with
+  deterministic failover, and merged ``/metrics`` + ``/v1/fleet``
+  introspection.
 * :class:`ServeClient` — the stdlib client (:mod:`repro.serve.client`)
   returning bit-identical :class:`~repro.api.EvalResult` objects and typed
-  errors.
+  errors, with decorrelated-jitter 429 retries and base-URL failover.
 * :mod:`repro.serve.codec` — the strict JSON wire protocol.
 
 Start a server (or ``python -m repro.serve`` / the ``repro-serve`` console
@@ -61,7 +67,14 @@ from repro.serve.codec import (
     wire_payload,
 )
 from repro.serve.controller import ControllerConfig, LatencyController
+from repro.serve.front import (
+    FleetUnavailableError,
+    FrontConfig,
+    FrontServer,
+    FrontService,
+)
 from repro.serve.journal import RequestJournal, request_fingerprint
+from repro.serve.ring import EmptyRingError, ReplicaRing
 from repro.serve.server import (
     EvalServer,
     EvalService,
@@ -73,12 +86,18 @@ __all__ = [
     "AdmissionController",
     "CodecError",
     "ControllerConfig",
+    "EmptyRingError",
     "EvalServer",
     "EvalService",
+    "FleetUnavailableError",
+    "FrontConfig",
+    "FrontServer",
+    "FrontService",
     "Job",
     "LatencyController",
     "ModelRegistry",
     "QueueFullError",
+    "ReplicaRing",
     "RequestJournal",
     "RequestRejectedError",
     "ServeClient",

@@ -5,6 +5,14 @@ the request path), binds the HTTP service, and serves until interrupted::
 
     repro-serve --port 8000 --methods tea,biased --workers 4
     curl -s localhost:8000/v1/models | python -m json.tool
+
+The ``front`` subcommand runs the fleet router instead of a replica: it
+fronts already-running replicas with consistent model routing, fleet-wide
+admission, and health-based ejection (:mod:`repro.serve.front`)::
+
+    repro-serve front --port 8000 \\
+        --replicas 127.0.0.1:8101,127.0.0.1:8102,127.0.0.1:8103
+    curl -s localhost:8000/v1/fleet | python -m json.tool
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ import time
 from typing import Optional, Sequence
 
 from repro.experiments.runner import ExperimentContext
+from repro.serve.front import FrontConfig, FrontServer
 from repro.serve.server import EvalServer, ModelRegistry, ServeConfig
 
 
@@ -110,8 +119,76 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_front_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve front",
+        description="Fleet router fronting running repro-serve replicas.",
+        formatter_class=argparse.ArgumentDefaultsHelpFormatter,
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8000, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--replicas",
+        required=True,
+        help="comma-separated replica addresses, e.g. 127.0.0.1:8101,127.0.0.1:8102",
+    )
+    parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.25,
+        help="seconds between health/drain polls of each replica",
+    )
+    parser.add_argument(
+        "--eject-after",
+        type=int,
+        default=2,
+        help="consecutive failed health probes before a replica is ejected",
+    )
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=330.0,
+        help="socket timeout for one proxied evaluate call",
+    )
+    return parser
+
+
+def front_main(argv: Sequence[str]) -> int:
+    args = build_front_parser().parse_args(argv)
+    replicas = tuple(r.strip() for r in args.replicas.split(",") if r.strip())
+    if not replicas:
+        print("no replicas to front (--replicas is empty)", file=sys.stderr)
+        return 2
+    config = FrontConfig(
+        host=args.host,
+        port=args.port,
+        replicas=replicas,
+        poll_interval=args.poll_interval,
+        eject_after=args.eject_after,
+        request_timeout=args.request_timeout,
+    )
+    server = FrontServer(config).start()
+    print(
+        f"fronting {len(replicas)} replica(s) on {server.url}  "
+        f"(POST /v1/evaluate, GET /v1/models /v1/fleet /healthz /metrics)"
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down ...")
+    finally:
+        server.close()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "front":
+        return front_main(arguments[1:])
+    args = build_parser().parse_args(arguments)
     methods = tuple(m.strip() for m in args.methods.split(",") if m.strip())
     if not methods:
         print("no methods to host (--methods is empty)", file=sys.stderr)

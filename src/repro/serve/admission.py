@@ -128,6 +128,16 @@ class LatencyWindow:
             return None
         return sum(samples) / len(samples)
 
+    def samples(self) -> List[float]:
+        """A copy of the current window, oldest first.
+
+        Exported so a front tier can merge percentiles *exactly* across
+        replicas: a fleet p95 computed over the union of the per-replica
+        windows, instead of an unsound average of per-replica p95s.
+        """
+        with self._lock:
+            return list(self._samples)
+
 
 class AdmissionController:
     """Bounded admission queue plus the request accounting behind /metrics.
@@ -292,6 +302,26 @@ class AdmissionController:
         """Admitted jobs not yet resolved (queued or executing)."""
         with self._lock:
             return self.admitted - self.completed - self.failed
+
+    def drain_snapshot(self) -> Dict[str, object]:
+        """The exportable drain view of this replica's queue.
+
+        Published under ``/metrics`` ``"drain"`` and aggregated by the
+        front tier (:mod:`repro.serve.front`) into its fleet-wide shed
+        decision: queue depths and effective depths sum, drain rates sum,
+        and the latency window samples union into an exact fleet p95.
+        """
+        with self._lock:
+            depth = len(self._jobs)
+            in_flight = self.admitted - self.completed - self.failed
+        control = self.controller.drain_snapshot()
+        return {
+            "queue_depth": depth,
+            "in_flight": in_flight,
+            "effective_depth": control["effective_depth"],
+            "drain_rate_per_second": control["drain_rate_per_second"],
+            "latency_window_seconds": self.latencies.samples(),
+        }
 
     def snapshot(self) -> Dict[str, object]:
         """The /metrics view: counters, depth, and latency percentiles."""

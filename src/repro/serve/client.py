@@ -21,11 +21,13 @@ from __future__ import annotations
 import http.client
 import json
 import socket
+import threading
 import time
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.api import EvalResult, UnsupportedRequestError
 from repro.serve.codec import CodecError, decode_result
+from repro.utils.rng import RngLike, new_rng
 
 
 class ServeError(RuntimeError):
@@ -64,19 +66,34 @@ class ServeClient:
     """Minimal blocking client; one HTTP connection per call.
 
     Args:
-        host / port: service address.
+        host / port: service address (the preferred target).
         timeout: socket timeout per call — must exceed the service's own
             ``request_timeout`` (default 300 s) or a slow evaluation reads
             as a dead socket right when the server is about to answer its
             typed 504; hence the 330 s default margin.
+        fallbacks: additional ``(host, port)`` base URLs tried in order
+            when the preferred target is unreachable (connection refused /
+            reset / socket timeout — *not* HTTP-level failures, which are
+            real answers).  A target that answers is promoted and stays
+            preferred until it too fails, so a client pointed at a front
+            router plus its replicas rides out a router restart without
+            hammering dead sockets on every call.
     """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8000, timeout: float = 330.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        timeout: float = 330.0,
+        fallbacks: Sequence[Tuple[str, int]] = (),
     ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self._targets: List[Tuple[str, int]] = [(host, port)]  # guarded-by: _targets_lock
+        for fallback_host, fallback_port in fallbacks:
+            self._targets.append((str(fallback_host), int(fallback_port)))
+        self._targets_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # endpoints
@@ -131,19 +148,31 @@ class ServeClient:
         retries: int = 5,
         max_backoff: float = 60.0,
         sleep: Callable[[float], None] = time.sleep,
+        rng: RngLike = None,
     ) -> EvalResult:
-        """``evaluate_payload`` that honours 429 ``Retry-After`` back-off.
+        """``evaluate_payload`` with jittered 429 ``Retry-After`` back-off.
 
-        A shed request sleeps the server's own drain estimate (clamped to
-        ``max_backoff``) before retrying, up to ``retries`` retries; the
-        final :class:`ServiceOverloadedError` propagates when the service
-        stays saturated.  Other failures propagate immediately — only
-        overload is retryable by construction.  ``sleep`` is injectable so
-        tests drive the back-off without real waiting.
+        A shed request naps at least the server's own drain estimate, then
+        retries, up to ``retries`` retries; the final
+        :class:`ServiceOverloadedError` propagates when the service stays
+        saturated.  Other failures propagate immediately — only overload
+        is retryable by construction.
+
+        The nap is *decorrelated-jittered*, never the bare hint: a shed
+        burst of clients all receive the same ``Retry-After`` estimate,
+        and sleeping it exactly makes the whole herd retry in lockstep and
+        re-saturate the queue it just drained.  Each nap is drawn
+        uniformly from ``[hint, max(hint, 3 x previous nap)]`` (AWS-style
+        decorrelated jitter) and clamped to ``max_backoff`` — so retries
+        spread out in time while never arriving before the server said the
+        backlog could drain.  ``sleep`` and ``rng`` are injectable so
+        tests drive the back-off deterministically without real waiting.
         """
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        generator = new_rng(rng)
         attempt = 0
+        previous: Optional[float] = None
         while True:
             try:
                 return self.evaluate_payload(payload)
@@ -151,11 +180,23 @@ class ServeClient:
                 attempt += 1
                 if attempt > retries:
                     raise
-                sleep(min(max_backoff, max(0.0, error.retry_after)))
+                hint = min(max_backoff, max(0.0, error.retry_after))
+                if previous is None:
+                    previous = hint
+                nap = min(
+                    max_backoff,
+                    float(generator.uniform(hint, max(hint, 3.0 * previous))),
+                )
+                previous = nap
+                sleep(nap)
 
     def models(self) -> Dict[str, object]:
         """``GET /v1/models``."""
         return self._call("GET", "/v1/models")
+
+    def fleet(self) -> Dict[str, object]:
+        """``GET /v1/fleet`` — front routers only (replicas answer 404)."""
+        return self._call("GET", "/v1/fleet")
 
     def health(self) -> Dict[str, object]:
         """``GET /healthz``."""
@@ -179,9 +220,35 @@ class ServeClient:
     def _http(
         self, method: str, path: str, payload: Optional[Dict[str, object]]
     ) -> Tuple[int, Dict[str, str], object]:
-        connection = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
-        )
+        with self._targets_lock:
+            targets = list(self._targets)
+        last_error: Optional[BaseException] = None
+        for index, (host, port) in enumerate(targets):
+            try:
+                result = self._http_once(host, port, method, path, payload)
+            except ServiceUnavailableError as error:
+                last_error = error
+                continue
+            if index > 0:
+                # Promote the answering fallback: later calls should not
+                # re-walk the dead prefix on every request.
+                with self._targets_lock:
+                    if (host, port) in self._targets:
+                        self._targets.remove((host, port))
+                        self._targets.insert(0, (host, port))
+            return result
+        assert last_error is not None
+        raise last_error
+
+    def _http_once(
+        self,
+        host: str,
+        port: int,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, object]],
+    ) -> Tuple[int, Dict[str, str], object]:
+        connection = http.client.HTTPConnection(host, port, timeout=self.timeout)
         try:
             request_body = None
             request_headers = {}
@@ -199,7 +266,7 @@ class ServeClient:
             return response.status, headers, body
         except (ConnectionError, socket.timeout, OSError) as error:
             raise ServiceUnavailableError(
-                f"cannot reach {self.host}:{self.port}: {error}",
+                f"cannot reach {host}:{port}: {error}",
                 error_type="unreachable",
             ) from error
         finally:

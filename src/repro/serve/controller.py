@@ -240,6 +240,21 @@ class LatencyController:
             hint = queue_depth * (mean_latency or 1.0) / self.workers
         return float(min(60.0, max(1.0, hint)))
 
+    def drain_snapshot(self) -> Dict[str, object]:
+        """The exportable drain view: what a front tier needs to aggregate.
+
+        A deliberately small, stable subset of :meth:`snapshot` — the two
+        quantities a fleet-level admission decision sums across replicas
+        (the current admissible depth and the measured drain rate) — so
+        the front tier does not couple itself to the full controller
+        telemetry schema.
+        """
+        with self._lock:
+            return {
+                "effective_depth": self._effective_depth,
+                "drain_rate_per_second": self._drain_rate,
+            }
+
     def snapshot(self) -> Dict[str, object]:
         """The ``/metrics`` view of the controller state."""
         with self._lock:

@@ -1,7 +1,9 @@
-"""HTTP request handling for the evaluation service.
+"""HTTP request handling for the evaluation service and the front router.
 
-One :class:`ServeHandler` instance serves one connection of the
-:class:`~repro.serve.server.EvalServer`'s ThreadingHTTPServer.  Routes:
+Two handlers share one JSON plumbing base (:class:`_JsonHandler`):
+
+:class:`ServeHandler` — one connection of a *replica*
+(:class:`~repro.serve.server.EvalServer`'s ThreadingHTTPServer).  Routes:
 
 * ``POST /v1/evaluate`` — admit one wire request, block until the worker
   pool resolves it, answer ``200 {"result": ...}``.  Failures answer the
@@ -11,7 +13,20 @@ One :class:`ServeHandler` instance serves one connection of the
 * ``GET /v1/models`` — the hosted models/datasets/backends.
 * ``GET /healthz`` — liveness plus queue occupancy.
 * ``GET /metrics`` — request counters (with the conservation invariants),
-  latency percentiles, session/coalescing stats, cache hit rate.
+  latency percentiles, session/coalescing stats, cache hit rate, and the
+  exportable ``drain`` snapshot the front tier aggregates.
+
+:class:`FrontHandler` — one connection of the *front router*
+(:class:`~repro.serve.front.FrontServer`).  Routes:
+
+* ``POST /v1/evaluate`` — fleet admission check, then consistent-routing
+  proxy to the model's replica (with deterministic failover); replica
+  answers pass through verbatim, so responses stay bit-identical.
+* ``GET /v1/models`` — the fleet-wide model/dataset union.
+* ``GET /v1/fleet`` — ring assignments, per-replica health, ejection
+  counters: the sharding introspection surface.
+* ``GET /healthz`` / ``GET /metrics`` — front liveness and the aggregated
+  fleet view (counters summed, p95 merged from per-replica windows).
 
 Everything is JSON; every response carries an exact ``Content-Length``.
 """
@@ -25,6 +40,7 @@ from typing import TYPE_CHECKING, Dict, Optional, cast
 from repro.serve.admission import QueueFullError, ServiceClosedError
 
 if TYPE_CHECKING:
+    from repro.serve.front import FrontService
     from repro.serve.server import EvalService
 from repro.serve.codec import (
     CodecError,
@@ -38,19 +54,21 @@ from repro.serve.codec import (
 MAX_BODY_BYTES = 1 << 20
 
 
-class ServeHandler(BaseHTTPRequestHandler):
-    """Routes one HTTP connection onto the owning server's EvalService."""
+class _JsonHandler(BaseHTTPRequestHandler):
+    """Shared JSON plumbing: body parsing, typed payloads, HTTP accounting.
 
-    server_version = "repro-serve/1.2"
+    Subclasses route requests onto the service object their server
+    carries; the service only needs a ``record_http(route, status)`` hook
+    for the ``/metrics`` request table.
+    """
 
-    @property
-    def service(self) -> "EvalService":
-        # The ThreadingHTTPServer subclass (_ServeHTTPServer) carries the
-        # service; BaseHTTPRequestHandler types ``server`` as BaseServer.
-        return cast("EvalService", getattr(self.server, "service"))
+    server_version = "repro-serve/1.3"
 
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002 - stdlib signature
         """Silence per-request stderr logging (metrics cover it)."""
+
+    def _record_http(self, route: str, status: int) -> None:
+        raise NotImplementedError
 
     # ------------------------------------------------------------------
     def _send_json(
@@ -68,7 +86,7 @@ class ServeHandler(BaseHTTPRequestHandler):
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
-        self.service.record_http(route, status)
+        self._record_http(route, status)
 
     def _send_error_payload(self, route: str, error: BaseException) -> None:
         status, payload = error_payload(error)
@@ -90,6 +108,39 @@ class ServeHandler(BaseHTTPRequestHandler):
                 }
             },
         )
+
+    # ------------------------------------------------------------------
+    def _read_json_body(self) -> object:
+        """The parsed JSON body, or :class:`CodecError` on any malformation."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise CodecError("Content-Length header is not an integer") from None
+        if length <= 0:
+            raise CodecError("request body is empty; POST a JSON object")
+        if length > MAX_BODY_BYTES:
+            raise CodecError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        body = self.rfile.read(length)
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise CodecError(f"request body is not valid JSON: {error}") from None
+
+
+class ServeHandler(_JsonHandler):
+    """Routes one HTTP connection onto the owning server's EvalService."""
+
+    @property
+    def service(self) -> "EvalService":
+        # The ThreadingHTTPServer subclass (_ServeHTTPServer) carries the
+        # service; BaseHTTPRequestHandler types ``server`` as BaseServer.
+        return cast("EvalService", getattr(self.server, "service"))
+
+    def _record_http(self, route: str, status: int) -> None:
+        self.service.record_http(route, status)
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:
@@ -141,22 +192,54 @@ class ServeHandler(BaseHTTPRequestHandler):
             return
         self._send_json(route, 200, {"result": encode_result(job.result)})
 
+
+class FrontHandler(_JsonHandler):
+    """Routes one HTTP connection onto the owning server's FrontService."""
+
+    @property
+    def front(self) -> "FrontService":
+        return cast("FrontService", getattr(self.server, "front"))
+
+    def _record_http(self, route: str, status: int) -> None:
+        self.front.record_http(route, status)
+
     # ------------------------------------------------------------------
-    def _read_json_body(self) -> object:
-        """The parsed JSON body, or :class:`CodecError` on any malformation."""
+    def do_GET(self) -> None:
+        if self.path == "/healthz":
+            self._send_json("GET /healthz", 200, self.front.health())
+        elif self.path == "/metrics":
+            self._send_json("GET /metrics", 200, self.front.metrics())
+        elif self.path == "/v1/models":
+            self._send_json("GET /v1/models", 200, self.front.models())
+        elif self.path == "/v1/fleet":
+            self._send_json("GET /v1/fleet", 200, self.front.fleet())
+        else:
+            self._not_found()
+
+    def do_POST(self) -> None:
+        # Imported here to keep handlers import-light for the replica-only
+        # path (front pulls in the poller machinery).
+        from repro.serve.front import FleetUnavailableError
+
+        if self.path != "/v1/evaluate":
+            self._not_found()
+            return
+        route = "POST /v1/evaluate"
         try:
-            length = int(self.headers.get("Content-Length", "0"))
-        except ValueError:
-            raise CodecError("Content-Length header is not an integer") from None
-        if length <= 0:
-            raise CodecError("request body is empty; POST a JSON object")
-        if length > MAX_BODY_BYTES:
-            raise CodecError(
-                f"request body of {length} bytes exceeds the "
-                f"{MAX_BODY_BYTES}-byte limit"
+            payload = self._read_json_body()
+            status, headers, body = self.front.evaluate(payload)
+        except (
+            QueueFullError,  # fleet-level shed: 429 before any backend socket
+            ServiceClosedError,  # 503: front shutting down
+            CodecError,  # 400: validated at the front, never proxied
+        ) as error:
+            self._send_error_payload(route, error)
+            return
+        except FleetUnavailableError as error:
+            self._send_json(
+                route,
+                503,
+                {"error": {"type": "no-healthy-replica", "message": str(error)}},
             )
-        body = self.rfile.read(length)
-        try:
-            return json.loads(body.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            raise CodecError(f"request body is not valid JSON: {error}") from None
+            return
+        self._send_json(route, status, body, headers=headers)

@@ -357,6 +357,7 @@ class EvalService:
         #: warm-replay + process-mode dispatch session (set by start()).
         self._local_session: Optional[Session] = None
         self._journal_warmed = 0
+        self._journal_compacted = 0
         self._worker_stats: Dict[int, Dict[str, object]] = {}  # guarded-by: _stats_lock
         self._stats_lock = threading.Lock()
         self._http_counts: Dict[str, int] = {}  # guarded-by: _http_lock
@@ -374,6 +375,11 @@ class EvalService:
         self._local_session = self._make_session()
         self._sessions.append(self._local_session)
         self._journal_warmed = self._warm_from_journal()
+        if self.journal is not None:
+            # Boot is the one moment the whole journal was just read and no
+            # appender is active yet: rewrite it down to unique fingerprints
+            # so the file tracks distinct requests, not total traffic.
+            self._journal_compacted = self.journal.compact()
         if self.config.worker_mode == "process" and self.config.workers > 0:
             self._executor = ProcessPoolExecutor(
                 max_workers=self.config.workers,
@@ -460,6 +466,8 @@ class EvalService:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self.journal is not None:
+            self.journal.close()
 
     # ------------------------------------------------------------------
     # request path
@@ -662,9 +670,11 @@ class EvalService:
         if self.journal is not None:
             journal_view = self.journal.snapshot()
             journal_view["warmed_at_boot"] = self._journal_warmed
+            journal_view["compacted_at_boot"] = self._journal_compacted
         return {
             "requests": self.admission.snapshot(),
             "controller": self.admission.controller.snapshot(),
+            "drain": self.admission.drain_snapshot(),
             "sessions": session_totals,
             "cache": {
                 "hits": hits,

@@ -1,0 +1,204 @@
+"""Client-side retry jitter and base-URL failover (no server required).
+
+The retry bug this pins: ``evaluate_with_retry`` used to sleep the 429
+``Retry-After`` hint *exactly*, so a shed burst of clients — all handed
+the same drain estimate — woke in lockstep and re-saturated the queue
+they had just drained.  The nap is now AWS-style decorrelated jitter:
+drawn uniformly from ``[hint, max(hint, 3 x previous nap)]`` and clamped
+to ``max_backoff``, never below the server's hint.  ``sleep`` and ``rng``
+are injectable, so every property here is asserted without real waiting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.client import (
+    ServeClient,
+    ServeError,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
+)
+
+
+class _SheddingService:
+    """Stand-in for evaluate_payload: sheds N times, then answers."""
+
+    def __init__(self, sheds: int, retry_after: float = 2.0) -> None:
+        self.sheds = sheds
+        self.retry_after = retry_after
+        self.calls = 0
+
+    def __call__(self, payload):
+        self.calls += 1
+        if self.calls <= self.sheds:
+            raise ServiceOverloadedError(
+                "shed", retry_after=self.retry_after
+            )
+        return {"ok": True, "payload": payload}
+
+
+def _retry_client(monkeypatch, service) -> ServeClient:
+    client = ServeClient(port=1)  # never actually connected
+    monkeypatch.setattr(client, "evaluate_payload", service)
+    return client
+
+
+# ----------------------------------------------------------------------
+# decorrelated jitter
+# ----------------------------------------------------------------------
+def test_naps_never_undercut_the_server_hint(monkeypatch):
+    service = _SheddingService(sheds=6, retry_after=2.5)
+    client = _retry_client(monkeypatch, service)
+    naps = []
+    result = client.evaluate_with_retry(
+        {"model": "tea"}, retries=10, sleep=naps.append, rng=0
+    )
+    assert result == {"ok": True, "payload": {"model": "tea"}}
+    assert len(naps) == 6
+    assert all(nap >= 2.5 for nap in naps)
+
+
+def test_naps_are_decorrelated_not_the_bare_hint(monkeypatch):
+    """The lockstep-herd bug: every nap equal to the hint means all shed
+    clients retry at the same instant.  With jitter, the naps must spread
+    above the hint (all-equal-to-hint has probability ~0 under the
+    uniform draw, and seeded rng makes the assertion deterministic)."""
+    service = _SheddingService(sheds=8, retry_after=1.0)
+    client = _retry_client(monkeypatch, service)
+    naps = []
+    client.evaluate_with_retry(
+        {"model": "tea"}, retries=10, sleep=naps.append, rng=7
+    )
+    assert len(set(naps)) > 1
+    assert any(nap > 1.0 for nap in naps)
+
+
+def test_nap_growth_is_bounded_by_three_times_previous(monkeypatch):
+    service = _SheddingService(sheds=10, retry_after=1.5)
+    client = _retry_client(monkeypatch, service)
+    naps = []
+    client.evaluate_with_retry(
+        {"model": "tea"}, retries=12, sleep=naps.append, rng=3
+    )
+    previous = 1.5  # the first draw's upper bound is max(hint, 3*hint)
+    for nap in naps:
+        assert nap <= max(1.5, 3.0 * previous) + 1e-9
+        previous = nap
+
+
+def test_naps_clamp_to_max_backoff(monkeypatch):
+    service = _SheddingService(sheds=12, retry_after=50.0)
+    client = _retry_client(monkeypatch, service)
+    naps = []
+    client.evaluate_with_retry(
+        {"model": "tea"},
+        retries=15,
+        max_backoff=60.0,
+        sleep=naps.append,
+        rng=1,
+    )
+    assert all(nap <= 60.0 for nap in naps)
+    assert all(nap >= 50.0 for nap in naps)
+
+
+def test_same_seed_reproduces_the_same_nap_schedule(monkeypatch):
+    schedules = []
+    for _ in range(2):
+        service = _SheddingService(sheds=5, retry_after=2.0)
+        client = _retry_client(monkeypatch, service)
+        naps = []
+        client.evaluate_with_retry(
+            {"model": "tea"}, retries=10, sleep=naps.append, rng=42
+        )
+        schedules.append(naps)
+    assert schedules[0] == schedules[1]
+
+
+def test_exhausted_retries_raise_the_final_overload(monkeypatch):
+    service = _SheddingService(sheds=100, retry_after=1.0)
+    client = _retry_client(monkeypatch, service)
+    naps = []
+    with pytest.raises(ServiceOverloadedError):
+        client.evaluate_with_retry(
+            {"model": "tea"}, retries=3, sleep=naps.append, rng=0
+        )
+    assert len(naps) == 3  # slept between attempts, not after the last
+
+
+def test_non_overload_errors_propagate_immediately(monkeypatch):
+    client = ServeClient(port=1)
+
+    def explode(payload):
+        raise ServeError("boom", status=500)
+
+    monkeypatch.setattr(client, "evaluate_payload", explode)
+    naps = []
+    with pytest.raises(ServeError, match="boom"):
+        client.evaluate_with_retry(
+            {"model": "tea"}, retries=5, sleep=naps.append
+        )
+    assert naps == []
+
+
+def test_negative_retries_rejected():
+    with pytest.raises(ValueError, match="retries"):
+        ServeClient(port=1).evaluate_with_retry({"model": "tea"}, retries=-1)
+
+
+# ----------------------------------------------------------------------
+# base-URL failover
+# ----------------------------------------------------------------------
+def test_failover_walks_targets_and_promotes_the_answering_one(monkeypatch):
+    client = ServeClient(
+        host="10.9.9.1", port=1, fallbacks=[("10.9.9.2", 2), ("10.9.9.3", 3)]
+    )
+    attempts = []
+
+    def fake_once(host, port, method, path, payload):
+        attempts.append((host, port))
+        if port != 3:
+            raise ServiceUnavailableError(
+                f"cannot reach {host}:{port}", error_type="unreachable"
+            )
+        return 200, {}, {"status": "ok"}
+
+    monkeypatch.setattr(client, "_http_once", fake_once)
+    assert client.health() == {"status": "ok"}
+    assert attempts == [("10.9.9.1", 1), ("10.9.9.2", 2), ("10.9.9.3", 3)]
+    # The answering target is promoted: the next call goes there first.
+    attempts.clear()
+    assert client.health() == {"status": "ok"}
+    assert attempts[0] == ("10.9.9.3", 3)
+
+
+def test_all_targets_dead_raises_the_last_unreachable(monkeypatch):
+    client = ServeClient(host="10.9.9.1", port=1, fallbacks=[("10.9.9.2", 2)])
+
+    def fake_once(host, port, method, path, payload):
+        raise ServiceUnavailableError(
+            f"cannot reach {host}:{port}", error_type="unreachable"
+        )
+
+    monkeypatch.setattr(client, "_http_once", fake_once)
+    with pytest.raises(ServiceUnavailableError, match="10.9.9.2:2"):
+        client.health()
+
+
+def test_http_level_errors_do_not_fail_over(monkeypatch):
+    """A 429/500 is a real answer from a live service — trying the next
+    base URL would re-submit the request, not route around a dead box."""
+    client = ServeClient(host="10.9.9.1", port=1, fallbacks=[("10.9.9.2", 2)])
+    attempts = []
+
+    def fake_once(host, port, method, path, payload):
+        attempts.append((host, port))
+        return 429, {"retry-after": "3"}, {
+            "error": {"type": "overloaded", "message": "shed", "retry_after": 3}
+        }
+
+    monkeypatch.setattr(client, "_http_once", fake_once)
+    with pytest.raises(ServiceOverloadedError) as excinfo:
+        client.health()
+    assert excinfo.value.retry_after == 3.0
+    assert attempts == [("10.9.9.1", 1)]

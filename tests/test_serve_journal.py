@@ -143,3 +143,143 @@ def test_wall_clock_is_injectable_and_recorded(tmp_path):
     with open(journal.path, encoding="utf-8") as handle:
         record = json.loads(handle.readline())
     assert record["recorded_at"] == pytest.approx(1234.5)
+
+
+# ----------------------------------------------------------------------
+# integrity: stored fingerprints are recomputed, never trusted
+# ----------------------------------------------------------------------
+def test_replay_skips_fingerprint_mismatched_lines(tmp_path):
+    """A parseable line whose fingerprint does not match its own request
+    payload (bit rot, tampering, a partial overwrite that still decodes)
+    is skipped exactly like a torn line — it must never poison the dedup
+    map or warm a cache entry under the wrong fingerprint."""
+    path = tmp_path / "requests.jsonl"
+    journal = RequestJournal(str(path))
+    good = payload(seed=20)
+    journal.record(good)
+    # A valid-shape record claiming seed=21's fingerprint over seed=22's
+    # request payload: internally inconsistent, so it must not replay.
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(
+            json.dumps(
+                {
+                    "fingerprint": request_fingerprint(payload(seed=21)),
+                    "recorded_at": 0.0,
+                    "request": payload(seed=22),
+                }
+            )
+            + "\n"
+        )
+    fresh = RequestJournal(str(path))
+    assert fresh.replay() == [good]
+    assert len(fresh) == 1
+
+
+def test_tampered_request_payload_does_not_replay_under_old_fingerprint(
+    tmp_path,
+):
+    path = tmp_path / "requests.jsonl"
+    journal = RequestJournal(str(path))
+    journal.record(payload(seed=23))
+    # Edit the request payload on disk but keep the stored fingerprint.
+    lines = path.read_text(encoding="utf-8").splitlines()
+    record = json.loads(lines[0])
+    record["request"]["seed"] = 24
+    path.write_text(json.dumps(record) + "\n", encoding="utf-8")
+    assert RequestJournal(str(path)).replay() == []
+
+
+# ----------------------------------------------------------------------
+# bounded growth: boot-time compaction + O(1) len
+# ----------------------------------------------------------------------
+def test_compact_rewrites_down_to_unique_fingerprints(tmp_path):
+    path = tmp_path / "requests.jsonl"
+    journal = RequestJournal(str(path))
+    burst = payload(seed=30)
+    for _ in range(40):
+        journal.record(burst)
+    journal.record(payload(seed=31))
+    size_before = os.stat(path).st_size
+    dropped = journal.compact()
+    assert dropped == 39
+    assert os.stat(path).st_size < size_before
+    # The compacted file replays the same unique set, oldest first.
+    assert journal.replay() == [burst, payload(seed=31)]
+    assert len(journal) == 2
+
+
+def test_compact_keeps_the_oldest_record_per_fingerprint(tmp_path):
+    clock_values = iter([100.0, 200.0, 300.0])
+    path = tmp_path / "requests.jsonl"
+    journal = RequestJournal(str(path), wall_clock=lambda: next(clock_values))
+    repeated = payload(seed=32)
+    journal.record(repeated)
+    journal.record(repeated)
+    journal.record(repeated)
+    journal.compact()
+    with open(path, encoding="utf-8") as handle:
+        records = [json.loads(line) for line in handle]
+    assert len(records) == 1
+    assert records[0]["recorded_at"] == pytest.approx(100.0)
+
+
+def test_compact_drops_garbage_and_mismatched_lines(tmp_path):
+    path = tmp_path / "requests.jsonl"
+    journal = RequestJournal(str(path))
+    journal.record(payload(seed=33))
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("torn gar")
+    assert journal.compact() == 1
+    # Every surviving line is a valid, self-consistent record.
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            record = json.loads(line)
+            assert (
+                request_fingerprint(record["request"]) == record["fingerprint"]
+            )
+
+
+def test_compact_without_duplicates_is_a_no_op(tmp_path):
+    path = tmp_path / "requests.jsonl"
+    journal = RequestJournal(str(path))
+    journal.record(payload(seed=34))
+    journal.record(payload(seed=35))
+    content_before = path.read_text(encoding="utf-8")
+    assert journal.compact() == 0
+    assert path.read_text(encoding="utf-8") == content_before
+
+
+def test_recording_continues_after_compaction(tmp_path):
+    # compact() swaps the file out from under the persistent append
+    # handle; the next record must reopen and land in the new file.
+    path = tmp_path / "requests.jsonl"
+    journal = RequestJournal(str(path))
+    for _ in range(3):
+        journal.record(payload(seed=36))
+    assert journal.compact() == 2
+    journal.record(payload(seed=37))
+    assert len(journal) == 2
+    assert len(RequestJournal(str(path)).replay()) == 2
+
+
+def test_len_is_served_from_the_index_not_the_file(tmp_path):
+    """len() must not re-read the journal per call: once populated, the
+    in-memory index answers even after the file vanishes from disk."""
+    path = tmp_path / "requests.jsonl"
+    journal = RequestJournal(str(path))
+    journal.record(payload(seed=38))
+    assert len(journal) == 1  # populates the index (one read, at most)
+    journal.close()
+    os.remove(path)
+    assert len(journal) == 1  # no re-read: the file is gone
+    assert journal.snapshot()["unique_fingerprints"] == 1
+
+
+def test_close_is_idempotent_and_reopens_on_next_record(tmp_path):
+    path = tmp_path / "requests.jsonl"
+    journal = RequestJournal(str(path))
+    journal.record(payload(seed=39))
+    journal.close()
+    journal.close()
+    journal.record(payload(seed=40))
+    assert len(RequestJournal(str(path)).replay()) == 2

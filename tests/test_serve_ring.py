@@ -1,0 +1,99 @@
+"""Rendezvous ring: determinism, stability, and the preference order.
+
+The front tier's placement promises all reduce to three ring properties:
+routing is a pure function of (membership, key); removing one replica
+re-homes *only* that replica's keys (minimal disruption — the reason the
+ring is rendezvous-hashed rather than modulo-hashed); and the full
+preference order is the deterministic failover path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.ring import EmptyRingError, ReplicaRing
+
+REPLICAS = ("10.0.0.1:8101", "10.0.0.2:8101", "10.0.0.3:8101")
+KEYS = [f"model-{index}" for index in range(200)]
+
+
+def test_route_is_deterministic_across_instances():
+    one = ReplicaRing(REPLICAS)
+    other = ReplicaRing(reversed(REPLICAS))  # insertion order must not matter
+    for key in KEYS:
+        assert one.route(key) == other.route(key)
+        assert one.preference(key) == other.preference(key)
+
+
+def test_route_always_lands_on_a_member():
+    ring = ReplicaRing(REPLICAS)
+    for key in KEYS:
+        assert ring.route(key) in REPLICAS
+
+
+def test_preference_is_a_permutation_headed_by_the_route():
+    ring = ReplicaRing(REPLICAS)
+    for key in KEYS:
+        order = ring.preference(key)
+        assert sorted(order) == sorted(REPLICAS)
+        assert order[0] == ring.route(key)
+
+
+def test_removal_moves_only_the_removed_replicas_keys():
+    """The minimal-disruption property: ejecting one replica re-homes its
+    keys onto survivors and leaves every other key exactly where it was."""
+    ring = ReplicaRing(REPLICAS)
+    before = {key: ring.route(key) for key in KEYS}
+    victim = REPLICAS[1]
+    assert ring.remove(victim)
+    after = {key: ring.route(key) for key in KEYS}
+    for key in KEYS:
+        if before[key] == victim:
+            assert after[key] != victim
+            # The key re-homes onto its *next* preference, not anywhere.
+            survivors = [
+                r for r in ReplicaRing(REPLICAS).preference(key) if r != victim
+            ]
+            assert after[key] == survivors[0]
+        else:
+            assert after[key] == before[key]
+
+
+def test_rejoin_restores_the_original_assignment():
+    ring = ReplicaRing(REPLICAS)
+    before = {key: ring.route(key) for key in KEYS}
+    ring.remove(REPLICAS[0])
+    ring.add(REPLICAS[0])
+    assert {key: ring.route(key) for key in KEYS} == before
+
+
+def test_keys_spread_over_all_replicas():
+    ring = ReplicaRing(REPLICAS)
+    homes = {ring.route(key) for key in KEYS}
+    assert homes == set(REPLICAS)
+
+
+def test_assignments_matches_route():
+    ring = ReplicaRing(REPLICAS)
+    assignments = ring.assignments(KEYS[:10])
+    assert assignments == {key: ring.route(key) for key in KEYS[:10]}
+
+
+def test_membership_bookkeeping():
+    ring = ReplicaRing(REPLICAS)
+    assert len(ring) == 3
+    assert REPLICAS[0] in ring
+    assert ring.remove(REPLICAS[0])
+    assert not ring.remove(REPLICAS[0])  # already gone
+    assert REPLICAS[0] not in ring
+    assert ring.add(REPLICAS[0])
+    assert not ring.add(REPLICAS[0])  # already present
+    assert set(ring.replicas) == set(REPLICAS)
+
+
+def test_empty_ring_raises():
+    ring = ReplicaRing([REPLICAS[0]])
+    ring.remove(REPLICAS[0])
+    with pytest.raises(EmptyRingError):
+        ring.route("model-x")
+    assert ring.preference("model-x") == []
